@@ -1,0 +1,45 @@
+"""Benchmark configuration.
+
+The experiment benchmarks regenerate the paper's tables and figures at
+reduced-but-meaningful sizes (QVGA/VGA, a few GOPs) so a full
+``pytest benchmarks/ --benchmark-only`` run completes in minutes on a
+laptop.  Pass ``--paper-scale`` to run at the paper's full size
+(640x480, hundreds of frames) — expect a long run.
+
+Each experiment benchmark *asserts the paper's qualitative claims*
+(who wins, roughly by how much) in addition to timing the harness, and
+prints the regenerated table/figure so the numbers land in the
+benchmark log.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run experiment benchmarks at the paper's full scale",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request) -> bool:
+    return request.config.getoption("--paper-scale")
+
+
+@pytest.fixture(scope="session")
+def experiment_size(paper_scale):
+    """(width, height, num_frames) for the experiment harnesses."""
+    if paper_scale:
+        return dict(width=640, height=480, num_frames=400)
+    return dict(width=640, height=480, num_frames=16)
+
+
+@pytest.fixture(scope="session")
+def small_size(paper_scale):
+    """Cheaper size for the sweeps that encode many configurations."""
+    if paper_scale:
+        return dict(width=640, height=480, num_frames=48)
+    return dict(width=320, height=240, num_frames=16)

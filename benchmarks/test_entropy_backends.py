@@ -1,0 +1,59 @@
+"""Entropy-backend comparison: static exp-Golomb vs the CABAC-style
+adaptive arithmetic coder, on the *actual* quantized coefficients a
+frame of medical video produces."""
+
+import numpy as np
+import pytest
+
+from repro.codec.cabac import (
+    BinaryArithmeticDecoder,
+    BinaryArithmeticEncoder,
+    CoefficientCabac,
+)
+from repro.codec.entropy import count_block_bits
+from repro.codec.quant import quantize
+from repro.codec.transform import blockify, forward_dct
+from repro.video.generator import ContentClass, MotionPreset, generate_video
+
+
+def _coefficient_blocks(qp: int, width=320, height=240):
+    """Zigzag-scanned quantized coefficient blocks of a real frame."""
+    from repro.codec.zigzag import zigzag_scan
+    video = generate_video(
+        content_class=ContentClass.BRAIN, motion=MotionPreset.STILL,
+        width=width, height=height, num_frames=1, seed=0,
+    )
+    sub = blockify(video[0].luma.astype(np.float64) - 128.0, 8)
+    levels = quantize(forward_dct(sub), qp)
+    return zigzag_scan(levels)
+
+
+@pytest.mark.benchmark(group="entropy-backends")
+@pytest.mark.parametrize("qp", [27, 37])
+def test_cabac_vs_golomb_rate(benchmark, qp):
+    blocks = _coefficient_blocks(qp)
+
+    def encode_cabac():
+        enc = BinaryArithmeticEncoder()
+        coder = CoefficientCabac()
+        for i in range(blocks.shape[0]):
+            coder.encode_block(enc, blocks[i])
+        return enc.finish()
+
+    data = benchmark.pedantic(encode_cabac, rounds=1, iterations=1)
+    cabac_bits = len(data) * 8
+    golomb_bits = sum(count_block_bits(blocks[i]) for i in range(blocks.shape[0]))
+    ratio = cabac_bits / golomb_bits
+    print(f"\nQP {qp}: golomb {golomb_bits} bits, cabac {cabac_bits} bits "
+          f"({(1 - ratio) * 100:+.1f}% saving)")
+
+    # Context modelling beats the static code on real coefficient
+    # statistics (the HEVC-over-AVC entropy gain in miniature).
+    assert cabac_bits < golomb_bits
+
+    # And the stream still decodes exactly.
+    dec = BinaryArithmeticDecoder(data)
+    coder = CoefficientCabac()
+    for i in range(min(50, blocks.shape[0])):
+        decoded = coder.decode_block(dec, blocks.shape[1])
+        np.testing.assert_array_equal(decoded, blocks[i])

@@ -1,0 +1,35 @@
+"""Benchmark regenerating Fig. 3: tile structure + per-tile CPU time,
+proposed content-aware re-tiling vs the Khan et al. [19] baseline."""
+
+import pytest
+
+from repro.experiments.fig3 import format_fig3, run_fig3
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3(benchmark, experiment_size):
+    size = dict(experiment_size)
+    size["num_frames"] = min(size["num_frames"], 16)  # one steady GOP is enough
+    result = benchmark.pedantic(
+        lambda: run_fig3(seed=0, **size), rounds=1, iterations=1
+    )
+    print("\n" + format_fig3(result))
+
+    # Paper shape assertions (Fig. 3a vs 3b):
+    # 1. Content-aware tiling yields more tiles than one-per-core.
+    assert len(result.proposed.tiles) > len(result.baseline.tiles)
+    # 2. Proposed per-tile CPU times are diverse (an order of magnitude
+    #    in the paper; at least several-x here).
+    times = result.proposed.tile_cpu_times
+    assert max(times) > 2 * min(times)
+    # 3. Baseline tiles have near-equal CPU demand (workload balancing).
+    btimes = result.baseline.tile_cpu_times
+    assert max(btimes) < 2.5 * min(btimes)
+    # 4. Proposed needs fewer or equal cores, with fewer cores pinned
+    #    at f_max for the whole slot.
+    assert result.proposed.cores_used <= result.baseline.cores_used
+    assert (result.proposed.cores_at_fmax_whole_slot
+            < result.baseline.cores_at_fmax_whole_slot
+            + len(result.baseline.tiles))
+    # 5. The whole frame is cheaper under the proposed configuration.
+    assert result.proposed.frame_cpu_time < result.baseline.frame_cpu_time

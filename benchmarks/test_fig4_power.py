@@ -1,0 +1,30 @@
+"""Benchmark regenerating Fig. 4: power savings of the proposed
+approach vs [19] across user counts."""
+
+import pytest
+
+from repro.experiments.fig4 import FIG4_USER_COUNTS, format_fig4, run_fig4
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4(benchmark, experiment_size, paper_scale):
+    num_videos = 4 if paper_scale else 2
+    size = dict(experiment_size)
+    size["num_frames"] = min(size["num_frames"], 16)
+    result = benchmark.pedantic(
+        lambda: run_fig4(num_videos=num_videos, seed=0,
+                         user_counts=FIG4_USER_COUNTS, **size),
+        rounds=1, iterations=1,
+    )
+    print("\n" + format_fig4(result))
+
+    # Paper shape assertions (Fig. 4):
+    # 1. Positive savings at every user count.
+    for n, s in result.savings_percent.items():
+        assert s > 0, f"no savings at {n} users"
+    # 2. Savings grow toward saturation.
+    assert result.savings_percent[12] > result.savings_percent[1]
+    # 3. Peak savings approach the paper's 44% claim.
+    assert result.peak_savings > 35.0
+    # 4. Meaningful average savings.
+    assert result.average_savings > 20.0

@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the hot paths: encoder throughput, motion search
+rates, content analysis and re-tiling.
+
+Unlike the experiment benchmarks (single-shot harness regenerations),
+these use pytest-benchmark's statistical timing — they are the numbers
+to watch when optimising the substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.evaluator import ContentEvaluator
+from repro.codec.config import EncoderConfig, FrameType
+from repro.codec.encoder import FrameEncoder
+from repro.motion import FullSearch, HexagonSearch, TZSearch
+from repro.motion.base import SearchContext
+from repro.tiling.content_aware import ContentAwareRetiler
+from repro.tiling.uniform import uniform_tiling
+from repro.video.generator import (
+    BioMedicalVideoGenerator,
+    ContentClass,
+    GeneratorConfig,
+    MotionPreset,
+)
+
+
+@pytest.fixture(scope="module")
+def frame_pair():
+    cfg = GeneratorConfig(width=320, height=240, num_frames=2, seed=0,
+                          content_class=ContentClass.BRAIN,
+                          motion=MotionPreset.PAN_RIGHT, motion_magnitude=3.0)
+    v = BioMedicalVideoGenerator(cfg).generate()
+    return v[0].luma, v[1].luma
+
+
+@pytest.mark.benchmark(group="micro-codec")
+def test_encode_intra_frame(benchmark, frame_pair):
+    _, cur = frame_pair
+    grid = uniform_tiling(320, 240, 2, 2)
+    configs = [EncoderConfig(qp=32)] * 4
+    encoder = FrameEncoder()
+    benchmark(lambda: encoder.encode(cur, grid, configs, FrameType.I))
+
+
+@pytest.mark.benchmark(group="micro-codec")
+def test_encode_inter_frame(benchmark, frame_pair):
+    prev, cur = frame_pair
+    grid = uniform_tiling(320, 240, 2, 2)
+    configs = [EncoderConfig(qp=32, search="hexagon", search_window=32)] * 4
+    encoder = FrameEncoder()
+    _, recon = encoder.encode(prev, grid, configs, FrameType.I)
+    benchmark(
+        lambda: encoder.encode(cur, grid, configs, FrameType.P, reference=recon)
+    )
+
+
+def _search_ctx(frame_pair, window):
+    prev, cur = frame_pair
+    block = cur[112:128, 144:160]
+    return SearchContext(prev, block, 144, 112, window, lambda_mv=4.0)
+
+
+@pytest.mark.benchmark(group="micro-motion")
+@pytest.mark.parametrize("alg,window", [
+    (FullSearch(), 16),
+    (TZSearch(), 64),
+    (HexagonSearch(), 64),
+], ids=["full-16", "tz-64", "hexagon-64"])
+def test_motion_search(benchmark, frame_pair, alg, window):
+    def run():
+        ctx = _search_ctx(frame_pair, window)
+        return alg.search(ctx)
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro-analysis")
+def test_content_evaluation(benchmark, frame_pair):
+    prev, cur = frame_pair
+    grid = uniform_tiling(320, 240, 4, 3)
+    evaluator = ContentEvaluator()
+    benchmark(lambda: evaluator.evaluate(grid, cur, prev))
+
+
+@pytest.mark.benchmark(group="micro-analysis")
+def test_content_aware_retiling(benchmark, frame_pair):
+    prev, cur = frame_pair
+    retiler = ContentAwareRetiler()
+    benchmark(lambda: retiler.retile(cur, prev))
+
+
+@pytest.mark.benchmark(group="micro-generator")
+def test_video_generation(benchmark):
+    def run():
+        cfg = GeneratorConfig(width=320, height=240, num_frames=4, seed=1)
+        return BioMedicalVideoGenerator(cfg).generate()
+    benchmark(run)

@@ -1,0 +1,99 @@
+"""Sensitivity sweeps beyond the paper's evaluation: frame rate,
+platform size, and the QP ladder.
+
+The paper fixes FPS = 24 and the 32-core Xeon; these sweeps check that
+the reproduced advantage is not an artefact of that single operating
+point ("our proposed methodology is valid for any arbitrary resolution
+and frame rate", §IV-A).
+"""
+
+import numpy as np
+import pytest
+
+from repro.allocation import KhanAllocator, ProposedAllocator
+from repro.codec.config import EncoderConfig
+from repro.codec.encoder import VideoEncoder
+from repro.platform.mpsoc import GHZ, MpsocConfig
+from repro.transcode.pipeline import PipelineConfig, PipelineMode, StreamTranscoder
+from repro.transcode.server import TranscodingServer
+from repro.video.generator import ContentClass, MotionPreset, generate_video
+
+
+@pytest.fixture(scope="module")
+def video(small_size):
+    return generate_video(
+        content_class=ContentClass.BRAIN, motion=MotionPreset.PAN_RIGHT,
+        seed=0, **small_size,
+    )
+
+
+@pytest.mark.benchmark(group="sensitivity-fps")
+def test_fps_sweep(benchmark, video):
+    """The user-count advantage persists across target frame rates."""
+    def sweep():
+        ratios = {}
+        for fps in (15.0, 24.0, 30.0):
+            tp = StreamTranscoder(
+                PipelineConfig(mode=PipelineMode.PROPOSED, fps=fps)
+            ).run(video)
+            tk = StreamTranscoder(PipelineConfig.khan(fps=fps)).run(video)
+            server = TranscodingServer(fps=fps)
+            up = server.serve([tp], ProposedAllocator()).num_users_served
+            uk = server.serve([tk], KhanAllocator()).num_users_served
+            ratios[fps] = (up, uk)
+        return ratios
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nfps -> (proposed users, khan users):", ratios)
+    for fps, (up, uk) in ratios.items():
+        assert up >= uk, f"advantage lost at {fps} fps"
+    # Lower fps -> longer slots -> more users for both.
+    assert ratios[15.0][0] >= ratios[30.0][0]
+
+
+@pytest.mark.benchmark(group="sensitivity-platform")
+def test_platform_size_sweep(benchmark, video):
+    """The throughput factor holds from 8 to 64 cores."""
+    tp = StreamTranscoder(PipelineConfig()).run(video)
+    tk = StreamTranscoder(PipelineConfig.khan()).run(video)
+
+    def sweep():
+        results = {}
+        for sockets, cores in ((1, 8), (2, 8), (4, 8), (4, 16)):
+            platform = MpsocConfig(num_sockets=sockets, cores_per_socket=cores)
+            server = TranscodingServer(platform=platform)
+            up = server.serve([tp], ProposedAllocator(platform)).num_users_served
+            uk = server.serve([tk], KhanAllocator(platform)).num_users_served
+            results[platform.num_cores] = (up, uk)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\ncores -> (proposed users, khan users):", results)
+    for n, (up, uk) in results.items():
+        assert up >= uk
+    # Served users scale with the platform for both approaches.
+    ups = [results[n][0] for n in sorted(results)]
+    assert ups == sorted(ups)
+
+
+@pytest.mark.benchmark(group="sensitivity-qp")
+def test_qp_ladder_rate_distortion(benchmark, video):
+    """The paper's QP ladder spans a monotone RD curve on the
+    substrate codec (the premise of Algorithm 1)."""
+    def sweep():
+        points = []
+        for qp in (22, 27, 32, 37, 42):
+            stats = VideoEncoder(
+                EncoderConfig(qp=qp, search_window=16)
+            ).encode(video)
+            points.append((qp, stats.average_psnr,
+                           stats.bitrate_mbps(24.0)))
+        return points
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nQP -> (PSNR dB, Mbps):",
+          [(q, round(p, 2), round(r, 3)) for q, p, r in points])
+    psnrs = [p for _, p, _ in points]
+    rates = [r for _, _, r in points]
+    assert psnrs == sorted(psnrs, reverse=True)
+    assert rates == sorted(rates, reverse=True)

@@ -1,0 +1,35 @@
+"""Benchmark regenerating Table I: motion-estimation speedup, PSNR loss
+and bitrate degradation vs TZ search across the paper's uniform
+tilings."""
+
+import pytest
+
+from repro.experiments.table1 import format_table1, run_table1
+from repro.tiling.uniform import TABLE1_TILINGS
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1(benchmark, small_size):
+    result = benchmark.pedantic(
+        lambda: run_table1(seed=0, tilings=TABLE1_TILINGS, **small_size),
+        rounds=1, iterations=1,
+    )
+    print("\n" + format_table1(result))
+
+    # Paper shape assertions.
+    # 1. Both fast searches beat TZ at every tiling.
+    for row in result.proposed + result.hexagon:
+        assert row.speedup > 1.0
+    # 2. Speedup grows with tile count (1.3 -> ~5x in the paper).
+    assert result.proposed[-1].speedup > result.proposed[0].speedup
+    # 3. Average speedup is in the paper's regime (several-x, not 1.1x).
+    assert result.average_speedup("proposed") > 2.0
+    # 4. The proposed search is at least as fast as plain hexagon on
+    #    average (the paper's §III-C2 improvement).
+    assert (result.average_speedup("proposed")
+            >= 0.95 * result.average_speedup("hexagon"))
+    # 5. No meaningful encoding-efficiency degradation (paper: <=0.32 dB
+    #    PSNR, <=0.5% bitrate; allow simulator slack).
+    for row in result.proposed:
+        assert row.psnr_loss_db < 0.5
+        assert row.compression_loss_pct < 5.0

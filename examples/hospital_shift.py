@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""A hospital shift: doctors open and close studies over time (Poisson
+arrivals), and the transcoding server admits, queues and serves them.
+
+Shows the dynamic consequence of the paper's 1.6x throughput: at equal
+offered load, the content-aware approach drains the queue faster and
+completes more sessions with lower waiting times.
+
+Run:
+    python examples/hospital_shift.py [--minutes 2 --rate 20]
+"""
+
+import argparse
+
+from repro.allocation import KhanAllocator, ProposedAllocator
+from repro.transcode.dynamic import DynamicServerSimulator, poisson_workload
+from repro.transcode.pipeline import PipelineConfig, StreamTranscoder
+from repro.experiments.common import medical_corpus
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--minutes", type=float, default=2.0,
+                        help="simulated wall time")
+    parser.add_argument("--rate", type=float, default=20.0,
+                        help="session arrivals per minute")
+    parser.add_argument("--duration", type=float, default=20.0,
+                        help="mean session length (seconds)")
+    parser.add_argument("--width", type=int, default=320)
+    parser.add_argument("--height", type=int, default=240)
+    args = parser.parse_args()
+    sim_seconds = args.minutes * 60.0
+
+    print("measuring representative streams ...")
+    videos = medical_corpus(width=args.width, height=args.height,
+                            num_frames=16, num_videos=2)
+    traces_p = [StreamTranscoder(PipelineConfig()).run(v) for v in videos]
+    traces_k = [StreamTranscoder(PipelineConfig.khan()).run(v) for v in videos]
+
+    requests = poisson_workload(
+        rate_per_minute=args.rate, mean_duration_seconds=args.duration,
+        sim_seconds=sim_seconds, num_traces=len(videos), seed=7,
+    )
+    print(f"workload: {len(requests)} sessions over {args.minutes:g} min "
+          f"(~{args.rate:g}/min, mean {args.duration:g} s each)\n")
+
+    sim = DynamicServerSimulator()
+    results = {}
+    for name, traces, allocator in (
+        ("proposed", traces_p, ProposedAllocator()),
+        ("khan[19]", traces_k, KhanAllocator()),
+    ):
+        report = sim.simulate(traces, requests, sim_seconds, allocator)
+        results[name] = report
+        print(f"[{name}]")
+        print(f"  sessions completed : {report.completed_sessions}"
+              f"/{report.total_sessions}")
+        print(f"  avg served         : {report.average_served:.1f} "
+              f"(peak {report.peak_served})")
+        print(f"  mean admission wait: {report.mean_wait_seconds:.1f} s")
+        print(f"  avg power          : {report.average_power_w:.1f} W\n")
+
+    # Timeline sketch of served sessions.
+    print("served sessions over time ('" + "#" + "' proposed, '.' khan):")
+    rp = results["proposed"].timeline
+    rk = results["khan[19]"].timeline
+    step = max(1, len(rp) // 24)
+    for i in range(0, len(rp), step):
+        p, k = rp[i].served_sessions, rk[i].served_sessions
+        bar_p = "#" * p
+        bar_k = "." * k
+        print(f"  t={rp[i].time:6.1f}s |{bar_p:<28}| |{bar_k:<18}|")
+
+
+if __name__ == "__main__":
+    main()

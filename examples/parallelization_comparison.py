@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Why tiles? A quantitative version of the paper's §II-C argument.
+
+Compares the three HEVC parallelization schemes for *online*
+transcoding of one 640x480 @ 24 fps bio-medical stream:
+
+* tiles (the paper's choice): independent threads, packs on cores;
+* wavefront (WPP): row threads throttled by CTU dependencies;
+* GOP-level: perfect scaling, but a full GOP of added latency.
+
+Run:
+    python examples/parallelization_comparison.py
+"""
+
+import numpy as np
+
+from repro.parallel.gop_level import GopParallelModel
+from repro.parallel.wavefront import simulate_wavefront
+from repro.platform.cost_model import CostModel
+from repro.platform.mpsoc import XEON_E5_2667
+from repro.transcode.pipeline import PipelineConfig, StreamTranscoder
+from repro.video.generator import ContentClass, MotionPreset, generate_video
+
+
+def main() -> None:
+    fps = 24.0
+    slot = 1.0 / fps
+    video = generate_video(
+        content_class=ContentClass.BRAIN, motion=MotionPreset.PAN_RIGHT,
+        width=320, height=240, num_frames=16, seed=0,
+    )
+    print(f"stream: {video.width}x{video.height} @ {fps:g} fps "
+          f"(frame deadline {slot * 1e3:.1f} ms)\n")
+
+    # Measure the stream once with the content-aware pipeline.
+    trace = StreamTranscoder(PipelineConfig(fps=fps)).run(video)
+    gop = trace.steady_state_gop()
+    tile_times = gop.mean_tile_cpu_times()
+    frame_time = sum(tile_times)
+    print(f"frame CPU time at f_max: {frame_time * 1e3:.1f} ms "
+          f"({len(tile_times)} content-aware tiles)")
+
+    # --- tiles ---------------------------------------------------------
+    cores_tiles = max(1, int(np.ceil(frame_time / slot)))
+    # Tiles are independent: the frame finishes when the largest
+    # per-core share does; a greedy split approximates the allocator.
+    makespan_tiles = max(max(tile_times), frame_time / cores_tiles)
+    print("\n[tiles]")
+    print(f"  cores needed : {cores_tiles}")
+    print(f"  frame latency: {makespan_tiles * 1e3:.1f} ms "
+          f"({'meets' if makespan_tiles <= slot else 'MISSES'} the deadline)")
+
+    # --- wavefront -------------------------------------------------------
+    # CTU cost matrix: spread the frame time uniformly over 16x16 CTUs.
+    rows, cols = video.height // 16, video.width // 16
+    ctu_costs = np.full((rows, cols), frame_time / (rows * cols))
+    print("\n[wavefront]")
+    for cores in (2, 4, 8, rows):
+        sched = simulate_wavefront(ctu_costs, cores)
+        ok = "meets" if sched.makespan <= slot else "MISSES"
+        print(f"  {cores:>2} cores: frame latency {sched.makespan * 1e3:6.1f} ms, "
+              f"speedup {sched.speedup:4.2f}x, efficiency "
+              f"{sched.efficiency * 100:5.1f}%  ({ok} the deadline)")
+
+    # --- GOP-level ---------------------------------------------------------
+    model = GopParallelModel(gop_size=8, frame_encode_seconds=frame_time, fps=fps)
+    plan = model.plan(model.workers_for_realtime())
+    print("\n[GOP-level]")
+    print(f"  workers      : {plan.num_workers} (sustains {plan.sustained_fps:g} fps)")
+    print(f"  latency      : {plan.latency_seconds * 1e3:.0f} ms "
+          f"(>= one GOP of buffering) -> "
+          f"{'meets' if plan.meets_online_latency(slot) else 'MISSES'} "
+          f"the per-frame deadline")
+
+    print("\nconclusion: only tiles deliver per-frame deadlines with "
+          "near-linear core usage — the premise of the paper's "
+          "content-aware tile allocation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package (offline install).
+
+`pip install -e . --no-build-isolation` needs bdist_wheel unless the
+legacy path is used; this file enables `pip install -e . --no-use-pep517`.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — reproduction of "Online Efficient Bio-Medical Video
+Transcoding on MPSoCs Through Content-Aware Workload Allocation"
+(Iranfar, Pahlevan, Zapater, Zagar, Kovac, Atienza — DATE 2018).
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.video` — frames, synthetic bio-medical video generator,
+  metrics;
+* :mod:`repro.codec` — HEVC-like block codec substrate with exact
+  operation accounting;
+* :mod:`repro.motion` — motion search library incl. the proposed
+  bio-medical combined search;
+* :mod:`repro.analysis` — CV texture classifier and 6-point motion
+  probe (paper §III-A);
+* :mod:`repro.tiling` — content-aware re-tiling (§III-B);
+* :mod:`repro.qp` — per-tile QP adaptation, Algorithm 1 (§III-C1);
+* :mod:`repro.workload` — LUT-based workload estimation (§III-D1);
+* :mod:`repro.platform` — MPSoC model: cost, power, DVFS, schedules;
+* :mod:`repro.allocation` — Algorithm 2 and the Khan et al. baseline;
+* :mod:`repro.transcode` — the end-to-end pipeline and the multi-user
+  server simulation;
+* :mod:`repro.experiments` — regenerates every table and figure of the
+  paper's evaluation (Table I/II, Fig. 3/4).
+"""
+
+__version__ = "1.0.0"
+
+from repro.video import BioMedicalVideoGenerator, ContentClass, Frame, GeneratorConfig, Video
+from repro.codec import EncoderConfig, GopConfig, VideoEncoder
+from repro.tiling import ContentAwareRetiler, TilingConstraints, uniform_tiling
+from repro.transcode import PipelineConfig, StreamTranscoder, TranscodingServer
+from repro.allocation import KhanAllocator, ProposedAllocator
+
+__all__ = [
+    "__version__",
+    "BioMedicalVideoGenerator",
+    "ContentClass",
+    "Frame",
+    "GeneratorConfig",
+    "Video",
+    "EncoderConfig",
+    "GopConfig",
+    "VideoEncoder",
+    "ContentAwareRetiler",
+    "TilingConstraints",
+    "uniform_tiling",
+    "PipelineConfig",
+    "StreamTranscoder",
+    "TranscodingServer",
+    "KhanAllocator",
+    "ProposedAllocator",
+]

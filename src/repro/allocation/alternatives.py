@@ -1,0 +1,40 @@
+"""Alternative thread-packing heuristics.
+
+Used by the ablation benchmarks to isolate the contribution of the
+paper's min-distance-to-cap placement (Algorithm 2, lines 4-14): the
+same admission and DVFS stages run with classic bin-packing rules
+instead.
+
+* **first-fit** — place each thread on the first core whose load stays
+  within the slot; open a new core otherwise.
+* **worst-fit** — place each thread on the least-loaded core
+  (spread-maximising).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.allocation.proposed import ProposedAllocator
+from repro.platform.schedule import CoreSlot, ThreadTask
+
+
+class FirstFitAllocator(ProposedAllocator):
+    """Algorithm 2 with first-fit placement instead of distance-to-cap."""
+
+    def _place(self, task: ThreadTask, slots: List[CoreSlot],
+               slot_duration: float) -> None:
+        for slot in slots:
+            if slot.load_fmax + task.cpu_time_fmax <= slot_duration:
+                slot.assign(task)
+                return
+        # Nothing fits: put it on the least-loaded core (it will carry).
+        min(slots, key=lambda s: (s.load_fmax, s.core_id)).assign(task)
+
+
+class WorstFitAllocator(ProposedAllocator):
+    """Algorithm 2 with worst-fit (least-loaded-core) placement."""
+
+    def _place(self, task: ThreadTask, slots: List[CoreSlot],
+               slot_duration: float) -> None:
+        min(slots, key=lambda s: (s.load_fmax, s.core_id)).assign(task)

@@ -1,0 +1,158 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro.cli generate --content brain --out video.npz
+    python -m repro.cli encode video.npz --qp 32 --search hexagon --tiles 2x2
+    python -m repro.cli transcode video.npz [--baseline]
+    python -m repro.cli experiment table1|fig3|table2|fig4 [options...]
+
+``generate`` writes a synthetic bio-medical video; ``encode`` runs the
+codec substrate with a fixed configuration and reports PSNR/bitrate and
+simulated CPU time; ``transcode`` runs the full content-aware pipeline
+(or the [19] baseline); ``experiment`` regenerates one of the paper's
+tables/figures (forwarding the remaining arguments to that harness).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.codec.config import EncoderConfig, GopConfig
+from repro.codec.encoder import VideoEncoder
+from repro.platform.cost_model import CostModel
+from repro.platform.mpsoc import XEON_E5_2667
+from repro.tiling.uniform import uniform_tiling
+from repro.transcode.pipeline import PipelineConfig, StreamTranscoder
+from repro.video import io as video_io
+from repro.video.generator import (
+    BioMedicalVideoGenerator,
+    ContentClass,
+    GeneratorConfig,
+    MotionPreset,
+)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    cfg = GeneratorConfig(
+        width=args.width, height=args.height, num_frames=args.frames,
+        fps=args.fps, content_class=ContentClass(args.content),
+        motion=MotionPreset(args.motion), motion_magnitude=args.magnitude,
+        seed=args.seed,
+    )
+    video = BioMedicalVideoGenerator(cfg).generate()
+    video_io.save_npz(video, args.out)
+    print(f"wrote {args.out}: {video.name}, {len(video)} frames "
+          f"{video.width}x{video.height} @ {video.fps:g} fps")
+    return 0
+
+
+def _parse_tiles(spec: str):
+    try:
+        cols, rows = (int(x) for x in spec.lower().split("x"))
+    except ValueError:
+        raise SystemExit(f"invalid tiling {spec!r}; expected e.g. 2x2")
+    return cols, rows
+
+
+def _cmd_encode(args: argparse.Namespace) -> int:
+    video = video_io.load_npz(args.video)
+    cols, rows = _parse_tiles(args.tiles)
+    grid = uniform_tiling(video.width, video.height, cols, rows)
+    config = EncoderConfig(qp=args.qp, search=args.search,
+                           search_window=args.window)
+    encoder = VideoEncoder(config, GopConfig(args.gop, use_b_frames=args.b_frames))
+    stats = encoder.encode(video, grid)
+    cpu = CostModel().seconds(stats.ops, XEON_E5_2667.f_max)
+    print(f"encoded {len(stats.frames)} frames "
+          f"({cols}x{rows} tiles, QP {args.qp}, {args.search}/{args.window})")
+    print(f"  PSNR   : {stats.average_psnr:.2f} dB")
+    print(f"  bitrate: {stats.bitrate_mbps(video.fps):.3f} Mbps")
+    print(f"  CPU    : {cpu:.3f} simulated seconds at f_max "
+          f"({cpu / len(stats.frames) * 1e3:.1f} ms/frame)")
+    return 0
+
+
+def _cmd_transcode(args: argparse.Namespace) -> int:
+    video = video_io.load_npz(args.video)
+    if args.baseline:
+        config = PipelineConfig.khan(fps=video.fps)
+        label = "Khan et al. [19] baseline"
+    else:
+        config = PipelineConfig(fps=video.fps)
+        label = "proposed content-aware pipeline"
+    trace = StreamTranscoder(config).run(video)
+    gop = trace.steady_state_gop()
+    times = gop.mean_tile_cpu_times()
+    print(f"transcoded with the {label}:")
+    print(f"  PSNR   : {trace.average_psnr:.2f} dB "
+          f"(min {trace.min_psnr:.2f} / max {trace.max_psnr:.2f})")
+    print(f"  bitrate: {trace.bitrate_mbps:.3f} Mbps")
+    print(f"  tiling : {len(gop.grid)} tiles, frame CPU {sum(times) * 1e3:.1f} ms")
+    for content, cpu in zip(gop.contents, times):
+        t = content.tile
+        print(f"    ({t.x:>4},{t.y:>4}) {t.width:>4}x{t.height:<4} "
+              f"{cpu * 1e3:6.2f} ms")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import fig3, fig4, table1, table2
+    module = {"table1": table1, "fig3": fig3, "table2": table2,
+              "fig4": fig4}[args.name]
+    module.main(args.rest)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a synthetic bio-medical video")
+    g.add_argument("--out", required=True)
+    g.add_argument("--content", default="brain",
+                   choices=[c.value for c in ContentClass])
+    g.add_argument("--motion", default="pan_right",
+                   choices=[m.value for m in MotionPreset])
+    g.add_argument("--magnitude", type=float, default=1.5)
+    g.add_argument("--width", type=int, default=640)
+    g.add_argument("--height", type=int, default=480)
+    g.add_argument("--frames", type=int, default=48)
+    g.add_argument("--fps", type=float, default=24.0)
+    g.add_argument("--seed", type=int, default=0)
+    g.set_defaults(func=_cmd_generate)
+
+    e = sub.add_parser("encode", help="encode with a fixed configuration")
+    e.add_argument("video", help="input .npz (from `generate`)")
+    e.add_argument("--qp", type=int, default=32)
+    e.add_argument("--search", default="hexagon")
+    e.add_argument("--window", type=int, default=64)
+    e.add_argument("--tiles", default="1x1")
+    e.add_argument("--gop", type=int, default=8)
+    e.add_argument("--b-frames", action="store_true")
+    e.set_defaults(func=_cmd_encode)
+
+    t = sub.add_parser("transcode", help="run the full pipeline")
+    t.add_argument("video")
+    t.add_argument("--baseline", action="store_true",
+                   help="use the Khan et al. [19] baseline instead")
+    t.set_defaults(func=_cmd_transcode)
+
+    x = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    x.add_argument("name", choices=["table1", "fig3", "table2", "fig4"])
+    x.add_argument("rest", nargs=argparse.REMAINDER,
+                   help="arguments forwarded to the harness")
+    x.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

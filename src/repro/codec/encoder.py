@@ -1,0 +1,652 @@
+"""Tile / frame / video encoders.
+
+The encoding loop mirrors a real HEVC encoder structure:
+
+* frames are encoded tile by tile; tiles are independent within a
+  frame (no prediction across tile boundaries) and can therefore be
+  dispatched as parallel threads — the property the paper's workload
+  allocation builds on;
+* each tile is encoded in ``block_size`` coding blocks (raster order):
+  intra or inter prediction, residual transform (8x8 DCT),
+  quantization, entropy coding, and reconstruction through the same
+  dequant/inverse-transform path the decoder uses;
+* every stage updates an :class:`~repro.codec.ops.OpCounts`, which the
+  MPSoC cost model converts to CPU time (the simulation substitute for
+  the paper's wall-clock measurements).
+
+The optional ``writer`` produces a decodable bitstream
+(:class:`~repro.codec.decoder.FrameDecoder` reads it back); without a
+writer the encoder only *counts* the identical bits, which is much
+faster and is what the benchmark harness uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.codec.bitstream import BitWriter
+from repro.codec.chroma import BlockInfo, encode_chroma_plane
+from repro.codec.config import EncoderConfig, FrameType, GopConfig
+from repro.codec.entropy import count_block_bits, write_block
+from repro.codec.inter import clamp_mv, motion_compensate, mvd_bit_length, write_mvd
+from repro.codec.interpolate import halfpel_feasible, sample_halfpel, upsample2x
+from repro.codec.intra import choose_mode, reference_samples
+from repro.codec.ops import OpCounts
+from repro.codec.quant import dequantize, quantization_step, quantize
+from repro.codec.transform import (
+    TRANSFORM_SIZE,
+    blockify,
+    forward_dct,
+    inverse_dct,
+    unblockify,
+)
+from repro.codec.zigzag import zigzag_scan
+from repro.motion.base import MotionSearchResult, SearchContext
+from repro.tiling.tile import Tile, TileGrid
+from repro.video.frame import Frame, Video
+from repro.video.metrics import psnr_from_mse
+
+#: Signature of a motion hook: receives a context factory
+#: ``(window) -> SearchContext`` and the MV predictor, returns the
+#: search result.  Lets the proposed bio-medical policy plug into the
+#: block loop.
+MotionHook = Callable[[Callable[[int], SearchContext], tuple], MotionSearchResult]
+
+#: A reference argument: a single reconstructed plane, a sequence of
+#: them (most recent first; B frames use up to two), or None (I frames).
+ReferenceLike = Optional[object]
+
+
+def normalize_references(
+    reference: ReferenceLike, frame_type: FrameType
+) -> List[np.ndarray]:
+    """Normalize the ``reference`` argument to a list of planes."""
+    if reference is None:
+        refs: List[np.ndarray] = []
+    elif isinstance(reference, np.ndarray):
+        refs = [reference]
+    else:
+        refs = [np.asarray(r) for r in reference]
+    if frame_type in (FrameType.P, FrameType.B) and not refs:
+        raise ValueError(f"{frame_type.value} frame requires a reference frame")
+    if frame_type is FrameType.P:
+        refs = refs[:1]
+    elif frame_type is FrameType.B:
+        refs = refs[:2]
+    else:
+        refs = []
+    return refs
+
+
+def reconstruct_block(prediction: np.ndarray, levels: np.ndarray, qp: int) -> np.ndarray:
+    """Shared encoder/decoder reconstruction path.
+
+    ``levels`` is the ``(n, 8, 8)`` stack of quantized coefficient
+    blocks covering the prediction block.  Returns the reconstructed
+    samples as ``uint8``.  Encoder and decoder call exactly this
+    function, guaranteeing bit-exact reconstruction match.
+    """
+    if not levels.any():
+        # All-zero residual: the inverse transform of zeros is zeros,
+        # so skip it (encoder and decoder share this shortcut).
+        return np.clip(np.rint(prediction), 0, 255).astype(np.uint8)
+    h, w = prediction.shape
+    residual = unblockify(inverse_dct(dequantize(levels, qp)), h, w)
+    return np.clip(np.rint(prediction + residual), 0, 255).astype(np.uint8)
+
+
+@dataclass
+class TileStats:
+    """Per-tile encoding outcome."""
+
+    tile: Tile
+    bits: int
+    ssd: float
+    ops: OpCounts
+
+    @property
+    def num_pixels(self) -> int:
+        return self.tile.area
+
+    @property
+    def mse(self) -> float:
+        return self.ssd / self.tile.area
+
+    @property
+    def psnr(self) -> float:
+        return psnr_from_mse(self.mse)
+
+
+@dataclass
+class FrameStats:
+    """Per-frame encoding outcome."""
+
+    frame_index: int
+    frame_type: FrameType
+    tiles: List[TileStats]
+
+    @property
+    def bits(self) -> int:
+        return sum(t.bits for t in self.tiles)
+
+    @property
+    def ssd(self) -> float:
+        return sum(t.ssd for t in self.tiles)
+
+    @property
+    def num_pixels(self) -> int:
+        return sum(t.num_pixels for t in self.tiles)
+
+    @property
+    def psnr(self) -> float:
+        return psnr_from_mse(self.ssd / self.num_pixels)
+
+    @property
+    def ops(self) -> OpCounts:
+        total = OpCounts()
+        for t in self.tiles:
+            total += t.ops
+        return total
+
+
+@dataclass
+class SequenceStats:
+    """Whole-sequence encoding outcome."""
+
+    frames: List[FrameStats] = field(default_factory=list)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(f.bits for f in self.frames)
+
+    @property
+    def average_psnr(self) -> float:
+        if not self.frames:
+            raise ValueError("no frames encoded")
+        return float(np.mean([f.psnr for f in self.frames]))
+
+    @property
+    def ops(self) -> OpCounts:
+        total = OpCounts()
+        for f in self.frames:
+            total += f.ops
+        return total
+
+    def bitrate_mbps(self, fps: float) -> float:
+        if not self.frames:
+            raise ValueError("no frames encoded")
+        return self.total_bits / (len(self.frames) / fps) / 1e6
+
+
+class TileEncoder:
+    """Encodes one tile of one frame."""
+
+    def __init__(self, config: EncoderConfig):
+        self.config = config
+
+    @staticmethod
+    def _is_b_coded(frame_type: FrameType, references: List[np.ndarray]) -> bool:
+        """B-frame list signalling applies only with two references."""
+        return frame_type is FrameType.B and len(references) == 2
+
+    def encode(
+        self,
+        original: np.ndarray,
+        reference: "ReferenceLike",
+        reconstruction: np.ndarray,
+        tile: Tile,
+        frame_type: FrameType,
+        writer: Optional[BitWriter] = None,
+        motion_hook: Optional[MotionHook] = None,
+        upsampled_refs: Optional[List[np.ndarray]] = None,
+        block_info_out: Optional[List[BlockInfo]] = None,
+    ) -> TileStats:
+        """Encode ``tile`` of ``original`` into ``reconstruction``.
+
+        ``reference`` is the reconstructed reference frame (P) or a
+        sequence of up to two reference frames, most recent first (B).
+        ``reconstruction`` is the current frame's output buffer, filled
+        in place.  ``upsampled_refs`` carries the half-pel grids when
+        the configuration enables sub-pel refinement (the frame encoder
+        computes them once per frame).
+        """
+        references = normalize_references(reference, frame_type)
+        if self.config.half_pel and upsampled_refs is None:
+            upsampled_refs = [upsample2x(r) for r in references]
+        cfg = self.config
+        bs = cfg.block_size
+        ops = OpCounts()
+        bits = 0
+        ssd = 0.0
+        for by in range(tile.y, tile.y_end, bs):
+            left_mv = (0, 0)
+            for bx in range(tile.x, tile.x_end, bs):
+                bw = min(bs, tile.x_end - bx)
+                bh = min(bs, tile.y_end - by)
+                block = original[by : by + bh, bx : bx + bw]
+                block_bits, block_ssd, mv, info = self._encode_block(
+                    block, bx, by, bw, bh, tile, frame_type, references,
+                    reconstruction, left_mv, writer, motion_hook, ops,
+                    upsampled_refs,
+                )
+                bits += block_bits
+                ssd += block_ssd
+                left_mv = mv
+                if block_info_out is not None:
+                    block_info_out.append(info)
+        return TileStats(tile=tile, bits=bits, ssd=ssd, ops=ops)
+
+    # ------------------------------------------------------------------
+    def _search_reference(
+        self,
+        reference: np.ndarray,
+        block: np.ndarray,
+        bx: int,
+        by: int,
+        bw: int,
+        bh: int,
+        left_mv: tuple,
+        motion_hook: Optional[MotionHook],
+        ops: OpCounts,
+        upsampled: Optional[np.ndarray] = None,
+    ) -> tuple:
+        """Motion-search one reference; returns (mv, prediction).
+
+        With ``half_pel`` enabled, ``left_mv`` and the returned MV are
+        in half-pel units and the integer search result is refined over
+        the eight half-pel neighbours on the upsampled grid.
+        """
+        cfg = self.config
+        start = left_mv
+        if cfg.half_pel:
+            start = (left_mv[0] // 2, left_mv[1] // 2)
+
+        def ctx_factory(window: int) -> SearchContext:
+            return SearchContext(
+                reference, block, bx, by, window, lambda_mv=cfg.lambda_mv
+            )
+
+        if motion_hook is not None:
+            result = motion_hook(ctx_factory, start)
+        else:
+            result = cfg.make_search().search(
+                ctx_factory(cfg.search_window), start=start
+            )
+        ops.sad_pixel_ops += result.pixel_ops
+        ops.me_candidates += result.sad_evaluations
+        mv = clamp_mv(
+            result.mv, bx, by, bw, bh, reference.shape[1], reference.shape[0]
+        )
+        prediction = motion_compensate(reference, bx, by, mv, bw, bh)
+        if not cfg.half_pel:
+            return mv, prediction
+        assert upsampled is not None, "half_pel requires an upsampled reference"
+        return self._halfpel_refine(
+            upsampled, reference, block, bx, by, bw, bh, mv, prediction, ops
+        )
+
+    def _halfpel_refine(
+        self,
+        upsampled: np.ndarray,
+        reference: np.ndarray,
+        block: np.ndarray,
+        bx: int,
+        by: int,
+        bw: int,
+        bh: int,
+        int_mv: tuple,
+        int_prediction: np.ndarray,
+        ops: OpCounts,
+    ) -> tuple:
+        """Evaluate the 8 half-pel neighbours of the integer optimum."""
+        block_f = block.astype(np.float64)
+        best_mv = (2 * int_mv[0], 2 * int_mv[1])
+        best_pred = int_prediction
+        best_sad = float(np.abs(block_f - int_prediction).sum())
+        ref_h, ref_w = reference.shape
+        for hy in (-1, 0, 1):
+            for hx in (-1, 0, 1):
+                if hx == 0 and hy == 0:
+                    continue
+                cand = (2 * int_mv[0] + hx, 2 * int_mv[1] + hy)
+                if not halfpel_feasible(cand, bx, by, bw, bh, ref_w, ref_h):
+                    continue
+                pred = sample_halfpel(upsampled, bx, by, cand, bw, bh)
+                sad = float(np.abs(block_f - pred).sum())
+                ops.sad_pixel_ops += bw * bh
+                ops.me_candidates += 1
+                ops.pred_pixels += bw * bh  # interpolation fetch
+                if sad < best_sad:
+                    best_mv, best_pred, best_sad = cand, pred, sad
+        return best_mv, best_pred
+
+    def _encode_block(
+        self,
+        block: np.ndarray,
+        bx: int,
+        by: int,
+        bw: int,
+        bh: int,
+        tile: Tile,
+        frame_type: FrameType,
+        references: List[np.ndarray],
+        reconstruction: np.ndarray,
+        left_mv: tuple,
+        writer: Optional[BitWriter],
+        motion_hook: Optional[MotionHook],
+        ops: OpCounts,
+        upsampled_refs: Optional[List[np.ndarray]] = None,
+    ) -> tuple:
+        cfg = self.config
+        block_f = block.astype(np.float64)
+        area = bw * bh
+
+        # --- intra candidate -------------------------------------------------
+        top, left = reference_samples(reconstruction, bx, by, bw, bh, tile)
+        intra_mode, intra_pred, intra_sad = choose_mode(block, top, left)
+        ops.pred_pixels += 4 * area  # four intra mode trials
+
+        # --- inter candidates (P: list 0; B: list 0, list 1, bi) --------------
+        # Each option: (mode_code, prediction, cost, rate_bits, mvs).
+        options = []
+        if frame_type is not FrameType.I and references:
+            per_ref = []
+            for ref_index, ref in enumerate(references):
+                up = upsampled_refs[ref_index] if upsampled_refs else None
+                mv, pred = self._search_reference(
+                    ref, block, bx, by, bw, bh, left_mv, motion_hook, ops,
+                    upsampled=up,
+                )
+                sad = float(np.abs(block_f - pred).sum())
+                ops.pred_pixels += area
+                per_ref.append((mv, pred, sad))
+            list_bits = 2 if self._is_b_coded(frame_type, references) else 0
+            for idx, (mv, pred, sad) in enumerate(per_ref):
+                rate = list_bits + mvd_bit_length(mv, left_mv)
+                options.append((idx, pred, sad + cfg.lambda_mv * rate, rate, (mv,)))
+            if self._is_b_coded(frame_type, references):
+                mv0, pred0, _ = per_ref[0]
+                mv1, pred1, _ = per_ref[1]
+                bi_pred = (pred0 + pred1) / 2.0
+                bi_sad = float(np.abs(block_f - bi_pred).sum())
+                ops.pred_pixels += area
+                rate = list_bits + mvd_bit_length(mv0, left_mv) + mvd_bit_length(mv1, mv0)
+                options.append((2, bi_pred, bi_sad + cfg.lambda_mv * rate, rate, (mv0, mv1)))
+
+        use_inter = False
+        inter_mode = 0
+        inter_rate = 0
+        mvs: tuple = ((0, 0),)
+        inter_pred = None
+        if options:
+            inter_mode, inter_pred, cost, inter_rate, mvs = min(
+                options, key=lambda o: o[2]
+            )
+            use_inter = cost <= intra_sad
+        mv = mvs[0]
+
+        prediction = inter_pred if use_inter else intra_pred
+
+        # --- residual coding --------------------------------------------------
+        residual = block_f - prediction
+        sub = blockify(residual, TRANSFORM_SIZE)
+        # Zero-block early skip: an orthonormal 8x8 DCT coefficient is
+        # bounded by SAD/4, and a level survives quantization only when
+        # |coef| >= 0.75 * Qstep, so a sub-block with SAD < 3 * Qstep
+        # provably quantizes to all zeros — skip its transform.  This
+        # is the skip-mode analogue that makes low-activity content
+        # cheap in real encoders; the output bitstream is identical.
+        step = quantization_step(cfg.qp)
+        sub_sad = np.abs(sub).sum(axis=(1, 2))
+        active = sub_sad >= 3.0 * step
+        levels = np.zeros(sub.shape, dtype=np.int32)
+        num_active = int(active.sum())
+        if num_active:
+            coefs = forward_dct(sub[active])
+            levels[active] = quantize(coefs, cfg.qp)
+        ops.transform_blocks += num_active
+        ops.quant_coeffs += num_active * TRANSFORM_SIZE * TRANSFORM_SIZE
+
+        zz = zigzag_scan(levels)
+        residual_bits = sum(count_block_bits(zz[i]) for i in range(zz.shape[0]))
+
+        header_bits = 0
+        if frame_type is not FrameType.I:
+            header_bits += 1  # inter/intra flag
+        if use_inter:
+            header_bits += inter_rate
+        else:
+            header_bits += 2  # intra mode index
+        total_bits = header_bits + residual_bits
+        ops.entropy_bits += total_bits
+
+        if writer is not None:
+            if frame_type is not FrameType.I:
+                writer.write_bits(0 if use_inter else 1, 1)
+            if use_inter:
+                if self._is_b_coded(frame_type, references):
+                    writer.write_bits(inter_mode, 2)
+                write_mvd(writer, mvs[0], left_mv)
+                if inter_mode == 2:
+                    write_mvd(writer, mvs[1], mvs[0])
+                elif inter_mode == 1:
+                    pass  # list-1 MV was written as mvs[0]
+            else:
+                writer.write_bits(int(intra_mode), 2)
+            for i in range(zz.shape[0]):
+                write_block(writer, zz[i])
+
+        # --- reconstruction ----------------------------------------------------
+        recon = reconstruct_block(prediction, levels, cfg.qp)
+        reconstruction[by : by + bh, bx : bx + bw] = recon
+        ops.pred_pixels += area
+        diff = block_f - recon
+        ssd = float((diff * diff).sum())
+
+        info = BlockInfo(
+            bx=bx, by=by, bw=bw, bh=bh,
+            use_inter=use_inter, mode=inter_mode if use_inter else 0,
+            mvs=mvs if use_inter else ((0, 0),),
+        )
+        return total_bits, ssd, (mv if use_inter else left_mv), info
+
+
+class FrameEncoder:
+    """Encodes a full frame over a tile grid with per-tile configs."""
+
+    #: Frame-type codes in the bitstream header.
+    FRAME_TYPE_CODES = {FrameType.I: 0, FrameType.P: 1, FrameType.B: 2}
+
+    def encode(
+        self,
+        original: np.ndarray,
+        grid: TileGrid,
+        configs: Sequence[EncoderConfig],
+        frame_type: FrameType,
+        reference: ReferenceLike = None,
+        frame_index: int = 0,
+        writer: Optional[BitWriter] = None,
+        motion_hooks: Optional[Sequence[Optional[MotionHook]]] = None,
+        block_infos_out: Optional[List[List[BlockInfo]]] = None,
+    ) -> tuple:
+        """Returns ``(FrameStats, reconstruction)``.
+
+        ``reference`` accepts a single reconstructed plane (P frames)
+        or a sequence of up to two planes, most recent first (B
+        frames).
+        """
+        if len(configs) != len(grid):
+            raise ValueError(
+                f"{len(configs)} configs for {len(grid)} tiles"
+            )
+        if motion_hooks is not None and len(motion_hooks) != len(grid):
+            raise ValueError("motion_hooks length must match tile count")
+        if original.shape != (grid.frame_height, grid.frame_width):
+            raise ValueError(
+                f"frame {original.shape} does not match grid "
+                f"{grid.frame_height}x{grid.frame_width}"
+            )
+        if writer is not None:
+            writer.write_bits(self.FRAME_TYPE_CODES[frame_type], 2)
+        upsampled_refs = None
+        if frame_type is not FrameType.I and any(c.half_pel for c in configs):
+            refs = normalize_references(reference, frame_type)
+            upsampled_refs = [upsample2x(r) for r in refs]
+        reconstruction = np.zeros_like(original)
+        tile_stats = []
+        for i, tile in enumerate(grid):
+            hook = motion_hooks[i] if motion_hooks is not None else None
+            encoder = TileEncoder(configs[i])
+            info_sink: Optional[List[BlockInfo]] = None
+            if block_infos_out is not None:
+                info_sink = []
+                block_infos_out.append(info_sink)
+            stats = encoder.encode(
+                original, reference, reconstruction, tile, frame_type,
+                writer=writer, motion_hook=hook,
+                upsampled_refs=upsampled_refs if configs[i].half_pel else None,
+                block_info_out=info_sink,
+            )
+            tile_stats.append(stats)
+        return (
+            FrameStats(frame_index=frame_index, frame_type=frame_type,
+                       tiles=tile_stats),
+            reconstruction,
+        )
+
+
+@dataclass
+class ChromaStats:
+    """Chroma-plane encoding outcome of one frame (U and V)."""
+
+    bits: int = 0
+    ssd_u: float = 0.0
+    ssd_v: float = 0.0
+    num_pixels: int = 0  # per plane
+    ops: OpCounts = field(default_factory=OpCounts)
+
+    @property
+    def psnr_u(self) -> float:
+        if self.num_pixels == 0:
+            raise ValueError("no chroma pixels encoded")
+        return psnr_from_mse(self.ssd_u / self.num_pixels)
+
+    @property
+    def psnr_v(self) -> float:
+        if self.num_pixels == 0:
+            raise ValueError("no chroma pixels encoded")
+        return psnr_from_mse(self.ssd_v / self.num_pixels)
+
+
+class FrameCodec:
+    """Frame-level encode with 4:2:0 chroma (extension entry point).
+
+    ``encode_frame`` wraps :class:`FrameEncoder` for luma and appends
+    the chroma payload (U then V per tile) when the frame carries
+    chroma planes.  References are :class:`~repro.video.frame.Frame`
+    objects so chroma reconstruction travels with luma.
+    """
+
+    def __init__(self) -> None:
+        self._frame_encoder = FrameEncoder()
+
+    def encode_frame(
+        self,
+        frame: Frame,
+        grid: TileGrid,
+        configs: Sequence[EncoderConfig],
+        frame_type: FrameType,
+        reference_frames: Optional[Sequence[Frame]] = None,
+        frame_index: int = 0,
+        writer: Optional[BitWriter] = None,
+        motion_hooks: Optional[Sequence[Optional[MotionHook]]] = None,
+    ) -> tuple:
+        """Returns ``(FrameStats, Optional[ChromaStats], Frame)``."""
+        reference_frames = list(reference_frames or [])
+        luma_refs = [f.luma for f in reference_frames]
+        infos: List[List[BlockInfo]] = []
+        stats, recon_luma = self._frame_encoder.encode(
+            frame.luma, grid, configs, frame_type,
+            reference=luma_refs, frame_index=frame_index, writer=writer,
+            motion_hooks=motion_hooks, block_infos_out=infos,
+        )
+        recon = Frame(recon_luma, index=frame_index)
+        if frame.chroma_u is None or frame.chroma_v is None:
+            return stats, None, recon
+
+        refs_u = [f.chroma_u for f in reference_frames if f.chroma_u is not None]
+        refs_v = [f.chroma_v for f in reference_frames if f.chroma_v is not None]
+        recon_u = np.zeros_like(frame.chroma_u)
+        recon_v = np.zeros_like(frame.chroma_v)
+        chroma = ChromaStats(num_pixels=int(frame.chroma_u.size))
+        for i, tile in enumerate(grid):
+            for plane, refs, recon_plane, attr in (
+                (frame.chroma_u, refs_u, recon_u, "ssd_u"),
+                (frame.chroma_v, refs_v, recon_v, "ssd_v"),
+            ):
+                bits, ssd = encode_chroma_plane(
+                    plane, refs, recon_plane, tile, infos[i],
+                    configs[i].qp, half_pel=configs[i].half_pel,
+                    writer=writer, ops=chroma.ops,
+                )
+                chroma.bits += bits
+                setattr(chroma, attr, getattr(chroma, attr) + ssd)
+        recon.chroma_u = recon_u
+        recon.chroma_v = recon_v
+        return stats, chroma, recon
+
+
+class VideoEncoder:
+    """Encodes a video with a fixed tile grid and uniform config.
+
+    This is the encoder used for the paper's Table I experiments
+    (uniform tilings, one search algorithm for the whole sequence).
+    The full content-aware pipeline lives in
+    :mod:`repro.transcode.pipeline`.
+    """
+
+    def __init__(
+        self,
+        config: EncoderConfig,
+        gop: GopConfig = GopConfig(),
+    ):
+        self.config = config
+        self.gop = gop
+        self._frame_encoder = FrameEncoder()
+
+    def encode(
+        self,
+        video: Video,
+        grid: Optional[TileGrid] = None,
+        motion_hook_factory: Optional[Callable[[int, int], Optional[MotionHook]]] = None,
+    ) -> SequenceStats:
+        """Encode ``video``; returns sequence statistics.
+
+        ``motion_hook_factory(frame_index, tile_index)`` may supply a
+        per-tile motion hook (used to drive the proposed search policy).
+        """
+        if len(video) == 0:
+            raise ValueError("cannot encode an empty video")
+        if grid is None:
+            grid = TileGrid.single(video.width, video.height)
+        configs = [self.config] * len(grid)
+        stats = SequenceStats()
+        references: List[np.ndarray] = []  # most recent first
+        for frame in video:
+            frame_type = self.gop.frame_type(frame.index)
+            hooks = None
+            if motion_hook_factory is not None and frame_type is not FrameType.I:
+                hooks = [
+                    motion_hook_factory(frame.index, t) for t in range(len(grid))
+                ]
+            frame_stats, reconstruction = self._frame_encoder.encode(
+                frame.luma, grid, configs, frame_type,
+                reference=references, frame_index=frame.index,
+                motion_hooks=hooks,
+            )
+            stats.frames.append(frame_stats)
+            references = [reconstruction] + references[:1]
+        return stats

@@ -1,0 +1,68 @@
+"""Inter prediction: integer-pel motion compensation and MV coding.
+
+Motion vectors are predicted from the left neighbouring block within
+the same tile (a simplification of HEVC's AMVP candidate list) and the
+difference is exp-Golomb coded.  Motion compensation may read reference
+samples from anywhere in the reference frame — as in HEVC, tiles break
+*intra-frame* dependencies only.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.codec.bitstream import BitReader, BitWriter, se_bit_length
+
+MotionVector = Tuple[int, int]
+
+
+def motion_compensate(
+    reference: np.ndarray,
+    x: int,
+    y: int,
+    mv: MotionVector,
+    block_w: int,
+    block_h: int,
+) -> np.ndarray:
+    """Fetch the reference block displaced by ``mv`` (integer pel)."""
+    dx, dy = mv
+    rx, ry = x + dx, y + dy
+    ref_h, ref_w = reference.shape
+    if rx < 0 or ry < 0 or rx + block_w > ref_w or ry + block_h > ref_h:
+        raise ValueError(
+            f"motion vector {mv} at ({x},{y}) reads outside the reference"
+        )
+    return reference[ry : ry + block_h, rx : rx + block_w].astype(np.float64)
+
+
+def clamp_mv(
+    mv: MotionVector,
+    x: int,
+    y: int,
+    block_w: int,
+    block_h: int,
+    ref_w: int,
+    ref_h: int,
+) -> MotionVector:
+    """Clamp a motion vector so compensation stays inside the reference."""
+    dx = int(np.clip(mv[0], -x, ref_w - block_w - x))
+    dy = int(np.clip(mv[1], -y, ref_h - block_h - y))
+    return dx, dy
+
+
+def mvd_bit_length(mv: MotionVector, predictor: MotionVector) -> int:
+    """Bits to code the MV difference against its predictor."""
+    return se_bit_length(mv[0] - predictor[0]) + se_bit_length(mv[1] - predictor[1])
+
+
+def write_mvd(writer: BitWriter, mv: MotionVector, predictor: MotionVector) -> None:
+    writer.write_se(mv[0] - predictor[0])
+    writer.write_se(mv[1] - predictor[1])
+
+
+def read_mvd(reader: BitReader, predictor: MotionVector) -> MotionVector:
+    dx = reader.read_se() + predictor[0]
+    dy = reader.read_se() + predictor[1]
+    return dx, dy

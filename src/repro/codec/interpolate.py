@@ -1,0 +1,97 @@
+"""Half-pel interpolation for sub-pixel motion compensation.
+
+HEVC predicts at quarter-pel precision with 7/8-tap filters; this
+substrate implements the H.264-style half-pel grid with the classic
+6-tap filter ``[1, -5, 20, 20, -5, 1] / 32``.  The upsampled plane is
+rounded back to ``uint8``, so the encoder and decoder — which share
+these exact functions — stay bit-exact.
+
+The half-pel grid doubles both axes: integer sample ``(x, y)`` lives at
+``(2x, 2y)``; a motion vector in half-pel units addresses the grid
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: The 6-tap half-pel filter of H.264 (normalised).
+_TAPS = np.array([1.0, -5.0, 20.0, 20.0, -5.0, 1.0]) / 32.0
+
+
+def _filter_axis0(plane: np.ndarray) -> np.ndarray:
+    """6-tap filter between vertically adjacent samples."""
+    pad = np.pad(plane, ((2, 3), (0, 0)), mode="edge")
+    out = np.zeros_like(plane, dtype=np.float64)
+    for k, tap in enumerate(_TAPS):
+        out += tap * pad[k : k + plane.shape[0]]
+    return out
+
+
+def _filter_axis1(plane: np.ndarray) -> np.ndarray:
+    """6-tap filter between horizontally adjacent samples."""
+    pad = np.pad(plane, ((0, 0), (2, 3)), mode="edge")
+    out = np.zeros_like(plane, dtype=np.float64)
+    for k, tap in enumerate(_TAPS):
+        out += tap * pad[:, k : k + plane.shape[1]]
+    return out
+
+
+def upsample2x(plane: np.ndarray) -> np.ndarray:
+    """Half-pel upsampled plane of shape ``(2H, 2W)``, ``uint8``.
+
+    Integer positions are copied; horizontal/vertical half positions
+    use the 6-tap filter; diagonal halves filter the horizontal halves
+    vertically (the H.264 ordering).
+    """
+    p = plane.astype(np.float64)
+    h, w = p.shape
+    out = np.zeros((2 * h, 2 * w), dtype=np.float64)
+    out[::2, ::2] = p
+    horiz = _filter_axis1(p)
+    out[::2, 1::2] = horiz
+    out[1::2, ::2] = _filter_axis0(p)
+    out[1::2, 1::2] = _filter_axis0(horiz)
+    return np.clip(np.rint(out), 0, 255).astype(np.uint8)
+
+
+def halfpel_feasible(
+    mv_half: Tuple[int, int],
+    x: int,
+    y: int,
+    block_w: int,
+    block_h: int,
+    ref_w: int,
+    ref_h: int,
+) -> bool:
+    """Whether a half-pel MV keeps the whole block inside the grid."""
+    sx = 2 * x + mv_half[0]
+    sy = 2 * y + mv_half[1]
+    return (
+        sx >= 0
+        and sy >= 0
+        and sx + 2 * (block_w - 1) <= 2 * ref_w - 2
+        and sy + 2 * (block_h - 1) <= 2 * ref_h - 2
+    )
+
+
+def sample_halfpel(
+    upsampled: np.ndarray,
+    x: int,
+    y: int,
+    mv_half: Tuple[int, int],
+    block_w: int,
+    block_h: int,
+) -> np.ndarray:
+    """Fetch a block at half-pel displacement ``mv_half`` from the
+    upsampled plane (``float64`` output, like integer compensation)."""
+    sx = 2 * x + mv_half[0]
+    sy = 2 * y + mv_half[1]
+    if sx < 0 or sy < 0:
+        raise ValueError(f"half-pel MV {mv_half} at ({x},{y}) out of bounds")
+    block = upsampled[sy : sy + 2 * block_h : 2, sx : sx + 2 * block_w : 2]
+    if block.shape != (block_h, block_w):
+        raise ValueError(f"half-pel MV {mv_half} at ({x},{y}) out of bounds")
+    return block.astype(np.float64)

@@ -1,0 +1,75 @@
+"""Operation accounting.
+
+The encoder counts the elementary operations that dominate HEVC
+encoding time.  The MPSoC cost model (``repro.platform.cost_model``)
+converts these counts into CPU cycles and seconds — the substitute for
+wall-clock measurement on the paper's Xeon server (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class OpCounts:
+    """Elementary operation counts for one encode unit (block/tile/frame).
+
+    Attributes
+    ----------
+    sad_pixel_ops:
+        Pixel differences evaluated during motion search (the dominant
+        inter-prediction cost; "the main complexity comes from ...
+        motion estimation", paper §I).
+    me_candidates:
+        Motion-vector candidates evaluated (per-candidate overhead).
+    transform_blocks:
+        Forward+inverse transform block pairs.
+    quant_coeffs:
+        Coefficients quantized and dequantized.
+    entropy_bits:
+        Bits produced by entropy coding (bin-processing cost).
+    pred_pixels:
+        Pixels produced by intra/inter prediction and reconstruction.
+    """
+
+    sad_pixel_ops: int = 0
+    me_candidates: int = 0
+    transform_blocks: int = 0
+    quant_coeffs: int = 0
+    entropy_bits: int = 0
+    pred_pixels: int = 0
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            sad_pixel_ops=self.sad_pixel_ops + other.sad_pixel_ops,
+            me_candidates=self.me_candidates + other.me_candidates,
+            transform_blocks=self.transform_blocks + other.transform_blocks,
+            quant_coeffs=self.quant_coeffs + other.quant_coeffs,
+            entropy_bits=self.entropy_bits + other.entropy_bits,
+            pred_pixels=self.pred_pixels + other.pred_pixels,
+        )
+
+    def __iadd__(self, other: "OpCounts") -> "OpCounts":
+        self.sad_pixel_ops += other.sad_pixel_ops
+        self.me_candidates += other.me_candidates
+        self.transform_blocks += other.transform_blocks
+        self.quant_coeffs += other.quant_coeffs
+        self.entropy_bits += other.entropy_bits
+        self.pred_pixels += other.pred_pixels
+        return self
+
+    def copy(self) -> "OpCounts":
+        return OpCounts(**vars(self))
+
+    @property
+    def total(self) -> int:
+        """Unweighted sum, useful for quick relative comparisons."""
+        return (
+            self.sad_pixel_ops
+            + self.me_candidates
+            + self.transform_blocks
+            + self.quant_coeffs
+            + self.entropy_bits
+            + self.pred_pixels
+        )

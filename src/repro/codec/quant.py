@@ -1,0 +1,39 @@
+"""Quantization with the HEVC QP law.
+
+HEVC maps the quantization parameter QP (0..51) to a step size that
+doubles every 6 QP values: ``Qstep = 2^((QP-4)/6)``.  The paper's QP
+ladder {22, 27, 32, 37, 42} therefore spans step sizes of roughly
+8 .. 80, a ~10x rate range.  Flat (uniform) quantization with a
+dead-zone rounding offset approximates HEVC's RDOQ-less quantizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+MIN_QP = 0
+MAX_QP = 51
+
+#: Dead-zone rounding offset: HEVC uses 1/3 for intra and 1/6 for
+#: inter; a single intermediate value keeps the substrate simple.
+ROUNDING_OFFSET = 0.25
+
+
+def quantization_step(qp: int) -> float:
+    """HEVC quantization step size for ``qp``."""
+    if not MIN_QP <= qp <= MAX_QP:
+        raise ValueError(f"QP must be in [{MIN_QP}, {MAX_QP}], got {qp}")
+    return 2.0 ** ((qp - 4) / 6.0)
+
+
+def quantize(coefficients: np.ndarray, qp: int) -> np.ndarray:
+    """Quantize transform coefficients to integer levels."""
+    step = quantization_step(qp)
+    magnitudes = np.floor(np.abs(coefficients) / step + ROUNDING_OFFSET)
+    return (np.sign(coefficients) * magnitudes).astype(np.int32)
+
+
+def dequantize(levels: np.ndarray, qp: int) -> np.ndarray:
+    """Reconstruct coefficient values from integer levels."""
+    step = quantization_step(qp)
+    return levels.astype(np.float64) * step

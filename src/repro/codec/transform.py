@@ -1,0 +1,59 @@
+"""2-D DCT / inverse DCT on stacks of square transform blocks.
+
+HEVC uses integer approximations of the DCT-II; the orthonormal
+floating DCT-II used here has the same energy-compaction behaviour,
+and determinism is preserved because quantization (not the transform)
+is the only lossy stage: encoder and decoder run the *same* inverse
+transform on the *same* dequantized coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.fft import dctn, idctn
+
+#: Transform block edge length used by the codec substrate.
+TRANSFORM_SIZE = 8
+
+
+def forward_dct(blocks: np.ndarray) -> np.ndarray:
+    """Orthonormal 2-D DCT-II over the trailing two axes.
+
+    ``blocks`` has shape ``(..., N, N)`` of residual samples.
+    """
+    return dctn(blocks.astype(np.float64, copy=False), axes=(-2, -1), norm="ortho")
+
+
+def inverse_dct(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`forward_dct`."""
+    return idctn(
+        coefficients.astype(np.float64, copy=False), axes=(-2, -1), norm="ortho"
+    )
+
+
+def blockify(region: np.ndarray, size: int = TRANSFORM_SIZE) -> np.ndarray:
+    """Split an ``(H, W)`` region into a ``(H//size * W//size, size, size)``
+    stack, row-major.  ``H`` and ``W`` must be multiples of ``size``."""
+    h, w = region.shape
+    if h % size or w % size:
+        raise ValueError(f"region {w}x{h} not divisible by transform size {size}")
+    return (
+        region.reshape(h // size, size, w // size, size)
+        .swapaxes(1, 2)
+        .reshape(-1, size, size)
+    )
+
+
+def unblockify(blocks: np.ndarray, height: int, width: int,
+               size: int = TRANSFORM_SIZE) -> np.ndarray:
+    """Inverse of :func:`blockify`."""
+    rows, cols = height // size, width // size
+    if blocks.shape[0] != rows * cols:
+        raise ValueError(
+            f"{blocks.shape[0]} blocks cannot tile a {width}x{height} region"
+        )
+    return (
+        blocks.reshape(rows, cols, size, size)
+        .swapaxes(1, 2)
+        .reshape(height, width)
+    )

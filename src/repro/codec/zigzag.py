@@ -1,0 +1,54 @@
+"""Zigzag coefficient scan order.
+
+Orders 2-D transform coefficients by increasing spatial frequency so
+that the quantized high-frequency zeros cluster at the scan tail, which
+run-length entropy coding exploits.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+
+@lru_cache(maxsize=None)
+def zigzag_indices(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """(rows, cols) index arrays of the zigzag scan for a size x size block."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    coords = []
+    for s in range(2 * size - 1):
+        diagonal = [
+            (r, s - r) for r in range(size) if 0 <= s - r < size
+        ]
+        if s % 2 == 0:
+            diagonal.reverse()  # even diagonals walk up-right
+        coords.extend(diagonal)
+    rows = np.array([r for r, _ in coords], dtype=np.intp)
+    cols = np.array([c for _, c in coords], dtype=np.intp)
+    rows.setflags(write=False)
+    cols.setflags(write=False)
+    return rows, cols
+
+
+def zigzag_scan(blocks: np.ndarray) -> np.ndarray:
+    """Scan ``(..., N, N)`` blocks into ``(..., N*N)`` zigzag vectors."""
+    size = blocks.shape[-1]
+    if blocks.shape[-2] != size:
+        raise ValueError("blocks must be square")
+    rows, cols = zigzag_indices(size)
+    return blocks[..., rows, cols]
+
+
+def zigzag_unscan(vectors: np.ndarray, size: int) -> np.ndarray:
+    """Inverse of :func:`zigzag_scan`."""
+    if vectors.shape[-1] != size * size:
+        raise ValueError(
+            f"vector length {vectors.shape[-1]} does not match size {size}"
+        )
+    rows, cols = zigzag_indices(size)
+    out = np.empty(vectors.shape[:-1] + (size, size), dtype=vectors.dtype)
+    out[..., rows, cols] = vectors
+    return out

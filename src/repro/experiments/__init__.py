@@ -1,0 +1,33 @@
+"""Experiment harness: regenerates every table and figure of the
+paper's evaluation (§IV).
+
+* :mod:`repro.experiments.table1` — Table I: motion-estimation speedup,
+  PSNR loss and compression loss vs TZ search across uniform tilings.
+* :mod:`repro.experiments.fig3` — Fig. 3: tile structure and per-tile
+  CPU time, proposed vs Khan et al. [19].
+* :mod:`repro.experiments.table2` — Table II: PSNR, bitrate, number of
+  users served under a saturated queue.
+* :mod:`repro.experiments.fig4` — Fig. 4: power savings vs number of
+  users.
+
+Every module exposes ``run_*`` (programmatic) and ``main()`` (CLI)
+entry points; ``python -m repro.experiments.<name>`` prints the
+paper-format rows.  Benchmarks under ``benchmarks/`` call the same
+``run_*`` functions.
+"""
+
+from repro.experiments.common import (
+    medical_corpus,
+    encode_cpu_seconds,
+    EncodeOutcome,
+    encode_with_search,
+    encode_with_proposed_policy,
+)
+
+__all__ = [
+    "medical_corpus",
+    "encode_cpu_seconds",
+    "EncodeOutcome",
+    "encode_with_search",
+    "encode_with_proposed_policy",
+]

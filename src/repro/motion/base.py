@@ -1,0 +1,180 @@
+"""Shared infrastructure for block-matching motion search.
+
+A :class:`SearchContext` binds one current block to a reference plane
+and exposes :meth:`SearchContext.evaluate`, which returns the matching
+cost of a candidate motion vector.  The context
+
+* clamps candidates to the frame and to the configured search window,
+* caches costs so revisited candidates are free (as in real encoders,
+  which skip already-tested points), and
+* counts SAD evaluations — the dominant encoding cost — for the
+  platform cost model.
+
+Cost is SAD plus a small motion-vector rate penalty
+``lambda_mv * (|dx| + |dy|)``, a standard simplification of the
+rate-distortion cost used by HM/Kvazaar integer search.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+MotionVector = Tuple[int, int]
+
+#: Cost returned for candidates outside the frame or window.
+INFEASIBLE = float("inf")
+
+
+@dataclass
+class MotionSearchResult:
+    """Outcome of one block search."""
+
+    mv: MotionVector
+    cost: float
+    sad_evaluations: int
+    pixel_ops: int
+
+    @property
+    def dx(self) -> int:
+        return self.mv[0]
+
+    @property
+    def dy(self) -> int:
+        return self.mv[1]
+
+
+class SearchContext:
+    """Evaluation context for one block against one reference plane.
+
+    Parameters
+    ----------
+    reference:
+        Reconstructed reference luma plane (``int`` or ``uint8``).
+    block:
+        Current block samples, shape ``(bh, bw)``.
+    block_x, block_y:
+        Top-left position of the block in the current frame.
+    window:
+        Maximum displacement magnitude per axis (search range +-window).
+    lambda_mv:
+        Motion-vector rate penalty weight.
+    """
+
+    def __init__(
+        self,
+        reference: np.ndarray,
+        block: np.ndarray,
+        block_x: int,
+        block_y: int,
+        window: int,
+        lambda_mv: float = 1.0,
+    ):
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        self.reference = reference
+        self.block = block.astype(np.int32, copy=False)
+        self.block_x = block_x
+        self.block_y = block_y
+        self.window = window
+        self.lambda_mv = lambda_mv
+        self._cache: Dict[MotionVector, float] = {}
+        self.sad_evaluations = 0
+        self.pixel_ops = 0
+
+    @property
+    def block_height(self) -> int:
+        return self.block.shape[0]
+
+    @property
+    def block_width(self) -> int:
+        return self.block.shape[1]
+
+    def is_feasible(self, mv: MotionVector) -> bool:
+        """Candidate lies within the window and the reference frame."""
+        dx, dy = mv
+        if abs(dx) > self.window or abs(dy) > self.window:
+            return False
+        rx = self.block_x + dx
+        ry = self.block_y + dy
+        ref_h, ref_w = self.reference.shape
+        return (
+            0 <= rx
+            and 0 <= ry
+            and rx + self.block_width <= ref_w
+            and ry + self.block_height <= ref_h
+        )
+
+    def evaluate(self, mv: MotionVector) -> float:
+        """Cost of a candidate MV (cached; infeasible candidates are inf)."""
+        mv = (int(mv[0]), int(mv[1]))
+        cached = self._cache.get(mv)
+        if cached is not None:
+            return cached
+        if not self.is_feasible(mv):
+            self._cache[mv] = INFEASIBLE
+            return INFEASIBLE
+        dx, dy = mv
+        rx = self.block_x + dx
+        ry = self.block_y + dy
+        candidate = self.reference[
+            ry : ry + self.block_height, rx : rx + self.block_width
+        ].astype(np.int32, copy=False)
+        sad = int(np.abs(self.block - candidate).sum())
+        cost = sad + self.lambda_mv * (abs(dx) + abs(dy))
+        self._cache[mv] = cost
+        self.sad_evaluations += 1
+        self.pixel_ops += self.block_width * self.block_height
+        return cost
+
+    def evaluate_many(self, mvs: Iterable[MotionVector]) -> Tuple[MotionVector, float]:
+        """Evaluate candidates; return the best (mv, cost).
+
+        Ties are broken toward the earlier candidate, so pattern
+        ordering is deterministic.
+        """
+        best_mv: Optional[MotionVector] = None
+        best_cost = INFEASIBLE
+        for mv in mvs:
+            cost = self.evaluate(mv)
+            if cost < best_cost:
+                best_cost = cost
+                best_mv = (int(mv[0]), int(mv[1]))
+        if best_mv is None:
+            # Every candidate infeasible: fall back to zero MV, which is
+            # always feasible for in-frame blocks.
+            best_mv = (0, 0)
+            best_cost = self.evaluate(best_mv)
+        return best_mv, best_cost
+
+    def result(self, mv: MotionVector, cost: float) -> MotionSearchResult:
+        return MotionSearchResult(
+            mv=mv,
+            cost=cost,
+            sad_evaluations=self.sad_evaluations,
+            pixel_ops=self.pixel_ops,
+        )
+
+
+class MotionSearch(abc.ABC):
+    """Base class for search algorithms.
+
+    Subclasses implement :meth:`search`, receiving the context and a
+    start vector (the motion predictor, e.g. the neighbouring block's
+    MV or the direction inherited from the first frame of the GOP).
+    """
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def search(
+        self, ctx: SearchContext, start: MotionVector = (0, 0)
+    ) -> MotionSearchResult:
+        """Run the search and return the best motion vector found."""
+
+    def _start(self, ctx: SearchContext, start: MotionVector) -> Tuple[MotionVector, float]:
+        """Evaluate the start predictor and the zero vector."""
+        return ctx.evaluate_many([(0, 0), (int(start[0]), int(start[1]))])

@@ -1,0 +1,45 @@
+"""Cross search (Ghanbari, IEEE TCOM 1990) [13].
+
+A logarithmic search over a ``x``-shaped (diagonal cross) pattern: at
+each step the four diagonal neighbours at the current step size are
+tested, the step is halved when the centre wins, and the final stage
+uses a ``+``- or ``x``-shaped pattern at step 1.
+
+The paper leverages cross search "for the low-motion tiles of the first
+frame in a GOP" (§III-C2).
+"""
+
+from __future__ import annotations
+
+from repro.motion.base import MotionSearch, MotionSearchResult, MotionVector, SearchContext
+
+_DIAGONAL = [(-1, -1), (1, -1), (-1, 1), (1, 1)]
+_PLUS = [(0, -1), (-1, 0), (1, 0), (0, 1)]
+
+
+class CrossSearch(MotionSearch):
+    name = "cross"
+
+    def search(
+        self, ctx: SearchContext, start: MotionVector = (0, 0)
+    ) -> MotionSearchResult:
+        best_mv, best_cost = self._start(ctx, start)
+        step = max(1, ctx.window // 2)
+        while step > 1:
+            candidates = [
+                (best_mv[0] + dx * step, best_mv[1] + dy * step)
+                for dx, dy in _DIAGONAL
+            ]
+            mv, cost = ctx.evaluate_many(candidates)
+            if cost < best_cost:
+                best_mv, best_cost = mv, cost
+            else:
+                step //= 2
+        # Final refinement at unit step over both cross orientations.
+        candidates = [
+            (best_mv[0] + dx, best_mv[1] + dy) for dx, dy in _DIAGONAL + _PLUS
+        ]
+        mv, cost = ctx.evaluate_many(candidates)
+        if cost < best_cost:
+            best_mv, best_cost = mv, cost
+        return ctx.result(best_mv, best_cost)

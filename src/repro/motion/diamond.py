@@ -1,0 +1,38 @@
+"""Diamond search (Zhu & Ma, 1997) [12].
+
+Iterates a large diamond search pattern (LDSP, 8 points at L1 distance
+2) until the centre is best, then refines once with the small diamond
+pattern (SDSP, 4 points at L1 distance 1).
+"""
+
+from __future__ import annotations
+
+from repro.motion.base import MotionSearch, MotionSearchResult, MotionVector, SearchContext
+
+_LDSP = [(0, -2), (-1, -1), (1, -1), (-2, 0), (2, 0), (-1, 1), (1, 1), (0, 2)]
+_SDSP = [(0, -1), (-1, 0), (1, 0), (0, 1)]
+
+#: Safety bound on LDSP iterations (reference encoders bound pattern
+#: refinement similarly); generous relative to any practical window.
+_MAX_ITERATIONS = 256
+
+
+class DiamondSearch(MotionSearch):
+    name = "diamond"
+
+    def search(
+        self, ctx: SearchContext, start: MotionVector = (0, 0)
+    ) -> MotionSearchResult:
+        best_mv, best_cost = self._start(ctx, start)
+        for _ in range(_MAX_ITERATIONS):
+            candidates = [(best_mv[0] + dx, best_mv[1] + dy) for dx, dy in _LDSP]
+            mv, cost = ctx.evaluate_many(candidates)
+            if cost < best_cost:
+                best_mv, best_cost = mv, cost
+            else:
+                break
+        candidates = [(best_mv[0] + dx, best_mv[1] + dy) for dx, dy in _SDSP]
+        mv, cost = ctx.evaluate_many(candidates)
+        if cost < best_cost:
+            best_mv, best_cost = mv, cost
+        return ctx.result(best_mv, best_cost)

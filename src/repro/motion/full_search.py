@@ -1,0 +1,26 @@
+"""Exhaustive full search.
+
+Tests every integer displacement in the window.  "The classical full
+search algorithm provides the best motion estimation [but] is not
+applicable for real-time and online applications due to its intolerable
+runtime overhead" (paper §II-B).  Used here as the quality reference in
+tests and as the cost upper bound.
+"""
+
+from __future__ import annotations
+
+from repro.motion.base import MotionSearch, MotionSearchResult, MotionVector, SearchContext
+
+
+class FullSearch(MotionSearch):
+    name = "full"
+
+    def search(
+        self, ctx: SearchContext, start: MotionVector = (0, 0)
+    ) -> MotionSearchResult:
+        w = ctx.window
+        candidates = (
+            (dx, dy) for dy in range(-w, w + 1) for dx in range(-w, w + 1)
+        )
+        best_mv, best_cost = ctx.evaluate_many(candidates)
+        return ctx.result(best_mv, best_cost)

@@ -1,0 +1,67 @@
+"""Hexagon-based search (Zhu, Lin, Chau, IEEE TCSVT 2002) [15].
+
+Iterates a 6-point hexagon pattern until the centre is best, then
+refines with the 4-point small cross.  Two orientations exist with
+identical complexity:
+
+* **horizontal** (flat hexagon, points spread wider in x) — "outperforms
+  [vertical] when the motion is more horizontal" (paper §III-C2);
+* **vertical** (pointy hexagon, points spread wider in y).
+
+The **rotating** mode alternates orientation between iterations, used
+by the paper "for the first frame of the GOP" when the dominant motion
+direction is not yet known.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+from repro.motion.base import MotionSearch, MotionSearchResult, MotionVector, SearchContext
+
+#: Flat hexagon: wide in x.
+_HEX_HORIZONTAL = [(-2, 0), (2, 0), (-1, -2), (1, -2), (-1, 2), (1, 2)]
+#: Pointy hexagon: wide in y.
+_HEX_VERTICAL = [(0, -2), (0, 2), (-2, -1), (-2, 1), (2, -1), (2, 1)]
+_SMALL_CROSS = [(0, -1), (-1, 0), (1, 0), (0, 1)]
+
+_MAX_ITERATIONS = 256
+
+
+class HexagonOrientation(enum.Enum):
+    HORIZONTAL = "horizontal"
+    VERTICAL = "vertical"
+    ROTATING = "rotating"
+
+
+class HexagonSearch(MotionSearch):
+    name = "hexagon"
+
+    def __init__(self, orientation: HexagonOrientation = HexagonOrientation.HORIZONTAL):
+        self.orientation = orientation
+
+    def _pattern(self, iteration: int) -> List[Tuple[int, int]]:
+        if self.orientation is HexagonOrientation.HORIZONTAL:
+            return _HEX_HORIZONTAL
+        if self.orientation is HexagonOrientation.VERTICAL:
+            return _HEX_VERTICAL
+        return _HEX_HORIZONTAL if iteration % 2 == 0 else _HEX_VERTICAL
+
+    def search(
+        self, ctx: SearchContext, start: MotionVector = (0, 0)
+    ) -> MotionSearchResult:
+        best_mv, best_cost = self._start(ctx, start)
+        for iteration in range(_MAX_ITERATIONS):
+            pattern = self._pattern(iteration)
+            candidates = [(best_mv[0] + dx, best_mv[1] + dy) for dx, dy in pattern]
+            mv, cost = ctx.evaluate_many(candidates)
+            if cost < best_cost:
+                best_mv, best_cost = mv, cost
+            else:
+                break
+        candidates = [(best_mv[0] + dx, best_mv[1] + dy) for dx, dy in _SMALL_CROSS]
+        mv, cost = ctx.evaluate_many(candidates)
+        if cost < best_cost:
+            best_mv, best_cost = mv, cost
+        return ctx.result(best_mv, best_cost)

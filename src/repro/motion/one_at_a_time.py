@@ -1,0 +1,57 @@
+"""One-at-a-time search (Srinivasan & Rao, IEEE TCOM 1985) [14].
+
+Walks along one axis one sample at a time until the cost stops
+improving, then walks along the other axis.  The paper uses it "for the
+remaining frames in the GOP in the direction of the motion vector
+obtained from the corresponding tiles of the first frame" (§III-C2), so
+the primary axis is selectable.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.motion.base import MotionSearch, MotionSearchResult, MotionVector, SearchContext
+
+
+class OneAtATimeSearch(MotionSearch):
+    name = "one_at_a_time"
+
+    def __init__(self, primary_axis: str = "x"):
+        if primary_axis not in ("x", "y"):
+            raise ValueError(f"primary_axis must be 'x' or 'y', got {primary_axis!r}")
+        self.primary_axis = primary_axis
+
+    def _walk(
+        self,
+        ctx: SearchContext,
+        best_mv: MotionVector,
+        best_cost: float,
+        axis: str,
+    ) -> Tuple[MotionVector, float]:
+        """Walk +-1 steps along ``axis`` while the cost improves."""
+        step = (1, 0) if axis == "x" else (0, 1)
+        # Choose the promising direction first.
+        plus = ctx.evaluate((best_mv[0] + step[0], best_mv[1] + step[1]))
+        minus = ctx.evaluate((best_mv[0] - step[0], best_mv[1] - step[1]))
+        if plus >= best_cost and minus >= best_cost:
+            return best_mv, best_cost
+        direction = 1 if plus < minus else -1
+        cost_ahead = min(plus, minus)
+        while cost_ahead < best_cost:
+            best_cost = cost_ahead
+            best_mv = (best_mv[0] + direction * step[0], best_mv[1] + direction * step[1])
+            cost_ahead = ctx.evaluate(
+                (best_mv[0] + direction * step[0], best_mv[1] + direction * step[1])
+            )
+        return best_mv, best_cost
+
+    def search(
+        self, ctx: SearchContext, start: MotionVector = (0, 0)
+    ) -> MotionSearchResult:
+        best_mv, best_cost = self._start(ctx, start)
+        first = self.primary_axis
+        second = "y" if first == "x" else "x"
+        best_mv, best_cost = self._walk(ctx, best_mv, best_cost, first)
+        best_mv, best_cost = self._walk(ctx, best_mv, best_cost, second)
+        return ctx.result(best_mv, best_cost)

@@ -1,0 +1,129 @@
+"""The paper's proposed fast motion search for bio-medical videos
+(§III-C2).
+
+The policy exploits two bio-medical properties: motion is globally
+consistent across tiles, and its direction persists within a GOP.
+Per tile it selects algorithm and search window from (motion class,
+position of the frame in its GOP, direction learned on the GOP's first
+frame):
+
+=============  =======================  ==========================
+tile motion    first frame of GOP       remaining frames of GOP
+=============  =======================  ==========================
+low            cross search, 16x16      one-at-a-time along the
+               window                   learned axis, 8x8 window
+high           rotating hexagon, max    horizontal/vertical hexagon
+               window                   by learned axis, reduced
+                                        window
+=============  =======================  ==========================
+
+The learned state (dominant axis and a motion-vector predictor per
+tile) is carried by :class:`GopMotionState`, reset at each GOP start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.motion_probe import MotionClass
+from repro.motion.base import MotionSearch, MotionSearchResult, MotionVector, SearchContext
+from repro.motion.cross import CrossSearch
+from repro.motion.hexagon import HexagonOrientation, HexagonSearch
+from repro.motion.one_at_a_time import OneAtATimeSearch
+
+
+@dataclass(frozen=True)
+class ProposedSearchConfig:
+    """Window sizes of the proposed policy (paper values).
+
+    The paper considers windows of 64, 32, 16 and 8: low-motion tiles
+    use 16 on the GOP's first frame and 8 afterwards; high-motion tiles
+    use the maximum allowable window (64) on the first frame and
+    smaller values (32) afterwards.
+    """
+
+    low_first_window: int = 16
+    low_rest_window: int = 8
+    high_first_window: int = 64
+    high_rest_window: int = 32
+
+
+@dataclass
+class GopMotionState:
+    """Per-GOP learned motion: dominant axis and per-tile MV predictors."""
+
+    dominant_axis: Optional[str] = None  # 'x' or 'y'
+    tile_mv: Dict[int, MotionVector] = field(default_factory=dict)
+
+    def learn(self, tile_id: int, mv: MotionVector) -> None:
+        self.tile_mv[tile_id] = mv
+        # Axis votes accumulate through the magnitudes of first-frame MVs.
+        dx, dy = abs(mv[0]), abs(mv[1])
+        if dx == dy == 0:
+            return
+        axis = "x" if dx >= dy else "y"
+        if self.dominant_axis is None:
+            self.dominant_axis = axis
+
+    def predictor(self, tile_id: int) -> MotionVector:
+        return self.tile_mv.get(tile_id, (0, 0))
+
+
+class BioMedicalSearchPolicy:
+    """Selects and runs the per-tile search of the proposed method.
+
+    One policy instance serves one video stream; call
+    :meth:`start_gop` at every GOP boundary.
+    """
+
+    def __init__(self, config: ProposedSearchConfig = ProposedSearchConfig()):
+        self.config = config
+        self.state = GopMotionState()
+
+    def start_gop(self) -> None:
+        """Reset learned motion at a GOP boundary."""
+        self.state = GopMotionState()
+
+    def select(
+        self, motion: MotionClass, is_first_in_gop: bool
+    ) -> Tuple[MotionSearch, int]:
+        """Return (algorithm, window) for a tile."""
+        cfg = self.config
+        axis = self.state.dominant_axis or "x"
+        if motion is MotionClass.LOW:
+            if is_first_in_gop:
+                return CrossSearch(), cfg.low_first_window
+            return OneAtATimeSearch(primary_axis=axis), cfg.low_rest_window
+        if is_first_in_gop:
+            return HexagonSearch(HexagonOrientation.ROTATING), cfg.high_first_window
+        orientation = (
+            HexagonOrientation.HORIZONTAL if axis == "x" else HexagonOrientation.VERTICAL
+        )
+        return HexagonSearch(orientation), cfg.high_rest_window
+
+    def search_block(
+        self,
+        ctx_factory,
+        motion: MotionClass,
+        is_first_in_gop: bool,
+        tile_id: int,
+        left_mv: MotionVector = (0, 0),
+    ) -> MotionSearchResult:
+        """Run the selected search for one block.
+
+        ``ctx_factory(window) -> SearchContext`` builds the context with
+        the window chosen by the policy.  The search is seeded with the
+        best of the zero vector, the spatial (left-neighbour) predictor
+        and the temporal predictor learned on the GOP's first frame —
+        an AMVP-style candidate list.
+        """
+        algorithm, window = self.select(motion, is_first_in_gop)
+        ctx: SearchContext = ctx_factory(window)
+        start, _ = ctx.evaluate_many(
+            [(0, 0), left_mv, self.state.predictor(tile_id)]
+        )
+        result = algorithm.search(ctx, start=start)
+        if is_first_in_gop:
+            self.state.learn(tile_id, result.mv)
+        return result

@@ -1,0 +1,34 @@
+"""Three step search (Li, Zeng, Liou, IEEE TCSVT 1994) [11].
+
+Starts with a step of roughly half the window, evaluates the 8
+neighbours at the current step around the best point, halves the step,
+and repeats until the step reaches 1.
+"""
+
+from __future__ import annotations
+
+from repro.motion.base import MotionSearch, MotionSearchResult, MotionVector, SearchContext
+
+_NEIGHBOURS = [(-1, -1), (0, -1), (1, -1), (-1, 0), (1, 0), (-1, 1), (0, 1), (1, 1)]
+
+
+class ThreeStepSearch(MotionSearch):
+    name = "three_step"
+
+    def search(
+        self, ctx: SearchContext, start: MotionVector = (0, 0)
+    ) -> MotionSearchResult:
+        best_mv, best_cost = self._start(ctx, start)
+        step = max(1, ctx.window // 2)
+        while step >= 1:
+            candidates = [
+                (best_mv[0] + dx * step, best_mv[1] + dy * step)
+                for dx, dy in _NEIGHBOURS
+            ]
+            mv, cost = ctx.evaluate_many(candidates)
+            if cost < best_cost:
+                best_mv, best_cost = mv, cost
+            if step == 1:
+                break
+            step //= 2
+        return ctx.result(best_mv, best_cost)

@@ -1,0 +1,88 @@
+"""GOP-level parallelism model [16].
+
+Video frames "can be clustered as groups of pictures (GOPs) and can be
+independently processed providing workload parallelization" (paper
+§II-C).  GOP parallelism scales *throughput* linearly — but each GOP
+must be fully buffered before its encode starts, so the scheme adds at
+least one GOP of latency plus the GOP's encode time, which breaks the
+paper's online (per-frame deadline) requirement.  This model makes
+that argument quantitative.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GopParallelPlan:
+    """Resource/latency plan for GOP-parallel encoding of one stream."""
+
+    num_workers: int
+    sustained_fps: float
+    latency_seconds: float
+    utilization: float
+
+    def meets_online_latency(self, max_latency_seconds: float) -> bool:
+        return self.latency_seconds <= max_latency_seconds
+
+
+class GopParallelModel:
+    """Plans GOP-parallel encoding for one stream.
+
+    Parameters
+    ----------
+    gop_size:
+        Frames per GOP (paper: 8).
+    frame_encode_seconds:
+        Single-core CPU time to encode one frame.
+    fps:
+        Target (and capture) frame rate.
+    """
+
+    def __init__(self, gop_size: int, frame_encode_seconds: float, fps: float):
+        if gop_size < 1:
+            raise ValueError("gop_size must be >= 1")
+        if frame_encode_seconds <= 0:
+            raise ValueError("frame_encode_seconds must be positive")
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        self.gop_size = gop_size
+        self.frame_encode_seconds = frame_encode_seconds
+        self.fps = fps
+
+    @property
+    def gop_arrival_period(self) -> float:
+        """Wall time between consecutive GOPs arriving from capture."""
+        return self.gop_size / self.fps
+
+    @property
+    def gop_encode_seconds(self) -> float:
+        """Single-worker encode time of one whole GOP."""
+        return self.gop_size * self.frame_encode_seconds
+
+    def workers_for_realtime(self) -> int:
+        """Minimum workers to keep up with the arrival rate."""
+        return max(1, math.ceil(self.gop_encode_seconds / self.gop_arrival_period))
+
+    def plan(self, num_workers: int) -> GopParallelPlan:
+        """Latency/throughput of running ``num_workers`` GOP encoders.
+
+        Sustained fps is capped at capture rate once real-time is met.
+        Latency counts GOP accumulation (the whole GOP must arrive
+        before encoding starts) plus the GOP's encode time.
+        """
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        throughput_gops = num_workers / self.gop_encode_seconds
+        sustained = min(self.fps, throughput_gops * self.gop_size)
+        latency = self.gop_arrival_period + self.gop_encode_seconds
+        needed = self.workers_for_realtime()
+        utilization = min(1.0, needed / num_workers)
+        return GopParallelPlan(
+            num_workers=num_workers,
+            sustained_fps=sustained,
+            latency_seconds=latency,
+            utilization=utilization,
+        )

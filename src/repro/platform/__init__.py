@@ -1,0 +1,26 @@
+"""MPSoC platform substrate: operation-count cost model, DVFS levels,
+power model, and time-slot schedules.
+
+Substitutes for the paper's Intel Xeon E5-2667 server (4 sockets x 8
+cores, DVFS levels {2.9, 3.2, 3.6} GHz, 10 us transition latency).  The
+paper measures CPU time of encoder threads; here the encoder's exact
+operation counts are converted to cycles and seconds by a calibrated
+cost model (see DESIGN.md's substitution table).
+"""
+
+from repro.platform.cost_model import CostModel, CostWeights
+from repro.platform.power import PowerModel
+from repro.platform.mpsoc import MpsocConfig, Mpsoc, XEON_E5_2667
+from repro.platform.schedule import ThreadTask, CoreSlot, SlotSchedule
+
+__all__ = [
+    "CostModel",
+    "CostWeights",
+    "PowerModel",
+    "MpsocConfig",
+    "Mpsoc",
+    "XEON_E5_2667",
+    "ThreadTask",
+    "CoreSlot",
+    "SlotSchedule",
+]

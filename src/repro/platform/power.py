@@ -1,0 +1,82 @@
+"""Per-core power model.
+
+Classic CMOS decomposition: ``P(f) = P_static + C_eff * V(f)^2 * f``
+while busy, ``P_idle`` while idle (clock-gated).  The voltage/frequency
+pairs approximate a Xeon E5-2667's P-states at the paper's three
+operating points.  Defaults put a busy core at f_max near 12 W —
+consistent with a 135 W TDP for 8 cores plus uncore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+GHZ = 1e9
+
+#: Default voltage (V) per frequency (Hz) operating point.
+DEFAULT_VF_POINTS: Dict[float, float] = {
+    2.9 * GHZ: 0.95,
+    3.2 * GHZ: 1.05,
+    3.6 * GHZ: 1.20,
+}
+
+
+@dataclass
+class PowerModel:
+    """CMOS-style core power model.
+
+    Attributes
+    ----------
+    vf_points:
+        Supported (frequency -> voltage) operating points.
+    c_eff:
+        Effective switched capacitance (F) scaled so that
+        ``c_eff * V(f_max)^2 * f_max`` is the dynamic power at f_max.
+    p_static:
+        Leakage power while the core is powered (W).
+    p_idle:
+        Power while idle/clock-gated (W).
+    """
+
+    vf_points: Dict[float, float] = field(
+        default_factory=lambda: dict(DEFAULT_VF_POINTS)
+    )
+    c_eff: float = 1.74e-9  # ~9 W dynamic at 3.6 GHz / 1.20 V
+    p_static: float = 3.0
+    p_idle: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not self.vf_points:
+            raise ValueError("need at least one V/f point")
+        if min(self.vf_points) <= 0 or min(self.vf_points.values()) <= 0:
+            raise ValueError("frequencies and voltages must be positive")
+        if self.c_eff < 0 or self.p_static < 0 or self.p_idle < 0:
+            raise ValueError("power parameters must be non-negative")
+
+    def voltage(self, frequency_hz: float) -> float:
+        try:
+            return self.vf_points[frequency_hz]
+        except KeyError:
+            known = sorted(f / GHZ for f in self.vf_points)
+            raise ValueError(
+                f"unsupported frequency {frequency_hz / GHZ:.2f} GHz; "
+                f"supported: {known} GHz"
+            ) from None
+
+    def busy_power(self, frequency_hz: float) -> float:
+        """Power (W) of a core actively executing at ``frequency_hz``."""
+        v = self.voltage(frequency_hz)
+        return self.p_static + self.c_eff * v * v * frequency_hz
+
+    def energy(
+        self, busy_seconds: float, frequency_hz: float, idle_seconds: float = 0.0
+    ) -> float:
+        """Energy (J) of a busy interval plus an idle interval."""
+        if busy_seconds < 0 or idle_seconds < 0:
+            raise ValueError("durations must be non-negative")
+        return (
+            busy_seconds * self.busy_power(frequency_hz)
+            + idle_seconds * self.p_idle
+        )

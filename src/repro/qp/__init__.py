@@ -1,0 +1,12 @@
+"""Per-tile quality-aware encoding configuration (paper §III-C1)."""
+
+from repro.qp.defaults import default_qp, QP_LADDER, QualityConstraints
+from repro.qp.adaptation import QpAdapter, TileQualityFeedback
+
+__all__ = [
+    "default_qp",
+    "QP_LADDER",
+    "QualityConstraints",
+    "QpAdapter",
+    "TileQualityFeedback",
+]

@@ -1,0 +1,88 @@
+"""QP adaptation loop (paper Algorithm 1).
+
+For each tile, based on the previous frame's measured PSNR of the
+co-located tile::
+
+    if PSNR(t - dt) > PSNR_const + PSNR_margin:  QP += dQP   # spend less
+    elif PSNR(t - dt) < PSNR_const:              QP -= dQP   # spend more
+    else:                                        default QP by texture
+
+QPs stay inside the paper's ladder [22, 42].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.texture import TextureClass
+from repro.qp.defaults import DELTA_QP, QP_MAX, QP_MIN, QualityConstraints, default_qp
+
+
+@dataclass(frozen=True)
+class TileQualityFeedback:
+    """Measured outcome of a tile in the previous frame (Algorithm 1
+    inputs ``PSNR_{t-dt}`` and ``BR_{t-dt}``)."""
+
+    psnr_db: float
+    bits: int
+
+
+class QpAdapter:
+    """Stateful per-stream QP adaptation.
+
+    One adapter serves one video stream; tiles are identified by index
+    within the current tile grid (re-tiling resets state, since tile
+    identities change).
+    """
+
+    def __init__(self, constraints: QualityConstraints = QualityConstraints()):
+        self.constraints = constraints
+        self._qp: Dict[int, int] = {}
+
+    def reset(self) -> None:
+        """Forget per-tile state (call after re-tiling)."""
+        self._qp.clear()
+
+    def current_qp(self, tile_id: int, texture: TextureClass) -> int:
+        """QP currently assigned to a tile (default if never adapted)."""
+        return self._qp.get(tile_id, default_qp(texture))
+
+    def adapt(
+        self,
+        tile_id: int,
+        texture: TextureClass,
+        feedback: Optional[TileQualityFeedback],
+        stream_bitrate_mbps: Optional[float] = None,
+    ) -> int:
+        """Algorithm 1 for one tile; returns the QP for the next frame.
+
+        ``stream_bitrate_mbps`` is the stream's recent bitrate
+        (``BR_{t-dt}`` in Algorithm 1's inputs): when the compression
+        constraint is violated, the adapter refuses to *lower* QP and
+        nudges it up as long as the PSNR constraint keeps headroom —
+        quality keeps priority, exactly the constraint ordering the
+        paper states ("satisfy the required video quality and
+        compression").
+        """
+        cons = self.constraints
+        if feedback is None:
+            qp = default_qp(texture)
+        else:
+            qp = self.current_qp(tile_id, texture)
+            if feedback.psnr_db > cons.psnr_constraint + cons.psnr_margin:
+                qp = min(QP_MAX, qp + DELTA_QP)
+            elif feedback.psnr_db < cons.psnr_constraint:
+                qp = max(QP_MIN, qp - DELTA_QP)
+            else:
+                qp = default_qp(texture)
+
+            rate_over = (
+                stream_bitrate_mbps is not None
+                and stream_bitrate_mbps > cons.bitrate_constraint_mbps
+            )
+            if rate_over and feedback.psnr_db >= cons.psnr_constraint:
+                previous = self.current_qp(tile_id, texture)
+                qp = min(QP_MAX, max(qp, previous + DELTA_QP))
+        self._qp[tile_id] = qp
+        return qp

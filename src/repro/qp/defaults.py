@@ -1,0 +1,57 @@
+"""Default QP selection by texture class (paper §III-C1).
+
+"We utilize QP equal to 37, 32, and 27 for the low, medium, and high
+texture tiles, respectively, as default values. ... for very low-
+texture tiles QP = 42 can be used ... for extreme cases of high-texture
+tiles QP = 22 should be used to meet the PSNR constraint."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.texture import TextureClass
+
+#: The QP values the paper considers, ordered low-quality to high.
+QP_LADDER = (42, 37, 32, 27, 22)
+
+#: Default QP per texture class.
+DEFAULT_QP = {
+    TextureClass.LOW: 37,
+    TextureClass.MEDIUM: 32,
+    TextureClass.HIGH: 27,
+}
+
+#: Extreme QPs allowed by the adaptation loop.
+QP_MAX = 42
+QP_MIN = 22
+
+#: Adaptation step (the paper's delta-QP; one ladder notch).
+DELTA_QP = 5
+
+
+def default_qp(texture: TextureClass) -> int:
+    """Default QP for a texture class."""
+    return DEFAULT_QP[texture]
+
+
+@dataclass(frozen=True)
+class QualityConstraints:
+    """Per-stream quality/compression requirements.
+
+    ``psnr_constraint`` is the minimum acceptable tile PSNR
+    (PSNR_const); ``psnr_margin`` is the headroom above which QP may be
+    increased without risking dissatisfaction (PSNR_margin).
+    ``bitrate_constraint_mbps`` bounds the stream bitrate; the paper
+    tracks it alongside PSNR when evaluating outcomes.
+    """
+
+    psnr_constraint: float = 38.0
+    psnr_margin: float = 2.0
+    bitrate_constraint_mbps: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.psnr_margin < 0:
+            raise ValueError("psnr_margin must be non-negative")
+        if self.bitrate_constraint_mbps <= 0:
+            raise ValueError("bitrate constraint must be positive")

@@ -1,0 +1,17 @@
+"""Frame tiling: tile geometry, uniform tiling, and the paper's
+content-aware re-tiling strategy (§III-B).
+"""
+
+from repro.tiling.tile import Tile, TileGrid
+from repro.tiling.uniform import uniform_tiling
+from repro.tiling.constraints import TilingConstraints
+from repro.tiling.content_aware import ContentAwareRetiler, RetilingResult
+
+__all__ = [
+    "Tile",
+    "TileGrid",
+    "uniform_tiling",
+    "TilingConstraints",
+    "ContentAwareRetiler",
+    "RetilingResult",
+]

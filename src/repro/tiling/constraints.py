@@ -1,0 +1,59 @@
+"""Tiling constraints (paper §III: "the predefined minimum tile size and
+the maximum number of tiles within a frame ensure fast ending of this
+phase").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TilingConstraints:
+    """Bounds on the re-tiling search.
+
+    Attributes
+    ----------
+    min_tile_width, min_tile_height:
+        Minimum tile dimensions in samples.  HEVC requires tiles of at
+        least 256x64 luma samples for conformance; the paper encodes
+        VGA frames into up to 30 tiles, so it clearly relaxes this.  We
+        default to two CTUs (32 samples) per dimension.
+    max_tiles:
+        Maximum number of tiles within a frame.
+    min_center_tiles:
+        The paper limits "the minimum number of tiles used for the
+        high-texture and high-motion area of the frame to 4" to keep
+        parallelization high.
+    growth_step:
+        Corner/border tile growth factor per iteration; the paper found
+        25% experimentally.
+    max_margin_fraction:
+        Upper bound on how far a border tile may grow into the frame,
+        as a fraction of the frame dimension.  Keeps the centre region
+        non-degenerate even on blank content.
+    align:
+        Tile boundary alignment (CTU size of the codec substrate).
+    """
+
+    min_tile_width: int = 32
+    min_tile_height: int = 32
+    max_tiles: int = 24
+    min_center_tiles: int = 4
+    growth_step: float = 0.25
+    max_margin_fraction: float = 0.35
+    align: int = 16
+
+    def __post_init__(self) -> None:
+        if self.min_tile_width <= 0 or self.min_tile_height <= 0:
+            raise ValueError("minimum tile dimensions must be positive")
+        if self.max_tiles < self.min_center_tiles + 1:
+            raise ValueError(
+                "max_tiles must leave room for the centre tiles plus a border"
+            )
+        if not 0 < self.growth_step <= 1:
+            raise ValueError("growth_step must be in (0, 1]")
+        if not 0 < self.max_margin_fraction < 0.5:
+            raise ValueError("max_margin_fraction must be in (0, 0.5)")
+        if self.align <= 0:
+            raise ValueError("align must be positive")

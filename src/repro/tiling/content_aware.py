@@ -1,0 +1,270 @@
+"""Content-aware re-tiling (paper §III-B).
+
+The strategy, following the paper:
+
+1. **Corners first.**  Starting from a minimum-size tile in each corner,
+   while the tile's motion *and* texture are low, grow it by 25% more
+   pixels "first in the width and then in the height", keeping the last
+   coordinates once the content stops being low.  Corners and borders
+   of medical frames contain the least motion and texture, so this
+   carves large cheap tiles out of the frame periphery.
+2. **Borders.**  The grown corner extents define the four border strips
+   (top/bottom/left/right edge tiles between the corners).
+3. **Centre.**  The remaining centre region, which "more likely
+   contains high motion and high texture", is partitioned into tiles of
+   similar size, respecting a minimum tile size; at least 4 tiles are
+   used for the high-texture/high-motion area to keep parallelization
+   high.
+
+The resulting layout is an exact rectangle partition: a 3x3 macro
+structure (corner / edge / centre cells, degenerate cells omitted) with
+the centre cell subdivided into a near-square grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.evaluator import ContentEvaluator, TileContent
+from repro.analysis.motion_probe import MotionClass
+from repro.analysis.texture import TextureClass
+from repro.tiling.constraints import TilingConstraints
+from repro.tiling.tile import Tile, TileGrid, split_evenly
+
+
+@dataclass
+class RetilingResult:
+    """Output of a re-tiling pass: the grid plus per-tile content."""
+
+    grid: TileGrid
+    contents: List[TileContent]
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.grid)
+
+
+#: Target centre-tile edge length (samples) per texture class.  Higher
+#: texture favours smaller tiles (more parallelism, per-tile tuning).
+_TARGET_EDGE = {
+    TextureClass.LOW: 256,
+    TextureClass.MEDIUM: 160,
+    TextureClass.HIGH: 112,
+}
+
+
+class ContentAwareRetiler:
+    """Implements the paper's content-aware re-tiling."""
+
+    def __init__(
+        self,
+        constraints: TilingConstraints = TilingConstraints(),
+        evaluator: Optional[ContentEvaluator] = None,
+    ):
+        self.constraints = constraints
+        self.evaluator = evaluator or ContentEvaluator()
+
+    # ------------------------------------------------------------------
+    def retile(
+        self, current: np.ndarray, previous: Optional[np.ndarray] = None
+    ) -> RetilingResult:
+        """Re-tile a frame based on its content.
+
+        Parameters
+        ----------
+        current:
+            Luma plane of the frame being tiled.
+        previous:
+            Luma plane of the previously processed frame (for the
+            motion probe); ``None`` for the first frame of a video.
+        """
+        height, width = current.shape
+        cons = self.constraints
+        if width < 3 * cons.min_tile_width or height < 3 * cons.min_tile_height:
+            # Frame too small for a border/centre split: single tile.
+            grid = TileGrid.single(width, height)
+            contents = self.evaluator.evaluate(grid, current, previous)
+            return RetilingResult(grid, contents)
+
+        left = self._grow_margin(current, previous, side="left")
+        right = self._grow_margin(current, previous, side="right")
+        top = self._grow_margin(current, previous, side="top")
+        bottom = self._grow_margin(current, previous, side="bottom")
+
+        grid = self._build_grid(current, previous, left, right, top, bottom)
+        contents = self.evaluator.evaluate(grid, current, previous)
+        return RetilingResult(grid, contents)
+
+    # ------------------------------------------------------------------
+    # Margin growth
+    # ------------------------------------------------------------------
+    def _grow_margin(
+        self,
+        current: np.ndarray,
+        previous: Optional[np.ndarray],
+        side: str,
+    ) -> int:
+        """Grow a border strip from ``side`` while its content stays low.
+
+        The paper grows each *corner tile*; the two corners sharing a
+        side almost always agree on medical content (dark background),
+        so we grow the full strip, which additionally guarantees an
+        exact partition.  Growth is by ``growth_step`` more pixels per
+        iteration, capped at ``max_margin_fraction`` of the dimension.
+        """
+        height, width = current.shape
+        cons = self.constraints
+        horizontal = side in ("left", "right")
+        dim = width if horizontal else height
+        start = cons.min_tile_width if horizontal else cons.min_tile_height
+        limit = self._align_down(int(dim * cons.max_margin_fraction))
+        limit = max(limit, start)
+
+        size = start
+        best = 0  # margin kept so far (0 = no low-content strip at all)
+        while size <= limit:
+            strip = self._strip(width, height, side, size)
+            if not self._is_low(strip, current, previous):
+                break
+            best = size
+            grown = self._align_down(int(math.ceil(size * (1 + cons.growth_step))))
+            size = max(grown, size + cons.align)
+        return best
+
+    def _strip(self, width: int, height: int, side: str, size: int) -> Tile:
+        if side == "left":
+            return Tile(0, 0, size, height)
+        if side == "right":
+            return Tile(width - size, 0, size, height)
+        if side == "top":
+            return Tile(0, 0, width, size)
+        if side == "bottom":
+            return Tile(0, height - size, width, size)
+        raise ValueError(f"unknown side {side!r}")
+
+    def _is_low(
+        self, tile: Tile, current: np.ndarray, previous: Optional[np.ndarray]
+    ) -> bool:
+        content = self.evaluator.evaluate_tile(tile, current, previous)
+        return (
+            content.texture is TextureClass.LOW
+            and content.motion is MotionClass.LOW
+        )
+
+    def _align_down(self, value: int) -> int:
+        align = self.constraints.align
+        return (value // align) * align
+
+    # ------------------------------------------------------------------
+    # Grid assembly
+    # ------------------------------------------------------------------
+    def _build_grid(
+        self,
+        current: np.ndarray,
+        previous: Optional[np.ndarray],
+        left: int,
+        right: int,
+        top: int,
+        bottom: int,
+    ) -> TileGrid:
+        height, width = current.shape
+        cons = self.constraints
+
+        # Ensure a viable centre region.
+        min_cw = max(cons.min_tile_width, 2 * cons.align)
+        min_ch = max(cons.min_tile_height, 2 * cons.align)
+        while width - left - right < min_cw and (left or right):
+            if left >= right:
+                left = self._shrink(left)
+            else:
+                right = self._shrink(right)
+        while height - top - bottom < min_ch and (top or bottom):
+            if top >= bottom:
+                top = self._shrink(top)
+            else:
+                bottom = self._shrink(bottom)
+
+        center_w = width - left - right
+        center_h = height - top - bottom
+        center = Tile(left, top, center_w, center_h)
+
+        border_tiles = self._border_tiles(width, height, left, right, top, bottom)
+        budget = cons.max_tiles - len(border_tiles)
+        center_tiles = self._partition_center(center, current, previous, budget)
+        return TileGrid(width, height, border_tiles + center_tiles)
+
+    def _shrink(self, margin: int) -> int:
+        shrunk = self._align_down(int(margin * 0.5))
+        return shrunk if shrunk >= self.constraints.align else 0
+
+    def _border_tiles(
+        self, width: int, height: int, left: int, right: int, top: int, bottom: int
+    ) -> List[Tile]:
+        """Corner and edge tiles of the 3x3 macro layout (degenerate cells omitted)."""
+        xs = [0, left, width - right, width]
+        ys = [0, top, height - bottom, height]
+        tiles = []
+        for row in range(3):
+            for col in range(3):
+                if row == 1 and col == 1:
+                    continue  # centre handled separately
+                w = xs[col + 1] - xs[col]
+                h = ys[row + 1] - ys[row]
+                if w > 0 and h > 0:
+                    tiles.append(Tile(xs[col], ys[row], w, h))
+        return tiles
+
+    def _partition_center(
+        self,
+        center: Tile,
+        current: np.ndarray,
+        previous: Optional[np.ndarray],
+        budget: int,
+    ) -> List[Tile]:
+        """Split the centre into a near-square grid of similar-size tiles."""
+        cons = self.constraints
+        content = self.evaluator.evaluate_tile(center, current, previous)
+        target = _TARGET_EDGE[content.texture]
+
+        cols = max(1, round(center.width / target))
+        rows = max(1, round(center.height / target))
+
+        # The high-texture/high-motion area gets at least
+        # ``min_center_tiles`` tiles (paper: minimum of 4).
+        busy = (
+            content.texture is not TextureClass.LOW
+            or content.motion is MotionClass.HIGH
+        )
+        if busy:
+            while cols * rows < cons.min_center_tiles:
+                if center.width / (cols + 1) >= center.height / (rows + 1):
+                    cols += 1
+                else:
+                    rows += 1
+
+        # Respect the minimum tile size and the global tile budget.
+        cols = min(cols, max(1, center.width // cons.min_tile_width))
+        rows = min(rows, max(1, center.height // cons.min_tile_height))
+        while cols * rows > max(budget, 1):
+            if cols >= rows and cols > 1:
+                cols -= 1
+            elif rows > 1:
+                rows -= 1
+            else:
+                break
+
+        col_widths = split_evenly(center.width, cols, align=cons.align)
+        row_heights = split_evenly(center.height, rows, align=cons.align)
+        tiles = []
+        y = center.y
+        for rh in row_heights:
+            x = center.x
+            for cw in col_widths:
+                tiles.append(Tile(x, y, cw, rh))
+                x += cw
+            y += rh
+        return tiles

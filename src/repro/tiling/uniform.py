@@ -1,0 +1,34 @@
+"""Uniform n x m tiling (paper Table I: "n x m denotes uniform tiling
+where the frame width and height are divided by n and m").
+"""
+
+from __future__ import annotations
+
+from repro.tiling.tile import TileGrid, split_evenly
+
+
+def uniform_tiling(
+    frame_width: int,
+    frame_height: int,
+    cols: int,
+    rows: int,
+    align: int = 16,
+) -> TileGrid:
+    """Divide the frame width by ``cols`` and height by ``rows``.
+
+    Boundaries are aligned to ``align`` samples (the CTU size used by
+    the codec substrate) except for the last column/row which absorbs
+    the remainder, matching HEVC uniform tile spacing.
+    """
+    if cols <= 0 or rows <= 0:
+        raise ValueError("cols and rows must be positive")
+    col_widths = split_evenly(frame_width, cols, align=align)
+    row_heights = split_evenly(frame_height, rows, align=align)
+    return TileGrid.from_grid(frame_width, frame_height, col_widths, row_heights)
+
+
+#: The uniform tilings evaluated in the paper's Table I, as (cols, rows).
+TABLE1_TILINGS = [
+    (1, 1), (2, 1), (2, 2), (2, 3), (2, 4), (5, 2),
+    (4, 3), (5, 3), (5, 4), (4, 6), (5, 6),
+]

@@ -1,0 +1,35 @@
+"""End-to-end transcoding: the paper's Fig. 2 pipeline for one stream
+and the multi-user serving simulation."""
+
+from repro.transcode.pipeline import (
+    PipelineConfig,
+    StreamTranscoder,
+    StreamTrace,
+    GopRecord,
+    FrameRecord,
+    TileRecord,
+)
+from repro.transcode.feedback import FramerateFeedback
+from repro.transcode.server import TranscodingServer, ServingReport
+from repro.transcode.dynamic import (
+    DynamicServerSimulator,
+    DynamicReport,
+    SessionRequest,
+    poisson_workload,
+)
+
+__all__ = [
+    "DynamicServerSimulator",
+    "DynamicReport",
+    "SessionRequest",
+    "poisson_workload",
+    "PipelineConfig",
+    "StreamTranscoder",
+    "StreamTrace",
+    "GopRecord",
+    "FrameRecord",
+    "TileRecord",
+    "FramerateFeedback",
+    "TranscodingServer",
+    "ServingReport",
+]

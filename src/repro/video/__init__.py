@@ -1,0 +1,29 @@
+"""Video substrate: frames, synthetic bio-medical video generation, metrics, I/O.
+
+The paper evaluates on ten anonymized clinical videos (640x480 @ 24 fps)
+that are not publicly available.  This package provides a synthetic
+generator (:mod:`repro.video.generator`) that reproduces the statistical
+properties the paper's mechanisms exploit: information concentrated in
+the centre of the frame, globally consistent motion (rotation or
+translation along one axis), low-texture borders, and per-body-part
+content classes.
+"""
+
+from repro.video.frame import Frame, Video
+from repro.video.generator import (
+    BioMedicalVideoGenerator,
+    ContentClass,
+    GeneratorConfig,
+)
+from repro.video.metrics import mse, psnr, bitrate_mbps
+
+__all__ = [
+    "Frame",
+    "Video",
+    "BioMedicalVideoGenerator",
+    "ContentClass",
+    "GeneratorConfig",
+    "mse",
+    "psnr",
+    "bitrate_mbps",
+]

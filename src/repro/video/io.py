@@ -1,0 +1,69 @@
+"""Minimal video file I/O.
+
+Two interchange formats are supported:
+
+* ``.npz`` — all luma planes stacked in one compressed archive together
+  with the frame rate and a name.  This is the native format used by the
+  examples and benchmark harness to cache generated videos.
+* ``.yuv`` — raw planar 8-bit luma-only (4:0:0) for interoperability
+  with external tools; dimensions and fps must be supplied on load.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.video.frame import Frame, Video
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_npz(video: Video, path: PathLike) -> None:
+    """Save a video's luma planes, fps and name to a compressed .npz."""
+    if len(video) == 0:
+        raise ValueError("refusing to save an empty video")
+    stack = np.stack([f.luma for f in video.frames])
+    np.savez_compressed(path, luma=stack, fps=video.fps, name=video.name)
+
+
+def load_npz(path: PathLike) -> Video:
+    """Load a video previously written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        stack = data["luma"]
+        fps = float(data["fps"])
+        name = str(data["name"])
+    frames = [Frame(stack[i], index=i) for i in range(stack.shape[0])]
+    return Video(frames=frames, fps=fps, name=name)
+
+
+def save_yuv400(video: Video, path: PathLike) -> None:
+    """Write raw planar luma-only 8-bit frames."""
+    if len(video) == 0:
+        raise ValueError("refusing to save an empty video")
+    with open(path, "wb") as fh:
+        for frame in video:
+            fh.write(frame.luma.tobytes())
+
+
+def load_yuv400(path: PathLike, width: int, height: int, fps: float = 24.0,
+                name: str = "video") -> Video:
+    """Read raw planar luma-only 8-bit frames of known dimensions."""
+    frame_bytes = width * height
+    frames = []
+    with open(path, "rb") as fh:
+        index = 0
+        while True:
+            buf = fh.read(frame_bytes)
+            if not buf:
+                break
+            if len(buf) != frame_bytes:
+                raise ValueError(
+                    f"truncated frame {index}: got {len(buf)} of {frame_bytes} bytes"
+                )
+            plane = np.frombuffer(buf, dtype=np.uint8).reshape(height, width)
+            frames.append(Frame(plane.copy(), index=index))
+            index += 1
+    return Video(frames=frames, fps=fps, name=name)

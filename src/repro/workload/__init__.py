@@ -1,0 +1,13 @@
+"""LUT-based workload (CPU time) estimation (paper §III-D1)."""
+
+from repro.workload.keys import WorkloadKey, area_bucket
+from repro.workload.lut import CpuTimeHistogram, WorkloadLut
+from repro.workload.estimator import WorkloadEstimator
+
+__all__ = [
+    "WorkloadKey",
+    "area_bucket",
+    "CpuTimeHistogram",
+    "WorkloadLut",
+    "WorkloadEstimator",
+]

@@ -1,0 +1,58 @@
+"""LUT keys.
+
+The paper's LUT approach works because "the proposed re-tiling approach
+includes a limited number of different attainable tile structures and
+numbers within a frame [and] the number of different combinations of
+the encoding configurations are limited" (§III-D1).  A key therefore
+combines the discrete per-tile descriptors: content class of the video,
+texture/motion class of the tile, QP, search window, frame kind, and a
+coarse (power-of-two) tile-area bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.motion_probe import MotionClass
+from repro.analysis.texture import TextureClass
+from repro.codec.config import FrameType
+from repro.video.generator import ContentClass
+
+
+def area_bucket(area: int) -> int:
+    """Power-of-two bucket index of a tile area (in luma samples)."""
+    if area <= 0:
+        raise ValueError("area must be positive")
+    return area.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class WorkloadKey:
+    """Discrete descriptor of one tile-encoding task."""
+
+    texture: TextureClass
+    motion: MotionClass
+    qp: int
+    search_window: int
+    frame_type: FrameType
+    area_bucket: int
+    content_class: Optional[ContentClass] = None
+
+    def generalized(self) -> "WorkloadKey":
+        """Key with the content class erased.
+
+        Used as a fallback: the paper notes the LUT "obtained [for] one
+        MRI or CT data [applies] to the rest of images in the same
+        class"; across classes, the class-agnostic statistics still
+        give a first estimate before per-class data accumulates.
+        """
+        return WorkloadKey(
+            texture=self.texture,
+            motion=self.motion,
+            qp=self.qp,
+            search_window=self.search_window,
+            frame_type=self.frame_type,
+            area_bucket=self.area_bucket,
+            content_class=None,
+        )

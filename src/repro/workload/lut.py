@@ -1,0 +1,121 @@
+"""CPU-time histograms and the workload LUT.
+
+"We store the histogram of the CPU time in the LUT and keep updating it
+throughout the whole video encoding.  We use the stored histograms to
+estimate the workload for robust thread allocation and DVFS."
+(paper §III-D1)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.workload.keys import WorkloadKey
+
+
+class CpuTimeHistogram:
+    """Log-spaced histogram of observed CPU times (seconds).
+
+    Bins span ``[t_min, t_max)`` geometrically; values outside clamp to
+    the edge bins.  Exact running sum/count are kept alongside so the
+    mean estimate does not suffer binning error; the histogram supports
+    robust quantile estimates for conservative allocation.
+    """
+
+    def __init__(
+        self,
+        t_min: float = 1e-6,
+        t_max: float = 10.0,
+        num_bins: int = 64,
+    ):
+        if not 0 < t_min < t_max:
+            raise ValueError("need 0 < t_min < t_max")
+        if num_bins < 2:
+            raise ValueError("need at least 2 bins")
+        self.t_min = t_min
+        self.t_max = t_max
+        self.num_bins = num_bins
+        self._log_min = math.log(t_min)
+        self._log_ratio = math.log(t_max / t_min)
+        self.counts = np.zeros(num_bins, dtype=np.int64)
+        self._sum = 0.0
+        self._count = 0
+
+    def _bin(self, value: float) -> int:
+        if value <= self.t_min:
+            return 0
+        if value >= self.t_max:
+            return self.num_bins - 1
+        frac = (math.log(value) - self._log_min) / self._log_ratio
+        return min(self.num_bins - 1, int(frac * self.num_bins))
+
+    def _bin_center(self, index: int) -> float:
+        frac = (index + 0.5) / self.num_bins
+        return math.exp(self._log_min + frac * self._log_ratio)
+
+    def observe(self, cpu_time: float) -> None:
+        if cpu_time < 0:
+            raise ValueError("CPU time must be non-negative")
+        self.counts[self._bin(cpu_time)] += 1
+        self._sum += cpu_time
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("no observations")
+        return self._sum / self._count
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the histogram bins."""
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0, 1]")
+        if self._count == 0:
+            raise ValueError("no observations")
+        target = q * self._count
+        cumulative = 0
+        for i, c in enumerate(self.counts):
+            cumulative += int(c)
+            if cumulative >= target:
+                return self._bin_center(i)
+        return self._bin_center(self.num_bins - 1)
+
+
+@dataclass
+class WorkloadLut:
+    """Dictionary of histograms keyed by :class:`WorkloadKey`.
+
+    Lookups fall back to the content-class-agnostic key so that a LUT
+    trained on one video of a class immediately serves other videos
+    (the paper's LUT-reuse property).
+    """
+
+    tables: Dict[WorkloadKey, CpuTimeHistogram] = field(default_factory=dict)
+
+    def observe(self, key: WorkloadKey, cpu_time: float) -> None:
+        for k in (key, key.generalized()):
+            hist = self.tables.get(k)
+            if hist is None:
+                hist = CpuTimeHistogram()
+                self.tables[k] = hist
+            hist.observe(cpu_time)
+
+    def lookup(self, key: WorkloadKey) -> Optional[CpuTimeHistogram]:
+        hist = self.tables.get(key)
+        if hist is not None and hist.count > 0:
+            return hist
+        hist = self.tables.get(key.generalized())
+        if hist is not None and hist.count > 0:
+            return hist
+        return None
+
+    def __len__(self) -> int:
+        return len(self.tables)

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.video.frame import Frame, Video
+from repro.video.generator import (
+    BioMedicalVideoGenerator,
+    ContentClass,
+    GeneratorConfig,
+    MotionPreset,
+)
+
+
+@pytest.fixture(scope="session")
+def small_video() -> Video:
+    """A small, fast synthetic medical video shared across tests."""
+    cfg = GeneratorConfig(
+        width=96, height=80, num_frames=10, seed=7,
+        content_class=ContentClass.BRAIN, motion=MotionPreset.PAN_RIGHT,
+        motion_magnitude=2.0,
+    )
+    return BioMedicalVideoGenerator(cfg).generate()
+
+
+@pytest.fixture(scope="session")
+def vga_frame_pair():
+    """Two consecutive VGA frames of a panning brain video."""
+    cfg = GeneratorConfig(
+        width=640, height=480, num_frames=2, seed=3,
+        content_class=ContentClass.BRAIN, motion=MotionPreset.PAN_RIGHT,
+        motion_magnitude=3.0,
+    )
+    video = BioMedicalVideoGenerator(cfg).generate()
+    return video[0].luma, video[1].luma
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def make_textured_plane(rng: np.random.Generator, height: int, width: int,
+                        base: int = 120, amplitude: int = 60) -> np.ndarray:
+    """Random textured uint8 plane (helper importable from conftest)."""
+    noise = rng.integers(-amplitude, amplitude + 1, size=(height, width))
+    return np.clip(base + noise, 0, 255).astype(np.uint8)
+
+
+@pytest.fixture
+def textured_plane(rng):
+    return make_textured_plane(rng, 64, 64)

@@ -1,0 +1,208 @@
+"""Tests for Algorithm 2 and the Khan et al. [19] baseline allocator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.allocation.baseline_khan import KhanAllocator, khan_tiling
+from repro.allocation.demand import UserDemand, cores_needed
+from repro.allocation.proposed import ProposedAllocator
+from repro.platform.mpsoc import GHZ, MpsocConfig, XEON_E5_2667
+from repro.platform.schedule import DvfsPolicy, ThreadTask
+
+FPS = 24.0
+SLOT = 1.0 / FPS
+
+
+def demand(user_id, times):
+    return UserDemand(
+        user_id=user_id,
+        threads=[
+            ThreadTask(thread_id=i, user_id=user_id, cpu_time_fmax=t,
+                       tile_index=i)
+            for i, t in enumerate(times)
+        ],
+    )
+
+
+class TestCoresNeeded:
+    def test_fractional_demand(self):
+        d = demand(0, [0.02, 0.03])  # 0.05 s per slot of 0.0417 s
+        assert cores_needed(d, FPS) == pytest.approx(0.05 * FPS)
+
+    def test_empty_demand_is_zero(self):
+        assert cores_needed(demand(0, []), FPS) == 0.0
+
+    def test_invalid_fps(self):
+        with pytest.raises(ValueError):
+            cores_needed(demand(0, [0.01]), 0)
+
+
+class TestProposedAdmission:
+    def test_admits_all_when_capacity_allows(self):
+        alloc = ProposedAllocator()
+        demands = [demand(i, [0.01]) for i in range(4)]
+        admitted, rejected, used = alloc.admit(demands, FPS)
+        assert len(admitted) == 4
+        assert not rejected
+
+    def test_prefers_cheaper_users(self):
+        """Line 2: users sorted ascending by core demand."""
+        small_platform = MpsocConfig(num_sockets=1, cores_per_socket=2)
+        alloc = ProposedAllocator(small_platform)
+        demands = [
+            demand(0, [0.08]),   # ~1.9 cores
+            demand(1, [0.01]),   # 0.24 cores
+            demand(2, [0.01]),
+        ]
+        admitted, rejected, _ = alloc.admit(demands, FPS)
+        admitted_ids = {d.user_id for d in admitted}
+        assert {1, 2} <= admitted_ids
+
+    def test_saturation_rejects_surplus(self):
+        alloc = ProposedAllocator()
+        demands = [demand(i, [0.05, 0.05]) for i in range(40)]  # 2.4 cores each
+        admitted, rejected, used = alloc.admit(demands, FPS)
+        assert used <= 32
+        assert len(admitted) == math.floor(32 / 2.4)
+        assert rejected
+
+
+class TestProposedPacking:
+    def test_every_thread_placed_exactly_once(self):
+        alloc = ProposedAllocator()
+        demands = [demand(i, [0.01, 0.02, 0.005]) for i in range(5)]
+        result = alloc.allocate(demands, FPS)
+        placed = [
+            (t.user_id, t.thread_id)
+            for s in result.schedule.slots for t in s.tasks
+        ]
+        expected = [(d.user_id, t.thread_id) for d in result.admitted
+                    for t in d.threads]
+        assert sorted(placed) == sorted(expected)
+
+    def test_packing_respects_pool_bound(self):
+        alloc = ProposedAllocator()
+        demands = [demand(0, [0.01] * 4)]
+        result = alloc.allocate(demands, FPS)
+        assert len(result.schedule.slots) <= XEON_E5_2667.num_cores
+
+    def test_loads_balanced_toward_cap(self):
+        """The min-distance heuristic avoids one core hogging all the
+        load while others stay empty."""
+        alloc = ProposedAllocator(dvfs_policy=DvfsPolicy.RACE_TO_IDLE,
+                                  energy_aware_pool=False)
+        demands = [demand(0, [0.01] * 8)]  # 0.08 s total -> 2 cores
+        result = alloc.allocate(demands, FPS)
+        loads = [s.load_fmax for s in result.schedule.slots]
+        assert len(loads) == 2
+        assert max(loads) <= SLOT + 1e-9
+        assert min(loads) > 0
+
+    def test_carry_in_accounted(self):
+        alloc = ProposedAllocator(energy_aware_pool=False)
+        demands = [demand(0, [0.03])]
+        result = alloc.allocate(demands, FPS, carry_in={0: 0.02})
+        assert result.schedule.slots[0].carry_in_fmax == pytest.approx(0.02)
+
+    def test_energy_aware_pool_spreads_for_fmin(self):
+        """With spare cores, the pool is sized so cores can run at
+        min(F) under the STRETCH policy."""
+        alloc = ProposedAllocator(dvfs_policy=DvfsPolicy.STRETCH,
+                                  energy_aware_pool=True)
+        demands = [demand(0, [0.01] * 8)]  # 1.92 core-equivalents
+        result = alloc.allocate(demands, FPS)
+        plans = [p for p in result.schedule.plans() if p.busy_seconds > 0]
+        assert all(p.busy_frequency_hz == 2.9 * GHZ for p in plans)
+
+    def test_invalid_fps_rejected(self):
+        with pytest.raises(ValueError):
+            ProposedAllocator().allocate([], 0)
+
+    @given(st.lists(st.lists(st.floats(min_value=1e-4, max_value=0.02),
+                             min_size=1, max_size=5),
+                    min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_allocation_invariants_property(self, user_times):
+        alloc = ProposedAllocator()
+        demands = [demand(i, times) for i, times in enumerate(user_times)]
+        result = alloc.allocate(demands, FPS)
+        # No thread lost or duplicated.
+        placed = sorted(
+            (t.user_id, t.thread_id)
+            for s in result.schedule.slots for t in s.tasks
+        )
+        expected = sorted(
+            (d.user_id, t.thread_id) for d in result.admitted for t in d.threads
+        )
+        assert placed == expected
+        # Pool bounded by the platform.
+        assert len(result.schedule.slots) <= XEON_E5_2667.num_cores
+
+
+class TestKhanTiling:
+    def test_one_tile_per_core(self):
+        grid = khan_tiling(640, 480, 6)
+        assert len(grid) == 6
+
+    def test_near_square_factorisation(self):
+        grid = khan_tiling(640, 480, 4)
+        # 2x2 beats 4x1.
+        widths = {t.width for t in grid}
+        assert len(grid) == 4
+        assert all(w >= 160 for w in widths)
+
+    def test_prime_count_degenerates_to_strip(self):
+        grid = khan_tiling(640, 480, 5)
+        assert len(grid) == 5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            khan_tiling(640, 480, 0)
+
+    def test_equal_area_tiles(self):
+        grid = khan_tiling(640, 480, 4)
+        areas = {t.area for t in grid}
+        assert len(areas) == 1  # perfectly balanced for 2x2 at VGA
+
+
+class TestKhanAllocator:
+    def test_one_thread_per_core(self):
+        alloc = KhanAllocator()
+        demands = [demand(0, [0.02, 0.02]), demand(1, [0.02])]
+        result = alloc.allocate(demands, FPS)
+        for slot in result.schedule.slots:
+            assert len(slot.tasks) == 1
+
+    def test_admission_by_thread_count(self):
+        small = MpsocConfig(num_sockets=1, cores_per_socket=4)
+        alloc = KhanAllocator(small)
+        demands = [demand(i, [0.02, 0.02]) for i in range(3)]  # 2 cores each
+        result = alloc.allocate(demands, FPS)
+        assert result.num_users_served == 2
+        assert len(result.rejected) == 1
+
+    def test_cores_for_user_capacity_rule(self):
+        alloc = KhanAllocator()
+        assert alloc.cores_for_user(0.05, FPS) == 2   # 1.2 -> 2
+        assert alloc.cores_for_user(0.04, FPS) == 1   # 0.96 -> 1
+        assert alloc.cores_for_user(0.0, FPS) == 1
+
+    def test_schedule_is_always_on(self):
+        alloc = KhanAllocator()
+        result = alloc.allocate([demand(0, [0.001])], FPS)
+        plan = result.schedule.plans()[0]
+        assert plan.busy_seconds == pytest.approx(SLOT)
+
+    def test_served_user_ratio_vs_proposed(self):
+        """The headline comparison: with identical *total* workloads,
+        the proposed allocator shares cores between users and serves
+        more of them whenever per-user demand is fractional."""
+        # Each user: 1.2 cores of demand in 2 threads.
+        times = [0.03, 0.02]
+        demands = [demand(i, times) for i in range(40)]
+        served_khan = KhanAllocator().allocate(demands, FPS).num_users_served
+        served_prop = ProposedAllocator().allocate(demands, FPS).num_users_served
+        assert served_khan == 16  # one core per thread: 32 // 2
+        assert served_prop > served_khan

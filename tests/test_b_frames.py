@@ -1,0 +1,129 @@
+"""Tests for the B-frame / bi-prediction extension."""
+
+import numpy as np
+import pytest
+
+from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.config import EncoderConfig, FrameType, GopConfig
+from repro.codec.decoder import FrameDecoder
+from repro.codec.encoder import FrameEncoder, VideoEncoder, normalize_references
+from repro.tiling.tile import TileGrid
+from repro.tiling.uniform import uniform_tiling
+
+
+class TestGopWithBFrames:
+    def test_frame_type_sequence(self):
+        gop = GopConfig(8, use_b_frames=True)
+        types = [gop.frame_type(i).value for i in range(9)]
+        assert types == ["I", "P", "B", "B", "B", "B", "B", "B", "I"]
+
+    def test_default_has_no_b_frames(self):
+        gop = GopConfig(8)
+        assert FrameType.B not in {gop.frame_type(i) for i in range(8)}
+
+
+class TestNormalizeReferences:
+    def test_single_array_becomes_list(self, textured_plane):
+        refs = normalize_references(textured_plane, FrameType.P)
+        assert len(refs) == 1
+
+    def test_p_truncates_to_one(self, textured_plane):
+        refs = normalize_references(
+            [textured_plane, textured_plane], FrameType.P
+        )
+        assert len(refs) == 1
+
+    def test_b_keeps_two(self, textured_plane):
+        refs = normalize_references(
+            [textured_plane, textured_plane, textured_plane], FrameType.B
+        )
+        assert len(refs) == 2
+
+    def test_i_frame_drops_references(self, textured_plane):
+        assert normalize_references(textured_plane, FrameType.I) == []
+
+    def test_missing_reference_raises(self):
+        with pytest.raises(ValueError):
+            normalize_references(None, FrameType.B)
+
+
+class TestBFrameEncoding:
+    def _encode_ipb(self, video, grid, configs, writer=None):
+        encoder = FrameEncoder()
+        gop = GopConfig(8, use_b_frames=True)
+        refs = []
+        recons = []
+        all_stats = []
+        for frame in video.frames[:4]:
+            ftype = gop.frame_type(frame.index)
+            stats, recon = encoder.encode(
+                frame.luma, grid, configs, ftype,
+                reference=refs, frame_index=frame.index, writer=writer,
+            )
+            recons.append(recon)
+            all_stats.append(stats)
+            refs = [recon] + refs[:1]
+        return all_stats, recons
+
+    def test_b_frames_encode_and_reconstruct(self, small_video):
+        grid = TileGrid.single(small_video.width, small_video.height)
+        configs = [EncoderConfig(qp=32, search_window=8)]
+        all_stats, recons = self._encode_ipb(small_video, grid, configs)
+        assert all_stats[2].frame_type is FrameType.B
+        # Reasonable quality on every frame.
+        for stats in all_stats:
+            assert stats.psnr > 30
+
+    def test_b_frame_roundtrip(self, small_video):
+        grid = uniform_tiling(small_video.width, small_video.height, 2, 1,
+                              align=16)
+        configs = [EncoderConfig(qp=30, search_window=8)] * 2
+        writer = BitWriter()
+        _, enc_recons = self._encode_ipb(small_video, grid, configs, writer)
+        reader = BitReader(writer.flush())
+        decoder = FrameDecoder()
+        refs = []
+        for enc_recon in enc_recons:
+            dec = decoder.decode(reader, grid, configs, reference=refs)
+            np.testing.assert_array_equal(enc_recon, dec)
+            refs = [dec] + refs[:1]
+
+    def test_b_frames_do_not_cost_more_bits(self, small_video):
+        """Bi-prediction should on average help (or at least not hurt)
+        rate at equal QP on smooth content."""
+        config = EncoderConfig(qp=32, search_window=8)
+        stats_p = VideoEncoder(config, GopConfig(8)).encode(small_video)
+        stats_b = VideoEncoder(
+            config, GopConfig(8, use_b_frames=True)
+        ).encode(small_video)
+        assert stats_b.total_bits <= stats_p.total_bits * 1.1
+
+    def test_b_frames_cost_more_me_ops(self, small_video):
+        """Two reference searches per block: ME cost roughly doubles on
+        B frames — the complexity/efficiency trade HEVC makes."""
+        config = EncoderConfig(qp=32, search_window=8)
+        stats_p = VideoEncoder(config, GopConfig(8)).encode(small_video)
+        stats_b = VideoEncoder(
+            config, GopConfig(8, use_b_frames=True)
+        ).encode(small_video)
+        assert stats_b.ops.sad_pixel_ops > stats_p.ops.sad_pixel_ops
+
+    def test_b_frame_with_single_reference_degrades_to_p_like(self, small_video):
+        """A B frame offered one reference codes without list bits and
+        still round-trips."""
+        grid = TileGrid.single(small_video.width, small_video.height)
+        configs = [EncoderConfig(qp=32, search_window=8)]
+        encoder = FrameEncoder()
+        writer = BitWriter()
+        _, recon0 = encoder.encode(
+            small_video[0].luma, grid, configs, FrameType.I, writer=writer
+        )
+        stats, recon1 = encoder.encode(
+            small_video[1].luma, grid, configs, FrameType.B,
+            reference=[recon0], writer=writer,
+        )
+        reader = BitReader(writer.flush())
+        decoder = FrameDecoder()
+        dec0 = decoder.decode(reader, grid, configs)
+        dec1 = decoder.decode(reader, grid, configs, reference=[dec0])
+        np.testing.assert_array_equal(recon1, dec1)

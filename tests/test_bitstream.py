@@ -1,0 +1,109 @@
+"""Tests for the bit-exact bitstream layer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.codec.bitstream import (
+    BitReader,
+    BitWriter,
+    se_bit_length,
+    ue_bit_length,
+)
+
+
+class TestBitIO:
+    def test_single_bits_roundtrip(self):
+        w = BitWriter()
+        pattern = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1]
+        for b in pattern:
+            w.write_bit(b)
+        r = BitReader(w.flush())
+        assert [r.read_bit() for _ in range(len(pattern))] == pattern
+
+    def test_write_bits_msb_first(self):
+        w = BitWriter()
+        w.write_bits(0b1011, 4)
+        w.write_bits(0b0, 4)
+        data = w.flush()
+        assert data == bytes([0b10110000])
+
+    def test_flush_pads_to_byte(self):
+        w = BitWriter()
+        w.write_bit(1)
+        data = w.flush()
+        assert len(data) == 1
+        assert data[0] == 0b10000000
+
+    def test_bits_written_counter(self):
+        w = BitWriter()
+        w.write_bits(3, 2)
+        w.write_ue(0)  # 1 bit
+        assert w.bits_written == 3
+
+    def test_write_bits_rejects_overflow(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(8, 3)
+
+    def test_write_bits_rejects_negative_count(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(0, -1)
+
+    def test_reader_eof(self):
+        r = BitReader(b"")
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_bits_remaining(self):
+        r = BitReader(bytes([0xFF]))
+        assert r.bits_remaining == 8
+        r.read_bits(3)
+        assert r.bits_remaining == 5
+
+
+class TestExpGolomb:
+    @pytest.mark.parametrize("value,expected_bits", [
+        (0, 1), (1, 3), (2, 3), (3, 5), (6, 5), (7, 7), (255, 17),
+    ])
+    def test_ue_bit_length(self, value, expected_bits):
+        assert ue_bit_length(value) == expected_bits
+
+    def test_ue_bit_length_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ue_bit_length(-1)
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 2, -2, 17, -17, 1000])
+    def test_se_roundtrip(self, value):
+        w = BitWriter()
+        w.write_se(value)
+        assert w.bits_written == se_bit_length(value)
+        r = BitReader(w.flush())
+        assert r.read_se() == value
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_ue_roundtrip_property(self, value):
+        w = BitWriter()
+        w.write_ue(value)
+        assert w.bits_written == ue_bit_length(value)
+        r = BitReader(w.flush())
+        assert r.read_ue() == value
+
+    @given(st.lists(st.integers(min_value=-5000, max_value=5000), max_size=50))
+    def test_mixed_sequence_roundtrip(self, values):
+        w = BitWriter()
+        for v in values:
+            w.write_se(v)
+        r = BitReader(w.flush())
+        assert [r.read_se() for _ in values] == values
+
+    def test_ue_rejects_negative(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_ue(-3)
+
+    def test_malformed_ue_raises(self):
+        # 70 zero bits: no valid exp-Golomb prefix.
+        r = BitReader(bytes(10))
+        with pytest.raises(ValueError):
+            r.read_ue()

@@ -1,0 +1,159 @@
+"""Tests for 4:2:0 chroma coding."""
+
+import numpy as np
+import pytest
+
+from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.chroma import BlockInfo, CHROMA_QP_OFFSET, chroma_mv
+from repro.codec.config import EncoderConfig, FrameType, GopConfig
+from repro.codec.decoder import FrameDecoder
+from repro.codec.encoder import FrameCodec
+from repro.tiling.uniform import uniform_tiling
+from repro.video.frame import Frame
+from repro.video.generator import (
+    BioMedicalVideoGenerator,
+    ContentClass,
+    GeneratorConfig,
+    MotionPreset,
+)
+from repro.video.metrics import psnr
+
+
+@pytest.fixture(scope="module")
+def chroma_video():
+    cfg = GeneratorConfig(
+        width=96, height=80, num_frames=6, seed=5,
+        content_class=ContentClass.CARDIAC, motion=MotionPreset.PAN_RIGHT,
+        motion_magnitude=2.0, with_chroma=True,
+    )
+    return BioMedicalVideoGenerator(cfg).generate()
+
+
+class TestChromaMv:
+    def test_integer_pel_halving(self):
+        assert chroma_mv((4, -6), half_pel=False) == (2, -3)
+
+    def test_rounding_half_away_from_zero(self):
+        assert chroma_mv((3, -3), half_pel=False) == (2, -2)
+        assert chroma_mv((1, -1), half_pel=False) == (1, -1)
+
+    def test_half_pel_units_quartered(self):
+        # mv of 8 half-pels = 4 luma pels = 2 chroma pels.
+        assert chroma_mv((8, -8), half_pel=True) == (2, -2)
+
+    def test_zero(self):
+        assert chroma_mv((0, 0), half_pel=False) == (0, 0)
+
+
+class TestGeneratorChroma:
+    def test_planes_present_and_half_size(self, chroma_video):
+        f = chroma_video[0]
+        assert f.chroma_u is not None and f.chroma_v is not None
+        assert f.chroma_u.shape == (f.height // 2, f.width // 2)
+        assert f.chroma_u.dtype == np.uint8
+
+    def test_chroma_disabled_by_default(self):
+        v = BioMedicalVideoGenerator(GeneratorConfig(
+            width=64, height=48, num_frames=1
+        )).generate()
+        assert v[0].chroma_u is None
+
+    def test_tint_varies_by_class(self):
+        frames = {}
+        for cc in (ContentClass.CARDIAC, ContentClass.LUNG):
+            v = BioMedicalVideoGenerator(GeneratorConfig(
+                width=64, height=48, num_frames=1, seed=1,
+                content_class=cc, with_chroma=True,
+            )).generate()
+            frames[cc] = v[0]
+        assert (frames[ContentClass.CARDIAC].chroma_v.astype(int).mean()
+                != frames[ContentClass.LUNG].chroma_v.astype(int).mean())
+
+
+class TestChromaCodec:
+    def _encode_decode(self, video, configs, grid, num_frames=4):
+        codec = FrameCodec()
+        decoder = FrameDecoder()
+        writer = BitWriter()
+        gop = GopConfig(8)
+        refs = []
+        enc_frames = []
+        chroma_stats = []
+        for i in range(num_frames):
+            ftype = gop.frame_type(i)
+            stats, chroma, recon = codec.encode_frame(
+                video[i], grid, configs, ftype,
+                reference_frames=refs, frame_index=i, writer=writer,
+            )
+            enc_frames.append(recon)
+            chroma_stats.append(chroma)
+            refs = [recon] + refs[:1]
+        reader = BitReader(writer.flush())
+        refs = []
+        dec_frames = []
+        for i in range(num_frames):
+            frame = decoder.decode_frame(
+                reader, grid, configs, reference_frames=refs,
+                with_chroma=True, frame_index=i,
+            )
+            dec_frames.append(frame)
+            refs = [frame] + refs[:1]
+        return enc_frames, dec_frames, chroma_stats
+
+    def test_roundtrip_bit_exact(self, chroma_video):
+        grid = uniform_tiling(96, 80, 2, 1, align=16)
+        configs = [EncoderConfig(qp=30, search_window=8)] * 2
+        enc, dec, _ = self._encode_decode(chroma_video, configs, grid)
+        for e, d in zip(enc, dec):
+            np.testing.assert_array_equal(e.luma, d.luma)
+            np.testing.assert_array_equal(e.chroma_u, d.chroma_u)
+            np.testing.assert_array_equal(e.chroma_v, d.chroma_v)
+
+    def test_chroma_quality_reasonable(self, chroma_video):
+        grid = uniform_tiling(96, 80, 1, 1)
+        configs = [EncoderConfig(qp=27, search_window=8)]
+        enc, _, stats = self._encode_decode(chroma_video, configs, grid)
+        for i, frame in enumerate(enc):
+            q = psnr(chroma_video[i].chroma_u, frame.chroma_u)
+            assert q > 32, f"frame {i} chroma U at {q:.1f} dB"
+
+    def test_chroma_bits_are_minor_share(self, chroma_video):
+        """Smooth medical chroma costs far less than luma (real-encoder
+        behaviour; chroma is subsampled and flat)."""
+        grid = uniform_tiling(96, 80, 1, 1)
+        configs = [EncoderConfig(qp=30, search_window=8)]
+        codec = FrameCodec()
+        stats, chroma, _ = codec.encode_frame(
+            chroma_video[0], grid, configs, FrameType.I,
+        )
+        assert chroma is not None
+        assert chroma.bits < stats.bits
+
+    def test_luma_only_frame_skips_chroma(self, small_video):
+        grid = uniform_tiling(small_video.width, small_video.height, 1, 1)
+        configs = [EncoderConfig(qp=30)]
+        codec = FrameCodec()
+        stats, chroma, recon = codec.encode_frame(
+            small_video[0], grid, configs, FrameType.I,
+        )
+        assert chroma is None
+        assert recon.chroma_u is None
+
+    def test_chroma_stats_psnr(self, chroma_video):
+        grid = uniform_tiling(96, 80, 1, 1)
+        configs = [EncoderConfig(qp=27, search_window=8)]
+        codec = FrameCodec()
+        _, chroma, recon = codec.encode_frame(
+            chroma_video[0], grid, configs, FrameType.I,
+        )
+        measured = psnr(chroma_video[0].chroma_u, recon.chroma_u)
+        assert chroma.psnr_u == pytest.approx(measured, abs=0.01)
+
+    def test_with_half_pel_luma(self, chroma_video):
+        """Chroma derives MVs correctly from half-pel luma vectors."""
+        grid = uniform_tiling(96, 80, 1, 1)
+        configs = [EncoderConfig(qp=30, search_window=8, half_pel=True)]
+        enc, dec, _ = self._encode_decode(chroma_video, configs, grid)
+        for e, d in zip(enc, dec):
+            np.testing.assert_array_equal(e.chroma_u, d.chroma_u)
+            np.testing.assert_array_equal(e.chroma_v, d.chroma_v)

@@ -1,0 +1,110 @@
+"""Encoder/decoder round-trip tests: the bitstream written by the
+encoder decodes to exactly the encoder-side reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.config import EncoderConfig, FrameType, GopConfig
+from repro.codec.decoder import FrameDecoder
+from repro.codec.encoder import FrameEncoder
+from repro.tiling.tile import TileGrid
+from repro.tiling.uniform import uniform_tiling
+
+
+def _encode_decode(frames, grid, configs):
+    """Encode a frame list; decode the stream; return both recon lists."""
+    encoder = FrameEncoder()
+    decoder = FrameDecoder()
+    writer = BitWriter()
+    enc_recons = []
+    reference = None
+    gop = GopConfig(8)
+    for i, frame in enumerate(frames):
+        ftype = gop.frame_type(i)
+        stats, recon = encoder.encode(
+            frame, grid, configs, ftype, reference=reference,
+            frame_index=i, writer=writer,
+        )
+        enc_recons.append(recon)
+        reference = recon
+    reader = BitReader(writer.flush())
+    dec_recons = []
+    reference = None
+    for _ in frames:
+        recon = decoder.decode(reader, grid, configs, reference=reference)
+        dec_recons.append(recon)
+        reference = recon
+    return enc_recons, dec_recons
+
+
+class TestRoundTrip:
+    def test_single_intra_frame(self, small_video):
+        grid = TileGrid.single(small_video.width, small_video.height)
+        configs = [EncoderConfig(qp=30)]
+        enc, dec = _encode_decode([small_video[0].luma], grid, configs)
+        np.testing.assert_array_equal(enc[0], dec[0])
+
+    def test_ip_sequence(self, small_video):
+        grid = TileGrid.single(small_video.width, small_video.height)
+        configs = [EncoderConfig(qp=32, search="hexagon", search_window=16)]
+        frames = [f.luma for f in small_video.frames[:4]]
+        enc, dec = _encode_decode(frames, grid, configs)
+        for e, d in zip(enc, dec):
+            np.testing.assert_array_equal(e, d)
+
+    def test_tiled_frames(self, small_video):
+        grid = uniform_tiling(small_video.width, small_video.height, 2, 2, align=16)
+        configs = [EncoderConfig(qp=q) for q in (22, 32, 37, 42)]
+        frames = [f.luma for f in small_video.frames[:3]]
+        enc, dec = _encode_decode(frames, grid, configs)
+        for e, d in zip(enc, dec):
+            np.testing.assert_array_equal(e, d)
+
+    def test_different_search_algorithms_decode_identically(self, small_video):
+        """The decoder has no knowledge of the search algorithm: any
+        encoder choice must produce a decodable stream."""
+        grid = TileGrid.single(small_video.width, small_video.height)
+        frames = [f.luma for f in small_video.frames[:3]]
+        for search in ("full", "tz", "diamond", "cross", "one_at_a_time",
+                       "three_step", "hexagon_rotating"):
+            configs = [EncoderConfig(qp=34, search=search, search_window=8)]
+            enc, dec = _encode_decode(frames, grid, configs)
+            for e, d in zip(enc, dec):
+                np.testing.assert_array_equal(e, d)
+
+    def test_bit_count_matches_stream_length(self, small_video):
+        """Counting mode reports exactly the bits the writer produces."""
+        grid = uniform_tiling(small_video.width, small_video.height, 2, 1, align=16)
+        configs = [EncoderConfig(qp=30)] * 2
+        encoder = FrameEncoder()
+        writer = BitWriter()
+        stats, _ = encoder.encode(
+            small_video[0].luma, grid, configs, FrameType.I, writer=writer,
+        )
+        # +2 frame-type bits, which FrameStats does not include.
+        assert writer.bits_written == stats.bits + 2
+
+    def test_decoder_rejects_p_frame_without_reference(self, small_video):
+        grid = TileGrid.single(small_video.width, small_video.height)
+        configs = [EncoderConfig(qp=30)]
+        encoder = FrameEncoder()
+        writer = BitWriter()
+        _, recon = encoder.encode(
+            small_video[0].luma, grid, configs, FrameType.I, writer=writer
+        )
+        encoder.encode(
+            small_video[1].luma, grid, configs, FrameType.P,
+            reference=recon, writer=writer,
+        )
+        data = writer.flush()
+        decoder = FrameDecoder()
+        reader = BitReader(data)
+        decoder.decode(reader, grid, configs)  # I frame fine
+        with pytest.raises(ValueError):
+            decoder.decode(reader, grid, configs)  # P without reference
+
+    def test_decoder_rejects_mismatched_configs(self, small_video):
+        grid = uniform_tiling(small_video.width, small_video.height, 2, 1, align=16)
+        with pytest.raises(ValueError):
+            FrameDecoder().decode(BitReader(b"\x00"), grid, [EncoderConfig()])

@@ -1,0 +1,105 @@
+"""Tests for run-length/exp-Golomb coefficient coding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.entropy import (
+    count_block_bits,
+    count_stack_bits,
+    read_block,
+    write_block,
+)
+
+
+def _roundtrip(levels: np.ndarray) -> np.ndarray:
+    w = BitWriter()
+    write_block(w, levels)
+    r = BitReader(w.flush())
+    return read_block(r, len(levels))
+
+
+class TestCoefficientCoding:
+    def test_all_zero_block_costs_one_bit(self):
+        levels = np.zeros(64, dtype=np.int32)
+        assert count_block_bits(levels) == 1
+        np.testing.assert_array_equal(_roundtrip(levels), levels)
+
+    def test_single_dc_roundtrip(self):
+        levels = np.zeros(64, dtype=np.int32)
+        levels[0] = -7
+        np.testing.assert_array_equal(_roundtrip(levels), levels)
+
+    def test_dense_block_roundtrip(self, rng):
+        levels = rng.integers(-20, 21, size=64).astype(np.int32)
+        levels[63] = 5  # force the last position significant
+        np.testing.assert_array_equal(_roundtrip(levels), levels)
+
+    def test_count_matches_written_bits(self, rng):
+        for _ in range(20):
+            levels = rng.integers(-6, 7, size=64).astype(np.int32)
+            w = BitWriter()
+            write_block(w, levels)
+            assert w.bits_written == count_block_bits(levels)
+
+    def test_sparser_blocks_cost_fewer_bits(self):
+        dense = np.ones(64, dtype=np.int32)
+        sparse = np.zeros(64, dtype=np.int32)
+        sparse[0] = 1
+        assert count_block_bits(sparse) < count_block_bits(dense)
+
+    def test_tail_zeros_are_free(self):
+        a = np.zeros(64, dtype=np.int32)
+        a[3] = 4
+        b = np.zeros(16, dtype=np.int32)
+        b[3] = 4
+        assert count_block_bits(a) == count_block_bits(b)
+
+    def test_count_stack_bits_sums(self, rng):
+        stack = rng.integers(-3, 4, size=(5, 64)).astype(np.int32)
+        assert count_stack_bits(stack) == sum(
+            count_block_bits(stack[i]) for i in range(5)
+        )
+
+    @given(st.lists(st.integers(-30, 30), min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, values):
+        levels = np.array(values, dtype=np.int32)
+        np.testing.assert_array_equal(_roundtrip(levels), levels)
+
+    @given(st.lists(st.integers(-30, 30), min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_count_equals_write_property(self, values):
+        levels = np.array(values, dtype=np.int32)
+        w = BitWriter()
+        write_block(w, levels)
+        assert w.bits_written == count_block_bits(levels)
+
+
+class TestMalformedStreams:
+    def test_overrunning_run_raises(self):
+        # last_plus_one = 1 (ue(1)=010) then run=5 overruns index 0.
+        w = BitWriter()
+        w.write_ue(1)
+        w.write_ue(5)
+        w.write_se(1)
+        r = BitReader(w.flush())
+        with pytest.raises(ValueError):
+            read_block(r, 64)
+
+    def test_zero_level_raises(self):
+        w = BitWriter()
+        w.write_ue(1)  # one significant level at index 0
+        w.write_ue(0)  # run 0
+        w.write_se(0)  # invalid zero level
+        r = BitReader(w.flush())
+        with pytest.raises(ValueError):
+            read_block(r, 64)
+
+    def test_last_index_beyond_block_raises(self):
+        w = BitWriter()
+        w.write_ue(65)  # last index 64 in a 64-length block
+        r = BitReader(w.flush())
+        with pytest.raises(ValueError):
+            read_block(r, 64)

@@ -1,0 +1,63 @@
+"""Tests for the framerate feedback controller (paper §III-D2)."""
+
+import pytest
+
+from repro.transcode.feedback import FramerateFeedback
+
+
+class TestFramerateFeedback:
+    def test_on_time_frame_has_no_bottlenecks(self):
+        fb = FramerateFeedback(fps=24.0)
+        fb.observe_frame([0.01, 0.02, 0.015])
+        assert fb.bottleneck_tiles == set()
+        assert fb.framerate_satisfied()
+
+    def test_slow_tile_flagged(self):
+        fb = FramerateFeedback(fps=24.0)
+        fb.observe_frame([0.01, 0.06, 0.02])  # slot = 0.0417
+        assert fb.bottleneck_tiles == {1}
+
+    def test_multiple_bottlenecks(self):
+        fb = FramerateFeedback(fps=24.0)
+        fb.observe_frame([0.05, 0.06, 0.01])
+        assert fb.bottleneck_tiles == {0, 1}
+
+    def test_bottlenecks_recomputed_each_frame(self):
+        fb = FramerateFeedback(fps=24.0)
+        fb.observe_frame([0.06, 0.01])
+        assert fb.bottleneck_tiles == {0}
+        fb.observe_frame([0.01, 0.01])
+        assert fb.bottleneck_tiles == set()
+
+    def test_debt_accumulates_and_drains(self):
+        """Over-utilisation is compensated by under-utilisation of the
+        next frames (the paper's rolling one-second budget)."""
+        fb = FramerateFeedback(fps=24.0)
+        fb.observe_frame([0.0617])  # 0.02 over
+        assert fb.debt_seconds == pytest.approx(0.02, abs=1e-4)
+        assert not fb.framerate_satisfied()
+        fb.observe_frame([0.0317])  # 0.01 under
+        assert fb.debt_seconds == pytest.approx(0.01, abs=1e-4)
+        fb.observe_frame([0.0217])  # drains fully
+        assert fb.framerate_satisfied()
+
+    def test_tolerance_suppresses_marginal_flags(self):
+        fb = FramerateFeedback(fps=24.0, tolerance=0.2)
+        fb.observe_frame([0.045])  # 8% over: inside 20% tolerance
+        assert fb.bottleneck_tiles == set()
+
+    def test_reset(self):
+        fb = FramerateFeedback(fps=24.0)
+        fb.observe_frame([0.9])
+        fb.reset()
+        assert fb.framerate_satisfied()
+        assert fb.bottleneck_tiles == set()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FramerateFeedback(fps=0)
+        with pytest.raises(ValueError):
+            FramerateFeedback(fps=24, tolerance=-0.1)
+        fb = FramerateFeedback(fps=24.0)
+        with pytest.raises(ValueError):
+            fb.observe_frame([])

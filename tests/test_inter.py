@@ -1,0 +1,81 @@
+"""Tests for inter prediction: motion compensation and MV coding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.inter import (
+    clamp_mv,
+    motion_compensate,
+    mvd_bit_length,
+    read_mvd,
+    write_mvd,
+)
+
+
+class TestMotionCompensate:
+    def test_zero_mv_is_colocated(self, textured_plane):
+        block = motion_compensate(textured_plane, 8, 16, (0, 0), 8, 8)
+        np.testing.assert_array_equal(block, textured_plane[16:24, 8:16])
+
+    def test_displacement(self, textured_plane):
+        block = motion_compensate(textured_plane, 8, 16, (3, -5), 8, 8)
+        np.testing.assert_array_equal(block, textured_plane[11:19, 11:19])
+
+    def test_out_of_bounds_raises(self, textured_plane):
+        with pytest.raises(ValueError):
+            motion_compensate(textured_plane, 0, 0, (-1, 0), 8, 8)
+        with pytest.raises(ValueError):
+            motion_compensate(textured_plane, 56, 56, (9, 0), 8, 8)
+
+    def test_planted_motion_recovered(self, rng):
+        """Compensating with the true shift reproduces the block."""
+        ref = rng.integers(0, 255, size=(64, 64)).astype(np.uint8)
+        shifted = np.roll(ref, shift=(4, 7), axis=(0, 1))
+        block = shifted[32:40, 32:40]
+        comp = motion_compensate(ref, 32, 32, (-7, -4), 8, 8)
+        np.testing.assert_array_equal(comp, block)
+
+
+class TestClampMv:
+    def test_identity_when_inside(self):
+        assert clamp_mv((2, -3), 10, 10, 8, 8, 64, 64) == (2, -3)
+
+    def test_clamps_each_axis(self):
+        assert clamp_mv((-20, 100), 10, 10, 8, 8, 64, 64) == (-10, 46)
+
+    @given(st.integers(-200, 200), st.integers(-200, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_clamped_vector_is_always_feasible(self, dx, dy):
+        mv = clamp_mv((dx, dy), 16, 24, 8, 8, 64, 64)
+        rx, ry = 16 + mv[0], 24 + mv[1]
+        assert 0 <= rx <= 64 - 8
+        assert 0 <= ry <= 64 - 8
+
+
+class TestMvdCoding:
+    @pytest.mark.parametrize("mv,pred", [
+        ((0, 0), (0, 0)), ((5, -3), (0, 0)), ((5, -3), (5, -3)),
+        ((-64, 64), (3, -2)),
+    ])
+    def test_roundtrip(self, mv, pred):
+        w = BitWriter()
+        write_mvd(w, mv, pred)
+        assert w.bits_written == mvd_bit_length(mv, pred)
+        r = BitReader(w.flush())
+        assert read_mvd(r, pred) == mv
+
+    def test_zero_difference_is_cheapest(self):
+        base = mvd_bit_length((4, 4), (4, 4))
+        assert base == 2  # two ue(0) codes
+        assert mvd_bit_length((5, 4), (4, 4)) > base
+
+    @given(st.tuples(st.integers(-64, 64), st.integers(-64, 64)),
+           st.tuples(st.integers(-64, 64), st.integers(-64, 64)))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, mv, pred):
+        w = BitWriter()
+        write_mvd(w, mv, pred)
+        r = BitReader(w.flush())
+        assert read_mvd(r, pred) == mv

@@ -1,0 +1,107 @@
+"""Tests for intra prediction."""
+
+import numpy as np
+import pytest
+
+from repro.codec.intra import (
+    DEFAULT_SAMPLE,
+    IntraMode,
+    choose_mode,
+    predict,
+    reference_samples,
+)
+from repro.tiling.tile import Tile
+
+
+class TestPredict:
+    def test_dc_mode_averages_references(self):
+        top = np.full(4, 100.0)
+        left = np.full(4, 50.0)
+        pred = predict(IntraMode.DC, top, left, 4, 4)
+        assert pred.shape == (4, 4)
+        np.testing.assert_allclose(pred, 75.0)
+
+    def test_dc_without_references_uses_default(self):
+        pred = predict(IntraMode.DC, None, None, 4, 4)
+        np.testing.assert_allclose(pred, DEFAULT_SAMPLE)
+
+    def test_vertical_copies_top_row(self):
+        top = np.array([1.0, 2.0, 3.0, 4.0])
+        pred = predict(IntraMode.VERTICAL, top, None, 4, 4)
+        for row in pred:
+            np.testing.assert_array_equal(row, top)
+
+    def test_horizontal_copies_left_column(self):
+        left = np.array([9.0, 8.0, 7.0, 6.0])
+        pred = predict(IntraMode.HORIZONTAL, None, left, 4, 4)
+        for col in pred.T:
+            np.testing.assert_array_equal(col, left)
+
+    def test_planar_interpolates_smoothly(self):
+        top = np.full(8, 200.0)
+        left = np.full(8, 0.0)
+        pred = predict(IntraMode.PLANAR, top, left, 8, 8)
+        # Values must lie between the two reference levels and increase
+        # from the left edge (0) toward the top-right (200).
+        assert pred.min() >= 0.0 and pred.max() <= 200.0
+        assert pred[4, 0] < pred[4, 7]
+
+    def test_rectangular_block_shapes(self):
+        pred = predict(IntraMode.DC, np.full(16, 10.0), np.full(8, 30.0), 16, 8)
+        assert pred.shape == (8, 16)
+
+
+class TestChooseMode:
+    def test_prefers_vertical_for_column_pattern(self):
+        top = np.array([0.0, 255.0] * 4)
+        block = np.tile(top, (8, 1)).astype(np.uint8)
+        mode, pred, sad = choose_mode(block, top, np.full(8, 128.0))
+        assert mode is IntraMode.VERTICAL
+        assert sad == pytest.approx(0.0)
+
+    def test_prefers_horizontal_for_row_pattern(self):
+        left = np.arange(0, 240, 30, dtype=np.float64)
+        block = np.tile(left.reshape(-1, 1), (1, 8)).astype(np.uint8)
+        mode, _, sad = choose_mode(block, np.full(8, 128.0), left)
+        assert mode is IntraMode.HORIZONTAL
+        assert sad == pytest.approx(0.0)
+
+    def test_flat_block_perfectly_predicted_by_dc(self):
+        block = np.full((8, 8), 77, dtype=np.uint8)
+        mode, _, sad = choose_mode(block, np.full(8, 77.0), np.full(8, 77.0))
+        assert sad == pytest.approx(0.0)
+
+    def test_returns_minimum_sad_mode(self, textured_plane):
+        block = textured_plane[:8, :8]
+        top = textured_plane[8, :8].astype(np.float64)
+        left = textured_plane[:8, 8].astype(np.float64)
+        mode, pred, sad = choose_mode(block, top, left)
+        for m in IntraMode:
+            other = predict(m, top, left, 8, 8)
+            other_sad = np.abs(block.astype(np.float64) - other).sum()
+            assert sad <= other_sad + 1e-9
+
+
+class TestReferenceSamples:
+    def test_tile_boundary_blocks_availability(self):
+        recon = np.arange(32 * 32, dtype=np.uint8).reshape(32, 32)
+        tile = Tile(16, 16, 16, 16)
+        top, left = reference_samples(recon, 16, 16, 8, 8, tile)
+        # Block at the tile origin: neighbours are outside the tile.
+        assert top is None and left is None
+
+    def test_interior_block_has_both_references(self):
+        recon = np.random.default_rng(0).integers(
+            0, 255, size=(32, 32)
+        ).astype(np.uint8)
+        tile = Tile(0, 0, 32, 32)
+        top, left = reference_samples(recon, 8, 8, 8, 8, tile)
+        np.testing.assert_array_equal(top, recon[7, 8:16])
+        np.testing.assert_array_equal(left, recon[8:16, 7])
+
+    def test_top_row_of_tile_has_only_left(self):
+        recon = np.zeros((32, 32), dtype=np.uint8)
+        tile = Tile(0, 0, 32, 32)
+        top, left = reference_samples(recon, 8, 0, 8, 8, tile)
+        assert top is None
+        assert left is not None

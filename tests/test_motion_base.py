@@ -1,0 +1,81 @@
+"""Tests for the motion search context and shared machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.motion.base import INFEASIBLE, SearchContext
+
+
+def _context(rng, window=8, lambda_mv=0.0):
+    ref = rng.integers(0, 255, size=(64, 64)).astype(np.uint8)
+    block = ref[24:32, 24:32].copy()
+    return SearchContext(ref, block, 24, 24, window, lambda_mv=lambda_mv)
+
+
+class TestSearchContext:
+    def test_zero_mv_of_colocated_block_costs_zero(self, rng):
+        ctx = _context(rng)
+        assert ctx.evaluate((0, 0)) == 0.0
+
+    def test_cache_avoids_recount(self, rng):
+        ctx = _context(rng)
+        ctx.evaluate((1, 1))
+        count = ctx.sad_evaluations
+        ctx.evaluate((1, 1))
+        assert ctx.sad_evaluations == count
+
+    def test_pixel_ops_scale_with_block_area(self, rng):
+        ctx = _context(rng)
+        ctx.evaluate((2, 0))
+        assert ctx.pixel_ops == 64  # 8x8 block
+
+    def test_window_violation_is_infeasible(self, rng):
+        ctx = _context(rng, window=4)
+        assert ctx.evaluate((5, 0)) == INFEASIBLE
+        assert ctx.evaluate((0, -5)) == INFEASIBLE
+
+    def test_frame_bound_violation_is_infeasible(self, rng):
+        ref = rng.integers(0, 255, size=(16, 16)).astype(np.uint8)
+        block = ref[0:8, 0:8].copy()
+        ctx = SearchContext(ref, block, 0, 0, window=8)
+        assert ctx.evaluate((-1, 0)) == INFEASIBLE
+        assert ctx.evaluate((0, 9)) == INFEASIBLE
+
+    def test_infeasible_candidates_cost_no_ops(self, rng):
+        ctx = _context(rng, window=2)
+        ctx.evaluate((3, 3))
+        assert ctx.sad_evaluations == 0
+
+    def test_lambda_mv_penalizes_long_vectors(self, rng):
+        ref = np.zeros((32, 32), dtype=np.uint8)
+        block = np.zeros((8, 8), dtype=np.uint8)
+        ctx = SearchContext(ref, block, 12, 12, window=8, lambda_mv=2.0)
+        assert ctx.evaluate((0, 0)) == 0.0
+        assert ctx.evaluate((3, -2)) == pytest.approx(10.0)
+
+    def test_evaluate_many_returns_best(self, rng):
+        ctx = _context(rng)
+        mv, cost = ctx.evaluate_many([(1, 0), (0, 0), (0, 1)])
+        assert mv == (0, 0)
+        assert cost == 0.0
+
+    def test_evaluate_many_all_infeasible_falls_back_to_zero(self, rng):
+        ctx = _context(rng, window=2)
+        mv, cost = ctx.evaluate_many([(5, 5), (-9, 0)])
+        assert mv == (0, 0)
+        assert cost == ctx.evaluate((0, 0))
+
+    def test_negative_window_rejected(self, rng):
+        ref = np.zeros((16, 16), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            SearchContext(ref, ref[:8, :8], 0, 0, window=-1)
+
+    @given(st.integers(-10, 10), st.integers(-10, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_feasibility_matches_evaluation(self, dx, dy):
+        rng = np.random.default_rng(0)
+        ctx = _context(rng, window=6)
+        feasible = ctx.is_feasible((dx, dy))
+        cost = ctx.evaluate((dx, dy))
+        assert feasible == (cost != INFEASIBLE)

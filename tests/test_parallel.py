@@ -1,0 +1,106 @@
+"""Tests for the WPP and GOP-level parallelization models (§II-C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel.gop_level import GopParallelModel
+from repro.parallel.wavefront import simulate_wavefront
+
+
+class TestWavefront:
+    def test_single_core_is_serial(self):
+        costs = np.ones((4, 6))
+        s = simulate_wavefront(costs, 1)
+        assert s.makespan == pytest.approx(24.0)
+        assert s.speedup == pytest.approx(1.0)
+
+    def test_unlimited_cores_hit_critical_path(self):
+        """With uniform unit costs, the wavefront critical path is
+        cols + 2*(rows-1) CTU times."""
+        rows, cols = 8, 8
+        s = simulate_wavefront(np.ones((rows, cols)), 100)
+        assert s.makespan == pytest.approx(cols + 2 * (rows - 1))
+
+    def test_dependencies_cap_speedup(self):
+        """The paper's point: WPP cannot use all cores concurrently."""
+        rows, cols = 8, 8
+        s = simulate_wavefront(np.ones((rows, cols)), rows)
+        ideal = rows  # tiles with 8 rows could reach 8x
+        assert s.speedup < 0.5 * ideal
+
+    def test_more_cores_never_slower(self):
+        costs = np.random.default_rng(0).uniform(0.5, 2.0, size=(6, 10))
+        makespans = [simulate_wavefront(costs, k).makespan for k in (1, 2, 4, 8)]
+        for a, b in zip(makespans, makespans[1:]):
+            assert b <= a + 1e-9
+
+    def test_start_times_respect_dependencies(self):
+        costs = np.random.default_rng(1).uniform(0.1, 1.0, size=(5, 7))
+        s = simulate_wavefront(costs, 4)
+        rows, cols = costs.shape
+        for r in range(rows):
+            for c in range(cols):
+                if c > 0:
+                    assert s.start_times[r, c] >= s.finish_times[r, c - 1] - 1e-9
+                if r > 0:
+                    dep_c = min(c + 1, cols - 1)
+                    assert s.start_times[r, c] >= s.finish_times[r - 1, dep_c] - 1e-9
+
+    def test_work_conservation(self):
+        costs = np.random.default_rng(2).uniform(0.1, 1.0, size=(4, 5))
+        s = simulate_wavefront(costs, 3)
+        durations = s.finish_times - s.start_times
+        np.testing.assert_allclose(durations, costs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_wavefront(np.ones((2, 2)), 0)
+        with pytest.raises(ValueError):
+            simulate_wavefront(np.ones(4), 1)
+
+    @given(st.integers(1, 5), st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_bounds_property(self, rows, cols, cores):
+        rng = np.random.default_rng(rows * 31 + cols * 7 + cores)
+        costs = rng.uniform(0.1, 1.0, size=(rows, cols))
+        s = simulate_wavefront(costs, cores)
+        # Never beats the work bound or the critical path; never
+        # exceeds serial time.
+        assert s.makespan >= costs.sum() / cores - 1e-9
+        assert s.makespan <= costs.sum() + 1e-9
+
+
+class TestGopParallel:
+    def test_workers_for_realtime(self):
+        # A GOP of 8 at 24 fps arrives every 1/3 s; encoding takes
+        # 8 * 0.08 = 0.64 s -> 2 workers needed.
+        m = GopParallelModel(8, 0.08, 24.0)
+        assert m.workers_for_realtime() == 2
+
+    def test_plan_meets_throughput_with_enough_workers(self):
+        m = GopParallelModel(8, 0.08, 24.0)
+        plan = m.plan(m.workers_for_realtime())
+        assert plan.sustained_fps == pytest.approx(24.0)
+
+    def test_underprovisioned_throughput_drops(self):
+        m = GopParallelModel(8, 0.08, 24.0)
+        plan = m.plan(1)
+        assert plan.sustained_fps < 24.0
+
+    def test_latency_breaks_online_requirement(self):
+        """The paper's key argument against GOP parallelism: at least
+        one GOP of buffering makes per-frame deadlines unreachable."""
+        m = GopParallelModel(8, 0.08, 24.0)
+        plan = m.plan(4)
+        frame_deadline = 1.0 / 24.0
+        assert not plan.meets_online_latency(frame_deadline)
+        assert plan.latency_seconds > m.gop_arrival_period
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GopParallelModel(0, 0.1, 24)
+        with pytest.raises(ValueError):
+            GopParallelModel(8, -1, 24)
+        with pytest.raises(ValueError):
+            GopParallelModel(8, 0.1, 24).plan(0)

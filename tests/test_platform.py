@@ -1,0 +1,243 @@
+"""Tests for the MPSoC substrate: cost model, power model, platform,
+and slot schedules."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec.ops import OpCounts
+from repro.platform.cost_model import CostModel, CostWeights
+from repro.platform.mpsoc import GHZ, Mpsoc, MpsocConfig, XEON_E5_2667
+from repro.platform.power import PowerModel
+from repro.platform.schedule import (
+    CoreSlot,
+    DvfsPolicy,
+    SlotSchedule,
+    ThreadTask,
+)
+
+
+class TestCostModel:
+    def test_linear_in_counts(self):
+        model = CostModel()
+        ops = OpCounts(sad_pixel_ops=10, transform_blocks=2)
+        double = OpCounts(sad_pixel_ops=20, transform_blocks=4)
+        assert model.cycles(double) == pytest.approx(2 * model.cycles(ops))
+
+    def test_seconds_scale_inversely_with_frequency(self):
+        model = CostModel()
+        ops = OpCounts(sad_pixel_ops=1_000_000)
+        fast = model.seconds(ops, 3.6 * GHZ)
+        slow = model.seconds(ops, 2.9 * GHZ)
+        assert slow == pytest.approx(fast * 3.6 / 2.9)
+
+    def test_zero_ops_cost_nothing(self):
+        assert CostModel().cycles(OpCounts()) == 0.0
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().seconds(OpCounts(), 0)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            CostWeights(sad_pixel=-1)
+
+
+class TestPowerModel:
+    def test_busy_power_monotone_in_frequency(self):
+        pm = PowerModel()
+        powers = [pm.busy_power(f) for f in sorted(pm.vf_points)]
+        assert powers == sorted(powers)
+        assert powers[0] > pm.p_idle
+
+    def test_unsupported_frequency_raises(self):
+        with pytest.raises(ValueError, match="unsupported frequency"):
+            PowerModel().busy_power(1.0 * GHZ)
+
+    def test_energy_combines_busy_and_idle(self):
+        pm = PowerModel()
+        f = 3.6 * GHZ
+        e = pm.energy(0.5, f, idle_seconds=0.5)
+        assert e == pytest.approx(0.5 * pm.busy_power(f) + 0.5 * pm.p_idle)
+
+    def test_energy_rejects_negative_durations(self):
+        with pytest.raises(ValueError):
+            PowerModel().energy(-1, 3.6 * GHZ)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(vf_points={})
+        with pytest.raises(ValueError):
+            PowerModel(c_eff=-1)
+
+    def test_dvfs_energy_per_op_lower_at_min_frequency(self):
+        """V^2 f scaling: the energy to execute a fixed cycle count is
+        lower at the lower-voltage operating point."""
+        pm = PowerModel()
+        f_lo, f_hi = 2.9 * GHZ, 3.6 * GHZ
+        cycles = 1e9
+        e_lo = pm.busy_power(f_lo) * (cycles / f_lo)
+        e_hi = pm.busy_power(f_hi) * (cycles / f_hi)
+        assert e_lo < e_hi
+
+
+class TestMpsoc:
+    def test_paper_platform_shape(self):
+        assert XEON_E5_2667.num_cores == 32
+        assert XEON_E5_2667.f_max == 3.6 * GHZ
+        assert XEON_E5_2667.f_min == 2.9 * GHZ
+        assert XEON_E5_2667.dvfs_latency_s == pytest.approx(10e-6)
+
+    def test_core_layout(self):
+        soc = Mpsoc()
+        assert len(soc.cores) == 32
+        assert soc.core(0).socket_id == 0
+        assert soc.core(8).socket_id == 1
+        assert soc.core(31).socket_id == 3
+
+    def test_set_frequency_validated(self):
+        soc = Mpsoc()
+        soc.core(0).set_frequency(2.9 * GHZ, soc.config)
+        with pytest.raises(ValueError):
+            soc.core(0).set_frequency(5.0 * GHZ, soc.config)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MpsocConfig(num_sockets=0)
+        with pytest.raises(ValueError):
+            MpsocConfig(frequencies_hz=())
+        with pytest.raises(ValueError):
+            MpsocConfig(frequencies_hz=(3.6 * GHZ, 2.9 * GHZ))
+
+
+def _slot(core_id, times, carry=0.0):
+    s = CoreSlot(core_id=core_id, carry_in_fmax=carry)
+    for i, t in enumerate(times):
+        s.assign(ThreadTask(thread_id=i + core_id * 100, user_id=0,
+                            cpu_time_fmax=t))
+    return s
+
+
+class TestSlotSchedule:
+    SLOT = 1.0 / 24
+
+    def test_race_to_idle_fits(self):
+        sched = SlotSchedule([_slot(0, [0.01, 0.02])], self.SLOT,
+                             XEON_E5_2667, DvfsPolicy.RACE_TO_IDLE)
+        plan = sched.plans()[0]
+        assert plan.busy_seconds == pytest.approx(0.03)
+        assert plan.busy_frequency_hz == XEON_E5_2667.f_max
+        assert plan.idle_seconds == pytest.approx(self.SLOT - 0.03)
+        assert plan.carry_out_fmax == 0.0
+
+    def test_race_to_idle_overload_carries(self):
+        sched = SlotSchedule([_slot(0, [0.05])], self.SLOT,
+                             XEON_E5_2667, DvfsPolicy.RACE_TO_IDLE)
+        plan = sched.plans()[0]
+        assert plan.busy_seconds == pytest.approx(self.SLOT)
+        assert plan.carry_out_fmax == pytest.approx(0.05 - self.SLOT)
+
+    def test_stretch_picks_lowest_feasible_frequency(self):
+        # load 0.03 at f_max stretches to 0.0372 at 2.9 GHz < slot.
+        sched = SlotSchedule([_slot(0, [0.03])], self.SLOT,
+                             XEON_E5_2667, DvfsPolicy.STRETCH)
+        plan = sched.plans()[0]
+        assert plan.busy_frequency_hz == 2.9 * GHZ
+        assert plan.busy_seconds == pytest.approx(0.03 * 3.6 / 2.9)
+
+    def test_stretch_uses_middle_frequency_when_needed(self):
+        # load 0.038: at 2.9 GHz -> 0.0472 > slot; at 3.2 -> 0.04275 > slot
+        # -> needs f_max (0.038 < slot).
+        sched = SlotSchedule([_slot(0, [0.038])], self.SLOT,
+                             XEON_E5_2667, DvfsPolicy.STRETCH)
+        plan = sched.plans()[0]
+        assert plan.busy_frequency_hz == 3.6 * GHZ
+
+    def test_stretch_overload_carries(self):
+        sched = SlotSchedule([_slot(0, [0.09])], self.SLOT,
+                             XEON_E5_2667, DvfsPolicy.STRETCH)
+        plan = sched.plans()[0]
+        assert plan.carry_out_fmax == pytest.approx(0.09 - self.SLOT)
+
+    def test_always_on_burns_whole_slot(self):
+        sched = SlotSchedule([_slot(0, [0.001])], self.SLOT,
+                             XEON_E5_2667, DvfsPolicy.ALWAYS_ON)
+        plan = sched.plans()[0]
+        assert plan.busy_seconds == pytest.approx(self.SLOT)
+        assert plan.idle_seconds == 0.0
+
+    def test_carry_in_adds_to_load(self):
+        slot = _slot(0, [0.01], carry=0.02)
+        assert slot.load_fmax == pytest.approx(0.03)
+
+    def test_empty_core_idles(self):
+        sched = SlotSchedule([CoreSlot(core_id=0)], self.SLOT, XEON_E5_2667)
+        plan = sched.plans()[0]
+        assert plan.busy_seconds == 0.0
+        assert plan.idle_seconds == pytest.approx(self.SLOT)
+
+    def test_double_assignment_rejected(self):
+        t = ThreadTask(thread_id=1, user_id=2, cpu_time_fmax=0.01)
+        a, b = CoreSlot(core_id=0), CoreSlot(core_id=1)
+        a.assign(t)
+        b.assign(t)
+        with pytest.raises(ValueError):
+            SlotSchedule([a, b], self.SLOT, XEON_E5_2667)
+
+    def test_active_core_count(self):
+        sched = SlotSchedule(
+            [_slot(0, [0.01]), CoreSlot(core_id=1)], self.SLOT, XEON_E5_2667
+        )
+        assert sched.active_cores == 1
+
+    def test_cores_at_fmax_metric_ignores_stretched_cores(self):
+        # A stretched core busy the whole slot at f_min must not count.
+        sched = SlotSchedule([_slot(0, [0.0335])], self.SLOT,
+                             XEON_E5_2667, DvfsPolicy.STRETCH)
+        plan = sched.plans()[0]
+        assert plan.busy_frequency_hz == 2.9 * GHZ
+        assert sched.cores_at_fmax_whole_slot == 0
+
+    def test_energy_accounts_unused_platform_cores(self):
+        pm = PowerModel()
+        sched = SlotSchedule([_slot(0, [0.01])], self.SLOT, XEON_E5_2667)
+        with_unused = sched.energy(pm, include_unused_cores=True)
+        without = sched.energy(pm, include_unused_cores=False)
+        expected_extra = 31 * pm.p_idle * self.SLOT
+        assert with_unused - without == pytest.approx(expected_extra)
+
+    def test_stretch_consumes_less_energy_than_race_when_feasible(self):
+        pm = PowerModel()
+        e = {}
+        for policy in (DvfsPolicy.RACE_TO_IDLE, DvfsPolicy.STRETCH):
+            sched = SlotSchedule([_slot(0, [0.03])], self.SLOT,
+                                 XEON_E5_2667, policy)
+            e[policy] = sched.energy(pm, include_unused_cores=False)
+        assert e[DvfsPolicy.STRETCH] < e[DvfsPolicy.RACE_TO_IDLE]
+
+    def test_invalid_slot_duration(self):
+        with pytest.raises(ValueError):
+            SlotSchedule([CoreSlot(core_id=0)], 0.0, XEON_E5_2667)
+
+    def test_negative_task_time_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadTask(thread_id=0, user_id=0, cpu_time_fmax=-0.1)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=0.1), min_size=1,
+                    max_size=6),
+           st.sampled_from(list(DvfsPolicy)))
+    @settings(max_examples=60, deadline=None)
+    def test_plan_invariants_property(self, times, policy):
+        sched = SlotSchedule([_slot(0, times)], self.SLOT, XEON_E5_2667, policy)
+        plan = sched.plans()[0]
+        assert 0 <= plan.busy_seconds <= self.SLOT + 1e-12
+        assert plan.idle_seconds >= -1e-12
+        assert plan.busy_seconds + plan.idle_seconds <= self.SLOT + 1e-9
+        assert plan.carry_out_fmax >= 0
+        # Work conservation: executed cycles + carried cycles account
+        # for the whole load.
+        executed_fmax = plan.busy_seconds * plan.busy_frequency_hz / XEON_E5_2667.f_max
+        load = sum(times)
+        if load > 0:
+            assert executed_fmax + plan.carry_out_fmax == pytest.approx(
+                max(load, executed_fmax), rel=1e-6, abs=1e-9
+            )

@@ -1,0 +1,142 @@
+"""Tests for per-tile QP selection and Algorithm 1 adaptation."""
+
+import pytest
+
+from repro.analysis.texture import TextureClass
+from repro.qp.adaptation import QpAdapter, TileQualityFeedback
+from repro.qp.defaults import (
+    DELTA_QP,
+    QP_LADDER,
+    QP_MAX,
+    QP_MIN,
+    QualityConstraints,
+    default_qp,
+)
+
+
+class TestDefaults:
+    def test_paper_default_qps(self):
+        assert default_qp(TextureClass.LOW) == 37
+        assert default_qp(TextureClass.MEDIUM) == 32
+        assert default_qp(TextureClass.HIGH) == 27
+
+    def test_ladder_covers_paper_values(self):
+        assert set(QP_LADDER) == {22, 27, 32, 37, 42}
+        assert QP_MIN == 22 and QP_MAX == 42
+
+    def test_constraints_validation(self):
+        with pytest.raises(ValueError):
+            QualityConstraints(psnr_margin=-1)
+        with pytest.raises(ValueError):
+            QualityConstraints(bitrate_constraint_mbps=0)
+
+
+class TestAlgorithm1:
+    def setup_method(self):
+        self.constraints = QualityConstraints(psnr_constraint=38.0, psnr_margin=2.0)
+        self.adapter = QpAdapter(self.constraints)
+
+    def test_no_feedback_uses_texture_default(self):
+        qp = self.adapter.adapt(0, TextureClass.HIGH, None)
+        assert qp == 27
+
+    def test_overshoot_increases_qp(self):
+        """PSNR above constraint + margin -> QP += dQP (spend less)."""
+        self.adapter.adapt(0, TextureClass.MEDIUM, None)  # 32
+        qp = self.adapter.adapt(
+            0, TextureClass.MEDIUM, TileQualityFeedback(psnr_db=45.0, bits=100)
+        )
+        assert qp == 32 + DELTA_QP
+
+    def test_undershoot_decreases_qp(self):
+        """PSNR below constraint -> QP -= dQP (spend more)."""
+        self.adapter.adapt(0, TextureClass.MEDIUM, None)
+        qp = self.adapter.adapt(
+            0, TextureClass.MEDIUM, TileQualityFeedback(psnr_db=36.0, bits=100)
+        )
+        assert qp == 32 - DELTA_QP
+
+    def test_within_band_returns_default(self):
+        self.adapter.adapt(0, TextureClass.LOW, None)
+        qp = self.adapter.adapt(
+            0, TextureClass.LOW, TileQualityFeedback(psnr_db=39.0, bits=100)
+        )
+        assert qp == default_qp(TextureClass.LOW)
+
+    def test_clamped_at_ladder_extremes(self):
+        self.adapter.adapt(0, TextureClass.LOW, None)  # 37
+        for _ in range(5):
+            qp = self.adapter.adapt(
+                0, TextureClass.LOW, TileQualityFeedback(psnr_db=60.0, bits=1)
+            )
+        assert qp == QP_MAX
+        for _ in range(8):
+            qp = self.adapter.adapt(
+                0, TextureClass.LOW, TileQualityFeedback(psnr_db=10.0, bits=1)
+            )
+        assert qp == QP_MIN
+
+    def test_adaptation_is_per_tile(self):
+        self.adapter.adapt(0, TextureClass.MEDIUM, None)
+        self.adapter.adapt(1, TextureClass.MEDIUM, None)
+        qp0 = self.adapter.adapt(
+            0, TextureClass.MEDIUM, TileQualityFeedback(psnr_db=50.0, bits=1)
+        )
+        qp1 = self.adapter.current_qp(1, TextureClass.MEDIUM)
+        assert qp0 == 37
+        assert qp1 == 32
+
+    def test_reset_clears_state(self):
+        self.adapter.adapt(
+            0, TextureClass.MEDIUM, TileQualityFeedback(psnr_db=50.0, bits=1)
+        )
+        self.adapter.reset()
+        assert self.adapter.current_qp(0, TextureClass.MEDIUM) == 32
+
+    def test_bitrate_violation_bumps_qp(self):
+        """Algorithm 1's BR input: over-rate streams with PSNR headroom
+        get a higher QP even when PSNR alone would keep the default."""
+        self.adapter.adapt(0, TextureClass.MEDIUM, None)  # 32
+        qp = self.adapter.adapt(
+            0, TextureClass.MEDIUM,
+            TileQualityFeedback(psnr_db=39.0, bits=100),  # inside band
+            stream_bitrate_mbps=10.0,  # violates the 3 Mbps constraint
+        )
+        assert qp == 32 + DELTA_QP
+
+    def test_bitrate_violation_never_overrides_quality(self):
+        """PSNR below constraint wins over the bitrate constraint."""
+        self.adapter.adapt(0, TextureClass.MEDIUM, None)
+        qp = self.adapter.adapt(
+            0, TextureClass.MEDIUM,
+            TileQualityFeedback(psnr_db=30.0, bits=100),
+            stream_bitrate_mbps=10.0,
+        )
+        assert qp == 32 - DELTA_QP
+
+    def test_bitrate_within_constraint_no_effect(self):
+        self.adapter.adapt(0, TextureClass.MEDIUM, None)
+        qp = self.adapter.adapt(
+            0, TextureClass.MEDIUM,
+            TileQualityFeedback(psnr_db=39.0, bits=100),
+            stream_bitrate_mbps=1.0,
+        )
+        assert qp == 32
+
+    def test_converges_to_band_in_closed_loop(self):
+        """Iterating Algorithm 1 against a monotone QP->PSNR response
+        settles inside the [constraint, constraint+margin] band."""
+        def psnr_of(qp):  # plausible monotone response
+            return 52.0 - 0.3 * qp
+        qp = self.adapter.adapt(0, TextureClass.MEDIUM, None)
+        for _ in range(10):
+            qp = self.adapter.adapt(
+                0, TextureClass.MEDIUM,
+                TileQualityFeedback(psnr_db=psnr_of(qp), bits=100),
+            )
+        final_psnr = psnr_of(qp)
+        # The loop may oscillate one notch around the band edge, but
+        # must keep PSNR within one dQP-step of the constraint window.
+        assert final_psnr > self.constraints.psnr_constraint - 0.3 * DELTA_QP
+        assert final_psnr < (self.constraints.psnr_constraint
+                             + self.constraints.psnr_margin + 0.3 * DELTA_QP)

@@ -1,0 +1,76 @@
+"""Tests for HEVC-law quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec.quant import (
+    MAX_QP,
+    MIN_QP,
+    dequantize,
+    quantization_step,
+    quantize,
+)
+
+
+class TestQuantStep:
+    def test_qp4_is_unit_step(self):
+        assert quantization_step(4) == pytest.approx(1.0)
+
+    def test_doubles_every_six_qp(self):
+        for qp in range(MIN_QP, MAX_QP - 5):
+            assert quantization_step(qp + 6) == pytest.approx(
+                2 * quantization_step(qp)
+            )
+
+    @pytest.mark.parametrize("qp", [-1, 52, 100])
+    def test_rejects_out_of_range(self, qp):
+        with pytest.raises(ValueError):
+            quantization_step(qp)
+
+    def test_paper_ladder_spans_expected_range(self):
+        """The paper's QP 22..42 ladder spans roughly 8x..80x steps."""
+        assert quantization_step(22) == pytest.approx(8.0, rel=0.01)
+        assert quantization_step(42) == pytest.approx(80.6, rel=0.01)
+
+
+class TestQuantize:
+    def test_zero_maps_to_zero(self):
+        assert quantize(np.zeros((4, 4)), 30).sum() == 0
+
+    def test_sign_symmetry(self, rng):
+        coefs = rng.standard_normal((8, 8)) * 50
+        np.testing.assert_array_equal(quantize(coefs, 27), -quantize(-coefs, 27))
+
+    def test_reconstruction_error_bounded_by_step(self, rng):
+        coefs = rng.standard_normal((16, 8, 8)) * 200
+        qp = 30
+        step = quantization_step(qp)
+        recon = dequantize(quantize(coefs, qp), qp)
+        assert np.abs(recon - coefs).max() <= step
+
+    def test_higher_qp_fewer_levels(self, rng):
+        coefs = rng.standard_normal((8, 8)) * 40
+        nz_low = np.count_nonzero(quantize(coefs, 22))
+        nz_high = np.count_nonzero(quantize(coefs, 42))
+        assert nz_high <= nz_low
+
+    def test_levels_are_integers(self, rng):
+        levels = quantize(rng.standard_normal((4, 4)) * 10, 35)
+        assert levels.dtype == np.int32
+
+    @given(st.integers(MIN_QP, MAX_QP))
+    @settings(max_examples=20, deadline=None)
+    def test_small_coefficients_quantize_to_zero(self, qp):
+        """Coefficients below (1 - offset) * step must vanish."""
+        step = quantization_step(qp)
+        coefs = np.array([0.74 * step, -0.74 * step])
+        assert quantize(coefs, qp).tolist() == [0, 0]
+
+    @given(st.integers(MIN_QP, MAX_QP),
+           st.floats(min_value=-1e4, max_value=1e4, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_error_property(self, qp, value):
+        step = quantization_step(qp)
+        recon = dequantize(quantize(np.array([value]), qp), qp)[0]
+        assert abs(recon - value) <= step

@@ -1,0 +1,147 @@
+"""Robustness and failure-injection tests: malformed bitstreams,
+degenerate inputs, and hostile parameter combinations."""
+
+import numpy as np
+import pytest
+
+from repro.codec.bitstream import BitReader, BitWriter
+from repro.codec.config import EncoderConfig, FrameType
+from repro.codec.decoder import FrameDecoder
+from repro.codec.encoder import FrameEncoder, VideoEncoder
+from repro.tiling.tile import TileGrid
+from repro.tiling.uniform import uniform_tiling
+from repro.video.frame import Frame, Video
+
+
+class TestMalformedBitstreams:
+    def _valid_stream(self, small_video, grid, configs):
+        writer = BitWriter()
+        FrameEncoder().encode(
+            small_video[0].luma, grid, configs, FrameType.I, writer=writer
+        )
+        return bytearray(writer.flush())
+
+    def test_truncated_stream_raises(self, small_video):
+        grid = TileGrid.single(small_video.width, small_video.height)
+        configs = [EncoderConfig(qp=30)]
+        data = self._valid_stream(small_video, grid, configs)
+        with pytest.raises((EOFError, ValueError)):
+            FrameDecoder().decode(
+                BitReader(bytes(data[: len(data) // 4])), grid, configs
+            )
+
+    def test_invalid_frame_type_code_raises(self, small_video):
+        grid = TileGrid.single(small_video.width, small_video.height)
+        configs = [EncoderConfig(qp=30)]
+        writer = BitWriter()
+        writer.write_bits(3, 2)  # reserved frame-type code
+        with pytest.raises(ValueError, match="frame-type"):
+            FrameDecoder().decode(BitReader(writer.flush()), grid, configs)
+
+    def test_garbage_bytes_fail_loudly(self, small_video, rng):
+        """Random bytes must raise, never return a silently broken
+        frame of the wrong geometry."""
+        grid = TileGrid.single(small_video.width, small_video.height)
+        configs = [EncoderConfig(qp=30)]
+        failures = 0
+        for seed in range(10):
+            data = np.random.default_rng(seed).integers(
+                0, 256, size=200
+            ).astype(np.uint8).tobytes()
+            try:
+                out = FrameDecoder().decode(BitReader(data), grid, configs)
+                assert out.shape == small_video[0].luma.shape
+            except (ValueError, EOFError):
+                failures += 1
+        assert failures > 0  # at least some random streams are invalid
+
+
+class TestDegenerateInputs:
+    def test_single_block_frame(self):
+        frame = np.random.default_rng(0).integers(
+            0, 255, size=(16, 16)
+        ).astype(np.uint8)
+        grid = TileGrid.single(16, 16)
+        stats, recon = FrameEncoder().encode(
+            frame, grid, [EncoderConfig(qp=32)], FrameType.I
+        )
+        assert recon.shape == frame.shape
+        assert stats.bits > 0
+
+    def test_minimum_transform_frame(self):
+        """An 8x8 frame: one sub-block-sized coding block."""
+        frame = np.full((8, 8), 200, dtype=np.uint8)
+        grid = TileGrid.single(8, 8)
+        stats, recon = FrameEncoder().encode(
+            frame, grid, [EncoderConfig(qp=22)], FrameType.I
+        )
+        assert abs(int(recon.mean()) - 200) < 10
+
+    def test_extreme_black_and_white_frames(self):
+        for value in (0, 255):
+            frame = np.full((32, 32), value, dtype=np.uint8)
+            grid = TileGrid.single(32, 32)
+            stats, recon = FrameEncoder().encode(
+                frame, grid, [EncoderConfig(qp=37)], FrameType.I
+            )
+            assert abs(int(recon.astype(int).mean()) - value) <= 6
+
+    def test_single_frame_video(self):
+        video = Video(frames=[Frame.blank(32, 32, 128)], fps=24)
+        stats = VideoEncoder(EncoderConfig(qp=32)).encode(video)
+        assert len(stats.frames) == 1
+        assert stats.frames[0].frame_type is FrameType.I
+
+    def test_high_motion_exceeding_window(self, rng):
+        """Motion larger than the search window: encoder degrades to
+        intra/poor prediction but stays correct."""
+        base = rng.integers(0, 255, size=(64, 64)).astype(np.uint8)
+        moved = np.roll(base, 30, axis=1)
+        grid = TileGrid.single(64, 64)
+        configs = [EncoderConfig(qp=32, search_window=4)]
+        enc = FrameEncoder()
+        _, recon0 = enc.encode(base, grid, configs, FrameType.I)
+        stats, recon1 = enc.encode(
+            moved, grid, configs, FrameType.P, reference=recon0
+        )
+        assert stats.psnr > 20  # encoded, even if inefficiently
+
+    def test_checkerboard_worst_case_texture(self):
+        """Nyquist-frequency texture: the hardest content for the DCT;
+        rate explodes but reconstruction stays faithful at low QP."""
+        frame = np.indices((32, 32)).sum(axis=0) % 2 * 255
+        frame = frame.astype(np.uint8)
+        grid = TileGrid.single(32, 32)
+        stats, recon = FrameEncoder().encode(
+            frame, grid, [EncoderConfig(qp=22)], FrameType.I
+        )
+        assert stats.psnr > 30
+
+
+class TestHostileConfigurations:
+    def test_zero_window_search_still_encodes(self, small_video):
+        grid = TileGrid.single(small_video.width, small_video.height)
+        configs = [EncoderConfig(qp=32, search_window=0)]
+        enc = FrameEncoder()
+        _, recon = enc.encode(small_video[0].luma, grid, configs, FrameType.I)
+        stats, _ = enc.encode(
+            small_video[1].luma, grid, configs, FrameType.P, reference=recon
+        )
+        assert stats.psnr > 25
+
+    def test_many_tiny_tiles(self, small_video):
+        grid = uniform_tiling(small_video.width, small_video.height, 4, 4,
+                              align=8)
+        configs = [EncoderConfig(qp=32, search_window=4)] * 16
+        stats, _ = FrameEncoder().encode(
+            small_video[0].luma, grid, configs, FrameType.I
+        )
+        assert len(stats.tiles) == 16
+
+    def test_qp_extremes(self, small_video):
+        grid = TileGrid.single(small_video.width, small_video.height)
+        for qp in (0, 51):
+            stats, _ = FrameEncoder().encode(
+                small_video[0].luma, grid, [EncoderConfig(qp=qp)], FrameType.I
+            )
+            assert stats.bits > 0

@@ -1,0 +1,171 @@
+"""Tests for tile geometry, uniform tiling and constraints."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tiling.constraints import TilingConstraints
+from repro.tiling.tile import Tile, TileGrid, split_evenly
+from repro.tiling.uniform import TABLE1_TILINGS, uniform_tiling
+
+
+class TestTile:
+    def test_basic_geometry(self):
+        t = Tile(10, 20, 30, 40)
+        assert t.x_end == 40
+        assert t.y_end == 60
+        assert t.area == 1200
+        assert t.center == (25.0, 40.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Tile(0, 0, 0, 10)
+        with pytest.raises(ValueError):
+            Tile(0, 0, 10, -1)
+        with pytest.raises(ValueError):
+            Tile(-1, 0, 10, 10)
+
+    def test_overlap_detection(self):
+        a = Tile(0, 0, 10, 10)
+        assert a.overlaps(Tile(5, 5, 10, 10))
+        assert not a.overlaps(Tile(10, 0, 10, 10))  # edge-adjacent
+        assert not a.overlaps(Tile(0, 10, 10, 10))
+
+    def test_contains_point(self):
+        t = Tile(4, 4, 8, 8)
+        assert t.contains_point(4, 4)
+        assert t.contains_point(11, 11)
+        assert not t.contains_point(12, 4)
+
+    def test_extract_views_plane(self):
+        plane = np.arange(100).reshape(10, 10)
+        t = Tile(2, 3, 4, 5)
+        region = t.extract(plane)
+        assert region.shape == (5, 4)
+        assert region[0, 0] == plane[3, 2]
+
+    def test_extract_out_of_bounds_raises(self):
+        with pytest.raises(ValueError):
+            Tile(5, 5, 10, 10).extract(np.zeros((8, 8)))
+
+
+class TestTileGrid:
+    def test_single_tile(self):
+        grid = TileGrid.single(64, 48)
+        assert len(grid) == 1
+        assert grid[0].area == 64 * 48
+
+    def test_partition_invariant_accepts_exact_cover(self):
+        tiles = [Tile(0, 0, 32, 48), Tile(32, 0, 32, 48)]
+        TileGrid(64, 48, tiles)  # must not raise
+
+    def test_rejects_gap(self):
+        with pytest.raises(ValueError):
+            TileGrid(64, 48, [Tile(0, 0, 32, 48)])
+
+    def test_rejects_overlap(self):
+        tiles = [Tile(0, 0, 40, 48), Tile(32, 0, 32, 48)]
+        with pytest.raises(ValueError):
+            TileGrid(64, 48, tiles)
+
+    def test_rejects_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            TileGrid(64, 48, [Tile(0, 0, 65, 48)])
+
+    def test_rejects_overlap_same_area_as_frame(self):
+        """Equal-area sneaky overlap must still be caught."""
+        tiles = [Tile(0, 0, 32, 48), Tile(16, 0, 32, 48),
+                 Tile(0, 0, 16, 48)]
+        with pytest.raises(ValueError):
+            TileGrid(64, 48, tiles)
+
+    def test_tile_at(self):
+        grid = uniform_tiling(64, 64, 2, 2, align=16)
+        t = grid.tile_at(40, 10)
+        assert t.x == 32 and t.y == 0
+        with pytest.raises(ValueError):
+            grid.tile_at(64, 0)
+
+    def test_coverage_map_is_total(self):
+        grid = uniform_tiling(80, 48, 3, 2, align=16)
+        cover = grid.coverage_map()
+        assert cover.min() >= 0
+        counts = np.bincount(cover.ravel())
+        for idx, tile in enumerate(grid):
+            assert counts[idx] == tile.area
+
+    def test_from_grid_validates_sums(self):
+        with pytest.raises(ValueError):
+            TileGrid.from_grid(64, 48, [32, 16], [48])
+        with pytest.raises(ValueError):
+            TileGrid.from_grid(64, 48, [32, 32], [40])
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            TileGrid(64, 48, [])
+
+
+class TestSplitEvenly:
+    def test_exact_division(self):
+        assert split_evenly(64, 4, align=16) == [16, 16, 16, 16]
+
+    def test_remainder_goes_last(self):
+        sizes = split_evenly(100, 3, align=16)
+        assert sum(sizes) == 100
+        assert sizes[:2] == [32, 32]
+        assert sizes[2] == 36
+
+    def test_rejects_impossible(self):
+        with pytest.raises(ValueError):
+            split_evenly(3, 4)
+        with pytest.raises(ValueError):
+            split_evenly(10, 0)
+
+    @given(st.integers(1, 2000), st.integers(1, 12),
+           st.sampled_from([1, 8, 16]))
+    @settings(max_examples=100, deadline=None)
+    def test_split_property(self, total, parts, align):
+        if total < parts:
+            return
+        sizes = split_evenly(total, parts, align=align)
+        assert len(sizes) == parts
+        assert sum(sizes) == total
+        assert all(s > 0 for s in sizes)
+
+
+class TestUniformTiling:
+    @pytest.mark.parametrize("cols,rows", TABLE1_TILINGS)
+    def test_paper_tilings_valid_at_vga(self, cols, rows):
+        grid = uniform_tiling(640, 480, cols, rows)
+        assert len(grid) == cols * rows
+        # Partition invariant checked by the constructor; verify
+        # alignment of interior boundaries.
+        for tile in grid:
+            if tile.x_end != 640:
+                assert tile.x_end % 16 == 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            uniform_tiling(64, 48, 0, 1)
+
+    def test_near_equal_sizes(self):
+        grid = uniform_tiling(640, 480, 5, 3)
+        widths = sorted({t.width for t in grid})
+        assert max(widths) - min(widths) <= 16
+
+
+class TestTilingConstraints:
+    def test_defaults_valid(self):
+        TilingConstraints()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(min_tile_width=0),
+        dict(max_tiles=2),
+        dict(growth_step=0),
+        dict(growth_step=1.5),
+        dict(max_margin_fraction=0.6),
+        dict(align=0),
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TilingConstraints(**kwargs)

@@ -1,0 +1,88 @@
+"""Tests for the DCT transform and block (de)interleaving."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.codec.transform import (
+    TRANSFORM_SIZE,
+    blockify,
+    forward_dct,
+    inverse_dct,
+    unblockify,
+)
+
+
+class TestDct:
+    def test_roundtrip_identity(self, rng):
+        blocks = rng.standard_normal((5, 8, 8)) * 100
+        recovered = inverse_dct(forward_dct(blocks))
+        np.testing.assert_allclose(recovered, blocks, atol=1e-9)
+
+    def test_dc_coefficient_of_constant_block(self):
+        block = np.full((1, 8, 8), 10.0)
+        coefs = forward_dct(block)
+        # Orthonormal DCT: DC = mean * N = 10 * 8.
+        assert coefs[0, 0, 0] == pytest.approx(80.0)
+        assert np.abs(coefs[0].ravel()[1:]).max() < 1e-9
+
+    def test_energy_preservation(self, rng):
+        """Parseval: orthonormal transform preserves L2 energy."""
+        block = rng.standard_normal((3, 8, 8))
+        coefs = forward_dct(block)
+        np.testing.assert_allclose(
+            (block ** 2).sum(axis=(1, 2)), (coefs ** 2).sum(axis=(1, 2))
+        )
+
+    def test_energy_compaction_on_smooth_ramp(self):
+        """A smooth ramp concentrates energy in low frequencies."""
+        ramp = np.outer(np.arange(8), np.ones(8))[None]
+        coefs = forward_dct(ramp)[0]
+        low = np.abs(coefs[:2, :2]).sum()
+        high = np.abs(coefs[4:, 4:]).sum()
+        assert low > 10 * high
+
+    @given(
+        arrays(np.float64, (2, 8, 8),
+               elements=st.floats(-255, 255, allow_nan=False))
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, blocks):
+        np.testing.assert_allclose(
+            inverse_dct(forward_dct(blocks)), blocks, atol=1e-6
+        )
+
+
+class TestBlockify:
+    def test_blockify_shape_and_order(self):
+        region = np.arange(16 * 24).reshape(16, 24)
+        blocks = blockify(region, 8)
+        assert blocks.shape == (6, 8, 8)
+        # Row-major: first block is the top-left 8x8.
+        np.testing.assert_array_equal(blocks[0], region[:8, :8])
+        np.testing.assert_array_equal(blocks[1], region[:8, 8:16])
+        np.testing.assert_array_equal(blocks[3], region[8:, :8])
+
+    def test_blockify_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            blockify(np.zeros((12, 16)), 8)
+
+    def test_unblockify_inverse(self, rng):
+        region = rng.integers(0, 255, size=(24, 16)).astype(np.float64)
+        blocks = blockify(region, 8)
+        np.testing.assert_array_equal(unblockify(blocks, 24, 16, 8), region)
+
+    def test_unblockify_rejects_wrong_count(self):
+        with pytest.raises(ValueError):
+            unblockify(np.zeros((3, 8, 8)), 16, 16, 8)
+
+    @given(st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=16, deadline=None)
+    def test_blockify_roundtrip_property(self, rows, cols):
+        rng = np.random.default_rng(rows * 7 + cols)
+        h, w = rows * TRANSFORM_SIZE, cols * TRANSFORM_SIZE
+        region = rng.standard_normal((h, w))
+        np.testing.assert_array_equal(
+            unblockify(blockify(region), h, w), region
+        )

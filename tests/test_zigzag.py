@@ -1,0 +1,70 @@
+"""Tests for the zigzag scan."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec.zigzag import zigzag_indices, zigzag_scan, zigzag_unscan
+
+
+class TestZigzagIndices:
+    def test_known_4x4_order(self):
+        rows, cols = zigzag_indices(4)
+        order = list(zip(rows.tolist(), cols.tolist()))
+        assert order[:6] == [(0, 0), (0, 1), (1, 0), (2, 0), (1, 1), (0, 2)]
+        assert order[-1] == (3, 3)
+
+    def test_is_permutation(self):
+        for size in (2, 3, 4, 8):
+            rows, cols = zigzag_indices(size)
+            seen = set(zip(rows.tolist(), cols.tolist()))
+            assert len(seen) == size * size
+
+    def test_starts_at_dc(self):
+        rows, cols = zigzag_indices(8)
+        assert (rows[0], cols[0]) == (0, 0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            zigzag_indices(0)
+
+    def test_frequency_monotone_on_average(self):
+        """Later scan positions have higher average frequency index."""
+        rows, cols = zigzag_indices(8)
+        freq = rows + cols
+        first_half = freq[:32].mean()
+        second_half = freq[32:].mean()
+        assert second_half > first_half
+
+
+class TestZigzagScan:
+    def test_scan_unscan_roundtrip(self, rng):
+        blocks = rng.integers(-50, 50, size=(5, 8, 8)).astype(np.int32)
+        vectors = zigzag_scan(blocks)
+        assert vectors.shape == (5, 64)
+        np.testing.assert_array_equal(zigzag_unscan(vectors, 8), blocks)
+
+    def test_scan_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            zigzag_scan(np.zeros((2, 4, 8)))
+
+    def test_unscan_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            zigzag_unscan(np.zeros((2, 60)), 8)
+
+    def test_smooth_block_zeros_cluster_at_tail(self):
+        """Low-frequency-only content ends with zero tail after scan."""
+        block = np.zeros((1, 8, 8), dtype=np.int32)
+        block[0, :2, :2] = 9
+        v = zigzag_scan(block)[0]
+        assert v[-40:].sum() == 0
+        assert v[0] == 9
+
+    @given(st.integers(2, 8))
+    @settings(max_examples=7, deadline=None)
+    def test_roundtrip_property_all_sizes(self, size):
+        rng = np.random.default_rng(size)
+        blocks = rng.integers(-9, 9, size=(3, size, size))
+        np.testing.assert_array_equal(
+            zigzag_unscan(zigzag_scan(blocks), size), blocks
+        )
