@@ -52,11 +52,16 @@ def main() -> None:
     # Question 1: capacity under a saturated queue.
     cap_p = server.serve(traces_proposed, alloc_p)
     cap_b = server.serve(traces_baseline, alloc_b)
+    def quality(report) -> str:
+        # Quality stats are None when no user was admitted.
+        if report.psnr_avg is None or report.bitrate_avg_mbps is None:
+            return "no users admitted"
+        return (f"avg {report.psnr_avg:.1f} dB, "
+                f"{report.bitrate_avg_mbps:.2f} Mbps")
+
     print("\n=== capacity (saturated queue, 32-core Xeon, 24 fps) ===")
-    print(f"  proposed : {cap_p.num_users_served} doctors "
-          f"(avg {cap_p.psnr_avg:.1f} dB, {cap_p.bitrate_avg_mbps:.2f} Mbps)")
-    print(f"  [19]     : {cap_b.num_users_served} doctors "
-          f"(avg {cap_b.psnr_avg:.1f} dB, {cap_b.bitrate_avg_mbps:.2f} Mbps)")
+    print(f"  proposed : {cap_p.num_users_served} doctors ({quality(cap_p)})")
+    print(f"  [19]     : {cap_b.num_users_served} doctors ({quality(cap_b)})")
     ratio = cap_p.num_users_served / max(1, cap_b.num_users_served)
     print(f"  throughput factor: {ratio:.2f}x (paper: 1.6x)")
 

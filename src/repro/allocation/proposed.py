@@ -30,11 +30,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from repro.allocation.demand import UserDemand, cores_needed
 from repro.platform.mpsoc import MpsocConfig, XEON_E5_2667
 from repro.platform.schedule import CoreSlot, DvfsPolicy, SlotSchedule, ThreadTask
+from repro.resilience.errors import AllocationError
 
 
 @dataclass
@@ -44,6 +45,9 @@ class AllocationResult:
     admitted: List[UserDemand]
     rejected: List[UserDemand]
     schedule: SlotSchedule
+    #: Users evicted by a re-allocation after a core failure (empty on
+    #: a plain allocation pass).
+    shed: List[UserDemand] = field(default_factory=list)
 
     @property
     def num_users_served(self) -> int:
@@ -70,8 +74,15 @@ class ProposedAllocator:
         self.energy_aware_pool = energy_aware_pool
 
     # -- stage 2 -------------------------------------------------------
-    def admit(self, demands: Sequence[UserDemand], fps: float) -> tuple:
-        """Maximise served users (line 2): ascending core demand."""
+    def admit(self, demands: Sequence[UserDemand], fps: float,
+              capacity: Optional[int] = None) -> tuple:
+        """Maximise served users (line 2): ascending core demand.
+
+        ``capacity`` caps the usable core count below the platform's
+        total (cores lost to failures); ``None`` uses the full platform.
+        """
+        if capacity is None:
+            capacity = self.platform.num_cores
         ranked = sorted(demands, key=lambda d: (cores_needed(d, fps), d.user_id))
         admitted: List[UserDemand] = []
         used = 0
@@ -79,7 +90,7 @@ class ProposedAllocator:
             need = cores_needed(demand, fps)
             if need == 0:
                 continue
-            if used + need > self.platform.num_cores:
+            if used + need > capacity:
                 break
             admitted.append(demand)
             used += need
@@ -93,27 +104,38 @@ class ProposedAllocator:
         demands: Sequence[UserDemand],
         fps: float,
         carry_in: Optional[dict] = None,
+        failed_cores: Optional[Set[int]] = None,
     ) -> AllocationResult:
         """Run admission, packing and DVFS for one slot.
 
         ``carry_in`` maps core_id -> CPU time (at f_max) carried over
-        from the previous slot (Algorithm 2, line 22).
+        from the previous slot (Algorithm 2, line 22).  ``failed_cores``
+        removes dead cores from the packing pool: admission is bounded
+        by the surviving capacity and no thread lands on a failed id.
         """
         if fps <= 0:
-            raise ValueError("fps must be positive")
+            raise AllocationError("fps must be positive")
         slot_duration = 1.0 / fps
-        admitted, rejected, reserved = self.admit(demands, fps)
+        available = [
+            k for k in range(self.platform.num_cores)
+            if not failed_cores or k not in failed_cores
+        ]
+        if not available:
+            raise AllocationError("no usable cores: all marked failed")
+        admitted, rejected, reserved = self.admit(
+            demands, fps, capacity=len(available)
+        )
 
         pool = reserved
         if self.energy_aware_pool and self.dvfs_policy is DvfsPolicy.STRETCH:
             pool = reserved * self.platform.f_max / self.platform.f_min
-        num_slots = max(1, min(self.platform.num_cores, math.ceil(pool)))
+        num_slots = max(1, min(len(available), math.ceil(pool)))
         slots = [
             CoreSlot(
                 core_id=k,
                 carry_in_fmax=(carry_in or {}).get(k, 0.0),
             )
-            for k in range(num_slots)
+            for k in available[:num_slots]
         ]
 
         # Pool of all admitted users' threads, largest first: placing
@@ -140,3 +162,55 @@ class ProposedAllocator:
             key=lambda s: (abs(cap - (s.load_fmax + task.cpu_time_fmax)), s.core_id),
         )
         best_slot.assign(task)
+
+    # -- core-failure recovery -----------------------------------------
+    def reallocate(
+        self,
+        result: AllocationResult,
+        failed_core_ids: Sequence[int],
+        fps: float,
+    ) -> AllocationResult:
+        """Recover an existing allocation after cores fail.
+
+        Evicts each failed :class:`CoreSlot`, sheds the lowest-priority
+        admitted users (highest ``user_id`` — admission order defines
+        priority) until the surviving capacity fits the remaining
+        demand, then re-places the orphaned threads with the same
+        min-distance-to-cap heuristic used for the initial packing.
+        The input schedule is mutated in place and returned in a new
+        :class:`AllocationResult` whose ``shed`` lists the evicted
+        users.
+        """
+        if fps <= 0:
+            raise AllocationError("fps must be positive")
+        slot_duration = 1.0 / fps
+        schedule = result.schedule
+        orphans: List[ThreadTask] = []
+        for core_id in sorted(set(failed_core_ids)):
+            if schedule.has_core(core_id):
+                orphans.extend(schedule.evict_core(core_id))
+
+        admitted = sorted(result.admitted, key=lambda d: d.user_id)
+        shed: List[UserDemand] = []
+        survivors = schedule.slots
+        if not survivors:
+            # Every packed core died: the whole admitted set is shed.
+            shed, admitted = admitted, []
+            orphans = []
+        else:
+            capacity = len(survivors)
+            while admitted and sum(
+                cores_needed(d, fps) for d in admitted
+            ) > capacity:
+                victim = admitted.pop()  # highest user_id = lowest priority
+                shed.append(victim)
+                schedule.remove_user(victim.user_id)
+                orphans = [t for t in orphans if t.user_id != victim.user_id]
+            for task in sorted(orphans, key=lambda t: -t.cpu_time_fmax):
+                self._place(task, survivors, slot_duration)
+        return AllocationResult(
+            admitted=admitted,
+            rejected=list(result.rejected),
+            schedule=schedule,
+            shed=shed,
+        )

@@ -6,12 +6,16 @@ Usage::
     python -m repro.cli encode video.npz --qp 32 --search hexagon --tiles 2x2
     python -m repro.cli transcode video.npz [--baseline]
     python -m repro.cli experiment table1|fig3|table2|fig4 [options...]
+    python -m repro.cli fault-drill --seed 0
 
 ``generate`` writes a synthetic bio-medical video; ``encode`` runs the
 codec substrate with a fixed configuration and reports PSNR/bitrate and
 simulated CPU time; ``transcode`` runs the full content-aware pipeline
 (or the [19] baseline); ``experiment`` regenerates one of the paper's
-tables/figures (forwarding the remaining arguments to that harness).
+tables/figures (forwarding the remaining arguments to that harness);
+``fault-drill`` runs a seeded chaos scenario (corrupt frames, CPU-time
+spikes, core failures, LUT corruption) through the whole serving stack
+and prints a survival report.
 """
 
 from __future__ import annotations
@@ -98,6 +102,26 @@ def _cmd_transcode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fault_drill(args: argparse.Namespace) -> int:
+    from repro.resilience.drill import DrillConfig, run_drill
+
+    config = DrillConfig(
+        seed=args.seed,
+        num_streams=args.streams,
+        frames_per_stream=args.frames,
+        fps=args.fps,
+        core_failure_rate=args.core_failure_rate,
+        frame_corruption_rate=args.corrupt_frame_rate,
+        time_spike_rate=args.spike_rate,
+        time_spike_factor=args.spike_factor,
+        num_slots=args.slots,
+        num_users=args.users,
+    )
+    report = run_drill(config)
+    print(report.format())
+    return 0 if report.passed else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments import fig3, fig4, table1, table2
     module = {"table1": table1, "fig3": fig3, "table2": table2,
@@ -139,6 +163,22 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--baseline", action="store_true",
                    help="use the Khan et al. [19] baseline instead")
     t.set_defaults(func=_cmd_transcode)
+
+    f = sub.add_parser(
+        "fault-drill",
+        help="run a seeded chaos scenario and print a survival report",
+    )
+    f.add_argument("--seed", type=int, default=0)
+    f.add_argument("--streams", type=int, default=4)
+    f.add_argument("--frames", type=int, default=12)
+    f.add_argument("--fps", type=float, default=120.0)
+    f.add_argument("--core-failure-rate", type=float, default=0.2)
+    f.add_argument("--corrupt-frame-rate", type=float, default=0.05)
+    f.add_argument("--spike-rate", type=float, default=0.1)
+    f.add_argument("--spike-factor", type=float, default=8.0)
+    f.add_argument("--slots", type=int, default=6)
+    f.add_argument("--users", type=int, default=12)
+    f.set_defaults(func=_cmd_fault_drill)
 
     x = sub.add_parser("experiment", help="regenerate a paper table/figure")
     x.add_argument("name", choices=["table1", "fig3", "table2", "fig4"])

@@ -1,0 +1,93 @@
+"""Checksummed LUT checkpoint / restore.
+
+The workload LUT is the server's accumulated knowledge — the paper
+primes it "from previously processed videos of the same body-part
+class" — so losing it costs estimation accuracy until it re-warms, but
+*trusting a corrupted one* costs deadline misses on every allocation.
+Checkpoints therefore carry a SHA-256 checksum over the canonical
+payload; a mismatch (or any undecodable content) makes ``load_lut``
+fall back to a fresh LUT instead of crashing or silently serving
+garbage estimates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Union
+
+from repro.resilience.errors import LutCorruptionError
+from repro.workload.lut import WorkloadLut
+
+_FORMAT_VERSION = 1
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(payload: dict) -> str:
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def save_lut(lut: WorkloadLut, path: Union[str, os.PathLike]) -> str:
+    """Write a checksummed JSON checkpoint; returns the checksum.
+
+    Inconsistent entries (see
+    :meth:`~repro.workload.lut.WorkloadLut.validate`) are dropped
+    before serializing so corruption never propagates into a
+    checkpoint that would then verify as healthy.
+    """
+    lut.validate()
+    payload = lut.to_dict()
+    document = {
+        "version": _FORMAT_VERSION,
+        "checksum": _checksum(payload),
+        "payload": payload,
+    }
+    tmp = f"{os.fspath(path)}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, sort_keys=True)
+    os.replace(tmp, path)
+    return document["checksum"]
+
+
+@dataclass
+class CheckpointLoadResult:
+    """Outcome of a checkpoint load: the LUT to use plus provenance."""
+
+    lut: WorkloadLut
+    recovered: bool  #: True when the checkpoint was loaded intact.
+    reason: str  #: "ok", "missing", or the corruption description.
+
+
+def load_lut(path: Union[str, os.PathLike],
+             strict: bool = False) -> CheckpointLoadResult:
+    """Load a checkpoint, verifying its checksum.
+
+    On any corruption — unreadable file, bad JSON, checksum mismatch,
+    undecodable keys/histograms — returns a *fresh* LUT
+    (``recovered=False``) unless ``strict`` is set, in which case
+    :class:`~repro.resilience.errors.LutCorruptionError` is raised.
+    A missing file is not corruption: it is the cold-start case.
+    """
+    if not os.path.exists(path):
+        return CheckpointLoadResult(WorkloadLut(), False, "missing")
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+        if document.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported version {document.get('version')!r}")
+        payload = document["payload"]
+        if _checksum(payload) != document["checksum"]:
+            raise ValueError("checksum mismatch")
+        lut = WorkloadLut.from_dict(payload)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        if strict:
+            raise LutCorruptionError(
+                f"corrupt LUT checkpoint {os.fspath(path)!r}: {exc}"
+            ) from exc
+        return CheckpointLoadResult(WorkloadLut(), False, str(exc))
+    return CheckpointLoadResult(lut, True, "ok")

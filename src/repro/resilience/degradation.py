@@ -1,0 +1,282 @@
+"""Deadline monitor and graded degradation ladder.
+
+Generalizes :class:`repro.transcode.feedback.FramerateFeedback` (the
+paper's single "alternative lighter configuration", §III-D2) into a
+graded response to sustained deadline pressure:
+
+====================  ==============================================
+level                 response applied to the next frame(s)
+====================  ==============================================
+``QP_BUMP``           bottleneck tiles get ``QP + ΔQP``
+``WINDOW_SHRINK``     additionally, every tile's search window halves
+``TILE_MERGE``        additionally, the next re-tiling halves the
+                      maximum tile count (fewer, larger tiles — less
+                      per-tile overhead, coarser parallelism)
+``FRAME_DROP``        frames are skipped entirely until the rolling
+                      budget recovers
+====================  ==============================================
+
+Escalation happens after ``escalate_after`` consecutive deadline
+misses; de-escalation requires ``recover_after`` consecutive on-time
+frames *and* a drained debt — the hysteresis that stops a stream from
+oscillating between levels when load hovers near the budget.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.resilience.errors import DeadlineMissError
+
+
+class DegradationLevel(enum.IntEnum):
+    """Rungs of the degradation ladder, mildest first."""
+
+    NONE = 0
+    QP_BUMP = 1
+    WINDOW_SHRINK = 2
+    TILE_MERGE = 3
+    FRAME_DROP = 4
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs of the deadline monitor and degradation ladder."""
+
+    #: Relative headroom before a frame counts as a deadline miss.
+    tolerance: float = 0.05
+    #: Consecutive misses required to climb one rung.
+    escalate_after: int = 1
+    #: Outstanding debt (in slots) that forces one rung of escalation
+    #: per frame even without consecutive misses — a single huge spike
+    #: leaves the stream behind budget although every following frame
+    #: is individually on time.
+    escalate_debt_slots: float = 1.0
+    #: Consecutive on-time frames (with drained debt) to descend one
+    #: rung — the hysteresis.
+    recover_after: int = 3
+    #: Highest rung the ladder may reach.
+    max_level: DegradationLevel = DegradationLevel.FRAME_DROP
+    #: Drop corrupt input frames instead of raising
+    #: :class:`~repro.resilience.errors.CorruptFrameError`.
+    drop_corrupt_frames: bool = True
+    #: Raise :class:`~repro.resilience.errors.DeadlineMissError` when
+    #: the ladder is exhausted and debt still exceeds this many slots
+    #: (``None`` disables the hard failure — degrade forever).
+    fail_after_debt_slots: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        if self.escalate_after < 1 or self.recover_after < 1:
+            raise ValueError("escalate_after/recover_after must be >= 1")
+
+
+@dataclass(frozen=True)
+class DegradationAction:
+    """One logged resilience event."""
+
+    frame_index: int
+    kind: str  # "escalate", "recover", "frame_drop", "corrupt_drop"
+    level: DegradationLevel
+
+
+@dataclass
+class DegradationReport:
+    """Summary of one stream's resilience behaviour."""
+
+    actions: List[DegradationAction] = field(default_factory=list)
+    frames_observed: int = 0
+    deadline_misses: int = 0
+    frames_dropped: int = 0
+    corrupt_frames_dropped: int = 0
+    final_debt_seconds: float = 0.0
+    final_level: DegradationLevel = DegradationLevel.NONE
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        if self.frames_observed == 0:
+            return 0.0
+        return self.deadline_misses / self.frames_observed
+
+    def action_counts(self) -> Dict[str, int]:
+        """Deterministically ordered ``kind -> count`` map."""
+        counts: Dict[str, int] = {}
+        for a in self.actions:
+            counts[a.kind] = counts.get(a.kind, 0) + 1
+        return {k: counts[k] for k in sorted(counts)}
+
+
+class DegradationController:
+    """Per-stream deadline monitor driving the degradation ladder.
+
+    Exposes the same observation interface as
+    :class:`~repro.transcode.feedback.FramerateFeedback`
+    (``observe_frame`` / ``bottleneck_tiles`` / ``debt_seconds``) so the
+    pipeline can use either interchangeably, plus the ladder state the
+    resilient pipeline consumes.
+    """
+
+    def __init__(self, fps: float, config: ResilienceConfig = ResilienceConfig()):
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        self.fps = fps
+        self.config = config
+        self._level = DegradationLevel.NONE
+        self._miss_streak = 0
+        self._hit_streak = 0
+        self._debt_seconds = 0.0
+        self._bottlenecks: Set[int] = set()
+        self.report = DegradationReport()
+
+    # -- observation ---------------------------------------------------
+    @property
+    def slot_duration(self) -> float:
+        return 1.0 / self.fps
+
+    @property
+    def level(self) -> DegradationLevel:
+        return self._level
+
+    @property
+    def debt_seconds(self) -> float:
+        return self._debt_seconds
+
+    @property
+    def bottleneck_tiles(self) -> Set[int]:
+        return set(self._bottlenecks)
+
+    def framerate_satisfied(self) -> bool:
+        return self._debt_seconds <= 0.0
+
+    def observe_frame(self, tile_cpu_times: Sequence[float],
+                      frame_index: int = -1) -> bool:
+        """Record one encoded frame's per-tile CPU times.
+
+        Returns ``True`` when the frame missed its deadline.  Work is
+        parallel across cores, so the frame's critical path is the
+        maximum tile time.
+        """
+        if not tile_cpu_times:
+            raise ValueError("no tile times supplied")
+        slot = self.slot_duration
+        threshold = slot * (1 + self.config.tolerance)
+        critical = max(tile_cpu_times)
+        self._debt_seconds = max(0.0, self._debt_seconds + critical - slot)
+        self._bottlenecks = {
+            i for i, t in enumerate(tile_cpu_times) if t > threshold
+        }
+        missed = critical > threshold
+        self.report.frames_observed += 1
+        if missed:
+            self.report.deadline_misses += 1
+            self._miss_streak += 1
+            self._hit_streak = 0
+            if self._miss_streak >= self.config.escalate_after:
+                self._escalate(frame_index)
+                self._miss_streak = 0
+        elif self._debt_seconds > self.config.escalate_debt_slots * slot:
+            # On time, but still behind budget: keep climbing the
+            # ladder so the backlog drains instead of lingering.
+            self._hit_streak = 0
+            self._miss_streak = 0
+            self._escalate(frame_index)
+        else:
+            self._hit_streak += 1
+            self._miss_streak = 0
+            if (
+                self._hit_streak >= self.config.recover_after
+                and self._debt_seconds <= 0.0
+                and self._level > DegradationLevel.NONE
+            ):
+                self._recover(frame_index)
+                self._hit_streak = 0
+        self._check_hard_failure(frame_index)
+        self._snapshot()
+        return missed
+
+    def _escalate(self, frame_index: int) -> None:
+        if self._level >= self.config.max_level:
+            return
+        self._level = DegradationLevel(self._level + 1)
+        self.report.actions.append(
+            DegradationAction(frame_index, "escalate", self._level)
+        )
+
+    def _recover(self, frame_index: int) -> None:
+        self._level = DegradationLevel(self._level - 1)
+        self.report.actions.append(
+            DegradationAction(frame_index, "recover", self._level)
+        )
+
+    def _check_hard_failure(self, frame_index: int) -> None:
+        limit = self.config.fail_after_debt_slots
+        if limit is None:
+            return
+        if (
+            self._level >= self.config.max_level
+            and self._debt_seconds > limit * self.slot_duration
+        ):
+            raise DeadlineMissError(
+                f"frame {frame_index}: ladder exhausted at "
+                f"{self._level.name} with {self._debt_seconds:.4f}s debt"
+            )
+
+    def _snapshot(self) -> None:
+        self.report.final_debt_seconds = self._debt_seconds
+        self.report.final_level = self._level
+
+    # -- responses -----------------------------------------------------
+    def adjust_tile(self, qp: int, window: int, is_bottleneck: bool,
+                    qp_max: int, delta_qp: int) -> tuple:
+        """Apply the current rung's lighter configuration to one tile."""
+        if self._level >= DegradationLevel.QP_BUMP and is_bottleneck:
+            qp = min(qp_max, qp + delta_qp)
+        if self._level >= DegradationLevel.WINDOW_SHRINK:
+            window = max(8, window // 2)
+        elif is_bottleneck and self._level >= DegradationLevel.QP_BUMP:
+            window = max(8, window // 2)
+        return qp, window
+
+    @property
+    def merge_tiles(self) -> bool:
+        """Next re-tiling should use a reduced maximum tile count."""
+        return self._level >= DegradationLevel.TILE_MERGE
+
+    def should_drop_frame(self) -> bool:
+        """At the top rung, drop frames while debt is outstanding."""
+        return (
+            self._level >= DegradationLevel.FRAME_DROP
+            and self._debt_seconds > 0.0
+        )
+
+    def observe_dropped_frame(self, frame_index: int) -> None:
+        """Account for a deliberately dropped frame: its whole slot is
+        reclaimed against the debt."""
+        self._debt_seconds = max(0.0, self._debt_seconds - self.slot_duration)
+        self.report.frames_dropped += 1
+        self.report.actions.append(
+            DegradationAction(frame_index, "frame_drop", self._level)
+        )
+        if self._debt_seconds <= 0.0:
+            # Budget restored; resume encoding one rung down.
+            self._recover(frame_index)
+            self._hit_streak = 0
+        self._snapshot()
+
+    def observe_corrupt_frame(self, frame_index: int) -> None:
+        """Account for a corrupt input frame dropped by validation."""
+        self.report.corrupt_frames_dropped += 1
+        self.report.actions.append(
+            DegradationAction(frame_index, "corrupt_drop", self._level)
+        )
+        self._snapshot()
+
+    def reset(self) -> None:
+        self._debt_seconds = 0.0
+        self._bottlenecks.clear()
+        self._miss_streak = 0
+        self._hit_streak = 0
+        self._level = DegradationLevel.NONE

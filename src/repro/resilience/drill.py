@@ -1,0 +1,262 @@
+"""Seeded end-to-end chaos drill (``repro fault-drill``).
+
+Runs the whole serving stack — synthetic stream generation, resilient
+transcoding, multi-slot allocation — under a configured fault load
+(corrupt frames, CPU-time spikes, mid-service core failures, LUT
+corruption) and reports what survived.  Every random draw flows through
+one :class:`~repro.resilience.faults.FaultInjector` generator, so the
+survival report is byte-identical across runs with the same seed.
+
+The drill's pass criterion mirrors the paper's online constraint: a
+stream is "within budget" when it finishes with less than one ``1/FPS``
+slot of outstanding deadline debt — i.e. the degradation ladder
+absorbed the injected spikes instead of letting them accumulate.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.allocation.proposed import ProposedAllocator
+from repro.platform.mpsoc import MpsocConfig
+from repro.resilience.checkpoint import load_lut, save_lut
+from repro.resilience.degradation import ResilienceConfig
+from repro.resilience.errors import TranscodeError
+from repro.resilience.faults import FaultConfig, FaultInjector
+from repro.transcode.pipeline import PipelineConfig, StreamTranscoder
+from repro.transcode.server import ResilientServingReport, TranscodingServer
+from repro.video.generator import (
+    BioMedicalVideoGenerator,
+    ContentClass,
+    GeneratorConfig,
+    MotionPreset,
+)
+from repro.workload.estimator import WorkloadEstimator
+
+_CONTENT_CYCLE = (ContentClass.BRAIN, ContentClass.BONE, ContentClass.LUNG)
+_MOTION_CYCLE = (MotionPreset.PAN_RIGHT, MotionPreset.PULSATE,
+                 MotionPreset.PAN_DOWN)
+
+
+@dataclass(frozen=True)
+class DrillConfig:
+    """Scenario parameters of one chaos drill."""
+
+    seed: int = 0
+    num_streams: int = 4
+    frames_per_stream: int = 12
+    width: int = 96
+    height: int = 80
+    #: Stream framerate.  High on purpose: the tighter slot makes the
+    #: injected CPU-time spikes actually threaten the deadline on the
+    #: small drill videos.
+    fps: float = 120.0
+    core_failure_rate: float = 0.2
+    frame_corruption_rate: float = 0.05
+    time_spike_rate: float = 0.1
+    time_spike_factor: float = 8.0
+    lut_corruption_rate: float = 0.25
+    num_slots: int = 6
+    num_users: int = 12
+    #: Drill platform: one 8-core socket, so 20% core failures and
+    #: shedding actually bind (the paper's 32-core server would absorb
+    #: the tiny drill workload without breaking a sweat).
+    platform: MpsocConfig = MpsocConfig(num_sockets=1, cores_per_socket=8)
+
+    def fault_config(self) -> FaultConfig:
+        return FaultConfig(
+            seed=self.seed,
+            core_failure_rate=self.core_failure_rate,
+            frame_corruption_rate=self.frame_corruption_rate,
+            time_spike_rate=self.time_spike_rate,
+            time_spike_factor=self.time_spike_factor,
+            lut_corruption_rate=self.lut_corruption_rate,
+        )
+
+
+@dataclass
+class StreamOutcome:
+    """Per-stream survival record."""
+
+    stream_id: int
+    survived: bool
+    within_budget: bool
+    frames_encoded: int
+    frames_dropped: int
+    corrupt_frames_dropped: int
+    deadline_misses: int
+    final_debt_seconds: float
+    action_counts: Dict[str, int] = field(default_factory=dict)
+    failure: str = ""
+
+
+@dataclass
+class DrillReport:
+    """Aggregated survival report of one drill."""
+
+    config: DrillConfig
+    streams: List[StreamOutcome] = field(default_factory=list)
+    serving: Optional[ResilientServingReport] = None
+    injected: Dict[str, int] = field(default_factory=dict)
+    lut_entries: int = 0
+    lut_entries_removed: int = 0
+    checkpoint_recovered: bool = True
+
+    @property
+    def streams_survived(self) -> int:
+        return sum(1 for s in self.streams if s.survived)
+
+    @property
+    def streams_within_budget(self) -> int:
+        return sum(1 for s in self.streams if s.within_budget)
+
+    @property
+    def passed(self) -> bool:
+        if not self.streams:
+            return False
+        return self.streams_within_budget >= 0.8 * len(self.streams)
+
+    def format(self) -> str:
+        """Render the survival report (stable across runs: fixed field
+        order, fixed float precision, no paths or timestamps)."""
+        cfg = self.config
+        lines = [
+            f"fault drill: seed={cfg.seed} streams={cfg.num_streams} "
+            f"frames={cfg.frames_per_stream} fps={cfg.fps:g}",
+            f"fault rates: core={cfg.core_failure_rate:g} "
+            f"frame={cfg.frame_corruption_rate:g} "
+            f"spike={cfg.time_spike_rate:g}x{cfg.time_spike_factor:g} "
+            f"lut={cfg.lut_corruption_rate:g}",
+        ]
+        injected = " ".join(
+            f"{k}={v}" for k, v in sorted(self.injected.items())
+        ) or "none"
+        lines.append(f"faults injected: {injected}")
+        for s in self.streams:
+            actions = " ".join(
+                f"{k}={v}" for k, v in sorted(s.action_counts.items())
+            ) or "none"
+            status = "ok" if s.survived else f"FAILED({s.failure})"
+            budget = "yes" if s.within_budget else "NO"
+            lines.append(
+                f"stream {s.stream_id}: {status} encoded={s.frames_encoded} "
+                f"dropped={s.frames_dropped} corrupt={s.corrupt_frames_dropped} "
+                f"misses={s.deadline_misses} "
+                f"debt={s.final_debt_seconds:.4f}s in_budget={budget} "
+                f"actions: {actions}"
+            )
+        lines.append(
+            f"streams: survived={self.streams_survived}/{len(self.streams)} "
+            f"within_budget={self.streams_within_budget}/{len(self.streams)}"
+        )
+        if self.serving is not None:
+            srv = self.serving
+            lines.append(
+                f"serving: requested={srv.num_users_requested} "
+                f"slots={srv.num_slots} cores_failed={srv.cores_failed} "
+                f"shed={srv.users_shed} retries={srv.retry_attempts} "
+                f"readmitted={srv.users_readmitted} "
+                f"final_served={srv.final_users_served} "
+                f"avg_power={srv.average_power_w:.2f}W"
+            )
+        lines.append(
+            f"lut: entries={self.lut_entries} "
+            f"corrupted_removed={self.lut_entries_removed} "
+            f"checkpoint_corruption_detected="
+            f"{'yes' if not self.checkpoint_recovered else 'no'}"
+        )
+        lines.append(
+            f"verdict: {'PASS' if self.passed else 'FAIL'} "
+            f"({self.streams_within_budget}/{len(self.streams)} streams "
+            "within the framerate budget, threshold 80%)"
+        )
+        return "\n".join(lines)
+
+
+def run_drill(config: DrillConfig = DrillConfig()) -> DrillReport:
+    """Execute one seeded chaos scenario end-to-end."""
+    injector = FaultInjector(config.fault_config())
+    report = DrillReport(config=config)
+    estimator = WorkloadEstimator()  # shared across streams, like a server
+    resilience = ResilienceConfig()
+    slot = 1.0 / config.fps
+
+    # -- phase 1: generate streams and poison their inputs -------------
+    videos = []
+    for i in range(config.num_streams):
+        gen = GeneratorConfig(
+            width=config.width, height=config.height,
+            num_frames=config.frames_per_stream, fps=config.fps,
+            content_class=_CONTENT_CYCLE[i % len(_CONTENT_CYCLE)],
+            motion=_MOTION_CYCLE[i % len(_MOTION_CYCLE)],
+            seed=config.seed * 997 + i,
+        )
+        video = BioMedicalVideoGenerator(gen).generate()
+        injector.corrupt_video(video)
+        videos.append(video)
+
+    # -- phase 2: resilient transcoding --------------------------------
+    traces = []
+    for i, video in enumerate(videos):
+        pipeline = PipelineConfig(fps=config.fps, resilience=resilience)
+        transcoder = StreamTranscoder(
+            pipeline, estimator=estimator, fault_injector=injector
+        )
+        try:
+            trace = transcoder.run(video)
+        except TranscodeError as exc:
+            report.streams.append(StreamOutcome(
+                stream_id=i, survived=False, within_budget=False,
+                frames_encoded=0, frames_dropped=0,
+                corrupt_frames_dropped=0, deadline_misses=0,
+                final_debt_seconds=0.0, failure=type(exc).__name__,
+            ))
+            continue
+        res = trace.resilience
+        traces.append(trace)
+        report.streams.append(StreamOutcome(
+            stream_id=i,
+            survived=True,
+            within_budget=res.final_debt_seconds < slot,
+            frames_encoded=len(trace.frame_records),
+            frames_dropped=res.frames_dropped,
+            corrupt_frames_dropped=res.corrupt_frames_dropped,
+            deadline_misses=res.deadline_misses,
+            final_debt_seconds=res.final_debt_seconds,
+            action_counts=res.action_counts(),
+        ))
+
+    # -- phase 3: serve under core failures ----------------------------
+    if traces:
+        server = TranscodingServer(platform=config.platform, fps=config.fps)
+        report.serving = server.serve_with_faults(
+            traces,
+            ProposedAllocator(config.platform),
+            injector,
+            num_slots=config.num_slots,
+            num_users=config.num_users,
+        )
+
+    # -- phase 4: LUT corruption, checkpoint and restore ---------------
+    lut = estimator.lut
+    report.lut_entries = len(lut)
+    injector.corrupt_lut(lut)
+    report.lut_entries_removed = lut.validate()
+    tmpdir = tempfile.mkdtemp(prefix="repro-fault-drill-")
+    path = os.path.join(tmpdir, "lut.json")
+    try:
+        save_lut(lut, path)
+        if config.lut_corruption_rate > 0:
+            injector.corrupt_file(path)
+        loaded = load_lut(path)
+        report.checkpoint_recovered = loaded.recovered
+    finally:
+        if os.path.exists(path):
+            os.remove(path)
+        os.rmdir(tmpdir)
+
+    report.injected = dict(sorted(injector.counts.items()))
+    return report

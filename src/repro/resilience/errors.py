@@ -1,0 +1,39 @@
+"""Typed error taxonomy for the transcoding stack.
+
+Bare ``ValueError``s give callers no way to distinguish "the input is
+garbage" from "the platform ran out of cores" from "the stream fell
+behind the framerate budget" — three situations with three different
+recovery strategies (drop the frame, shed a user, degrade the encoding
+configuration).  The hierarchy below makes the distinction explicit.
+
+Errors that replace pre-existing ``ValueError`` raises inherit from
+``ValueError`` too, so existing ``except ValueError`` call sites (and
+tests) keep working.
+"""
+
+from __future__ import annotations
+
+
+class TranscodeError(Exception):
+    """Base class of every error raised by the transcoding stack."""
+
+
+class CorruptFrameError(TranscodeError, ValueError):
+    """An input frame (or whole video) failed validation: mismatched
+    geometry, non-finite luma samples, or a frame too small for the
+    minimum tile size."""
+
+
+class DeadlineMissError(TranscodeError, RuntimeError):
+    """A stream exhausted the degradation ladder and still cannot meet
+    its ``1/FPS`` slot budget."""
+
+
+class AllocationError(TranscodeError, ValueError):
+    """Thread allocation cannot proceed: no usable cores, invalid slot
+    parameters, or an inconsistent schedule mutation."""
+
+
+class LutCorruptionError(TranscodeError, ValueError):
+    """A workload-LUT checkpoint failed its integrity check (checksum
+    mismatch, truncated payload, or undecodable key/histogram)."""

@@ -53,13 +53,17 @@ class FramerateFeedback:
         """Accumulated overrun against the rolling framerate budget."""
         return self._debt_seconds
 
-    def observe_frame(self, tile_cpu_times: Sequence[float]) -> None:
+    def observe_frame(self, tile_cpu_times: Sequence[float],
+                      frame_index: int = -1) -> None:
         """Record one frame's per-tile CPU times (seconds at the
         running frequency).
 
         The bottleneck set is recomputed: the tiles whose CPU time
         exceeds their proportional share of the slot.  The rolling debt
         tracks whether the stream keeps up with 1/FPS per frame.
+        ``frame_index`` is accepted for interface parity with
+        :class:`repro.resilience.degradation.DegradationController`
+        (which logs it) and is otherwise unused here.
         """
         if not tile_cpu_times:
             raise ValueError("no tile times supplied")
@@ -76,6 +80,17 @@ class FramerateFeedback:
             for i, t in enumerate(tile_cpu_times):
                 if t > threshold:
                     self._bottlenecks.add(i)
+
+    def adjust_tile(self, qp: int, window: int, is_bottleneck: bool,
+                    qp_max: int, delta_qp: int) -> tuple:
+        """The paper's single "alternative lighter configuration"
+        (§III-D2): bottleneck tiles get a QP bump and a halved search
+        window.  :class:`~repro.resilience.degradation.DegradationController`
+        overrides this with the full graded ladder."""
+        if is_bottleneck:
+            qp = min(qp_max, qp + delta_qp)
+            window = max(8, window // 2)
+        return qp, window
 
     def framerate_satisfied(self) -> bool:
         """True when the rolling budget has no outstanding debt."""

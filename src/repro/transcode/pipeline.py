@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -37,6 +38,13 @@ from repro.platform.mpsoc import MpsocConfig, XEON_E5_2667
 from repro.platform.schedule import ThreadTask
 from repro.qp.adaptation import QpAdapter, TileQualityFeedback
 from repro.qp.defaults import DELTA_QP, QP_MAX, QualityConstraints
+from repro.resilience.degradation import (
+    DegradationController,
+    DegradationReport,
+    ResilienceConfig,
+)
+from repro.resilience.errors import CorruptFrameError
+from repro.resilience.faults import FaultInjector
 from repro.tiling.constraints import TilingConstraints
 from repro.tiling.content_aware import ContentAwareRetiler
 from repro.tiling.tile import TileGrid
@@ -53,14 +61,21 @@ class PipelineMode(enum.Enum):
 
 
 _CLASSIFIER = None
+_CLASSIFIER_LOCK = threading.Lock()
 
 
 def _shared_classifier():
-    """Process-wide body-part classifier (built once, lazily)."""
+    """Process-wide body-part classifier (built once, lazily).
+
+    Double-checked locking: concurrent ``StreamTranscoder.run`` calls
+    must not each fit their own classifier (the build is expensive and
+    the unsynchronized check-then-assign was a race)."""
     global _CLASSIFIER
     if _CLASSIFIER is None:
-        from repro.analysis.classes import default_classifier
-        _CLASSIFIER = default_classifier()
+        with _CLASSIFIER_LOCK:
+            if _CLASSIFIER is None:
+                from repro.analysis.classes import default_classifier
+                _CLASSIFIER = default_classifier()
     return _CLASSIFIER
 
 
@@ -85,6 +100,11 @@ class PipelineConfig:
     #: [19]: tile/core count per user; ``None`` derives it from the
     #: first GOP's measured workload (capacity rule).
     khan_cores: Optional[int] = None
+    #: Enables the resilience layer (proposed mode only): corrupt
+    #: frames are dropped instead of raising, and deadline pressure is
+    #: answered by the graded degradation ladder instead of the single
+    #: lighter configuration.
+    resilience: Optional[ResilienceConfig] = None
 
     @classmethod
     def khan(cls, **overrides) -> "PipelineConfig":
@@ -178,6 +198,12 @@ class StreamTrace:
 
     gops: List[GopRecord] = field(default_factory=list)
     fps: float = 24.0
+    #: Display indices of frames that were not encoded: corrupt inputs
+    #: dropped by validation plus deliberate degradation-ladder drops.
+    dropped_frames: List[int] = field(default_factory=list)
+    #: Degradation-ladder summary (``None`` without a resilience
+    #: config).
+    resilience: Optional[DegradationReport] = None
 
     @property
     def frame_records(self) -> List[FrameRecord]:
@@ -217,10 +243,12 @@ class StreamTrace:
         return self.total_bits / (n / self.fps) / 1e6
 
     def steady_state_gop(self) -> GopRecord:
-        """The last GOP — LUT warmed up, QPs settled."""
-        if not self.gops:
-            raise ValueError("empty trace")
-        return self.gops[-1]
+        """The last GOP with encoded frames — LUT warmed up, QPs
+        settled (a resilient run may end on a fully-dropped GOP)."""
+        for gop in reversed(self.gops):
+            if gop.frames:
+                return gop
+        raise ValueError("empty trace")
 
 
 class StreamTranscoder:
@@ -232,38 +260,103 @@ class StreamTranscoder:
         config: PipelineConfig = PipelineConfig(),
         cost_model: Optional[CostModel] = None,
         estimator: Optional[WorkloadEstimator] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         self.config = config
         self.cost_model = cost_model or CostModel()
         self.estimator = estimator or WorkloadEstimator()
         self.evaluator = ContentEvaluator()
         self.retiler = ContentAwareRetiler(config.tiling, self.evaluator)
+        self._merged_retiler: Optional[ContentAwareRetiler] = None
         self._frame_encoder = FrameEncoder()
+        self.fault_injector = fault_injector
 
     # ------------------------------------------------------------------
     def run(self, video: Video) -> StreamTrace:
-        """Transcode the whole video; returns the stream trace."""
+        """Transcode the whole video; returns the stream trace.
+
+        Input validation happens here: an empty video, a video whose
+        frames are all corrupt, or a frame smaller than the minimum
+        tile size raise :class:`CorruptFrameError`; individual corrupt
+        frames (mismatched geometry, non-finite luma) raise too unless
+        a resilience config is set, in which case they are dropped and
+        logged.
+        """
         if len(video) == 0:
-            raise ValueError("cannot transcode an empty video")
+            raise CorruptFrameError("cannot transcode an empty video")
+        corrupt = self._validate_video(video)
         self._resolved_class = self.config.content_class
         if self._resolved_class is None:
             # Recognise the body-part class so LUT entries are shared
             # with previously-seen videos of the same class (§III-D1).
-            self._resolved_class = _shared_classifier().classify_frame(video[0])
+            first_valid = next(
+                f for f in video.frames if f.index not in corrupt
+            )
+            self._resolved_class = _shared_classifier().classify_frame(first_valid)
         if self.config.mode is PipelineMode.PROPOSED:
-            return self._run_proposed(video)
+            return self._run_proposed(video, corrupt)
         return self._run_khan(video)
+
+    # ------------------------------------------------------------------
+    def _validate_video(self, video: Video) -> Set[int]:
+        """Find corrupt frames; raise unless resilience absorbs them.
+
+        A frame is corrupt when its luma plane is not a 2-D ``uint8``
+        array (NaN poisoning converts the dtype), contains non-finite
+        values, or disagrees with the video's reference geometry.
+        """
+        reference_shape = None
+        corrupt: Set[int] = set()
+        for frame in video.frames:
+            luma = frame.luma
+            ok = (
+                isinstance(luma, np.ndarray)
+                and luma.ndim == 2
+                and luma.dtype == np.uint8
+            )
+            if ok and reference_shape is None:
+                reference_shape = luma.shape
+            elif ok and luma.shape != reference_shape:
+                ok = False
+            if not ok:
+                corrupt.add(frame.index)
+        if reference_shape is None:
+            raise CorruptFrameError("every frame of the video is corrupt")
+        height, width = reference_shape
+        tiling = self.config.tiling
+        if width < tiling.min_tile_width or height < tiling.min_tile_height:
+            raise CorruptFrameError(
+                f"frame {width}x{height} smaller than the minimum tile "
+                f"size {tiling.min_tile_width}x{tiling.min_tile_height}"
+            )
+        resilient = (
+            self.config.resilience is not None
+            and self.config.resilience.drop_corrupt_frames
+            and self.config.mode is PipelineMode.PROPOSED
+        )
+        if corrupt and not resilient:
+            raise CorruptFrameError(
+                f"corrupt frames at indices {sorted(corrupt)}: mismatched "
+                "geometry or non-finite luma"
+            )
+        return corrupt
 
     # ------------------------------------------------------------------
     # Proposed pipeline
     # ------------------------------------------------------------------
-    def _run_proposed(self, video: Video) -> StreamTrace:
+    def _run_proposed(self, video: Video,
+                      corrupt: Optional[Set[int]] = None) -> StreamTrace:
         cfg = self.config
+        corrupt = corrupt or set()
         gop_size = cfg.gop.size
         trace = StreamTrace(fps=cfg.fps)
         adapter = QpAdapter(cfg.quality)
         policy = BioMedicalSearchPolicy(cfg.search)
-        feedback = FramerateFeedback(fps=cfg.fps)
+        if cfg.resilience is not None:
+            feedback = DegradationController(cfg.fps, cfg.resilience)
+        else:
+            feedback = FramerateFeedback(fps=cfg.fps)
+        resilient = isinstance(feedback, DegradationController)
         reference: Optional[np.ndarray] = None
         previous_original: Optional[np.ndarray] = None
         prev_frame_feedback: Dict[int, TileQualityFeedback] = {}
@@ -271,9 +364,22 @@ class StreamTranscoder:
         recent_bits: List[int] = []  # rolling ~1 s window for BR_{t-dt}
         num_gops = math.ceil(len(video) / gop_size)
         for g in range(num_gops):
-            frames = video.frames[g * gop_size : (g + 1) * gop_size]
-            # Re-tiling once per GOP on its first frame (§III-D2).
-            retiling = self.retiler.retile(frames[0].luma, previous_original)
+            all_frames = video.frames[g * gop_size : (g + 1) * gop_size]
+            frames = []
+            for frame in all_frames:
+                if frame.index in corrupt:
+                    trace.dropped_frames.append(frame.index)
+                    feedback.observe_corrupt_frame(frame.index)
+                else:
+                    frames.append(frame)
+            if not frames:
+                continue  # whole GOP corrupt: nothing to encode
+            # Re-tiling once per GOP on its first frame (§III-D2); under
+            # TILE_MERGE pressure the maximum tile count is halved.
+            retiling = self._retile(
+                frames[0].luma, previous_original,
+                merged=resilient and feedback.merge_tiles,
+            )
             grid, contents = retiling.grid, retiling.contents
             adapter.reset()
             policy.start_gop()
@@ -282,11 +388,20 @@ class StreamTranscoder:
 
             for pos, frame in enumerate(frames):
                 frame_type = cfg.gop.frame_type(pos)
+                if resilient and pos > 0 and feedback.should_drop_frame():
+                    # Top ladder rung: skip this P frame outright; its
+                    # whole slot is reclaimed against the debt.
+                    trace.dropped_frames.append(frame.index)
+                    feedback.observe_dropped_frame(frame.index)
+                    continue
                 if not cfg.retile_per_gop and pos > 0:
                     # Ablation mode: re-tile on every frame.  Tile
                     # identities change, so per-tile adaptation state
                     # restarts — the cost the per-GOP scheme avoids.
-                    retiling = self.retiler.retile(frame.luma, previous_original)
+                    retiling = self._retile(
+                        frame.luma, previous_original,
+                        merged=resilient and feedback.merge_tiles,
+                    )
                     grid, contents = retiling.grid, retiling.contents
                     record.grid, record.contents = grid, contents
                     adapter.reset()
@@ -306,15 +421,36 @@ class StreamTranscoder:
                 if len(recent_bits) > window:
                     recent_bits = recent_bits[-window:]
                 feedback.observe_frame(
-                    [t.cpu_time_fmax for t in frame_record.tiles]
+                    [t.cpu_time_fmax for t in frame_record.tiles],
+                    frame.index,
                 )
                 prev_frame_feedback = {
                     t.tile_index: TileQualityFeedback(psnr_db=t.psnr, bits=t.bits)
                     for t in frame_record.tiles
                 }
                 previous_original = frame.luma
-            trace.gops.append(record)
+            if record.frames:
+                trace.gops.append(record)
+        if resilient:
+            trace.resilience = feedback.report
         return trace
+
+    def _retile(self, luma: np.ndarray, previous: Optional[np.ndarray],
+                merged: bool = False):
+        """Re-tile, optionally with the TILE_MERGE-reduced tile cap."""
+        if not merged:
+            return self.retiler.retile(luma, previous)
+        if self._merged_retiler is None:
+            constraints = self.config.tiling
+            merged_constraints = replace(
+                constraints,
+                max_tiles=max(constraints.min_center_tiles + 1,
+                              constraints.max_tiles // 2),
+            )
+            self._merged_retiler = ContentAwareRetiler(
+                merged_constraints, self.evaluator
+            )
+        return self._merged_retiler.retile(luma, previous)
 
     def _encode_proposed_frame(
         self,
@@ -341,13 +477,13 @@ class StreamTranscoder:
                 i, content.texture, prev_feedback.get(i),
                 stream_bitrate_mbps=stream_bitrate_mbps,
             )
-            if i in bottlenecks:
-                # Alternative lighter configuration (§III-D2).
-                qp = min(QP_MAX, qp + DELTA_QP)
-            configs.append(cfg.base_config.with_qp(qp))
             _, window = policy.select(content.motion, gop_position <= 1)
-            if i in bottlenecks:
-                window = max(8, window // 2)
+            # Lighter configuration (§III-D2) — either the paper's
+            # single alternative or the resilience ladder's current rung.
+            qp, window = feedback.adjust_tile(
+                qp, window, i in bottlenecks, QP_MAX, DELTA_QP
+            )
+            configs.append(cfg.base_config.with_qp(qp))
             windows.append(window)
             hooks.append(
                 self._make_hook(policy, content.motion, gop_position, i, window)
@@ -441,6 +577,8 @@ class StreamTranscoder:
         tile_records = []
         for i, tile_stat in enumerate(frame_stats.tiles):
             cpu_time = self.cost_model.seconds(tile_stat.ops, f_max)
+            if self.fault_injector is not None:
+                cpu_time = self.fault_injector.perturb_cpu_time(cpu_time)
             texture = contents[i].texture if contents else TextureClass.MEDIUM
             motion = contents[i].motion if contents else MotionClass.HIGH
             tile_records.append(

@@ -13,7 +13,7 @@ datacentre simulator would.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -21,23 +21,87 @@ from repro.allocation.demand import UserDemand
 from repro.allocation.proposed import AllocationResult
 from repro.platform.mpsoc import MpsocConfig, XEON_E5_2667
 from repro.platform.power import PowerModel
+from repro.resilience.errors import AllocationError
+from repro.resilience.faults import FaultInjector
 from repro.transcode.pipeline import StreamTrace
 
 
 @dataclass
 class ServingReport:
-    """Outcome of one serving experiment."""
+    """Outcome of one serving experiment.
+
+    Quality fields are ``None`` when no user was admitted (an empty
+    sample has no min/max/mean — the previous NaN sentinel leaked
+    RuntimeWarnings into every downstream aggregation).
+    """
 
     num_users_served: int
     num_users_requested: int
     average_power_w: float
-    psnr_avg: float
-    psnr_min: float
-    psnr_max: float
-    bitrate_avg_mbps: float
-    bitrate_min_mbps: float
-    bitrate_max_mbps: float
+    psnr_avg: Optional[float]
+    psnr_min: Optional[float]
+    psnr_max: Optional[float]
+    bitrate_avg_mbps: Optional[float]
+    bitrate_min_mbps: Optional[float]
+    bitrate_max_mbps: Optional[float]
     allocation: Optional[AllocationResult] = None
+
+
+def _sample_stats(values: Sequence[float]) -> Tuple[
+        Optional[float], Optional[float], Optional[float]]:
+    """(mean, min, max) of a sample, or all-``None`` when empty."""
+    if not values:
+        return None, None, None
+    return float(np.mean(values)), float(np.min(values)), float(np.max(values))
+
+
+@dataclass
+class SlotOutcome:
+    """What happened during one served ``1/FPS`` slot of a fault run."""
+
+    slot_index: int
+    users_served: int
+    power_w: float
+    failed_cores: List[int] = field(default_factory=list)
+    shed_users: List[int] = field(default_factory=list)
+    retried_users: List[int] = field(default_factory=list)
+    readmitted_users: List[int] = field(default_factory=list)
+
+
+@dataclass
+class ResilientServingReport:
+    """Outcome of a multi-slot serving run under injected core
+    failures (see :meth:`TranscodingServer.serve_with_faults`)."""
+
+    num_users_requested: int
+    num_slots: int
+    slots: List[SlotOutcome] = field(default_factory=list)
+
+    @property
+    def cores_failed(self) -> int:
+        return sum(len(s.failed_cores) for s in self.slots)
+
+    @property
+    def users_shed(self) -> int:
+        return sum(len(s.shed_users) for s in self.slots)
+
+    @property
+    def users_readmitted(self) -> int:
+        return sum(len(s.readmitted_users) for s in self.slots)
+
+    @property
+    def retry_attempts(self) -> int:
+        return sum(len(s.retried_users) for s in self.slots)
+
+    @property
+    def final_users_served(self) -> int:
+        return self.slots[-1].users_served if self.slots else 0
+
+    @property
+    def average_power_w(self) -> float:
+        if not self.slots:
+            return 0.0
+        return float(np.mean([s.power_w for s in self.slots]))
 
 
 class TranscodingServer:
@@ -97,21 +161,113 @@ class TranscodingServer:
             trace = traces[demand.user_id % len(traces)]
             psnrs.append(trace.average_psnr)
             rates.append(trace.bitrate_mbps)
-        if not psnrs:
-            psnrs = [float("nan")]
-            rates = [float("nan")]
+        psnr_stats = _sample_stats(psnrs)
+        rate_stats = _sample_stats(rates)
         return ServingReport(
             num_users_served=result.num_users_served,
             num_users_requested=requested,
             average_power_w=power,
-            psnr_avg=float(np.mean(psnrs)),
-            psnr_min=float(np.min(psnrs)),
-            psnr_max=float(np.max(psnrs)),
-            bitrate_avg_mbps=float(np.mean(rates)),
-            bitrate_min_mbps=float(np.min(rates)),
-            bitrate_max_mbps=float(np.max(rates)),
+            psnr_avg=psnr_stats[0],
+            psnr_min=psnr_stats[1],
+            psnr_max=psnr_stats[2],
+            bitrate_avg_mbps=rate_stats[0],
+            bitrate_min_mbps=rate_stats[1],
+            bitrate_max_mbps=rate_stats[2],
             allocation=result,
         )
+
+    # ------------------------------------------------------------------
+    def serve_with_faults(
+        self,
+        traces: Sequence[StreamTrace],
+        allocator,
+        injector: FaultInjector,
+        num_slots: int = 6,
+        num_users: Optional[int] = None,
+        max_backoff_slots: int = 8,
+    ) -> ResilientServingReport:
+        """Serve users across several slots while cores fail.
+
+        The injector assigns each failing core a failure slot.  When a
+        core dies, the allocator evicts its :class:`CoreSlot`, re-packs
+        the orphaned threads onto the survivors and sheds the
+        lowest-priority users if the remaining capacity no longer
+        covers the admitted demand.  Rejected and shed users retry
+        admission with exponential backoff (1, 2, 4, ... slots, capped
+        at ``max_backoff_slots``).
+
+        ``allocator`` must support the re-allocation API
+        (:meth:`~repro.allocation.proposed.ProposedAllocator.reallocate`
+        and the ``failed_cores`` parameter of ``allocate``).
+        """
+        if num_slots < 1:
+            raise AllocationError("need at least one slot")
+        requested = (
+            4 * self.platform.num_cores if num_users is None else num_users
+        )
+        demands = self.demands(traces, requested)
+        by_id = {d.user_id: d for d in demands}
+        failure_schedule = injector.failure_schedule(
+            list(range(self.platform.num_cores)), num_slots
+        )
+        failed: Set[int] = set()
+        # user_id -> [next attempt slot, next backoff]
+        waiting: Dict[int, List[int]] = {}
+
+        def schedule_retry(user_id: int, now: int, backoff: int) -> None:
+            waiting[user_id] = [now + backoff,
+                                min(backoff * 2, max_backoff_slots)]
+
+        result = allocator.allocate(demands, self.fps)
+        for demand in result.rejected:
+            schedule_retry(demand.user_id, 0, 1)
+
+        report = ResilientServingReport(
+            num_users_requested=requested, num_slots=num_slots
+        )
+        for slot_index in range(num_slots):
+            outcome = SlotOutcome(slot_index=slot_index, users_served=0,
+                                  power_w=0.0)
+            if slot_index > 0:
+                newly_failed = failure_schedule.get(slot_index, [])
+                if newly_failed:
+                    failed.update(newly_failed)
+                    outcome.failed_cores = list(newly_failed)
+                    result = allocator.reallocate(
+                        result, newly_failed, self.fps
+                    )
+                    for demand in result.shed:
+                        outcome.shed_users.append(demand.user_id)
+                        schedule_retry(demand.user_id, slot_index, 1)
+                due = [uid for uid, (when, _) in waiting.items()
+                       if when <= slot_index]
+                if due and len(failed) < self.platform.num_cores:
+                    outcome.retried_users = sorted(due)
+                    candidates = list(result.admitted) + [
+                        by_id[uid] for uid in sorted(due)
+                    ]
+                    result = allocator.allocate(
+                        candidates, self.fps, failed_cores=failed
+                    )
+                    admitted_ids = {d.user_id for d in result.admitted}
+                    for uid in sorted(due):
+                        if uid in admitted_ids:
+                            outcome.readmitted_users.append(uid)
+                            del waiting[uid]
+                        else:
+                            backoff = waiting[uid][1]
+                            schedule_retry(uid, slot_index, backoff)
+                    # A previously-active user squeezed out by the
+                    # re-admission counts as shed and retries too.
+                    for demand in candidates:
+                        uid = demand.user_id
+                        if uid not in admitted_ids and uid not in waiting:
+                            outcome.shed_users.append(uid)
+                            schedule_retry(uid, slot_index, 1)
+            outcome.users_served = result.num_users_served
+            outcome.power_w = result.schedule.average_power(self.power_model)
+            report.slots.append(outcome)
+        return report
 
     # ------------------------------------------------------------------
     def power_savings_percent(
@@ -126,6 +282,10 @@ class TranscodingServer:
         (the paper's Fig. 4 metric)."""
         rep_p = self.serve(traces_proposed, allocator_proposed, num_users)
         rep_b = self.serve(traces_baseline, allocator_baseline, num_users)
+        if rep_p.num_users_served == 0 or rep_b.num_users_served == 0:
+            raise AllocationError(
+                "power savings undefined: a side admitted zero users"
+            )
         if rep_b.average_power_w <= 0:
             raise ValueError("baseline power must be positive")
         return (1.0 - rep_p.average_power_w / rep_b.average_power_w) * 100.0

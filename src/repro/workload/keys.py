@@ -56,3 +56,34 @@ class WorkloadKey:
             area_bucket=self.area_bucket,
             content_class=None,
         )
+
+    # -- serialization (LUT checkpointing) -----------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable form (enum names/values, not objects)."""
+        return {
+            "texture": self.texture.name,
+            "motion": self.motion.name,
+            "qp": self.qp,
+            "search_window": self.search_window,
+            "frame_type": self.frame_type.name,
+            "area_bucket": self.area_bucket,
+            "content_class": (
+                None if self.content_class is None else self.content_class.value
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadKey":
+        """Inverse of :meth:`to_dict`; raises ``KeyError``/``ValueError``
+        on unknown enum names (treated as corruption by the checkpoint
+        loader)."""
+        content = data["content_class"]
+        return cls(
+            texture=TextureClass[data["texture"]],
+            motion=MotionClass[data["motion"]],
+            qp=int(data["qp"]),
+            search_window=int(data["search_window"]),
+            frame_type=FrameType[data["frame_type"]],
+            area_bucket=int(data["area_bucket"]),
+            content_class=None if content is None else ContentClass(content),
+        )

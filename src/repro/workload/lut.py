@@ -8,6 +8,7 @@ estimate the workload for robust thread allocation and DVFS."
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -88,6 +89,47 @@ class CpuTimeHistogram:
                 return self._bin_center(i)
         return self._bin_center(self.num_bins - 1)
 
+    # -- integrity & serialization -------------------------------------
+    def is_consistent(self) -> bool:
+        """Internal-consistency check used to detect corrupted
+        entries: bin counts must be non-negative and sum to the running
+        count, and the running sum must be finite and non-negative."""
+        if not math.isfinite(self._sum) or self._sum < 0:
+            return False
+        if self._count < 0 or (self.counts < 0).any():
+            return False
+        return int(self.counts.sum()) == self._count
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of the histogram state."""
+        return {
+            "t_min": self.t_min,
+            "t_max": self.t_max,
+            "num_bins": self.num_bins,
+            "counts": [int(c) for c in self.counts],
+            "sum": self._sum,
+            "count": self._count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CpuTimeHistogram":
+        """Rebuild a histogram from :meth:`to_dict` output; raises
+        ``ValueError``/``KeyError``/``TypeError`` on malformed data."""
+        hist = cls(
+            t_min=float(data["t_min"]),
+            t_max=float(data["t_max"]),
+            num_bins=int(data["num_bins"]),
+        )
+        counts = data["counts"]
+        if len(counts) != hist.num_bins:
+            raise ValueError("bin count mismatch")
+        hist.counts = np.asarray(counts, dtype=np.int64)
+        hist._sum = float(data["sum"])
+        hist._count = int(data["count"])
+        if not hist.is_consistent():
+            raise ValueError("inconsistent histogram state")
+        return hist
+
 
 @dataclass
 class WorkloadLut:
@@ -119,3 +161,32 @@ class WorkloadLut:
 
     def __len__(self) -> int:
         return len(self.tables)
+
+    # -- integrity & serialization -------------------------------------
+    def validate(self) -> int:
+        """Drop internally-inconsistent histograms (e.g. after in-place
+        corruption); returns how many entries were removed.  Dropping
+        an entry is safe: lookups fall back to the generalized key or
+        the analytical seed, exactly as before the entry existed."""
+        bad = [k for k, h in self.tables.items() if not h.is_consistent()]
+        for k in bad:
+            del self.tables[k]
+        return len(bad)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot with deterministically ordered
+        entries (keyed by the serialized :class:`WorkloadKey`)."""
+        entries = [
+            {"key": key.to_dict(), "histogram": hist.to_dict()}
+            for key, hist in self.tables.items()
+        ]
+        entries.sort(key=lambda e: json.dumps(e["key"], sort_keys=True))
+        return {"entries": entries}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadLut":
+        lut = cls()
+        for entry in data["entries"]:
+            key = WorkloadKey.from_dict(entry["key"])
+            lut.tables[key] = CpuTimeHistogram.from_dict(entry["histogram"])
+        return lut

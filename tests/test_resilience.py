@@ -1,0 +1,439 @@
+"""Resilience subsystem: fault injection, degradation ladder,
+re-allocation on core failure, LUT checkpointing, and the fault drill."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.allocation.demand import UserDemand
+from repro.allocation.proposed import ProposedAllocator
+from repro.cli import main
+from repro.platform.mpsoc import MpsocConfig
+from repro.platform.schedule import ThreadTask
+from repro.resilience.checkpoint import load_lut, save_lut
+from repro.resilience.degradation import (
+    DegradationController,
+    DegradationLevel,
+    ResilienceConfig,
+)
+from repro.resilience.drill import DrillConfig, run_drill
+from repro.resilience.errors import (
+    AllocationError,
+    CorruptFrameError,
+    DeadlineMissError,
+    LutCorruptionError,
+    TranscodeError,
+)
+from repro.resilience.faults import FaultConfig, FaultInjector
+from repro.transcode.pipeline import PipelineConfig, StreamTranscoder
+from repro.video.frame import Frame, Video
+from repro.workload.estimator import WorkloadEstimator
+from repro.workload.lut import WorkloadLut
+
+SMALL_PLATFORM = MpsocConfig(num_sockets=1, cores_per_socket=4)
+
+
+def make_demand(user_id: int, thread_times, fps: float = 24.0) -> UserDemand:
+    return UserDemand(
+        user_id=user_id,
+        threads=[
+            ThreadTask(thread_id=i, user_id=user_id, cpu_time_fmax=t,
+                       tile_index=i)
+            for i, t in enumerate(thread_times)
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Error taxonomy
+# ---------------------------------------------------------------------------
+class TestErrorTaxonomy:
+    def test_all_errors_share_base(self):
+        for exc in (CorruptFrameError, DeadlineMissError, AllocationError,
+                    LutCorruptionError):
+            assert issubclass(exc, TranscodeError)
+
+    def test_value_error_compatibility(self):
+        # Pre-existing `except ValueError` call sites must keep working.
+        assert issubclass(CorruptFrameError, ValueError)
+        assert issubclass(AllocationError, ValueError)
+        assert issubclass(LutCorruptionError, ValueError)
+        assert issubclass(DeadlineMissError, RuntimeError)
+
+
+# ---------------------------------------------------------------------------
+# Allocator edge cases
+# ---------------------------------------------------------------------------
+class TestAllocatorEdgeCases:
+    def test_zero_thread_demand_not_admitted(self):
+        allocator = ProposedAllocator(SMALL_PLATFORM)
+        empty = UserDemand(user_id=0, threads=[])
+        busy = make_demand(1, [0.01, 0.01])
+        result = allocator.allocate([empty, busy], fps=24.0)
+        admitted_ids = {d.user_id for d in result.admitted}
+        assert admitted_ids == {1}
+        assert empty in result.rejected
+
+    def test_single_demand_exceeding_capacity_rejected(self):
+        allocator = ProposedAllocator(SMALL_PLATFORM)
+        slot = 1.0 / 24.0
+        # One user demanding more cores than the whole platform has.
+        giant = make_demand(0, [slot] * (SMALL_PLATFORM.num_cores + 2))
+        result = allocator.allocate([giant], fps=24.0)
+        assert result.num_users_served == 0
+        assert giant in result.rejected
+
+    def test_allocate_rejects_nonpositive_fps(self):
+        allocator = ProposedAllocator(SMALL_PLATFORM)
+        with pytest.raises(AllocationError):
+            allocator.allocate([make_demand(0, [0.01])], fps=0.0)
+
+    def test_allocate_with_all_cores_failed_raises(self):
+        allocator = ProposedAllocator(SMALL_PLATFORM)
+        with pytest.raises(AllocationError):
+            allocator.allocate(
+                [make_demand(0, [0.01])], fps=24.0,
+                failed_cores=set(range(SMALL_PLATFORM.num_cores)),
+            )
+
+    def test_allocate_avoids_failed_cores(self):
+        allocator = ProposedAllocator(SMALL_PLATFORM)
+        failed = {0, 2}
+        result = allocator.allocate(
+            [make_demand(0, [0.01, 0.01])], fps=24.0, failed_cores=failed
+        )
+        used = {s.core_id for s in result.schedule.slots}
+        assert not used & failed
+
+    def test_reallocate_repacks_orphans(self):
+        allocator = ProposedAllocator(SMALL_PLATFORM)
+        fps = 24.0
+        # ~0.96 cores per user: the packing spans several cores, so a
+        # failure orphans only part of the load.
+        demands = [make_demand(i, [0.02, 0.02]) for i in range(3)]
+        result = allocator.allocate(demands, fps)
+        assert len(result.schedule.slots) > 1
+        before = {
+            (t.user_id, t.thread_id)
+            for s in result.schedule.slots for t in s.tasks
+        }
+        failed = result.schedule.slots[0].core_id
+        recovered = allocator.reallocate(result, [failed], fps)
+        assert not recovered.schedule.has_core(failed)
+        after = {
+            (t.user_id, t.thread_id)
+            for s in recovered.schedule.slots for t in s.tasks
+        }
+        # No thread lost: every task re-packed onto a surviving core.
+        assert after == before
+        assert recovered.shed == []
+
+    def test_reallocate_sheds_lowest_priority_first(self):
+        platform = MpsocConfig(num_sockets=1, cores_per_socket=2)
+        allocator = ProposedAllocator(platform)
+        fps = 24.0
+        slot = 1.0 / fps
+        # Each user needs one full core; both cores start occupied.
+        demands = [make_demand(i, [slot]) for i in range(2)]
+        result = allocator.allocate(demands, fps)
+        assert result.num_users_served == 2
+        failed = result.schedule.slots[0].core_id
+        recovered = allocator.reallocate(result, [failed], fps)
+        # Highest user_id (= lowest priority) is the victim.
+        assert [d.user_id for d in recovered.shed] == [1]
+        assert [d.user_id for d in recovered.admitted] == [0]
+        for s in recovered.schedule.slots:
+            assert all(t.user_id == 0 for t in s.tasks)
+
+    def test_reallocate_all_cores_failed_sheds_everyone(self):
+        allocator = ProposedAllocator(SMALL_PLATFORM)
+        fps = 24.0
+        demands = [make_demand(i, [0.005]) for i in range(2)]
+        result = allocator.allocate(demands, fps)
+        every_core = [s.core_id for s in result.schedule.slots]
+        recovered = allocator.reallocate(result, every_core, fps)
+        assert recovered.admitted == []
+        assert {d.user_id for d in recovered.shed} == {0, 1}
+
+    def test_evict_unknown_core_raises(self):
+        allocator = ProposedAllocator(SMALL_PLATFORM)
+        result = allocator.allocate([make_demand(0, [0.005])], fps=24.0)
+        with pytest.raises(AllocationError):
+            result.schedule.evict_core(10_000)
+
+
+# ---------------------------------------------------------------------------
+# Degradation ladder
+# ---------------------------------------------------------------------------
+class TestDegradationLadder:
+    FPS = 100.0  # slot = 10 ms
+
+    def controller(self, **overrides) -> DegradationController:
+        defaults = dict(escalate_after=1, recover_after=2,
+                        escalate_debt_slots=1.0)
+        defaults.update(overrides)
+        return DegradationController(self.FPS, ResilienceConfig(**defaults))
+
+    def test_escalates_on_consecutive_misses(self):
+        ctl = self.controller(escalate_after=2)
+        assert ctl.observe_frame([0.02])  # miss 1: no escalation yet
+        assert ctl.level is DegradationLevel.NONE
+        assert ctl.observe_frame([0.02])  # miss 2: climb one rung
+        assert ctl.level is DegradationLevel.QP_BUMP
+
+    def test_escalates_while_debt_outstanding(self):
+        # One huge spike, then individually on-time frames: the ladder
+        # must keep climbing while the backlog exceeds a slot.
+        ctl = self.controller()
+        ctl.observe_frame([0.08])  # 7 slots of debt
+        assert ctl.level is DegradationLevel.QP_BUMP
+        ctl.observe_frame([0.005])  # on time but still behind budget
+        assert ctl.level is DegradationLevel.WINDOW_SHRINK
+
+    def test_hysteresis_requires_streak_and_drained_debt(self):
+        ctl = self.controller(recover_after=2)
+        ctl.observe_frame([0.012])  # small miss -> QP_BUMP, slight debt
+        assert ctl.level is DegradationLevel.QP_BUMP
+        ctl.observe_frame([0.002])  # on time, drains debt (streak 1)
+        assert ctl.level is DegradationLevel.QP_BUMP
+        ctl.observe_frame([0.002])  # streak 2 and no debt: descend
+        assert ctl.level is DegradationLevel.NONE
+
+    def test_max_level_caps_the_ladder(self):
+        ctl = self.controller(max_level=DegradationLevel.WINDOW_SHRINK)
+        for _ in range(10):
+            ctl.observe_frame([0.05])
+        assert ctl.level is DegradationLevel.WINDOW_SHRINK
+
+    def test_adjust_tile_per_rung(self):
+        ctl = self.controller()
+        # NONE: untouched.
+        assert ctl.adjust_tile(30, 64, True, 42, 5) == (30, 64)
+        ctl.observe_frame([0.05])  # -> QP_BUMP
+        qp, window = ctl.adjust_tile(30, 64, True, 42, 5)
+        assert (qp, window) == (35, 32)
+        assert ctl.adjust_tile(30, 64, False, 42, 5) == (30, 64)
+        ctl.observe_frame([0.05])  # -> WINDOW_SHRINK
+        qp, window = ctl.adjust_tile(30, 64, False, 42, 5)
+        assert (qp, window) == (30, 32)  # every tile's window shrinks
+
+    def test_frame_drop_reclaims_debt_and_recovers(self):
+        ctl = self.controller()
+        for _ in range(4):
+            ctl.observe_frame([0.05])  # climb to FRAME_DROP
+        assert ctl.level is DegradationLevel.FRAME_DROP
+        assert ctl.should_drop_frame()
+        drops = 0
+        while ctl.should_drop_frame():
+            ctl.observe_dropped_frame(100 + drops)
+            drops += 1
+            assert drops < 100  # each drop reclaims a slot: must end
+        assert ctl.debt_seconds == 0.0
+        assert ctl.level is DegradationLevel.TILE_MERGE  # one rung down
+        assert ctl.report.frames_dropped == drops
+
+    def test_hard_failure_when_ladder_exhausted(self):
+        ctl = self.controller(fail_after_debt_slots=2.0,
+                              max_level=DegradationLevel.QP_BUMP)
+        with pytest.raises(DeadlineMissError):
+            for _ in range(5):
+                ctl.observe_frame([0.1])
+
+    def test_report_action_counts_sorted(self):
+        ctl = self.controller()
+        ctl.observe_frame([0.05])
+        ctl.observe_corrupt_frame(7)
+        counts = ctl.report.action_counts()
+        assert list(counts) == sorted(counts)
+        assert counts["escalate"] == 1
+        assert counts["corrupt_drop"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Fault injection determinism
+# ---------------------------------------------------------------------------
+class TestFaultInjectorDeterminism:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultConfig(frame_corruption_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultConfig(time_spike_factor=0.5)
+
+    def test_core_failure_quota(self):
+        injector = FaultInjector(FaultConfig(seed=3, core_failure_rate=0.25))
+        failed = injector.sample_core_failures(list(range(8)))
+        assert len(failed) == 2
+        assert failed == sorted(failed)
+
+    def test_same_seed_same_faults(self):
+        def draw(seed):
+            inj = FaultInjector(FaultConfig(
+                seed=seed, core_failure_rate=0.25, time_spike_rate=0.5,
+            ))
+            schedule = inj.failure_schedule(list(range(8)), num_slots=6)
+            times = [inj.perturb_cpu_time(0.01) for _ in range(20)]
+            return schedule, times, dict(inj.counts)
+
+        assert draw(42) == draw(42)
+
+    def test_different_seeds_diverge(self):
+        a = FaultInjector(FaultConfig(seed=0, time_spike_rate=0.5))
+        b = FaultInjector(FaultConfig(seed=1, time_spike_rate=0.5))
+        times_a = [a.perturb_cpu_time(0.01) for _ in range(50)]
+        times_b = [b.perturb_cpu_time(0.01) for _ in range(50)]
+        assert times_a != times_b
+
+    def test_corrupt_video_spares_frame_zero(self, rng):
+        frames = [
+            Frame(index=i, luma=rng.integers(0, 255, (64, 64)))
+            for i in range(20)
+        ]
+        video = Video(name="t", fps=24.0, frames=frames)
+        injector = FaultInjector(FaultConfig(seed=5,
+                                             frame_corruption_rate=1.0))
+        corrupted = injector.corrupt_video(video)
+        assert 0 not in corrupted
+        assert len(corrupted) == 19
+        assert injector.count("corrupt_frame") == 19
+
+
+# ---------------------------------------------------------------------------
+# Input validation in StreamTranscoder.run
+# ---------------------------------------------------------------------------
+class TestInputValidation:
+    def test_empty_video_raises(self):
+        with pytest.raises(CorruptFrameError):
+            StreamTranscoder().run(Video(name="e", fps=24.0, frames=[]))
+
+    def test_mismatched_frame_shape_raises_without_resilience(
+            self, small_video):
+        frames = [Frame(index=f.index, luma=f.luma.copy())
+                  for f in small_video.frames]
+        frames[3].luma = frames[3].luma[:-8, :]
+        video = Video(name="bad", fps=small_video.fps, frames=frames)
+        with pytest.raises(CorruptFrameError):
+            StreamTranscoder(PipelineConfig(fps=video.fps)).run(video)
+
+    def test_nonfinite_luma_dropped_under_resilience(self, small_video):
+        frames = [Frame(index=f.index, luma=f.luma.copy())
+                  for f in small_video.frames]
+        poisoned = frames[4].luma.astype(np.float64)
+        poisoned[::8] = np.nan
+        frames[4].luma = poisoned
+        video = Video(name="nan", fps=small_video.fps, frames=frames)
+        config = PipelineConfig(fps=video.fps, resilience=ResilienceConfig())
+        trace = StreamTranscoder(config).run(video)
+        assert 4 in trace.dropped_frames
+        assert trace.resilience.corrupt_frames_dropped == 1
+        assert len(trace.frame_records) == len(frames) - 1
+
+    def test_frame_below_min_tile_size_raises(self, rng):
+        tiny = Frame(index=0, luma=rng.integers(0, 255, (16, 16)))
+        video = Video(name="tiny", fps=24.0, frames=[tiny])
+        with pytest.raises(CorruptFrameError):
+            StreamTranscoder().run(video)
+
+    def test_all_frames_corrupt_raises_even_with_resilience(self, rng):
+        frame = Frame(index=0, luma=rng.integers(0, 255, (64, 64)))
+        frame.luma = frame.luma.astype(np.float32)
+        video = Video(name="allbad", fps=24.0, frames=[frame])
+        config = PipelineConfig(resilience=ResilienceConfig())
+        with pytest.raises(CorruptFrameError):
+            StreamTranscoder(config).run(video)
+
+
+# ---------------------------------------------------------------------------
+# LUT checkpointing
+# ---------------------------------------------------------------------------
+def _trained_lut(small_video) -> WorkloadLut:
+    estimator = WorkloadEstimator()
+    transcoder = StreamTranscoder(
+        PipelineConfig(fps=small_video.fps), estimator=estimator
+    )
+    transcoder.run(small_video)
+    return estimator.lut
+
+
+class TestLutCheckpoint:
+    def test_roundtrip(self, small_video, tmp_path):
+        lut = _trained_lut(small_video)
+        assert len(lut) > 0
+        path = tmp_path / "lut.json"
+        save_lut(lut, path)
+        loaded = load_lut(path)
+        assert loaded.recovered
+        assert loaded.reason == "ok"
+        assert loaded.lut.to_dict() == lut.to_dict()
+
+    def test_missing_file_is_cold_start(self, tmp_path):
+        loaded = load_lut(tmp_path / "absent.json")
+        assert not loaded.recovered
+        assert loaded.reason == "missing"
+        assert len(loaded.lut) == 0
+
+    def test_corrupt_checkpoint_falls_back_to_fresh(
+            self, small_video, tmp_path):
+        lut = _trained_lut(small_video)
+        path = tmp_path / "lut.json"
+        save_lut(lut, path)
+        FaultInjector().corrupt_file(path)
+        loaded = load_lut(path)
+        assert not loaded.recovered
+        assert len(loaded.lut) == 0
+
+    def test_corrupt_checkpoint_strict_raises(self, small_video, tmp_path):
+        lut = _trained_lut(small_video)
+        path = tmp_path / "lut.json"
+        save_lut(lut, path)
+        FaultInjector().corrupt_file(path)
+        with pytest.raises(LutCorruptionError):
+            load_lut(path, strict=True)
+
+    def test_validate_drops_corrupted_entries(self, small_video):
+        lut = _trained_lut(small_video)
+        before = len(lut)
+        injector = FaultInjector(FaultConfig(seed=0, lut_corruption_rate=1.0))
+        damaged = injector.corrupt_lut(lut)
+        assert damaged == before
+        assert lut.validate() == damaged
+        assert len(lut) == 0
+
+    def test_save_excludes_inconsistent_entries(self, small_video, tmp_path):
+        lut = _trained_lut(small_video)
+        injector = FaultInjector(FaultConfig(seed=1, lut_corruption_rate=0.5))
+        injector.corrupt_lut(lut)
+        path = tmp_path / "lut.json"
+        save_lut(lut, path)
+        loaded = load_lut(path)
+        assert loaded.recovered
+        assert all(h.is_consistent() for h in loaded.lut.tables.values())
+
+
+# ---------------------------------------------------------------------------
+# Fault drill (end to end)
+# ---------------------------------------------------------------------------
+DRILL = DrillConfig(seed=0, num_streams=2, frames_per_stream=8,
+                    num_slots=4, num_users=6)
+
+
+class TestFaultDrill:
+    def test_report_is_deterministic(self):
+        assert run_drill(DRILL).format() == run_drill(DRILL).format()
+
+    def test_faults_actually_injected(self):
+        report = run_drill(DRILL)
+        assert report.injected.get("core_failure", 0) > 0
+        assert report.injected.get("lut_entry_corruption", 0) > 0
+        assert not report.checkpoint_recovered  # corruption was detected
+
+    def test_cli_smoke_seed_zero(self, capsys):
+        argv = ["fault-drill", "--seed", "0",
+                "--streams", "2", "--frames", "8", "--slots", "4",
+                "--users", "6"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second  # byte-identical report
+        assert "verdict: PASS" in first
