@@ -1,0 +1,198 @@
+"""``repro bench`` — run the micro-benchmarks and record throughput.
+
+Runs the pytest-benchmark groups of ``benchmarks/test_micro.py`` in a
+subprocess, then post-processes the raw timing JSON into a compact
+``BENCH_<n>.json`` at the repository root with derived throughput
+numbers:
+
+* codec benchmarks (``micro-codec``): **pixels/s** — frame area over
+  mean encode time;
+* motion benchmarks (``micro-motion``): **candidates/s** — the number
+  of SAD candidates the algorithm actually evaluates on the benchmark
+  block (measured once via ``MotionSearchResult.sad_evaluations``)
+  over mean search time.
+
+``BENCH_<n>`` auto-increments so successive optimisation passes leave
+a comparable history (``--out`` overrides the path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Keyword filters selecting each benchmark group in test_micro.py.
+GROUP_FILTERS = {
+    "motion": "test_motion_search",
+    "codec": "test_encode_intra_frame or test_encode_inter_frame",
+    "analysis": "test_content_evaluation or test_content_aware_retiling",
+    "generator": "test_video_generation",
+}
+
+#: Frame geometry of the micro-benchmark fixture.
+_BENCH_WIDTH = 320
+_BENCH_HEIGHT = 240
+
+#: Motion benchmark ids -> (algorithm factory, window), mirroring the
+#: parametrization of ``test_motion_search``.
+def _motion_cases():
+    from repro.motion import FullSearch, HexagonSearch, TZSearch
+
+    return {
+        "full-16": (FullSearch(), 16),
+        "tz-64": (TZSearch(), 64),
+        "hexagon-64": (HexagonSearch(), 64),
+    }
+
+
+def repo_root() -> Path:
+    """The repository root (two levels above this module's package)."""
+    return Path(__file__).resolve().parents[2]
+
+
+def next_bench_path(root: Path) -> Path:
+    """First unused ``BENCH_<n>.json`` at ``root``."""
+    taken = set()
+    for p in root.glob("BENCH_*.json"):
+        stem = p.stem.split("_", 1)[-1]
+        if stem.isdigit():
+            taken.add(int(stem))
+    n = 0
+    while n in taken:
+        n += 1
+    return root / f"BENCH_{n}.json"
+
+
+def _bench_frames():
+    from repro.video.generator import (
+        BioMedicalVideoGenerator,
+        ContentClass,
+        GeneratorConfig,
+        MotionPreset,
+    )
+
+    cfg = GeneratorConfig(
+        width=_BENCH_WIDTH, height=_BENCH_HEIGHT, num_frames=2, seed=0,
+        content_class=ContentClass.BRAIN, motion=MotionPreset.PAN_RIGHT,
+        motion_magnitude=3.0,
+    )
+    v = BioMedicalVideoGenerator(cfg).generate()
+    return v[0].luma, v[1].luma
+
+
+def motion_candidate_counts() -> Dict[str, int]:
+    """Candidates each motion benchmark evaluates per search.
+
+    Reproduces the benchmark's context exactly (same generated frames,
+    block and window) and reads ``sad_evaluations`` off the result, so
+    the throughput denominator matches what the timed code really did.
+    """
+    from repro.motion.base import SearchContext
+
+    prev, cur = _bench_frames()
+    block = cur[112:128, 144:160]
+    counts = {}
+    for bench_id, (alg, window) in _motion_cases().items():
+        ctx = SearchContext(prev, block, 144, 112, window, lambda_mv=4.0)
+        result = alg.search(ctx)
+        counts[bench_id] = result.sad_evaluations
+    return counts
+
+
+def run_pytest_benchmark(
+    groups: List[str], json_path: Path, pytest_args: Optional[List[str]] = None
+) -> None:
+    """Run the selected micro-benchmark groups into ``json_path``."""
+    bench_file = repo_root() / "benchmarks" / "test_micro.py"
+    if not bench_file.exists():
+        raise FileNotFoundError(f"benchmark suite not found: {bench_file}")
+    keywords = " or ".join(GROUP_FILTERS[g] for g in groups)
+    env = dict(os.environ)
+    src = str(repo_root() / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [
+        sys.executable, "-m", "pytest", str(bench_file),
+        "-q", "-p", "no:cacheprovider",
+        "-k", keywords,
+        "--benchmark-only",
+        f"--benchmark-json={json_path}",
+    ]
+    cmd += pytest_args or []
+    subprocess.run(cmd, check=True, env=env, cwd=repo_root())
+
+
+def summarize(raw: dict, groups: List[str]) -> dict:
+    """Reduce pytest-benchmark JSON to throughput records."""
+    candidates = (
+        motion_candidate_counts() if "motion" in groups else {}
+    )
+    pixels = _BENCH_WIDTH * _BENCH_HEIGHT
+    records = []
+    for bench in raw.get("benchmarks", []):
+        group = bench.get("group")
+        stats = bench["stats"]
+        mean = stats["mean"]
+        record = {
+            "name": bench["name"],
+            "group": group,
+            "mean_s": mean,
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+        if group == "micro-codec":
+            record["pixels_per_s"] = pixels / mean
+        elif group == "micro-motion":
+            bench_id = bench["name"].split("[")[-1].rstrip("]")
+            n = candidates.get(bench_id)
+            if n is not None:
+                record["candidates_per_search"] = n
+                record["candidates_per_s"] = n / mean
+        records.append(record)
+    return {
+        "machine_info": raw.get("machine_info", {}),
+        "datetime": raw.get("datetime"),
+        "groups": groups,
+        "benchmarks": records,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench", description=__doc__,
+    )
+    parser.add_argument(
+        "--groups", nargs="+", default=["motion", "codec"],
+        choices=sorted(GROUP_FILTERS),
+        help="benchmark groups to run (default: motion codec)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="output path (default: next free BENCH_<n>.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    out = args.out or next_bench_path(repo_root())
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "raw.json"
+        run_pytest_benchmark(args.groups, raw_path)
+        raw = json.loads(raw_path.read_text())
+    summary = summarize(raw, args.groups)
+    out.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"wrote {out}")
+    for rec in summary["benchmarks"]:
+        rate = rec.get("pixels_per_s") or rec.get("candidates_per_s")
+        unit = "pixels/s" if "pixels_per_s" in rec else (
+            "candidates/s" if "candidates_per_s" in rec else ""
+        )
+        extra = f"  {rate:,.0f} {unit}" if rate else ""
+        print(f"  {rec['name']:<42} {rec['mean_s'] * 1e3:9.3f} ms{extra}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

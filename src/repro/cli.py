@@ -4,9 +4,10 @@ Usage::
 
     python -m repro.cli generate --content brain --out video.npz
     python -m repro.cli encode video.npz --qp 32 --search hexagon --tiles 2x2
-    python -m repro.cli transcode video.npz [--baseline]
+    python -m repro.cli transcode video.npz [--baseline] [--parallel-workers N]
     python -m repro.cli experiment table1|fig3|table2|fig4 [options...]
     python -m repro.cli fault-drill --seed 0
+    python -m repro.cli bench [--groups motion codec] [--out BENCH.json]
 
 ``generate`` writes a synthetic bio-medical video; ``encode`` runs the
 codec substrate with a fixed configuration and reports PSNR/bitrate and
@@ -15,7 +16,12 @@ simulated CPU time; ``transcode`` runs the full content-aware pipeline
 tables/figures (forwarding the remaining arguments to that harness);
 ``fault-drill`` runs a seeded chaos scenario (corrupt frames, CPU-time
 spikes, core failures, LUT corruption) through the whole serving stack
-and prints a survival report.
+and prints a survival report; ``bench`` runs the micro-benchmarks and
+records throughput to ``BENCH_<n>.json``.
+
+``--parallel-workers N`` on ``encode``/``transcode`` encodes each
+frame's tiles concurrently on a process pool (N=0 uses every core);
+the output is bit-exact with the serial path.
 """
 
 from __future__ import annotations
@@ -67,7 +73,8 @@ def _cmd_encode(args: argparse.Namespace) -> int:
     grid = uniform_tiling(video.width, video.height, cols, rows)
     config = EncoderConfig(qp=args.qp, search=args.search,
                            search_window=args.window)
-    encoder = VideoEncoder(config, GopConfig(args.gop, use_b_frames=args.b_frames))
+    encoder = VideoEncoder(config, GopConfig(args.gop, use_b_frames=args.b_frames),
+                           parallel_workers=args.parallel_workers)
     stats = encoder.encode(video, grid)
     cpu = CostModel().seconds(stats.ops, XEON_E5_2667.f_max)
     print(f"encoded {len(stats.frames)} frames "
@@ -81,13 +88,18 @@ def _cmd_encode(args: argparse.Namespace) -> int:
 
 def _cmd_transcode(args: argparse.Namespace) -> int:
     video = video_io.load_npz(args.video)
+    parallel = {}
+    if args.parallel_workers is not None:
+        parallel = dict(parallel_tiles=True,
+                        parallel_workers=args.parallel_workers or None)
     if args.baseline:
-        config = PipelineConfig.khan(fps=video.fps)
+        config = PipelineConfig.khan(fps=video.fps, **parallel)
         label = "Khan et al. [19] baseline"
     else:
-        config = PipelineConfig(fps=video.fps)
+        config = PipelineConfig(fps=video.fps, **parallel)
         label = "proposed content-aware pipeline"
-    trace = StreamTranscoder(config).run(video)
+    with StreamTranscoder(config) as transcoder:
+        trace = transcoder.run(video)
     gop = trace.steady_state_gop()
     times = gop.mean_tile_cpu_times()
     print(f"transcoded with the {label}:")
@@ -120,6 +132,17 @@ def _cmd_fault_drill(args: argparse.Namespace) -> int:
     report = run_drill(config)
     print(report.format())
     return 0 if report.passed else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    argv = []
+    if args.groups:
+        argv += ["--groups", *args.groups]
+    if args.out:
+        argv += ["--out", args.out]
+    return bench.main(argv)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -156,12 +179,16 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--tiles", default="1x1")
     e.add_argument("--gop", type=int, default=8)
     e.add_argument("--b-frames", action="store_true")
+    e.add_argument("--parallel-workers", type=int, default=None, metavar="N",
+                   help="encode tiles on an N-worker process pool (0 = all cores)")
     e.set_defaults(func=_cmd_encode)
 
     t = sub.add_parser("transcode", help="run the full pipeline")
     t.add_argument("video")
     t.add_argument("--baseline", action="store_true",
                    help="use the Khan et al. [19] baseline instead")
+    t.add_argument("--parallel-workers", type=int, default=None, metavar="N",
+                   help="encode tiles on an N-worker process pool (0 = all cores)")
     t.set_defaults(func=_cmd_transcode)
 
     f = sub.add_parser(
@@ -185,6 +212,16 @@ def build_parser() -> argparse.ArgumentParser:
     x.add_argument("rest", nargs=argparse.REMAINDER,
                    help="arguments forwarded to the harness")
     x.set_defaults(func=_cmd_experiment)
+
+    b = sub.add_parser(
+        "bench",
+        help="run the micro-benchmarks and record BENCH_<n>.json",
+    )
+    b.add_argument("--groups", nargs="+", default=None,
+                   help="benchmark groups (default: motion codec)")
+    b.add_argument("--out", default=None,
+                   help="output path (default: next free BENCH_<n>.json)")
+    b.set_defaults(func=_cmd_bench)
     return parser
 
 

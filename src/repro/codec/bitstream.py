@@ -65,6 +65,27 @@ class BitWriter:
         mapped = 2 * value - 1 if value > 0 else -2 * value
         self.write_ue(mapped)
 
+    def append_bits(self, data: bytes, nbits: int) -> None:
+        """Append the first ``nbits`` bits of ``data``, MSB-first.
+
+        Splices another writer's flushed payload (``data = w.flush()``,
+        ``nbits = w.bits_written``) into this stream at the current bit
+        position, as if every bit had been written here directly —
+        the primitive behind merging per-tile bitstreams.
+        """
+        if nbits < 0 or nbits > len(data) * 8:
+            raise ValueError(f"{nbits} bits not available in {len(data)} bytes")
+        full, rem = divmod(nbits, 8)
+        if self._bit_count == 0:
+            # Byte-aligned fast path: splice whole bytes directly.
+            self._bytes.extend(data[:full])
+            self.bits_written += full * 8
+        else:
+            for byte in data[:full]:
+                self.write_bits(byte, 8)
+        if rem:
+            self.write_bits(data[full] >> (8 - rem), rem)
+
     def flush(self) -> bytes:
         """Byte-align with zero padding and return the stream."""
         while self._bit_count != 0:

@@ -19,7 +19,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.codec.bitstream import BitReader, BitWriter
-from repro.codec.entropy import count_block_bits, read_block, write_block
+from repro.codec.entropy import count_stack_bits, read_block, write_block
 from repro.codec.inter import clamp_mv, motion_compensate
 from repro.codec.ops import OpCounts
 from repro.codec.quant import dequantize, quantization_step, quantize
@@ -142,7 +142,7 @@ def encode_chroma_plane(
         if active.any():
             levels[active] = quantize(forward_dct(sub[active]), qp_c)
         zz = zigzag_scan(levels)
-        block_bits = sum(count_block_bits(zz[i]) for i in range(zz.shape[0]))
+        block_bits = count_stack_bits(zz)
         bits += block_bits
         if ops is not None:
             ops.transform_blocks += int(active.sum())

@@ -22,7 +22,7 @@ from repro.codec.bitstream import BitReader
 from repro.codec.chroma import BlockInfo, decode_chroma_plane
 from repro.codec.config import EncoderConfig, FrameType
 from repro.codec.encoder import normalize_references, reconstruct_block
-from repro.codec.interpolate import sample_halfpel, upsample2x
+from repro.codec.interpolate import sample_halfpel, upsample2x_cached
 from repro.codec.entropy import read_block
 from repro.codec.inter import motion_compensate, read_mvd
 from repro.codec.intra import IntraMode, predict, reference_samples
@@ -61,7 +61,7 @@ class FrameDecoder:
         references = normalize_references(reference, frame_type)
         upsampled = None
         if frame_type is not FrameType.I and any(c.half_pel for c in configs):
-            upsampled = [upsample2x(r) for r in references]
+            upsampled = [upsample2x_cached(r) for r in references]
         reconstruction = np.zeros(
             (grid.frame_height, grid.frame_width), dtype=np.uint8
         )

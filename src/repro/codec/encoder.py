@@ -30,20 +30,22 @@ import numpy as np
 from repro.codec.bitstream import BitWriter
 from repro.codec.chroma import BlockInfo, encode_chroma_plane
 from repro.codec.config import EncoderConfig, FrameType, GopConfig
-from repro.codec.entropy import count_block_bits, write_block
+from repro.codec.entropy import count_stack_bits, write_block
 from repro.codec.inter import clamp_mv, motion_compensate, mvd_bit_length, write_mvd
-from repro.codec.interpolate import halfpel_feasible, sample_halfpel, upsample2x
-from repro.codec.intra import choose_mode, reference_samples
+from repro.codec.interpolate import halfpel_feasible, upsample2x_cached
+from repro.codec.intra import IntraMode, choose_mode, reference_samples
 from repro.codec.ops import OpCounts
 from repro.codec.quant import dequantize, quantization_step, quantize
 from repro.codec.transform import (
     TRANSFORM_SIZE,
     blockify,
+    dct_basis,
     forward_dct,
     inverse_dct,
     unblockify,
 )
-from repro.codec.zigzag import zigzag_scan
+from repro.codec.zigzag import zigzag_indices, zigzag_scan
+from repro import native
 from repro.motion.base import MotionSearchResult, SearchContext
 from repro.tiling.tile import Tile, TileGrid
 from repro.video.frame import Frame, Video
@@ -58,6 +60,23 @@ MotionHook = Callable[[Callable[[int], SearchContext], tuple], MotionSearchResul
 #: A reference argument: a single reconstructed plane, a sequence of
 #: them (most recent first; B frames use up to two), or None (I frames).
 ReferenceLike = Optional[object]
+
+
+def _zz_order8() -> np.ndarray:
+    """Zigzag scan order of an 8x8 block as flat row-major indices."""
+    rows, cols = zigzag_indices(TRANSFORM_SIZE)
+    order = (rows * TRANSFORM_SIZE + cols).astype(np.int32)
+    order.flags.writeable = False
+    return order
+
+
+_ZZ_ORDER8 = _zz_order8()
+
+#: Pointer ints of the module-constant native kernel inputs, computed
+#: once (the arrays are immutable and live for the process lifetime).
+_BASIS8 = np.ascontiguousarray(dct_basis(TRANSFORM_SIZE))
+_BASIS8_PTR = _BASIS8.ctypes.data
+_ZZ_ORDER8_PTR = _ZZ_ORDER8.ctypes.data
 
 
 def normalize_references(
@@ -89,13 +108,41 @@ def reconstruct_block(prediction: np.ndarray, levels: np.ndarray, qp: int) -> np
     samples as ``uint8``.  Encoder and decoder call exactly this
     function, guaranteeing bit-exact reconstruction match.
     """
+    h, w = prediction.shape
+    if (
+        native.lib is not None
+        and TRANSFORM_SIZE == 8
+        and h % 8 == 0
+        and w % 8 == 0
+        and prediction.dtype == np.float64
+        and prediction.flags.c_contiguous
+        and levels.dtype == np.int32
+        and levels.flags.c_contiguous
+    ):
+        # Same kernel the fused encoder path uses, so encoder and
+        # decoder reconstructions agree sample-for-sample whenever
+        # they run with the same kernel availability.  (The native
+        # inverse DCT may differ from the NumPy matmul in the last
+        # ulp; within one environment both sides share one path.)
+        out_u8 = np.empty((h, w), dtype=np.uint8)
+        native.lib.reconstruct_block_u8(
+            prediction.ctypes.data, levels.ctypes.data,
+            h, w, quantization_step(qp), _BASIS8_PTR,
+            out_u8.ctypes.data, w,
+        )
+        return out_u8
     if not levels.any():
         # All-zero residual: the inverse transform of zeros is zeros,
         # so skip it (encoder and decoder share this shortcut).
-        return np.clip(np.rint(prediction), 0, 255).astype(np.uint8)
-    h, w = prediction.shape
-    residual = unblockify(inverse_dct(dequantize(levels, qp)), h, w)
-    return np.clip(np.rint(prediction + residual), 0, 255).astype(np.uint8)
+        out = np.rint(prediction)
+    else:
+        out = unblockify(inverse_dct(dequantize(levels, qp)), h, w)
+        out = out + prediction
+        np.rint(out, out=out)
+    # Same samples as clip(rint(x), 0, 255): rint first, then bound.
+    np.minimum(out, 255.0, out=out)
+    np.maximum(out, 0.0, out=out)
+    return out.astype(np.uint8)
 
 
 @dataclass
@@ -215,7 +262,7 @@ class TileEncoder:
         """
         references = normalize_references(reference, frame_type)
         if self.config.half_pel and upsampled_refs is None:
-            upsampled_refs = [upsample2x(r) for r in references]
+            upsampled_refs = [upsample2x_cached(r) for r in references]
         cfg = self.config
         bs = cfg.block_size
         ops = OpCounts()
@@ -301,12 +348,23 @@ class TileEncoder:
         int_prediction: np.ndarray,
         ops: OpCounts,
     ) -> tuple:
-        """Evaluate the 8 half-pel neighbours of the integer optimum."""
+        """Evaluate the 8 half-pel neighbours of the integer optimum.
+
+        All feasible neighbour blocks are gathered from the upsampled
+        grid with one strided fancy index and reduced to SADs in a
+        single pass — same candidates, same visiting order, same
+        strict-improvement comparison as probing them one by one.
+        """
         block_f = block.astype(np.float64)
         best_mv = (2 * int_mv[0], 2 * int_mv[1])
         best_pred = int_prediction
         best_sad = float(np.abs(block_f - int_prediction).sum())
         ref_h, ref_w = reference.shape
+        base_sx = 2 * bx + 2 * int_mv[0]
+        base_sy = 2 * by + 2 * int_mv[1]
+        cands = []
+        xs = []
+        ys = []
         for hy in (-1, 0, 1):
             for hx in (-1, 0, 1):
                 if hx == 0 and hy == 0:
@@ -314,13 +372,58 @@ class TileEncoder:
                 cand = (2 * int_mv[0] + hx, 2 * int_mv[1] + hy)
                 if not halfpel_feasible(cand, bx, by, bw, bh, ref_w, ref_h):
                     continue
-                pred = sample_halfpel(upsampled, bx, by, cand, bw, bh)
-                sad = float(np.abs(block_f - pred).sum())
-                ops.sad_pixel_ops += bw * bh
-                ops.me_candidates += 1
-                ops.pred_pixels += bw * bh  # interpolation fetch
-                if sad < best_sad:
-                    best_mv, best_pred, best_sad = cand, pred, sad
+                cands.append(cand)
+                xs.append(base_sx + hx)
+                ys.append(base_sy + hy)
+        if not cands:
+            return best_mv, best_pred
+        if native.lib is not None and upsampled.flags.c_contiguous:
+            # Integer SADs on the half-pel grid: the samples are uint8,
+            # so the int64 sums equal the float sums below exactly.
+            block_i = np.ascontiguousarray(block, dtype=np.int32)
+            n = len(xs)
+            nsc = native.scratch()
+            if n > nsc.cap:
+                nsc.ensure(n)
+            nsc.xs[:n] = xs
+            nsc.ys[:n] = ys
+            native.lib.sad_batch_u8(
+                upsampled.ctypes.data, upsampled.strides[0], 2,
+                block_i.ctypes.data, bh, bw,
+                nsc.xs_ptr, nsc.ys_ptr, n, nsc.sads_ptr,
+            )
+            sads = nsc.sads[:n]
+            gathered = None
+        else:
+            # Windows of the half-pel grid sampled at integer pitch:
+            # outer axes address the half-pel anchor, inner axes stride
+            # by 2.
+            s0, s1 = upsampled.strides
+            uh, uw = upsampled.shape
+            windows = np.ndarray(
+                shape=(uh - 2 * bh + 2, uw - 2 * bw + 2, bh, bw),
+                strides=(s0, s1, 2 * s0, 2 * s1),
+                dtype=upsampled.dtype,
+                buffer=upsampled,
+            )
+            gathered = windows[np.asarray(ys), np.asarray(xs)]  # (k, bh, bw)
+            sads = np.abs(block_f - gathered).sum(axis=(1, 2))
+        k = len(cands)
+        ops.sad_pixel_ops += k * bw * bh
+        ops.me_candidates += k
+        ops.pred_pixels += k * bw * bh  # interpolation fetch
+        best_idx = -1
+        for idx, sad in enumerate(sads.tolist()):
+            if sad < best_sad:
+                best_mv, best_sad, best_idx = cands[idx], sad, idx
+        if best_idx >= 0:
+            if gathered is not None:
+                best_pred = gathered[best_idx].astype(np.float64)
+            else:
+                sx, sy = xs[best_idx], ys[best_idx]
+                best_pred = upsampled[
+                    sy : sy + 2 * bh : 2, sx : sx + 2 * bw : 2
+                ].astype(np.float64)
         return best_mv, best_pred
 
     def _encode_block(
@@ -343,10 +446,21 @@ class TileEncoder:
         cfg = self.config
         block_f = block.astype(np.float64)
         area = bw * bh
+        # Pointer of the block samples, reused by every native kernel
+        # call below (0 when native kernels are off).
+        bf_ptr = block_f.ctypes.data if native.lib is not None else 0
 
         # --- intra candidate -------------------------------------------------
         top, left = reference_samples(reconstruction, bx, by, bw, bh, tile)
-        intra_mode, intra_pred, intra_sad = choose_mode(block, top, left)
+        if native.lib is not None and block_f.flags.c_contiguous:
+            # Fused native decision; the winning prediction is
+            # bit-identical to predict(), which the decoder shares.
+            mode_i, intra_pred, intra_sad = native.choose_intra(
+                block_f, top, left
+            )
+            intra_mode = IntraMode(mode_i)
+        else:
+            intra_mode, intra_pred, intra_sad = choose_mode(block_f, top, left)
         ops.pred_pixels += 4 * area  # four intra mode trials
 
         # --- inter candidates (P: list 0; B: list 0, list 1, bi) --------------
@@ -360,7 +474,20 @@ class TileEncoder:
                     ref, block, bx, by, bw, bh, left_mv, motion_hook, ops,
                     upsampled=up,
                 )
-                sad = float(np.abs(block_f - pred).sum())
+                if (
+                    bf_ptr
+                    and pred.dtype == np.float64
+                    and pred.flags.c_contiguous
+                ):
+                    # Bit-identical to the NumPy sum: both operands are
+                    # integer-valued, so summation order cannot matter.
+                    nsc = native.scratch()
+                    native.lib.sad_pred_d(
+                        bf_ptr, pred.ctypes.data, area, nsc.sad_ptr
+                    )
+                    sad = float(nsc.sad[0])
+                else:
+                    sad = float(np.abs(block_f - pred).sum())
                 ops.pred_pixels += area
                 per_ref.append((mv, pred, sad))
             list_bits = 2 if self._is_b_coded(frame_type, references) else 0
@@ -391,8 +518,6 @@ class TileEncoder:
         prediction = inter_pred if use_inter else intra_pred
 
         # --- residual coding --------------------------------------------------
-        residual = block_f - prediction
-        sub = blockify(residual, TRANSFORM_SIZE)
         # Zero-block early skip: an orthonormal 8x8 DCT coefficient is
         # bounded by SAD/4, and a level survives quantization only when
         # |coef| >= 0.75 * Qstep, so a sub-block with SAD < 3 * Qstep
@@ -400,18 +525,53 @@ class TileEncoder:
         # is the skip-mode analogue that makes low-activity content
         # cheap in real encoders; the output bitstream is identical.
         step = quantization_step(cfg.qp)
-        sub_sad = np.abs(sub).sum(axis=(1, 2))
-        active = sub_sad >= 3.0 * step
-        levels = np.zeros(sub.shape, dtype=np.int32)
-        num_active = int(active.sum())
-        if num_active:
-            coefs = forward_dct(sub[active])
-            levels[active] = quantize(coefs, cfg.qp)
+        zz = None
+        ssd = None
+        if (
+            native.lib is not None
+            and TRANSFORM_SIZE == 8
+            and bw % TRANSFORM_SIZE == 0
+            and bh % TRANSFORM_SIZE == 0
+            and block_f.flags.c_contiguous
+            and prediction.dtype == np.float64
+            and prediction.flags.c_contiguous
+            and reconstruction.dtype == np.uint8
+            and reconstruction.flags.c_contiguous
+        ):
+            # Fully fused native pipeline: residual, zero skip, DCT,
+            # quantization, zigzag bit count, reconstruction written
+            # straight into the frame plane, and the block SSD — one
+            # call with the module-constant basis/zigzag pointers.
+            # The reconstruction kernel is the same one
+            # reconstruct_block dispatches to, so the decoder matches.
+            n_sub = (bh // TRANSFORM_SIZE) * (bw // TRANSFORM_SIZE)
+            levels = np.empty((n_sub, 8, 8), dtype=np.int32)
+            nsc = native.scratch()
+            stride = reconstruction.strides[0]
+            native.lib.encode_block_fused(
+                block_f.ctypes.data, prediction.ctypes.data,
+                bh, bw, step, _BASIS8_PTR, _ZZ_ORDER8_PTR,
+                levels.ctypes.data,
+                reconstruction.ctypes.data + by * stride + bx, stride,
+                nsc.stats_ptr, nsc.sad_ptr,
+            )
+            residual_bits = int(nsc.stats[0])
+            num_active = int(nsc.stats[1])
+            ssd = float(nsc.sad[0])
+        else:
+            residual = block_f - prediction
+            sub = blockify(residual, TRANSFORM_SIZE)
+            sub_sad = np.abs(sub).sum(axis=(1, 2))
+            active = sub_sad >= 3.0 * step
+            levels = np.zeros(sub.shape, dtype=np.int32)
+            num_active = int(active.sum())
+            if num_active:
+                coefs = forward_dct(sub[active])
+                levels[active] = quantize(coefs, cfg.qp)
+            zz = zigzag_scan(levels)
+            residual_bits = count_stack_bits(zz)
         ops.transform_blocks += num_active
         ops.quant_coeffs += num_active * TRANSFORM_SIZE * TRANSFORM_SIZE
-
-        zz = zigzag_scan(levels)
-        residual_bits = sum(count_block_bits(zz[i]) for i in range(zz.shape[0]))
 
         header_bits = 0
         if frame_type is not FrameType.I:
@@ -436,15 +596,20 @@ class TileEncoder:
                     pass  # list-1 MV was written as mvs[0]
             else:
                 writer.write_bits(int(intra_mode), 2)
+            if zz is None:
+                zz = zigzag_scan(levels)
             for i in range(zz.shape[0]):
                 write_block(writer, zz[i])
 
         # --- reconstruction ----------------------------------------------------
-        recon = reconstruct_block(prediction, levels, cfg.qp)
-        reconstruction[by : by + bh, bx : bx + bw] = recon
+        # The fused native path already reconstructed into the plane
+        # and computed the SSD (integer samples: exact in any order).
+        if ssd is None:
+            recon = reconstruct_block(prediction, levels, cfg.qp)
+            reconstruction[by : by + bh, bx : bx + bw] = recon
+            diff = block_f - recon
+            ssd = float((diff * diff).sum())
         ops.pred_pixels += area
-        diff = block_f - recon
-        ssd = float((diff * diff).sum())
 
         info = BlockInfo(
             bx=bx, by=by, bw=bw, bh=bh,
@@ -494,7 +659,7 @@ class FrameEncoder:
         upsampled_refs = None
         if frame_type is not FrameType.I and any(c.half_pel for c in configs):
             refs = normalize_references(reference, frame_type)
-            upsampled_refs = [upsample2x(r) for r in refs]
+            upsampled_refs = [upsample2x_cached(r) for r in refs]
         reconstruction = np.zeros_like(original)
         tile_stats = []
         for i, tile in enumerate(grid):
@@ -612,10 +777,15 @@ class VideoEncoder:
         self,
         config: EncoderConfig,
         gop: GopConfig = GopConfig(),
+        parallel_workers: Optional[int] = None,
     ):
         self.config = config
         self.gop = gop
         self._frame_encoder = FrameEncoder()
+        #: ``None`` encodes serially; an integer enables the
+        #: tile-parallel executor with that many workers (0 means one
+        #: per core).  Bit-exact either way.
+        self.parallel_workers = parallel_workers
 
     def encode(
         self,
@@ -627,26 +797,45 @@ class VideoEncoder:
 
         ``motion_hook_factory(frame_index, tile_index)`` may supply a
         per-tile motion hook (used to drive the proposed search policy).
+        Hook closures cannot cross process boundaries, so frames with
+        hooks are always encoded serially even when ``parallel_workers``
+        is set.
         """
         if len(video) == 0:
             raise ValueError("cannot encode an empty video")
         if grid is None:
             grid = TileGrid.single(video.width, video.height)
+        executor = None
+        if self.parallel_workers is not None:
+            # Deferred import: the executor module imports this one.
+            from repro.parallel.executor import TileParallelExecutor
+
+            executor = TileParallelExecutor(self.parallel_workers or None)
         configs = [self.config] * len(grid)
         stats = SequenceStats()
         references: List[np.ndarray] = []  # most recent first
-        for frame in video:
-            frame_type = self.gop.frame_type(frame.index)
-            hooks = None
-            if motion_hook_factory is not None and frame_type is not FrameType.I:
-                hooks = [
-                    motion_hook_factory(frame.index, t) for t in range(len(grid))
-                ]
-            frame_stats, reconstruction = self._frame_encoder.encode(
-                frame.luma, grid, configs, frame_type,
-                reference=references, frame_index=frame.index,
-                motion_hooks=hooks,
-            )
-            stats.frames.append(frame_stats)
-            references = [reconstruction] + references[:1]
+        try:
+            for frame in video:
+                frame_type = self.gop.frame_type(frame.index)
+                hooks = None
+                if motion_hook_factory is not None and frame_type is not FrameType.I:
+                    hooks = [
+                        motion_hook_factory(frame.index, t) for t in range(len(grid))
+                    ]
+                if executor is not None and hooks is None:
+                    frame_stats, reconstruction = executor.encode_frame(
+                        frame.luma, grid, configs, frame_type,
+                        reference=references, frame_index=frame.index,
+                    )
+                else:
+                    frame_stats, reconstruction = self._frame_encoder.encode(
+                        frame.luma, grid, configs, frame_type,
+                        reference=references, frame_index=frame.index,
+                        motion_hooks=hooks,
+                    )
+                stats.frames.append(frame_stats)
+                references = [reconstruction] + references[:1]
+        finally:
+            if executor is not None:
+                executor.close()
         return stats

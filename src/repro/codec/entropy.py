@@ -52,9 +52,44 @@ def count_block_bits(zigzag_levels: np.ndarray) -> int:
     return bits
 
 
+def _ue_bits_arr(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`ue_bit_length` for a non-negative int array.
+
+    ``bit_length(v)`` of a positive integer is the binary exponent
+    ``frexp`` returns (``v = m * 2**e`` with ``0.5 <= m < 1``), exact
+    for the level/run magnitudes the quantizer can produce.
+    """
+    _, exponents = np.frexp((values + 1).astype(np.float64))
+    return 2 * exponents.astype(np.int64) - 1
+
+
 def count_stack_bits(zigzag_stack: np.ndarray) -> int:
-    """Bit cost of a ``(num_blocks, N)`` stack of zigzag vectors."""
-    return sum(count_block_bits(zigzag_stack[i]) for i in range(zigzag_stack.shape[0]))
+    """Bit cost of a ``(num_blocks, N)`` stack of zigzag vectors.
+
+    Vectorized over the whole stack; equals
+    ``sum(count_block_bits(row) for row in zigzag_stack)`` exactly.
+    """
+    stack = np.asarray(zigzag_stack)
+    num_rows = stack.shape[0]
+    rows, cols = np.nonzero(stack)
+    if rows.size == 0:
+        return num_rows  # ue(0) is one bit per all-zero block
+    # Header: ue(last_nonzero + 1) per block.  ``np.nonzero`` walks
+    # row-major, so the final write per row is its largest column.
+    last = np.full(num_rows, -1, dtype=np.int64)
+    last[rows] = cols
+    # Runs of zeros before each non-zero level, within each row.
+    prev = np.empty_like(cols)
+    prev[0] = -1
+    if cols.size > 1:
+        np.copyto(prev[1:], np.where(rows[1:] == rows[:-1], cols[:-1], -1))
+    runs = cols - prev - 1
+    # Signed levels: same odd/even exp-Golomb mapping as ``write_se``.
+    levels = stack[rows, cols].astype(np.int64)
+    mapped = np.where(levels > 0, 2 * levels - 1, -2 * levels)
+    # One fused exp-Golomb length pass over header + run + level codes.
+    symbols = np.concatenate((last + 1, runs, mapped))
+    return int(_ue_bits_arr(symbols).sum())
 
 
 def write_block(writer: BitWriter, zigzag_levels: np.ndarray) -> None:

@@ -47,8 +47,8 @@ def clamp_mv(
     ref_h: int,
 ) -> MotionVector:
     """Clamp a motion vector so compensation stays inside the reference."""
-    dx = int(np.clip(mv[0], -x, ref_w - block_w - x))
-    dy = int(np.clip(mv[1], -y, ref_h - block_h - y))
+    dx = min(max(int(mv[0]), -x), ref_w - block_w - x)
+    dy = min(max(int(mv[1]), -y), ref_h - block_h - y)
     return dx, dy
 
 

@@ -13,12 +13,21 @@ directly.
 
 from __future__ import annotations
 
+import threading
+import weakref
+from collections import OrderedDict
 from typing import Tuple
 
 import numpy as np
 
 #: The 6-tap half-pel filter of H.264 (normalised).
 _TAPS = np.array([1.0, -5.0, 20.0, 20.0, -5.0, 1.0]) / 32.0
+
+#: LRU of half-pel planes keyed by reference-plane identity.  Eight
+#: entries cover several concurrently referenced frames per stream.
+_HALFPEL_CACHE_SIZE = 8
+_HALFPEL_CACHE: "OrderedDict[int, Tuple[weakref.ref, np.ndarray]]" = OrderedDict()
+_HALFPEL_LOCK = threading.Lock()
 
 
 def _filter_axis0(plane: np.ndarray) -> np.ndarray:
@@ -55,6 +64,34 @@ def upsample2x(plane: np.ndarray) -> np.ndarray:
     out[1::2, ::2] = _filter_axis0(p)
     out[1::2, 1::2] = _filter_axis0(horiz)
     return np.clip(np.rint(out), 0, 255).astype(np.uint8)
+
+
+def upsample2x_cached(plane: np.ndarray) -> np.ndarray:
+    """Memoized :func:`upsample2x`, keyed on plane object identity.
+
+    The encoder interpolates the same reference plane once per block
+    without this cache; with it, each distinct plane is upsampled once
+    per process.  The key is ``id(plane)`` guarded by a weak reference,
+    so a recycled id cannot alias a dead plane, and entries vanish with
+    their planes.  Callers must not mutate a plane after passing it
+    here — reference planes are immutable once reconstructed, which is
+    what makes identity a sound cache key.
+    """
+    key = id(plane)
+    with _HALFPEL_LOCK:
+        entry = _HALFPEL_CACHE.get(key)
+        if entry is not None:
+            ref, upsampled = entry
+            if ref() is plane:
+                _HALFPEL_CACHE.move_to_end(key)
+                return upsampled
+            del _HALFPEL_CACHE[key]
+    upsampled = upsample2x(plane)
+    with _HALFPEL_LOCK:
+        _HALFPEL_CACHE[key] = (weakref.ref(plane), upsampled)
+        while len(_HALFPEL_CACHE) > _HALFPEL_CACHE_SIZE:
+            _HALFPEL_CACHE.popitem(last=False)
+    return upsampled
 
 
 def halfpel_feasible(

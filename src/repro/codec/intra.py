@@ -15,11 +15,50 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import native
 from repro.tiling.tile import Tile
 
 #: Neutral sample value used when no reference samples are available
 #: (HEVC's 1 << (bitDepth - 1)).
 DEFAULT_SAMPLE = 128
+
+#: Cached read-only helper arrays, keyed by length / block size.  Intra
+#: prediction runs once per block, so ramp/default construction would
+#: otherwise dominate the arithmetic.
+_DEFAULT_REFS: dict = {}
+_PLANAR_RAMPS: dict = {}
+
+
+def _default_ref(length: int) -> np.ndarray:
+    ref = _DEFAULT_REFS.get(length)
+    if ref is None:
+        ref = np.full(length, DEFAULT_SAMPLE, float)
+        ref.flags.writeable = False
+        _DEFAULT_REFS[length] = ref
+    return ref
+
+
+def _planar_ramp(length: int) -> np.ndarray:
+    ramp = _PLANAR_RAMPS.get(length)
+    if ramp is None:
+        ramp = np.arange(1, length + 1) / (length + 1)
+        ramp.flags.writeable = False
+        _PLANAR_RAMPS[length] = ramp
+    return ramp
+
+
+def _dc_value(top: Optional[np.ndarray], left: Optional[np.ndarray]) -> float:
+    """Mean of the available reference samples (integer-valued floats,
+    so the summation order cannot change the result)."""
+    if top is None and left is None:
+        return float(DEFAULT_SAMPLE)
+    total = 0.0
+    count = 0
+    for ref in (top, left):
+        if ref is not None:
+            total += float(np.add.reduce(ref))
+            count += ref.size
+    return total / count
 
 
 class IntraMode(enum.IntEnum):
@@ -62,27 +101,25 @@ def predict(
 ) -> np.ndarray:
     """Build the prediction block for ``mode`` from reference samples."""
     if mode is IntraMode.DC:
-        refs = [r for r in (top, left) if r is not None]
-        value = float(np.mean(np.concatenate(refs))) if refs else DEFAULT_SAMPLE
-        return np.full((block_h, block_w), value)
+        return np.full((block_h, block_w), _dc_value(top, left))
 
     if mode is IntraMode.VERTICAL:
-        row = top if top is not None else np.full(block_w, DEFAULT_SAMPLE, float)
+        row = top if top is not None else _default_ref(block_w)
         return np.tile(row, (block_h, 1))
 
     if mode is IntraMode.HORIZONTAL:
-        col = left if left is not None else np.full(block_h, DEFAULT_SAMPLE, float)
+        col = left if left is not None else _default_ref(block_h)
         return np.tile(col.reshape(-1, 1), (1, block_w))
 
     if mode is IntraMode.PLANAR:
-        row = top if top is not None else np.full(block_w, DEFAULT_SAMPLE, float)
-        col = left if left is not None else np.full(block_h, DEFAULT_SAMPLE, float)
+        row = top if top is not None else _default_ref(block_w)
+        col = left if left is not None else _default_ref(block_h)
         # Simplified planar: blend the vertical and horizontal ramps
         # toward the opposite-corner reference estimates.
         top_right = row[-1]
         bottom_left = col[-1]
-        wx = np.arange(1, block_w + 1) / (block_w + 1)
-        wy = np.arange(1, block_h + 1) / (block_h + 1)
+        wx = _planar_ramp(block_w)
+        wy = _planar_ramp(block_h)
         horiz = col.reshape(-1, 1) * (1 - wx) + top_right * wx
         vert = row * (1 - wy.reshape(-1, 1)) + bottom_left * wy.reshape(-1, 1)
         return (horiz + vert) / 2.0
@@ -95,13 +132,44 @@ def choose_mode(
     top: Optional[np.ndarray],
     left: Optional[np.ndarray],
 ) -> Tuple[IntraMode, np.ndarray, float]:
-    """Pick the SAD-best mode; returns (mode, prediction, sad)."""
+    """Pick the SAD-best mode; returns (mode, prediction, sad).
+
+    DC/horizontal/vertical SADs are computed by broadcasting against
+    the reference row/column directly (bit-identical to materialising
+    the tiled prediction first, since broadcasting repeats the exact
+    same values); only the winning mode's prediction block is built
+    via :func:`predict`, which the decoder shares.  Ties break toward
+    the lower mode index, as the sequential loop did.
+    """
     block_h, block_w = original.shape
-    original_f = original.astype(np.float64)
-    best: Tuple[IntraMode, np.ndarray, float] = None  # type: ignore[assignment]
-    for mode in IntraMode:
-        pred = predict(mode, top, left, block_w, block_h)
-        sad = float(np.abs(original_f - pred).sum())
-        if best is None or sad < best[2]:
-            best = (mode, pred, sad)
-    return best
+    original_f = original.astype(np.float64, copy=False)
+    dc = _dc_value(top, left)
+    planar = predict(IntraMode.PLANAR, top, left, block_w, block_h)
+    if (
+        native.lib is not None
+        and original_f.flags.c_contiguous
+        and planar.flags.c_contiguous
+        and (top is None or (top.dtype == np.float64 and top.flags.c_contiguous))
+        and (left is None or (left.dtype == np.float64 and left.flags.c_contiguous))
+    ):
+        sads = native.intra_sads(original_f, top, left, dc, planar)
+    else:
+        row = top if top is not None else _default_ref(block_w)
+        col = left if left is not None else _default_ref(block_h)
+        sads = (
+            float(np.abs(original_f - dc).sum()),
+            float(np.abs(original_f - planar).sum()),
+            float(np.abs(original_f - col.reshape(-1, 1)).sum()),
+            float(np.abs(original_f - row).sum()),
+        )
+    best_mode = IntraMode.DC
+    best_sad = sads[0]
+    for mode in (IntraMode.PLANAR, IntraMode.HORIZONTAL, IntraMode.VERTICAL):
+        if sads[mode] < best_sad:
+            best_mode = mode
+            best_sad = sads[mode]
+    if best_mode is IntraMode.PLANAR:
+        pred = planar
+    else:
+        pred = predict(best_mode, top, left, block_w, block_h)
+    return best_mode, pred, best_sad

@@ -19,14 +19,28 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
+
+from repro import native
+from repro.motion.kernel import sad_batch, window_view
 
 MotionVector = Tuple[int, int]
 
 #: Cost returned for candidates outside the frame or window.
 INFEASIBLE = float("inf")
+
+#: Per-dtype cache of ``promote_types(dtype, int32)`` (hot-path helper;
+#: a fresh context is built for every block of every frame).
+_DIFF_DTYPES: Dict[np.dtype, np.dtype] = {}
+
+
+def _diff_dtype(dtype: np.dtype) -> np.dtype:
+    cached = _DIFF_DTYPES.get(dtype)
+    if cached is None:
+        cached = _DIFF_DTYPES[dtype] = np.promote_types(dtype, np.int32)
+    return cached
 
 
 @dataclass
@@ -81,9 +95,44 @@ class SearchContext:
         self.block_y = block_y
         self.window = window
         self.lambda_mv = lambda_mv
+        #: Cost cache contract: key is the exact integer candidate
+        #: ``(dx, dy)``; value is the **full rate-penalized cost**
+        #: ``SAD + lambda_mv * (|dx| + |dy|)`` as a Python float, or
+        #: :data:`INFEASIBLE` for candidates outside the window/frame.
+        #: The scalar (:meth:`evaluate`) and batched
+        #: (:meth:`evaluate_batch`) paths read and write the same
+        #: cache with the same key/value convention, so revisited
+        #: candidates are free regardless of which path saw them first.
         self._cache: Dict[MotionVector, float] = {}
         self.sad_evaluations = 0
         self.pixel_ops = 0
+        self._windows: Optional[np.ndarray] = None  # lazy sliding view
+        #: Difference dtype: wide enough for reference - block without
+        #: overflow (int32 for 8-bit planes, as the scalar path always
+        #: used; wider planes promote).
+        self._diff_dtype = _diff_dtype(reference.dtype)
+        #: The C kernel computes the same int64 SADs as the NumPy
+        #: strided path (bit-identical), but only handles contiguous
+        #: 8-bit planes; anything else falls back to NumPy.
+        self._use_native = (
+            native.lib is not None
+            and reference.dtype == np.uint8
+            and reference.flags.c_contiguous
+            and self.block.flags.c_contiguous
+        )
+        if self._use_native:
+            # Pointer ints cached for the context lifetime and shared
+            # thread-local candidate scratch: the foreign call then
+            # costs ~2us instead of the ~15us of per-call ctypes
+            # pointer-object construction.  The C kernel computes the
+            # full rate-penalized cost with the exact arithmetic of the
+            # scalar path (one rounding per operation).
+            self._nc_call = native.lib.sad_cost_batch_u8
+            self._nc_ref = reference.ctypes.data
+            self._nc_blk = self.block.ctypes.data
+            self._nc_stride = reference.strides[0]
+            self._nc_scratch = native.scratch()
+            self._nc_scratch.ensure(64)
 
     @property
     def block_height(self) -> int:
@@ -109,7 +158,11 @@ class SearchContext:
         )
 
     def evaluate(self, mv: MotionVector) -> float:
-        """Cost of a candidate MV (cached; infeasible candidates are inf)."""
+        """Cost of a candidate MV (cached; infeasible candidates are inf).
+
+        The cached value is the rate-penalized cost (see the cache
+        contract in ``__init__``), shared with the batched path.
+        """
         mv = (int(mv[0]), int(mv[1]))
         cached = self._cache.get(mv)
         if cached is not None:
@@ -120,29 +173,136 @@ class SearchContext:
         dx, dy = mv
         rx = self.block_x + dx
         ry = self.block_y + dy
-        candidate = self.reference[
-            ry : ry + self.block_height, rx : rx + self.block_width
-        ].astype(np.int32, copy=False)
-        sad = int(np.abs(self.block - candidate).sum())
+        if self._use_native:
+            sc = self._nc_scratch
+            sc.xs[0] = rx
+            sc.ys[0] = ry
+            self._nc_call(
+                self._nc_ref, self._nc_stride, self._nc_blk,
+                self.block.shape[0], self.block.shape[1],
+                sc.xs_ptr, sc.ys_ptr, 1,
+                self.block_x, self.block_y, self.lambda_mv,
+                sc.costs_ptr,
+            )
+            cost = sc.costs[0].item()
+            self._cache[mv] = cost
+            self.sad_evaluations += 1
+            self.pixel_ops += self.block_width * self.block_height
+            return cost
+        else:
+            if self._windows is None:
+                self._windows = window_view(
+                    self.reference, self.block_height, self.block_width
+                )
+            diff = np.subtract(
+                self._windows[ry, rx], self.block, dtype=self._diff_dtype
+            )
+            np.abs(diff, out=diff)
+            sad = int(diff.sum())
         cost = sad + self.lambda_mv * (abs(dx) + abs(dy))
         self._cache[mv] = cost
         self.sad_evaluations += 1
         self.pixel_ops += self.block_width * self.block_height
         return cost
 
+    def evaluate_batch(self, mvs: Iterable[MotionVector]) -> List[float]:
+        """Costs of a candidate batch, in input order (vectorized).
+
+        All candidates not already cached are computed in one strided
+        NumPy pass (:func:`repro.motion.kernel.sad_batch`): duplicate
+        candidates within the batch are deduplicated, infeasible ones
+        are cached as :data:`INFEASIBLE`, and ``sad_evaluations`` /
+        ``pixel_ops`` advance exactly as if each new feasible candidate
+        had been probed through :meth:`evaluate` — same costs, same
+        cache contents, same op counts, just one kernel dispatch.
+        """
+        mvs_list = [(int(mv[0]), int(mv[1])) for mv in mvs]
+        return self._batch_costs(mvs_list)
+
+    def _batch_costs(self, mvs_list: List[MotionVector]) -> List[float]:
+        """:meth:`evaluate_batch` body for already-normalized tuples.
+
+        One Python pass deduplicates, filters the cache and splits by
+        feasibility; all remaining candidates are answered by a single
+        :func:`~repro.motion.kernel.sad_batch` dispatch.
+        """
+        cache = self._cache
+        bh, bw = self.block.shape
+        ref_h, ref_w = self.reference.shape
+        w = self.window
+        bx, by = self.block_x, self.block_y
+        max_rx = ref_w - bw
+        max_ry = ref_h - bh
+        xs: List[int] = []
+        ys: List[int] = []
+        feasible: List[MotionVector] = []
+        pending: set = set()
+        for mv in mvs_list:
+            if mv in cache or mv in pending:
+                continue
+            dx, dy = mv
+            rx = bx + dx
+            ry = by + dy
+            if -w <= dx <= w and -w <= dy <= w and 0 <= rx <= max_rx and 0 <= ry <= max_ry:
+                pending.add(mv)
+                xs.append(rx)
+                ys.append(ry)
+                feasible.append(mv)
+            else:
+                cache[mv] = INFEASIBLE
+        if feasible:
+            if self._use_native:
+                n = len(feasible)
+                sc = self._nc_scratch
+                if n > sc.cap:
+                    sc.ensure(n)
+                sc.xs[:n] = xs
+                sc.ys[:n] = ys
+                self._nc_call(
+                    self._nc_ref, self._nc_stride, self._nc_blk,
+                    bh, bw,
+                    sc.xs_ptr, sc.ys_ptr, n,
+                    bx, by, self.lambda_mv,
+                    sc.costs_ptr,
+                )
+                # The kernel already applied the rate penalty with the
+                # scalar path's exact arithmetic.
+                for mv, cost in zip(feasible, sc.costs[:n].tolist()):
+                    cache[mv] = cost
+            else:
+                if self._windows is None:
+                    self._windows = window_view(self.reference, bh, bw)
+                sads = sad_batch(
+                    self._windows,
+                    self.block,
+                    np.asarray(xs, dtype=np.intp),
+                    np.asarray(ys, dtype=np.intp),
+                    self._diff_dtype,
+                )
+                lam = self.lambda_mv
+                for mv, sad in zip(feasible, sads.tolist()):
+                    # Same arithmetic as the scalar path: Python int
+                    # SAD plus the float rate penalty.
+                    cache[mv] = sad + lam * (abs(mv[0]) + abs(mv[1]))
+            self.sad_evaluations += len(feasible)
+            self.pixel_ops += len(feasible) * bw * bh
+        return [cache[mv] for mv in mvs_list]
+
     def evaluate_many(self, mvs: Iterable[MotionVector]) -> Tuple[MotionVector, float]:
-        """Evaluate candidates; return the best (mv, cost).
+        """Evaluate candidates (vectorized); return the best (mv, cost).
 
         Ties are broken toward the earlier candidate, so pattern
-        ordering is deterministic.
+        ordering is deterministic — identical to probing each candidate
+        through :meth:`evaluate` in order.
         """
+        mvs_list = [(int(mv[0]), int(mv[1])) for mv in mvs]
+        costs = self._batch_costs(mvs_list)
         best_mv: Optional[MotionVector] = None
         best_cost = INFEASIBLE
-        for mv in mvs:
-            cost = self.evaluate(mv)
+        for mv, cost in zip(mvs_list, costs):
             if cost < best_cost:
                 best_cost = cost
-                best_mv = (int(mv[0]), int(mv[1]))
+                best_mv = mv
         if best_mv is None:
             # Every candidate infeasible: fall back to zero MV, which is
             # always feasible for in-frame blocks.

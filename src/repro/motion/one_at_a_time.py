@@ -31,9 +31,11 @@ class OneAtATimeSearch(MotionSearch):
     ) -> Tuple[MotionVector, float]:
         """Walk +-1 steps along ``axis`` while the cost improves."""
         step = (1, 0) if axis == "x" else (0, 1)
-        # Choose the promising direction first.
-        plus = ctx.evaluate((best_mv[0] + step[0], best_mv[1] + step[1]))
-        minus = ctx.evaluate((best_mv[0] - step[0], best_mv[1] - step[1]))
+        # Choose the promising direction first (both probes as a batch).
+        plus, minus = ctx.evaluate_batch([
+            (best_mv[0] + step[0], best_mv[1] + step[1]),
+            (best_mv[0] - step[0], best_mv[1] - step[1]),
+        ])
         if plus >= best_cost and minus >= best_cost:
             return best_mv, best_cost
         direction = 1 if plus < minus else -1

@@ -1,0 +1,278 @@
+"""Native (C) kernel layer for the encode hot path.
+
+The per-block encode loop spends most of its time in interpreter and
+NumPy dispatch overhead on tiny arrays.  This package compiles
+``kernels.c`` once per machine with the system C compiler (``cc``) and
+loads it through :mod:`ctypes`; the Python wrappers below present the
+same contracts as the NumPy implementations they accelerate:
+
+* :func:`sad_batch` — integer SADs of one block against many reference
+  windows, **bit-identical** to the NumPy strided-view path (both
+  accumulate ``|ref - block|`` in int64);
+* :func:`choose_intra` — fused intra mode decision; the winning
+  prediction block is bit-identical to ``repro.codec.intra.predict``
+  (the kernels are compiled with ``-ffp-contract=off`` so the C
+  arithmetic follows the same one-rounding-per-operation IEEE
+  semantics as NumPy), while the SAD reductions may differ from
+  NumPy's pairwise summation in the last ulp — which only matters on
+  exact cost ties;
+* :func:`intra_sads` — the four intra-mode SADs (same ulp caveat);
+* :func:`encode_residual` — the fused residual pipeline (zero-skip ->
+  DCT -> quantize -> zigzag bit count), returning the same integer
+  levels and bit counts as the staged NumPy pipeline up to coefficient
+  rounding at quantization boundaries.
+
+Call overhead matters as much as kernel speed here: every exported
+function is declared with ``c_void_p`` pointer arguments so callers
+pass raw ``ndarray.ctypes.data`` integers (no per-call ``data_as``
+pointer objects), and small fixed-size outputs live in thread-local
+scratch buffers whose pointers are computed once.  Hot inner loops
+(``SearchContext``) go further and cache the plane/block pointers for
+the lifetime of the context, calling ``lib.sad_batch_u8`` directly.
+
+Everything degrades gracefully: if no compiler is available, if
+compilation fails, or if ``REPRO_NATIVE=0`` is set, :data:`lib` is
+``None`` and callers fall back to pure NumPy.  The compiled object is
+cached under ``_build/``, keyed by a hash of the source and flags.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+_HERE = Path(__file__).resolve().parent
+_SOURCE = _HERE / "kernels.c"
+_BUILD_DIR = _HERE / "_build"
+
+#: ``-ffp-contract=off`` disables FMA contraction: a fused multiply-add
+#: rounds once where NumPy rounds twice, which would break the
+#: bit-exactness of the intra prediction arithmetic.
+_CFLAGS = ["-O3", "-ffp-contract=off", "-fPIC", "-shared"]
+
+#: The loaded shared library, or None when native kernels are off.
+lib: Optional[ctypes.CDLL] = None
+
+
+def _compile() -> Optional[Path]:
+    source = _SOURCE.read_text()
+    digest = hashlib.sha256(
+        (source + "\0" + " ".join(_CFLAGS)).encode()
+    ).hexdigest()[:16]
+    so_path = _BUILD_DIR / f"kernels-{digest}.so"
+    if so_path.exists():
+        return so_path
+    _BUILD_DIR.mkdir(exist_ok=True)
+    # Compile into a temp file then rename, so concurrent interpreters
+    # (the tile-parallel worker pool) never load a half-written object.
+    fd, tmp_name = tempfile.mkstemp(suffix=".so", dir=_BUILD_DIR)
+    os.close(fd)
+    cmd = ["cc", *_CFLAGS, str(_SOURCE), "-o", tmp_name, "-lm"]
+    try:
+        subprocess.run(cmd, check=True, capture_output=True, timeout=120)
+        os.replace(tmp_name, so_path)
+        return so_path
+    except (OSError, subprocess.SubprocessError):
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        return None
+
+
+def _load() -> Optional[ctypes.CDLL]:
+    if os.environ.get("REPRO_NATIVE", "1") == "0":
+        return None
+    try:
+        so_path = _compile()
+        if so_path is None:
+            return None
+        cdll = ctypes.CDLL(str(so_path))
+    except OSError:
+        return None
+    ptr = ctypes.c_void_p  # callers pass ndarray.ctypes.data integers
+    i64 = ctypes.c_int64
+    i32 = ctypes.c_int
+    f64 = ctypes.c_double
+    cdll.sad_batch_u8.argtypes = [ptr, i64, i64, ptr, i32, i32, ptr, ptr, i32, ptr]
+    cdll.sad_batch_u8.restype = None
+    cdll.sad_cost_batch_u8.argtypes = [
+        ptr, i64, ptr, i32, i32, ptr, ptr, i32, i64, i64, f64, ptr,
+    ]
+    cdll.sad_cost_batch_u8.restype = None
+    cdll.sad_pred_d.argtypes = [ptr, ptr, i64, ptr]
+    cdll.sad_pred_d.restype = None
+    cdll.ssd_recon_u8.argtypes = [ptr, ptr, i64, ptr]
+    cdll.ssd_recon_u8.restype = None
+    cdll.intra_sads.argtypes = [ptr, i32, i32, ptr, ptr, f64, ptr, ptr]
+    cdll.intra_sads.restype = None
+    cdll.choose_intra.argtypes = [ptr, i32, i32, ptr, ptr, ptr, ptr, ptr]
+    cdll.choose_intra.restype = None
+    cdll.encode_residual.argtypes = [ptr, ptr, i32, i32, f64, ptr, ptr, ptr, ptr]
+    cdll.encode_residual.restype = None
+    cdll.reconstruct_block_u8.argtypes = [ptr, ptr, i32, i32, f64, ptr, ptr, i64]
+    cdll.reconstruct_block_u8.restype = None
+    cdll.encode_block_fused.argtypes = [
+        ptr, ptr, i32, i32, f64, ptr, ptr, ptr, ptr, i64, ptr, ptr,
+    ]
+    cdll.encode_block_fused.restype = None
+    return cdll
+
+
+def available() -> bool:
+    """Whether the compiled kernels are loaded in this process."""
+    return lib is not None
+
+
+class _Scratch(threading.local):
+    """Per-thread fixed-size output buffers with precomputed pointers.
+
+    ctypes releases the GIL during foreign calls, so module-global
+    scratch would race if two threads encoded concurrently;
+    thread-local storage keeps the cached pointers safe.
+    """
+
+    def __init__(self):
+        self.f4 = np.empty(4, dtype=np.float64)
+        self.f4_ptr = self.f4.ctypes.data
+        self.mode = np.empty(1, dtype=np.int32)
+        self.mode_ptr = self.mode.ctypes.data
+        self.sad = np.empty(1, dtype=np.float64)
+        self.sad_ptr = self.sad.ctypes.data
+        self.stats = np.empty(2, dtype=np.int64)
+        self.stats_ptr = self.stats.ctypes.data
+        self.cap = 0
+
+    def ensure(self, n: int) -> None:
+        """Grow the candidate scratch (xs, ys, costs) to hold ``n``."""
+        if n > self.cap:
+            self.cap = max(2 * n, 64)
+            self.xs = np.empty(self.cap, dtype=np.int64)
+            self.ys = np.empty(self.cap, dtype=np.int64)
+            self.costs = np.empty(self.cap, dtype=np.float64)
+            self.sads = np.empty(self.cap, dtype=np.int64)
+            self.xs_ptr = self.xs.ctypes.data
+            self.ys_ptr = self.ys.ctypes.data
+            self.costs_ptr = self.costs.ctypes.data
+            self.sads_ptr = self.sads.ctypes.data
+
+
+_scratch = _Scratch()
+
+
+def scratch() -> _Scratch:
+    """This thread's scratch buffers (for direct ``lib`` callers)."""
+    return _scratch
+
+
+def sad_batch(
+    reference: np.ndarray,
+    block: np.ndarray,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    istep: int = 1,
+) -> np.ndarray:
+    """Integer SADs of ``block`` at anchors ``(ys, xs)`` of ``reference``.
+
+    ``reference`` must be C-contiguous uint8, ``block`` C-contiguous
+    int32, ``xs``/``ys`` int64.  ``istep`` is the element pitch inside
+    each window (2 samples the half-pel grid at integer positions).
+    """
+    n = int(xs.size)
+    out = np.empty(n, dtype=np.int64)
+    lib.sad_batch_u8(
+        reference.ctypes.data,
+        reference.strides[0],
+        istep,
+        block.ctypes.data,
+        block.shape[0], block.shape[1],
+        xs.ctypes.data, ys.ctypes.data,
+        n,
+        out.ctypes.data,
+    )
+    return out
+
+
+def intra_sads(
+    block_f: np.ndarray,
+    top: Optional[np.ndarray],
+    left: Optional[np.ndarray],
+    dc: float,
+    planar: np.ndarray,
+) -> Tuple[float, float, float, float]:
+    """The four intra-mode SADs ``(dc, planar, horizontal, vertical)``."""
+    bh, bw = block_f.shape
+    out = _scratch.f4
+    lib.intra_sads(
+        block_f.ctypes.data, bh, bw,
+        top.ctypes.data if top is not None else None,
+        left.ctypes.data if left is not None else None,
+        dc,
+        planar.ctypes.data,
+        _scratch.f4_ptr,
+    )
+    return float(out[0]), float(out[1]), float(out[2]), float(out[3])
+
+
+def choose_intra(
+    block_f: np.ndarray,
+    top: Optional[np.ndarray],
+    left: Optional[np.ndarray],
+) -> Tuple[int, np.ndarray, float]:
+    """Fused intra decision: returns ``(mode_index, prediction, sad)``.
+
+    The prediction block is bit-identical to
+    ``repro.codec.intra.predict(mode, top, left, ...)``; mode selection
+    matches ``choose_mode`` (strict <, DC-first tie-break).
+    """
+    bh, bw = block_f.shape
+    pred = np.empty((bh, bw), dtype=np.float64)
+    sc = _scratch
+    lib.choose_intra(
+        block_f.ctypes.data, bh, bw,
+        top.ctypes.data if top is not None else None,
+        left.ctypes.data if left is not None else None,
+        pred.ctypes.data, sc.mode_ptr, sc.sad_ptr,
+    )
+    return int(sc.mode[0]), pred, float(sc.sad[0])
+
+
+def encode_residual(
+    block_f: np.ndarray,
+    prediction: np.ndarray,
+    step: float,
+    basis: np.ndarray,
+    zz_order: np.ndarray,
+) -> Tuple[np.ndarray, int, int]:
+    """Fused residual pipeline for one ``(h, w)`` coding block.
+
+    Returns ``(levels, bits, num_active)`` where ``levels`` is the
+    ``(n, 8, 8)`` int32 stack in blockify order, ``bits`` the exact
+    entropy bit count of the zigzag-scanned levels, and ``num_active``
+    the number of sub-blocks that went through the transform.
+    """
+    h, w = block_f.shape
+    n = (h // 8) * (w // 8)
+    levels = np.empty((n, 8, 8), dtype=np.int32)
+    sc = _scratch
+    lib.encode_residual(
+        block_f.ctypes.data,
+        prediction.ctypes.data,
+        h, w, step,
+        basis.ctypes.data,
+        zz_order.ctypes.data,
+        levels.ctypes.data,
+        sc.stats_ptr,
+    )
+    return levels, int(sc.stats[0]), int(sc.stats[1])
+
+
+lib = _load()

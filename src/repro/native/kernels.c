@@ -1,0 +1,505 @@
+/* Native hot-path kernels for the codec substrate.
+ *
+ * Compiled on demand by repro.native (gcc -O3, no -ffast-math: the
+ * double arithmetic must follow IEEE semantics so results stay
+ * deterministic and, for the integer SAD kernel, bit-identical to the
+ * NumPy fallback).  Every function is a plain C symbol loaded through
+ * ctypes; all arrays are C-contiguous buffers prepared by the Python
+ * wrappers.
+ */
+
+#include <math.h>
+#include <stddef.h>
+#include <stdint.h>
+
+/* Exp-Golomb code lengths (same arithmetic as repro.codec.bitstream). */
+static inline int64_t ue_bits(int64_t value)
+{
+    uint64_t code = (uint64_t)value + 1;
+    int bl = 64 - __builtin_clzll(code);
+    return 2 * bl - 1;
+}
+
+static inline int64_t se_bits(int64_t value)
+{
+    int64_t mapped = value > 0 ? 2 * value - 1 : -2 * value;
+    return ue_bits(mapped);
+}
+
+/* SAD of one int32 block against n displaced windows of a uint8 plane.
+ *
+ * Window i anchors at (ys[i], xs[i]); element (r, c) reads
+ * ref[(ys[i] + r * istep) * stride + xs[i] + c * istep].  istep is 1
+ * for integer-pel search and 2 for the half-pel grid (where anchors
+ * are half-pel coordinates and the window samples at integer pitch).
+ * Accumulates in int64 — bit-identical to the NumPy int path.
+ */
+void sad_batch_u8(const uint8_t *ref, int64_t stride, int64_t istep,
+                  const int32_t *block, int bh, int bw,
+                  const int64_t *xs, const int64_t *ys, int n,
+                  int64_t *out)
+{
+    for (int i = 0; i < n; i++) {
+        const uint8_t *anchor = ref + ys[i] * stride + xs[i];
+        int64_t acc = 0;
+        for (int r = 0; r < bh; r++) {
+            const uint8_t *wr = anchor + (int64_t)r * istep * stride;
+            const int32_t *br = block + (int64_t)r * bw;
+            for (int c = 0; c < bw; c++) {
+                int32_t d = (int32_t)wr[(int64_t)c * istep] - br[c];
+                acc += d < 0 ? -d : d;
+            }
+        }
+        out[i] = acc;
+    }
+}
+
+/* The four intra mode SADs: DC, planar, horizontal, vertical.
+ *
+ * block is the (bh, bw) float64 original; top/left may be NULL (tile
+ * boundary), in which case the neutral sample 128 substitutes, as in
+ * repro.codec.intra.  planar is the precomputed planar prediction
+ * (built in Python so the winning prediction block stays identical to
+ * what predict() returns).  out = [dc, planar, horizontal, vertical].
+ */
+void intra_sads(const double *block, int bh, int bw,
+                const double *top, const double *left,
+                double dc, const double *planar,
+                double *out)
+{
+    double s_dc = 0.0, s_pl = 0.0, s_h = 0.0, s_v = 0.0;
+    for (int r = 0; r < bh; r++) {
+        const double *br = block + (ptrdiff_t)r * bw;
+        const double *pr = planar + (ptrdiff_t)r * bw;
+        double lv = left ? left[r] : 128.0;
+        for (int c = 0; c < bw; c++) {
+            double x = br[c];
+            double tv = top ? top[c] : 128.0;
+            s_dc += fabs(x - dc);
+            s_pl += fabs(x - pr[c]);
+            s_h += fabs(x - lv);
+            s_v += fabs(x - tv);
+        }
+    }
+    out[0] = s_dc;
+    out[1] = s_pl;
+    out[2] = s_h;
+    out[3] = s_v;
+}
+
+/* Sum of |block - pred| over n doubles.
+ *
+ * Used for the inter-prediction SAD, where block samples are integers
+ * and predictions are integers (motion compensation, half-pel fetch)
+ * or exact halves (bi-prediction average): every partial sum is then
+ * exactly representable, so sequential summation is bit-identical to
+ * NumPy's pairwise reduction.
+ */
+void sad_pred_d(const double *block, const double *pred, int64_t n,
+                double *out)
+{
+    double acc = 0.0;
+    for (int64_t k = 0; k < n; k++)
+        acc += fabs(block[k] - pred[k]);
+    out[0] = acc;
+}
+
+/* Sum of (block - recon)^2: block is the integer-valued float64
+ * original, recon the reconstructed uint8 samples.  Integer squares
+ * sum exactly in double, so the order of summation cannot matter.
+ */
+void ssd_recon_u8(const double *block, const uint8_t *recon, int64_t n,
+                  double *out)
+{
+    double acc = 0.0;
+    for (int64_t k = 0; k < n; k++) {
+        double d = block[k] - (double)recon[k];
+        acc += d * d;
+    }
+    out[0] = acc;
+}
+
+/* Rate-penalized motion costs: SAD plus lambda * (|dx| + |dy|).
+ *
+ * Same window arithmetic as sad_batch_u8 with istep == 1; (bx, by) is
+ * the block position, so dx = xs[i] - bx.  The cost arithmetic
+ * replicates the Python scalar path exactly (one rounding per
+ * operation, no FMA): double(sad) + lam * double(|dx| + |dy|).
+ */
+void sad_cost_batch_u8(const uint8_t *ref, int64_t stride,
+                       const int32_t *block, int bh, int bw,
+                       const int64_t *xs, const int64_t *ys, int n,
+                       int64_t bx, int64_t by, double lam,
+                       double *out)
+{
+    for (int i = 0; i < n; i++) {
+        const uint8_t *anchor = ref + ys[i] * stride + xs[i];
+        int64_t acc = 0;
+        for (int r = 0; r < bh; r++) {
+            const uint8_t *wr = anchor + (int64_t)r * stride;
+            const int32_t *br = block + (int64_t)r * bw;
+            for (int c = 0; c < bw; c++) {
+                int32_t d = (int32_t)wr[c] - br[c];
+                acc += d < 0 ? -d : d;
+            }
+        }
+        int64_t adx = xs[i] - bx, ady = ys[i] - by;
+        if (adx < 0) adx = -adx;
+        if (ady < 0) ady = -ady;
+        out[i] = (double)acc + lam * (double)(adx + ady);
+    }
+}
+
+/* Fused intra mode decision for one coding block.
+ *
+ * Computes the DC / planar / horizontal / vertical predictions and
+ * their SADs in one pass, picks the SAD-best mode (strict <, ties
+ * toward the lower mode index, DC first — same order as
+ * repro.codec.intra.choose_mode) and writes the winning prediction
+ * into pred_out.  The prediction arithmetic replicates predict()
+ * operation-for-operation (compiled with -ffp-contract=off), so the
+ * winner block is bit-identical to what the Python decoder rebuilds
+ * from the coded mode.  Only the SAD reductions may differ from
+ * NumPy's pairwise summation in the last ulp, which matters only on
+ * exact cost ties.
+ *
+ * top/left may be NULL (tile boundary): the neutral sample 128
+ * substitutes.  mode_out[0] in {0=DC, 1=planar, 2=horizontal,
+ * 3=vertical}; sad_out[0] is the winning SAD.
+ */
+void choose_intra(const double *block, int bh, int bw,
+                  const double *top, const double *left,
+                  double *pred_out, int32_t *mode_out, double *sad_out)
+{
+    double s_dc = 0.0, s_pl = 0.0, s_h = 0.0, s_v = 0.0;
+    /* DC value: mean of the available reference samples.  The samples
+     * are integer-valued doubles, so sequential summation is exact and
+     * matches repro.codec.intra._dc_value bit-for-bit. */
+    double dc = 128.0;
+    if (top || left) {
+        double total = 0.0;
+        int64_t count = 0;
+        if (top) {
+            for (int c = 0; c < bw; c++)
+                total += top[c];
+            count += bw;
+        }
+        if (left) {
+            for (int r = 0; r < bh; r++)
+                total += left[r];
+            count += bh;
+        }
+        dc = total / (double)count;
+    }
+    double tr = top ? top[bw - 1] : 128.0;   /* top-right reference */
+    double bl = left ? left[bh - 1] : 128.0; /* bottom-left reference */
+    double inv_w = (double)(bw + 1);
+    double inv_h = (double)(bh + 1);
+    for (int r = 0; r < bh; r++) {
+        const double *br = block + (ptrdiff_t)r * bw;
+        double *pr = pred_out + (ptrdiff_t)r * bw;
+        double lv = left ? left[r] : 128.0;
+        double wy = (double)(r + 1) / inv_h;
+        for (int c = 0; c < bw; c++) {
+            double x = br[c];
+            double tv = top ? top[c] : 128.0;
+            double wx = (double)(c + 1) / inv_w;
+            /* planar: same op sequence as predict(PLANAR, ...) */
+            double horiz = lv * (1.0 - wx) + tr * wx;
+            double vert = tv * (1.0 - wy) + bl * wy;
+            double pl = (horiz + vert) / 2.0;
+            pr[c] = pl; /* provisional: overwritten unless planar wins */
+            s_dc += fabs(x - dc);
+            s_pl += fabs(x - pl);
+            s_h += fabs(x - lv);
+            s_v += fabs(x - tv);
+        }
+    }
+    double sads[4] = { s_dc, s_pl, s_h, s_v };
+    int best = 0;
+    for (int m = 1; m < 4; m++)
+        if (sads[m] < sads[best])
+            best = m;
+    mode_out[0] = best;
+    sad_out[0] = sads[best];
+    if (best == 0) {
+        for (ptrdiff_t k = 0; k < (ptrdiff_t)bh * bw; k++)
+            pred_out[k] = dc;
+    } else if (best == 2) {
+        for (int r = 0; r < bh; r++) {
+            double lv = left ? left[r] : 128.0;
+            double *pr = pred_out + (ptrdiff_t)r * bw;
+            for (int c = 0; c < bw; c++)
+                pr[c] = lv;
+        }
+    } else if (best == 3) {
+        for (int r = 0; r < bh; r++) {
+            double *pr = pred_out + (ptrdiff_t)r * bw;
+            for (int c = 0; c < bw; c++)
+                pr[c] = top ? top[c] : 128.0;
+        }
+    }
+}
+
+/* Fused residual pipeline for one coding block:
+ * residual -> per-8x8 zero skip -> DCT (basis matmul) -> dead-zone
+ * quantization -> zigzag run-length bit count.
+ *
+ * block/pred are (h, w) float64; basis is the orthonormal 8x8 DCT-II
+ * matrix (row-major); zz_order maps scan position -> row-major index.
+ * levels_out receives (h/8)*(w/8) blocks of 64 int32 levels in
+ * blockify order (sub-block rows first).  stats_out = [total_bits,
+ * num_active_blocks].  Matches the NumPy pipeline: a sub-block whose
+ * residual SAD is below 3 * step provably quantizes to all zeros and
+ * skips its transform.
+ */
+/* Reconstruction of one 8x8 sub-block from its levels and prediction.
+ *
+ * Replicates repro.codec.encoder.reconstruct_block: all-zero levels
+ * short-circuit to rint(pred); otherwise dequantize (level * step),
+ * inverse DCT (basis^T @ X @ basis) and rint(pred + residual); both
+ * paths then bound to [0, 255].  rint() uses round-half-to-even like
+ * np.rint.  pred strides by pstride doubles per row; out strides by
+ * ostride bytes.
+ */
+static void recon_sub8(const int32_t *levels, const double *pred,
+                       ptrdiff_t pstride, double step, const double *basis,
+                       uint8_t *out, ptrdiff_t ostride)
+{
+    int zero = 1;
+    for (int k = 0; k < 64; k++)
+        if (levels[k]) {
+            zero = 0;
+            break;
+        }
+    if (zero) {
+        for (int r = 0; r < 8; r++) {
+            const double *pr = pred + (ptrdiff_t)r * pstride;
+            uint8_t *orow = out + (ptrdiff_t)r * ostride;
+            for (int c = 0; c < 8; c++) {
+                double v = rint(pr[c]);
+                if (v > 255.0)
+                    v = 255.0;
+                if (v < 0.0)
+                    v = 0.0;
+                orow[c] = (uint8_t)v;
+            }
+        }
+        return;
+    }
+    double coef[64], tmp[64];
+    for (int k = 0; k < 64; k++)
+        coef[k] = (double)levels[k] * step;
+    /* tmp = basis^T @ coef */
+    for (int i = 0; i < 8; i++)
+        for (int j = 0; j < 8; j++) {
+            double acc = 0.0;
+            for (int k = 0; k < 8; k++)
+                acc += basis[k * 8 + i] * coef[k * 8 + j];
+            tmp[i * 8 + j] = acc;
+        }
+    /* resid = tmp @ basis */
+    for (int r = 0; r < 8; r++) {
+        const double *pr = pred + (ptrdiff_t)r * pstride;
+        uint8_t *orow = out + (ptrdiff_t)r * ostride;
+        for (int c = 0; c < 8; c++) {
+            double acc = 0.0;
+            for (int k = 0; k < 8; k++)
+                acc += tmp[r * 8 + k] * basis[k * 8 + c];
+            double v = rint(acc + pr[c]);
+            if (v > 255.0)
+                v = 255.0;
+            if (v < 0.0)
+                v = 0.0;
+            orow[c] = (uint8_t)v;
+        }
+    }
+}
+
+/* Reconstruction of a whole coding block (decoder and fallback path).
+ * levels is the (h/8 * w/8, 8, 8) stack in blockify order; out is a
+ * (h, w) uint8 buffer with out_stride bytes per row.
+ */
+void reconstruct_block_u8(const double *pred, const int32_t *levels,
+                          int h, int w, double step, const double *basis,
+                          uint8_t *out, int64_t out_stride)
+{
+    int rows = h / 8, cols = w / 8;
+    for (int rb = 0; rb < rows; rb++)
+        for (int cb = 0; cb < cols; cb++)
+            recon_sub8(levels + ((ptrdiff_t)rb * cols + cb) * 64,
+                       pred + ((ptrdiff_t)rb * 8) * w + cb * 8, w,
+                       step, basis,
+                       out + (ptrdiff_t)rb * 8 * out_stride + cb * 8,
+                       out_stride);
+}
+
+/* Fully fused per-block encode: residual pipeline (zero-skip, DCT,
+ * quantization, zigzag bit count) plus reconstruction written straight
+ * into the frame's reconstruction plane and the SSD of the original
+ * against the reconstructed samples.  recon_out points at the block's
+ * top-left sample inside the plane (recon_stride bytes per row).
+ * stats_out = [bits, num_active]; ssd_out[0] = sum((block - recon)^2),
+ * exact in any order because both operands are integer-valued.
+ */
+void encode_block_fused(const double *block, const double *pred,
+                        int h, int w, double step, const double *basis,
+                        const int32_t *zz_order,
+                        int32_t *levels_out,
+                        uint8_t *recon_out, int64_t recon_stride,
+                        int64_t *stats_out, double *ssd_out)
+{
+    int rows = h / 8, cols = w / 8;
+    double res[64], tmp[64], coef[64];
+    int64_t bits = 0, active = 0;
+    double ssd = 0.0;
+    for (int rb = 0; rb < rows; rb++) {
+        for (int cb = 0; cb < cols; cb++) {
+            int32_t *levels = levels_out + ((ptrdiff_t)rb * cols + cb) * 64;
+            const double *bsub = block + ((ptrdiff_t)rb * 8) * w + cb * 8;
+            const double *psub = pred + ((ptrdiff_t)rb * 8) * w + cb * 8;
+            uint8_t *osub = recon_out + (ptrdiff_t)rb * 8 * recon_stride + cb * 8;
+            double sad = 0.0;
+            for (int r = 0; r < 8; r++) {
+                const double *br = bsub + (ptrdiff_t)r * w;
+                const double *pr = psub + (ptrdiff_t)r * w;
+                for (int c = 0; c < 8; c++) {
+                    double d = br[c] - pr[c];
+                    res[r * 8 + c] = d;
+                    sad += fabs(d);
+                }
+            }
+            if (sad < 3.0 * step) {
+                for (int k = 0; k < 64; k++)
+                    levels[k] = 0;
+                bits += 1; /* ue(0): all-zero block header */
+            } else {
+                active++;
+                /* tmp = basis @ res */
+                for (int i = 0; i < 8; i++)
+                    for (int j = 0; j < 8; j++) {
+                        double acc = 0.0;
+                        for (int k = 0; k < 8; k++)
+                            acc += basis[i * 8 + k] * res[k * 8 + j];
+                        tmp[i * 8 + j] = acc;
+                    }
+                /* coef = tmp @ basis^T */
+                for (int i = 0; i < 8; i++)
+                    for (int j = 0; j < 8; j++) {
+                        double acc = 0.0;
+                        for (int k = 0; k < 8; k++)
+                            acc += tmp[i * 8 + k] * basis[j * 8 + k];
+                        coef[i * 8 + j] = acc;
+                    }
+                for (int k = 0; k < 64; k++) {
+                    double c = coef[k];
+                    double mag = floor(fabs(c) / step + 0.25);
+                    levels[k] = c > 0.0 ? (int32_t)mag
+                              : c < 0.0 ? -(int32_t)mag : 0;
+                }
+                int last = -1;
+                for (int s = 63; s >= 0; s--)
+                    if (levels[zz_order[s]] != 0) {
+                        last = s;
+                        break;
+                    }
+                bits += ue_bits((int64_t)last + 1);
+                int prev = -1;
+                for (int s = 0; s <= last; s++) {
+                    int32_t lv = levels[zz_order[s]];
+                    if (lv == 0)
+                        continue;
+                    bits += ue_bits((int64_t)(s - prev - 1));
+                    bits += se_bits((int64_t)lv);
+                    prev = s;
+                }
+            }
+            recon_sub8(levels, psub, w, step, basis, osub, recon_stride);
+            for (int r = 0; r < 8; r++) {
+                const double *br = bsub + (ptrdiff_t)r * w;
+                const uint8_t *orow = osub + (ptrdiff_t)r * recon_stride;
+                for (int c = 0; c < 8; c++) {
+                    double d = br[c] - (double)orow[c];
+                    ssd += d * d;
+                }
+            }
+        }
+    }
+    stats_out[0] = bits;
+    stats_out[1] = active;
+    ssd_out[0] = ssd;
+}
+
+void encode_residual(const double *block, const double *pred, int h, int w,
+                     double step, const double *basis,
+                     const int32_t *zz_order,
+                     int32_t *levels_out, int64_t *stats_out)
+{
+    int rows = h / 8, cols = w / 8;
+    double res[64], tmp[64], coef[64];
+    int64_t bits = 0, active = 0;
+    for (int rb = 0; rb < rows; rb++) {
+        for (int cb = 0; cb < cols; cb++) {
+            int32_t *levels = levels_out + ((ptrdiff_t)rb * cols + cb) * 64;
+            double sad = 0.0;
+            for (int r = 0; r < 8; r++) {
+                const double *br = block + ((ptrdiff_t)(rb * 8 + r)) * w + cb * 8;
+                const double *pr = pred + ((ptrdiff_t)(rb * 8 + r)) * w + cb * 8;
+                for (int c = 0; c < 8; c++) {
+                    double d = br[c] - pr[c];
+                    res[r * 8 + c] = d;
+                    sad += fabs(d);
+                }
+            }
+            if (sad < 3.0 * step) {
+                for (int k = 0; k < 64; k++)
+                    levels[k] = 0;
+                bits += 1; /* ue(0): all-zero block header */
+                continue;
+            }
+            active++;
+            /* tmp = basis @ res */
+            for (int i = 0; i < 8; i++)
+                for (int j = 0; j < 8; j++) {
+                    double acc = 0.0;
+                    for (int k = 0; k < 8; k++)
+                        acc += basis[i * 8 + k] * res[k * 8 + j];
+                    tmp[i * 8 + j] = acc;
+                }
+            /* coef = tmp @ basis^T */
+            for (int i = 0; i < 8; i++)
+                for (int j = 0; j < 8; j++) {
+                    double acc = 0.0;
+                    for (int k = 0; k < 8; k++)
+                        acc += tmp[i * 8 + k] * basis[j * 8 + k];
+                    coef[i * 8 + j] = acc;
+                }
+            /* dead-zone quantization (repro.codec.quant semantics) */
+            for (int k = 0; k < 64; k++) {
+                double c = coef[k];
+                double mag = floor(fabs(c) / step + 0.25);
+                levels[k] = c > 0.0 ? (int32_t)mag
+                          : c < 0.0 ? -(int32_t)mag : 0;
+            }
+            /* zigzag run-length bit count (repro.codec.entropy) */
+            int last = -1;
+            for (int s = 63; s >= 0; s--)
+                if (levels[zz_order[s]] != 0) {
+                    last = s;
+                    break;
+                }
+            bits += ue_bits((int64_t)last + 1);
+            int prev = -1;
+            for (int s = 0; s <= last; s++) {
+                int32_t lv = levels[zz_order[s]];
+                if (lv == 0)
+                    continue;
+                bits += ue_bits((int64_t)(s - prev - 1));
+                bits += se_bits((int64_t)lv);
+                prev = s;
+            }
+        }
+    }
+    stats_out[0] = bits;
+    stats_out[1] = active;
+}

@@ -15,14 +15,32 @@ HEVC offers two frame-level parallelization schemes besides tiles:
 These models quantify the paper's argument for tiles: the comparison
 example (``examples/parallelization_comparison.py``) and tests measure
 achievable speedup and latency of each scheme.
+
+Tile parallelism itself is not just modelled but *implemented*:
+:mod:`repro.parallel.executor` encodes a frame's tiles concurrently on
+a process pool, bit-exact with the serial encoder.
 """
 
 from repro.parallel.wavefront import WavefrontSchedule, simulate_wavefront
 from repro.parallel.gop_level import GopParallelModel, GopParallelPlan
+from repro.parallel.executor import (
+    TileHookSpec,
+    TileLearned,
+    TileParallelExecutor,
+    default_workers,
+    merge_learned,
+    recommended_parallel,
+)
 
 __all__ = [
     "WavefrontSchedule",
     "simulate_wavefront",
     "GopParallelModel",
     "GopParallelPlan",
+    "TileHookSpec",
+    "TileLearned",
+    "TileParallelExecutor",
+    "default_workers",
+    "merge_learned",
+    "recommended_parallel",
 ]

@@ -1,0 +1,320 @@
+"""Tile-parallel frame encoding on a process pool.
+
+HEVC tiles are independently decodable: intra prediction breaks at
+tile boundaries, motion search only *reads* the (immutable) reference
+plane, and each tile writes a disjoint region of the reconstruction.
+The per-tile encode loop is therefore embarrassingly parallel within a
+frame — the property the paper's per-tile workload allocation relies
+on (§II-C) — and this module exploits it for real wall-clock speedup
+with a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+The parallel path is **bit-exact** with the serial
+:class:`~repro.codec.encoder.FrameEncoder`:
+
+* every worker encodes its tile into a private :class:`BitWriter`;
+  the parent splices the flushed payloads back in tile order with
+  :meth:`BitWriter.append_bits`, producing a byte-identical stream;
+* reconstruction patches are stitched into the frame plane — identical
+  because no tile ever writes outside its own region;
+* the proposed search policy's per-GOP learned state is snapshotted
+  into picklable :class:`TileHookSpec` objects before the fan-out and
+  merged back with :func:`merge_learned` afterwards.  This is sound
+  because within one frame the policy state is *per-tile*: the
+  dominant axis is only read on non-first GOP frames (when no learning
+  happens) and the MV predictor chain is keyed by tile id, so tile
+  workers never observe each other's in-frame updates even serially.
+
+Everything is opt-in (``PipelineConfig.parallel_tiles``,
+``VideoEncoder(parallel_workers=...)``, ``--parallel-workers`` on the
+CLI); the default remains the serial encoder.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.motion_probe import MotionClass
+from repro.codec.bitstream import BitWriter
+from repro.codec.chroma import BlockInfo
+from repro.codec.config import EncoderConfig, FrameType
+from repro.codec.encoder import (
+    FrameEncoder,
+    FrameStats,
+    TileEncoder,
+    TileStats,
+    normalize_references,
+)
+from repro.motion.base import MotionVector
+from repro.motion.proposed import (
+    BioMedicalSearchPolicy,
+    GopMotionState,
+    ProposedSearchConfig,
+)
+from repro.tiling.tile import TileGrid
+
+__all__ = [
+    "TileHookSpec",
+    "TileLearned",
+    "TileParallelExecutor",
+    "default_workers",
+    "merge_learned",
+    "recommended_parallel",
+]
+
+
+def default_workers() -> int:
+    """Pool size when none is configured: one worker per core."""
+    return max(1, os.cpu_count() or 1)
+
+
+def recommended_parallel(num_tiles: int, workers: Optional[int] = None) -> bool:
+    """Whether the process pool can pay for its dispatch overhead.
+
+    Fork/pickle costs are fixed per frame; they amortize only when
+    more than one tile can actually run concurrently.
+    """
+    effective = workers if workers is not None else default_workers()
+    return effective > 1 and num_tiles > 1
+
+
+@dataclass(frozen=True)
+class TileHookSpec:
+    """Picklable snapshot of one tile's proposed-search decision.
+
+    Captures everything
+    :meth:`~repro.motion.proposed.BioMedicalSearchPolicy.search_block`
+    reads for this tile — motion class, GOP position, the
+    feedback-adjusted window, the GOP's learned dominant axis and this
+    tile's MV predictor — so a worker process can rebuild an
+    equivalent policy without sharing the parent's mutable state.
+    """
+
+    motion: MotionClass
+    is_first: bool
+    tile_id: int
+    window: int
+    axis: Optional[str]
+    predictor: MotionVector
+    search: ProposedSearchConfig = ProposedSearchConfig()
+
+
+@dataclass(frozen=True)
+class TileLearned:
+    """What one first-P-frame tile learned, reported back for merging.
+
+    ``first_axis`` is the tile's first non-zero-MV axis vote (the
+    quantity the serial dominant-axis election consumes) and
+    ``final_mv`` the tile's last block MV (the value that survives in
+    ``GopMotionState.tile_mv`` after a serial pass).
+    """
+
+    tile_id: int
+    first_axis: Optional[str]
+    final_mv: Optional[MotionVector]
+
+
+def merge_learned(
+    state: GopMotionState, learned: Sequence[TileLearned]
+) -> None:
+    """Fold per-tile learning back into the shared GOP state.
+
+    Replays the serial election order: tiles are visited by index, and
+    the first axis vote wins — exactly the outcome of the serial
+    encoder, where the first non-zero MV in tile-then-block order sets
+    the dominant axis.
+    """
+    for rec in sorted(learned, key=lambda r: r.tile_id):
+        if rec.final_mv is not None:
+            state.tile_mv[rec.tile_id] = rec.final_mv
+        if state.dominant_axis is None and rec.first_axis is not None:
+            state.dominant_axis = rec.first_axis
+
+
+def _spec_policy(spec: TileHookSpec) -> BioMedicalSearchPolicy:
+    """A worker-local policy seeded from the spec snapshot.
+
+    On first-P frames the local dominant axis starts ``None`` so the
+    tile's own first vote is captured (the axis is never *read* on
+    first frames); on later frames it carries the learned axis, which
+    ``select`` consumes and nothing mutates.
+    """
+    policy = BioMedicalSearchPolicy(spec.search)
+    policy.state = GopMotionState(
+        dominant_axis=None if spec.is_first else spec.axis,
+        tile_mv={spec.tile_id: spec.predictor},
+    )
+    return policy
+
+
+def _encode_tile_worker(task: tuple):
+    """Encode one tile in a worker process (module-level: picklable).
+
+    Returns ``(stats, recon_patch, payload, nbits, infos, learned)``.
+    """
+    (original, references, tile, config, frame_type, spec, want_infos) = task
+    hook = None
+    policy = None
+    if spec is not None:
+        policy = _spec_policy(spec)
+
+        def hook(ctx_factory, left_mv):
+            return policy.search_block(
+                lambda _w: ctx_factory(spec.window),
+                spec.motion,
+                spec.is_first,
+                spec.tile_id,
+                left_mv=left_mv,
+            )
+
+    reconstruction = np.zeros_like(original)
+    writer = BitWriter()
+    infos: Optional[List[BlockInfo]] = [] if want_infos else None
+    stats = TileEncoder(config).encode(
+        original,
+        references,
+        reconstruction,
+        tile,
+        frame_type,
+        writer=writer,
+        motion_hook=hook,
+        block_info_out=infos,
+    )
+    learned = None
+    if policy is not None and spec.is_first:
+        learned = TileLearned(
+            tile_id=spec.tile_id,
+            first_axis=policy.state.dominant_axis,
+            final_mv=policy.state.tile_mv.get(spec.tile_id),
+        )
+    patch = np.ascontiguousarray(
+        reconstruction[tile.y : tile.y_end, tile.x : tile.x_end]
+    )
+    # bits_written must be captured before flush(), which zero-pads the
+    # stream to a byte boundary; the parent splices exactly nbits so
+    # the padding never reaches the merged stream.
+    nbits = writer.bits_written
+    return stats, patch, writer.flush(), nbits, infos, learned
+
+
+class TileParallelExecutor:
+    """Encodes a frame's tiles concurrently, bit-exact with the serial
+    :class:`~repro.codec.encoder.FrameEncoder`.
+
+    The pool is created lazily on the first parallel frame and reused
+    across frames (fork context where available, so worker processes
+    inherit the compiled native kernels without re-importing).  With
+    ``workers == 1`` every tile is encoded inline through the same
+    worker function — useful as a deterministic reference and on
+    single-core machines, where a pool would only add overhead.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = workers if workers else default_workers()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: Per-tile learning reported by the most recent
+        #: :meth:`encode_frame` fan-out (first P frames only).
+        self.last_learned: List[TileLearned] = []
+
+    # -- pool lifecycle -------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # platforms without fork
+                ctx = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=ctx
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "TileParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- encoding -------------------------------------------------------
+    def encode_frame(
+        self,
+        original: np.ndarray,
+        grid: TileGrid,
+        configs: Sequence[EncoderConfig],
+        frame_type: FrameType,
+        reference=None,
+        frame_index: int = 0,
+        writer: Optional[BitWriter] = None,
+        hook_specs: Optional[Sequence[Optional[TileHookSpec]]] = None,
+        block_infos_out: Optional[List[List[BlockInfo]]] = None,
+    ) -> Tuple[FrameStats, np.ndarray]:
+        """Drop-in parallel replacement for ``FrameEncoder.encode``.
+
+        ``hook_specs`` replaces the serial API's ``motion_hooks``:
+        closures cannot cross a process boundary, so the proposed
+        policy's per-tile decisions travel as :class:`TileHookSpec`
+        snapshots instead.  After a first-P-frame call, fold
+        :attr:`last_learned` into the policy with
+        :func:`merge_learned`.
+        """
+        if len(configs) != len(grid):
+            raise ValueError(f"{len(configs)} configs for {len(grid)} tiles")
+        if hook_specs is not None and len(hook_specs) != len(grid):
+            raise ValueError("hook_specs length must match tile count")
+        if original.shape != (grid.frame_height, grid.frame_width):
+            raise ValueError(
+                f"frame {original.shape} does not match grid "
+                f"{grid.frame_height}x{grid.frame_width}"
+            )
+        references = normalize_references(reference, frame_type)
+        if writer is not None:
+            writer.write_bits(FrameEncoder.FRAME_TYPE_CODES[frame_type], 2)
+        want_infos = block_infos_out is not None
+        tasks = [
+            (
+                original,
+                references,
+                tile,
+                configs[i],
+                frame_type,
+                hook_specs[i] if hook_specs is not None else None,
+                want_infos,
+            )
+            for i, tile in enumerate(grid)
+        ]
+        if self.workers == 1 or len(grid) == 1:
+            results = [_encode_tile_worker(t) for t in tasks]
+        else:
+            results = list(self._ensure_pool().map(_encode_tile_worker, tasks))
+
+        reconstruction = np.zeros_like(original)
+        tile_stats: List[TileStats] = []
+        self.last_learned = []
+        for tile, (stats, patch, payload, nbits, infos, learned) in zip(
+            grid, results
+        ):
+            reconstruction[tile.y : tile.y_end, tile.x : tile.x_end] = patch
+            tile_stats.append(stats)
+            if writer is not None:
+                writer.append_bits(payload, nbits)
+            if want_infos:
+                block_infos_out.append(infos or [])
+            if learned is not None:
+                self.last_learned.append(learned)
+        return (
+            FrameStats(
+                frame_index=frame_index,
+                frame_type=frame_type,
+                tiles=tile_stats,
+            ),
+            reconstruction,
+        )

@@ -33,6 +33,11 @@ from repro.analysis.texture import TextureClass
 from repro.codec.config import EncoderConfig, FrameType, GopConfig
 from repro.codec.encoder import FrameEncoder, FrameStats
 from repro.motion.proposed import BioMedicalSearchPolicy, ProposedSearchConfig
+from repro.parallel.executor import (
+    TileHookSpec,
+    TileParallelExecutor,
+    merge_learned,
+)
 from repro.platform.cost_model import CostModel
 from repro.platform.mpsoc import MpsocConfig, XEON_E5_2667
 from repro.platform.schedule import ThreadTask
@@ -105,6 +110,13 @@ class PipelineConfig:
     #: answered by the graded degradation ladder instead of the single
     #: lighter configuration.
     resilience: Optional[ResilienceConfig] = None
+    #: Encode each frame's tiles concurrently on a process pool
+    #: (:mod:`repro.parallel.executor`).  Bit-exact with the serial
+    #: path; off by default because the pool only pays off with
+    #: several cores and tiles.
+    parallel_tiles: bool = False
+    #: Worker count for the tile pool; ``None`` uses one per core.
+    parallel_workers: Optional[int] = None
 
     @classmethod
     def khan(cls, **overrides) -> "PipelineConfig":
@@ -269,7 +281,21 @@ class StreamTranscoder:
         self.retiler = ContentAwareRetiler(config.tiling, self.evaluator)
         self._merged_retiler: Optional[ContentAwareRetiler] = None
         self._frame_encoder = FrameEncoder()
+        self._parallel: Optional[TileParallelExecutor] = None
+        if config.parallel_tiles:
+            self._parallel = TileParallelExecutor(config.parallel_workers)
         self.fault_injector = fault_injector
+
+    def close(self) -> None:
+        """Shut down the tile worker pool (no-op when serial)."""
+        if self._parallel is not None:
+            self._parallel.close()
+
+    def __enter__(self) -> "StreamTranscoder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def run(self, video: Video) -> StreamTrace:
@@ -469,15 +495,17 @@ class StreamTranscoder:
     ):
         cfg = self.config
         bottlenecks = feedback.bottleneck_tiles
+        is_first = gop_position <= 1
         configs = []
         hooks = []
+        specs = []
         windows = []
         for i, content in enumerate(contents):
             qp = adapter.adapt(
                 i, content.texture, prev_feedback.get(i),
                 stream_bitrate_mbps=stream_bitrate_mbps,
             )
-            _, window = policy.select(content.motion, gop_position <= 1)
+            _, window = policy.select(content.motion, is_first)
             # Lighter configuration (§III-D2) — either the paper's
             # single alternative or the resilience ladder's current rung.
             qp, window = feedback.adjust_tile(
@@ -485,15 +513,31 @@ class StreamTranscoder:
             )
             configs.append(cfg.base_config.with_qp(qp))
             windows.append(window)
-            hooks.append(
-                self._make_hook(policy, content.motion, gop_position, i, window)
-            )
+            if self._parallel is not None:
+                specs.append(TileHookSpec(
+                    motion=content.motion, is_first=is_first, tile_id=i,
+                    window=window, axis=policy.state.dominant_axis,
+                    predictor=policy.state.predictor(i), search=cfg.search,
+                ))
+            else:
+                hooks.append(
+                    self._make_hook(policy, content.motion, gop_position, i, window)
+                )
 
-        frame_stats, reconstruction = self._frame_encoder.encode(
-            luma, grid, configs, frame_type,
-            reference=reference, frame_index=frame_index,
-            motion_hooks=hooks if frame_type is FrameType.P else None,
-        )
+        if self._parallel is not None:
+            frame_stats, reconstruction = self._parallel.encode_frame(
+                luma, grid, configs, frame_type,
+                reference=reference, frame_index=frame_index,
+                hook_specs=specs if frame_type is FrameType.P else None,
+            )
+            if frame_type is FrameType.P:
+                merge_learned(policy.state, self._parallel.last_learned)
+        else:
+            frame_stats, reconstruction = self._frame_encoder.encode(
+                luma, grid, configs, frame_type,
+                reference=reference, frame_index=frame_index,
+                motion_hooks=hooks if frame_type is FrameType.P else None,
+            )
         record = self._record_frame(
             frame_stats, frame_type, contents, configs, windows
         )
@@ -542,10 +586,16 @@ class StreamTranscoder:
             for pos, frame in enumerate(frames):
                 frame_type = cfg.gop.frame_type(pos)
                 configs = [cfg.base_config] * len(grid)
-                frame_stats, reference = self._frame_encoder.encode(
-                    frame.luma, grid, configs, frame_type,
-                    reference=reference, frame_index=frame.index,
-                )
+                if self._parallel is not None:
+                    frame_stats, reference = self._parallel.encode_frame(
+                        frame.luma, grid, configs, frame_type,
+                        reference=reference, frame_index=frame.index,
+                    )
+                else:
+                    frame_stats, reference = self._frame_encoder.encode(
+                        frame.luma, grid, configs, frame_type,
+                        reference=reference, frame_index=frame.index,
+                    )
                 record.frames.append(
                     self._record_frame(
                         frame_stats, frame_type, None, configs,

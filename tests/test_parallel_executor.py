@@ -1,0 +1,188 @@
+"""Tile-parallel encoding is bit-exact with the serial encoder.
+
+The inline (``workers=1``) tests exercise the whole parallel code path
+— per-tile writers, payload splicing, reconstruction stitching, policy
+snapshot/merge — without forking, so they run in the fast tier.  The
+``slow``-marked tests repeat the guarantees through a real process
+pool (run with ``-m slow`` or no marker filter).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.motion_probe import MotionClass
+from repro.codec.bitstream import BitWriter
+from repro.codec.config import EncoderConfig, FrameType, GopConfig
+from repro.codec.encoder import FrameEncoder, VideoEncoder
+from repro.motion.proposed import GopMotionState
+from repro.parallel.executor import (
+    TileHookSpec,
+    TileLearned,
+    TileParallelExecutor,
+    merge_learned,
+    recommended_parallel,
+)
+from repro.tiling.uniform import uniform_tiling
+from repro.transcode.pipeline import PipelineConfig, PipelineMode, StreamTranscoder
+from repro.video.generator import (
+    BioMedicalVideoGenerator,
+    ContentClass,
+    GeneratorConfig,
+    MotionPreset,
+)
+
+
+@pytest.fixture(scope="module")
+def video():
+    cfg = GeneratorConfig(
+        width=128, height=96, num_frames=6, seed=3,
+        content_class=ContentClass.CARDIAC, motion=MotionPreset.PAN_DOWN,
+        motion_magnitude=2.0,
+    )
+    return BioMedicalVideoGenerator(cfg).generate()
+
+
+#: Heterogeneous per-tile configs, including a half-pel tile, so the
+#: equivalence claim covers every encode path.
+def _configs():
+    return [
+        EncoderConfig(qp=30, search="hexagon", search_window=24),
+        EncoderConfig(qp=34),
+        EncoderConfig(qp=32, half_pel=True),
+        EncoderConfig(qp=28, search="tz"),
+    ]
+
+
+def _assert_frames_equal(serial, parallel):
+    s_stats, s_rec = serial
+    p_stats, p_rec = parallel
+    assert np.array_equal(s_rec, p_rec)
+    for a, b in zip(s_stats.tiles, p_stats.tiles):
+        assert a.bits == b.bits
+        assert a.ssd == b.ssd
+        assert a.ops == b.ops
+
+
+def _encode_sequence(video, executor):
+    """Encode I, P, B frames through the serial and given encoder,
+    asserting identical stats/recon and returning both bitstreams."""
+    grid = uniform_tiling(128, 96, 2, 2)
+    configs = _configs()
+    fe = FrameEncoder()
+    ws, wp = BitWriter(), BitWriter()
+    infos_s, infos_p = [], []
+    serial = fe.encode(video[0].luma, grid, configs, FrameType.I,
+                       writer=ws, block_infos_out=infos_s)
+    par = executor.encode_frame(video[0].luma, grid, configs, FrameType.I,
+                                writer=wp, block_infos_out=infos_p)
+    _assert_frames_equal(serial, par)
+    s2 = fe.encode(video[1].luma, grid, configs, FrameType.P,
+                   reference=serial[1], writer=ws)
+    p2 = executor.encode_frame(video[1].luma, grid, configs, FrameType.P,
+                               reference=par[1], writer=wp)
+    _assert_frames_equal(s2, p2)
+    s3 = fe.encode(video[2].luma, grid, configs, FrameType.B,
+                   reference=[s2[1], serial[1]], writer=ws)
+    p3 = executor.encode_frame(video[2].luma, grid, configs, FrameType.B,
+                               reference=[p2[1], par[1]], writer=wp)
+    _assert_frames_equal(s3, p3)
+    assert infos_s == infos_p
+    assert ws.bits_written == wp.bits_written
+    return ws.flush(), wp.flush()
+
+
+def test_inline_executor_bitstream_identical(video):
+    with TileParallelExecutor(workers=1) as executor:
+        serial_bytes, parallel_bytes = _encode_sequence(video, executor)
+    assert serial_bytes == parallel_bytes
+
+
+def test_merge_learned_replays_serial_election():
+    state = GopMotionState()
+    merge_learned(state, [
+        TileLearned(tile_id=2, first_axis="y", final_mv=(0, 3)),
+        TileLearned(tile_id=0, first_axis=None, final_mv=(0, 0)),
+        TileLearned(tile_id=1, first_axis="x", final_mv=(4, 1)),
+    ])
+    # Tile 0 voted nothing, so tile 1 (lowest index with a vote) wins —
+    # the same outcome as the serial tile-then-block visit order.
+    assert state.dominant_axis == "x"
+    assert state.tile_mv == {0: (0, 0), 1: (4, 1), 2: (0, 3)}
+
+
+def test_hook_spec_is_picklable():
+    import pickle
+
+    spec = TileHookSpec(motion=MotionClass.HIGH, is_first=True, tile_id=1,
+                        window=16, axis=None, predictor=(2, -1))
+    assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+def test_recommended_parallel():
+    assert not recommended_parallel(num_tiles=1, workers=8)
+    assert not recommended_parallel(num_tiles=8, workers=1)
+    assert recommended_parallel(num_tiles=4, workers=2)
+
+
+def test_executor_validates_shapes(video):
+    grid = uniform_tiling(128, 96, 2, 2)
+    with TileParallelExecutor(workers=1) as executor:
+        with pytest.raises(ValueError):
+            executor.encode_frame(video[0].luma, grid,
+                                  [_configs()[0]], FrameType.I)
+        with pytest.raises(ValueError):
+            executor.encode_frame(video[0].luma[:64], grid,
+                                  _configs(), FrameType.I)
+
+
+def test_pipeline_inline_parallel_identical(video):
+    """Proposed pipeline (policy snapshot/merge path) with workers=1."""
+    serial = StreamTranscoder(PipelineConfig(fps=24.0)).run(video)
+    cfg = PipelineConfig(fps=24.0, parallel_tiles=True, parallel_workers=1)
+    with StreamTranscoder(cfg) as transcoder:
+        parallel = transcoder.run(video)
+    assert serial.total_bits == parallel.total_bits
+    assert serial.frame_psnrs == parallel.frame_psnrs
+    for fs, fp in zip(serial.frame_records, parallel.frame_records):
+        for a, b in zip(fs.tiles, fp.tiles):
+            assert (a.bits, a.psnr, a.qp, a.search_window) == \
+                   (b.bits, b.psnr, b.qp, b.search_window)
+
+
+@pytest.mark.slow
+def test_process_pool_bitstream_identical(video):
+    with TileParallelExecutor(workers=2) as executor:
+        serial_bytes, parallel_bytes = _encode_sequence(video, executor)
+    assert serial_bytes == parallel_bytes
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("mode", [PipelineMode.PROPOSED, PipelineMode.KHAN])
+def test_process_pool_pipeline_identical(video, mode):
+    """Full transcode through a real pool: identical trace to serial."""
+    if mode is PipelineMode.KHAN:
+        serial_cfg = PipelineConfig.khan(fps=24.0)
+        par_cfg = PipelineConfig.khan(
+            fps=24.0, parallel_tiles=True, parallel_workers=2
+        )
+    else:
+        serial_cfg = PipelineConfig(fps=24.0)
+        par_cfg = PipelineConfig(
+            fps=24.0, parallel_tiles=True, parallel_workers=2
+        )
+    serial = StreamTranscoder(serial_cfg).run(video)
+    with StreamTranscoder(par_cfg) as transcoder:
+        parallel = transcoder.run(video)
+    assert serial.total_bits == parallel.total_bits
+    assert serial.frame_psnrs == parallel.frame_psnrs
+
+
+@pytest.mark.slow
+def test_video_encoder_process_pool_identical(video):
+    grid = uniform_tiling(128, 96, 2, 2)
+    serial = VideoEncoder(EncoderConfig(qp=32), GopConfig(4)).encode(video, grid)
+    parallel = VideoEncoder(
+        EncoderConfig(qp=32), GopConfig(4), parallel_workers=2
+    ).encode(video, grid)
+    assert serial.average_psnr == parallel.average_psnr
+    assert [f.bits for f in serial.frames] == [f.bits for f in parallel.frames]
