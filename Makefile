@@ -1,0 +1,37 @@
+# Developer entry points.  `make check` is the pre-commit gate: the
+# tier-1 test suite plus a fast smoke pass over the benchmark harnesses
+# (their `-m 'not slow'` subset runs each micro-benchmark once without
+# timing loops).  Coverage is collected when pytest-cov is installed
+# and skipped silently otherwise — the toolchain image does not bake
+# the plugin in, and the suite must not depend on it.
+
+PY      := python
+PYTEST  := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PY) -m pytest
+HAS_COV := $(shell $(PY) -c "import pytest_cov" 2>/dev/null && echo 1)
+COVOPTS := $(if $(HAS_COV),--cov=repro --cov-report=term-missing)
+
+.PHONY: check test bench-smoke golden serve-demo clean
+
+check: test bench-smoke
+
+test:
+	$(PYTEST) -x -q $(COVOPTS)
+
+bench-smoke:
+	$(PYTEST) benchmarks -q -p no:cacheprovider --override-ini="addopts=" \
+		-m "not slow" --co -q >/dev/null
+	$(PYTEST) benchmarks/test_micro.py -q --override-ini="addopts=" \
+		-m "not slow" --benchmark-disable
+
+# Regenerate the golden trace after an intentional instrumentation change.
+golden:
+	$(PYTEST) tests/test_golden_trace.py -q --update-golden
+
+# One-shot observability demo: writes metrics.json + trace.jsonl.
+serve-demo:
+	PYTHONPATH=src $(PY) -m repro.cli serve --videos 2 --frames 8 \
+		--users 8 --metrics-out metrics.json --trace-out trace.jsonl
+
+clean:
+	rm -rf .pytest_cache .hypothesis metrics.json trace.jsonl
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

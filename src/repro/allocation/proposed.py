@@ -33,9 +33,29 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set
 
 from repro.allocation.demand import UserDemand, cores_needed
+from repro.observability import get_registry, get_tracer
 from repro.platform.mpsoc import MpsocConfig, XEON_E5_2667
 from repro.platform.schedule import CoreSlot, DvfsPolicy, SlotSchedule, ThreadTask
 from repro.resilience.errors import AllocationError
+
+
+def _record_schedule_metrics(schedule: SlotSchedule, kind: str) -> None:
+    """Counters for one resolved schedule: per-frequency DVFS picks
+    plus the paper's cores-at-f_max headcount."""
+    registry = get_registry()
+    for plan in schedule.plans():
+        if not plan.is_active:
+            continue
+        registry.inc(
+            "repro_dvfs_core_level_total",
+            freq_mhz=int(round(plan.busy_frequency_hz / 1e6)),
+            help="Active cores per chosen DVFS frequency",
+        )
+        if plan.carry_out_fmax > 0:
+            registry.inc(
+                "repro_allocator_slot_overruns_total", kind=kind,
+                help="Core slots whose load did not fit the 1/FPS slot",
+            )
 
 
 @dataclass
@@ -116,42 +136,63 @@ class ProposedAllocator:
         if fps <= 0:
             raise AllocationError("fps must be positive")
         slot_duration = 1.0 / fps
-        available = [
-            k for k in range(self.platform.num_cores)
-            if not failed_cores or k not in failed_cores
-        ]
-        if not available:
-            raise AllocationError("no usable cores: all marked failed")
-        admitted, rejected, reserved = self.admit(
-            demands, fps, capacity=len(available)
-        )
-
-        pool = reserved
-        if self.energy_aware_pool and self.dvfs_policy is DvfsPolicy.STRETCH:
-            pool = reserved * self.platform.f_max / self.platform.f_min
-        num_slots = max(1, min(len(available), math.ceil(pool)))
-        slots = [
-            CoreSlot(
-                core_id=k,
-                carry_in_fmax=(carry_in or {}).get(k, 0.0),
+        tracer = get_tracer()
+        with tracer.span("allocator.allocate", requested=len(demands)):
+            available = [
+                k for k in range(self.platform.num_cores)
+                if not failed_cores or k not in failed_cores
+            ]
+            if not available:
+                raise AllocationError("no usable cores: all marked failed")
+            admitted, rejected, reserved = self.admit(
+                demands, fps, capacity=len(available)
             )
-            for k in available[:num_slots]
-        ]
 
-        # Pool of all admitted users' threads, largest first: placing
-        # long threads early gives the distance heuristic room to
-        # balance with the short ones.
-        pool: List[ThreadTask] = sorted(
-            (t for d in admitted for t in d.threads),
-            key=lambda t: -t.cpu_time_fmax,
-        )
-        for task in pool:
-            self._place(task, slots, slot_duration)
+            pool = reserved
+            if self.energy_aware_pool and self.dvfs_policy is DvfsPolicy.STRETCH:
+                pool = reserved * self.platform.f_max / self.platform.f_min
+            num_slots = max(1, min(len(available), math.ceil(pool)))
+            slots = [
+                CoreSlot(
+                    core_id=k,
+                    carry_in_fmax=(carry_in or {}).get(k, 0.0),
+                )
+                for k in available[:num_slots]
+            ]
 
-        schedule = SlotSchedule(
-            slots, slot_duration, self.platform, policy=self.dvfs_policy
-        )
-        return AllocationResult(admitted=admitted, rejected=rejected, schedule=schedule)
+            # Pool of all admitted users' threads, largest first: placing
+            # long threads early gives the distance heuristic room to
+            # balance with the short ones.
+            pool: List[ThreadTask] = sorted(
+                (t for d in admitted for t in d.threads),
+                key=lambda t: -t.cpu_time_fmax,
+            )
+            for task in pool:
+                self._place(task, slots, slot_duration)
+
+            schedule = SlotSchedule(
+                slots, slot_duration, self.platform, policy=self.dvfs_policy
+            )
+            tracer.event(
+                "allocator.decision",
+                admitted=sorted(d.user_id for d in admitted),
+                rejected=sorted(d.user_id for d in rejected),
+                cores=len(slots),
+                threads=len(pool),
+            )
+            registry = get_registry()
+            registry.inc("repro_allocator_runs_total", kind="allocate",
+                         help="Allocator invocations by kind")
+            registry.inc("repro_allocator_users_admitted_total", len(admitted),
+                         help="Users admitted across allocation passes")
+            registry.inc("repro_allocator_users_rejected_total", len(rejected),
+                         help="Users rejected across allocation passes")
+            registry.inc("repro_allocator_threads_placed_total", len(pool),
+                         help="Threads packed onto core slots")
+            _record_schedule_metrics(schedule, "allocate")
+            return AllocationResult(
+                admitted=admitted, rejected=rejected, schedule=schedule
+            )
 
     def _place(self, task: ThreadTask, slots: List[CoreSlot], slot_duration: float) -> None:
         """Lines 4-14: distance-to-cap placement of one thread."""
@@ -208,6 +249,18 @@ class ProposedAllocator:
                 orphans = [t for t in orphans if t.user_id != victim.user_id]
             for task in sorted(orphans, key=lambda t: -t.cpu_time_fmax):
                 self._place(task, survivors, slot_duration)
+        registry = get_registry()
+        registry.inc("repro_allocator_runs_total", kind="reallocate",
+                     help="Allocator invocations by kind")
+        registry.inc("repro_allocator_users_shed_total", len(shed),
+                     help="Users shed by core-failure recovery")
+        _record_schedule_metrics(schedule, "reallocate")
+        get_tracer().event(
+            "allocator.reallocate",
+            failed=sorted(set(failed_core_ids)),
+            shed=sorted(d.user_id for d in shed),
+            survivors=len(schedule.slots),
+        )
         return AllocationResult(
             admitted=admitted,
             rejected=list(result.rejected),

@@ -5,6 +5,8 @@ Usage::
     python -m repro.cli generate --content brain --out video.npz
     python -m repro.cli encode video.npz --qp 32 --search hexagon --tiles 2x2
     python -m repro.cli transcode video.npz [--baseline] [--parallel-workers N]
+    python -m repro.cli serve --metrics-out metrics.json --trace-out trace.jsonl
+    python -m repro.cli metrics metrics.json [--prom]
     python -m repro.cli experiment table1|fig3|table2|fig4 [options...]
     python -m repro.cli fault-drill --seed 0
     python -m repro.cli bench [--groups motion codec] [--out BENCH.json]
@@ -22,11 +24,19 @@ records throughput to ``BENCH_<n>.json``.
 ``--parallel-workers N`` on ``encode``/``transcode`` encodes each
 frame's tiles concurrently on a process pool (N=0 uses every core);
 the output is bit-exact with the serial path.
+
+``serve`` runs the multi-user serving simulation end-to-end (measure a
+small corpus, pack users with Algorithm 2) and exports the
+observability artifacts: ``--metrics-out`` writes the metrics registry
+snapshot as JSON, ``--trace-out`` enables span tracing and writes the
+trace buffer as JSONL.  ``metrics`` pretty-prints such a snapshot
+(``--prom`` emits Prometheus text exposition instead).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -114,6 +124,70 @@ def _cmd_transcode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.allocation.proposed import ProposedAllocator
+    from repro.experiments.common import medical_corpus
+    from repro.observability import (
+        disable_tracing,
+        enable_tracing,
+        get_registry,
+        get_tracer,
+    )
+    from repro.transcode.server import TranscodingServer
+    from repro.workload.estimator import WorkloadEstimator
+
+    if args.trace_out:
+        enable_tracing()
+    try:
+        videos = medical_corpus(
+            width=args.width, height=args.height, num_frames=args.frames,
+            seed=args.seed, num_videos=args.videos,
+        )
+        estimator = WorkloadEstimator()
+        traces = []
+        for video in videos:
+            config = PipelineConfig(fps=args.fps)
+            with StreamTranscoder(config, estimator=estimator) as transcoder:
+                traces.append(transcoder.run(video))
+        server = TranscodingServer(fps=args.fps)
+        report = server.serve(
+            traces, ProposedAllocator(), num_users=args.users
+        )
+        print(f"served {report.num_users_served}/{report.num_users_requested} "
+              f"users at {args.fps:g} fps "
+              f"({report.average_power_w:.1f} W average)")
+        if report.psnr_avg is not None:
+            print(f"  PSNR   : {report.psnr_avg:.2f} dB avg")
+        if report.bitrate_avg_mbps is not None:
+            print(f"  bitrate: {report.bitrate_avg_mbps:.3f} Mbps avg")
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as fh:
+                fh.write(get_registry().to_json())
+                fh.write("\n")
+            print(f"wrote metrics snapshot to {args.metrics_out}")
+        if args.trace_out:
+            n = get_tracer().to_jsonl(args.trace_out)
+            print(f"wrote {n} trace records to {args.trace_out}")
+        return 0
+    finally:
+        if args.trace_out:
+            disable_tracing()
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.observability.metrics import MetricsRegistry, format_metrics
+
+    with open(args.snapshot) as fh:
+        data = json.load(fh)
+    if args.prom:
+        print(MetricsRegistry.from_dict(data).to_prometheus_text(), end="")
+    else:
+        print(format_metrics(data))
+    return 0
+
+
 def _cmd_fault_drill(args: argparse.Namespace) -> int:
     from repro.resilience.drill import DrillConfig, run_drill
 
@@ -191,6 +265,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="encode tiles on an N-worker process pool (0 = all cores)")
     t.set_defaults(func=_cmd_transcode)
 
+    s = sub.add_parser(
+        "serve",
+        help="run the serving simulation and export metrics/traces",
+    )
+    s.add_argument("--videos", type=int, default=2,
+                   help="corpus size (representative measured streams)")
+    s.add_argument("--frames", type=int, default=8)
+    s.add_argument("--width", type=int, default=96)
+    s.add_argument("--height", type=int, default=80)
+    s.add_argument("--fps", type=float, default=24.0)
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--users", type=int, default=None,
+                   help="requested users (default: saturated queue)")
+    s.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the metrics registry snapshot as JSON")
+    s.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="enable span tracing and write JSONL records")
+    s.set_defaults(func=_cmd_serve)
+
+    m = sub.add_parser(
+        "metrics",
+        help="pretty-print a metrics.json snapshot",
+    )
+    m.add_argument("snapshot", help="metrics JSON written by `serve`")
+    m.add_argument("--prom", action="store_true",
+                   help="emit Prometheus text exposition instead")
+    m.set_defaults(func=_cmd_metrics)
+
     f = sub.add_parser(
         "fault-drill",
         help="run a seeded chaos scenario and print a survival report",
@@ -228,7 +330,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; treat as a clean exit,
+        # and detach stdout so the interpreter's shutdown flush does not
+        # raise the same error again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -22,8 +22,9 @@ faster and is what the benchmark harness uses.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -46,6 +47,7 @@ from repro.codec.transform import (
 )
 from repro.codec.zigzag import zigzag_indices, zigzag_scan
 from repro import native
+from repro.observability import get_tracer
 from repro.motion.base import MotionSearchResult, SearchContext
 from repro.tiling.tile import Tile, TileGrid
 from repro.video.frame import Frame, Video
@@ -153,6 +155,13 @@ class TileStats:
     bits: int
     ssd: float
     ops: OpCounts
+    #: Wall-clock seconds spent in the motion-search and residual
+    #: coding (transform/quant/entropy) stages of this tile, measured
+    #: only when the encode ran with ``measure_stages=True`` (i.e. the
+    #: span tracer was enabled); ``None`` otherwise.  Travels through
+    #: the process pool so the parent can emit stage spans for tiles
+    #: encoded in workers.
+    stage_seconds: Optional[Dict[str, float]] = None
 
     @property
     def num_pixels(self) -> int:
@@ -250,6 +259,7 @@ class TileEncoder:
         motion_hook: Optional[MotionHook] = None,
         upsampled_refs: Optional[List[np.ndarray]] = None,
         block_info_out: Optional[List[BlockInfo]] = None,
+        measure_stages: bool = False,
     ) -> TileStats:
         """Encode ``tile`` of ``original`` into ``reconstruction``.
 
@@ -258,7 +268,9 @@ class TileEncoder:
         ``reconstruction`` is the current frame's output buffer, filled
         in place.  ``upsampled_refs`` carries the half-pel grids when
         the configuration enables sub-pel refinement (the frame encoder
-        computes them once per frame).
+        computes them once per frame).  ``measure_stages`` accumulates
+        per-stage wall time into :attr:`TileStats.stage_seconds`
+        (tracing support; off by default so the hot path pays nothing).
         """
         references = normalize_references(reference, frame_type)
         if self.config.half_pel and upsampled_refs is None:
@@ -268,6 +280,7 @@ class TileEncoder:
         ops = OpCounts()
         bits = 0
         ssd = 0.0
+        stage_acc = {"motion": 0.0, "entropy": 0.0} if measure_stages else None
         for by in range(tile.y, tile.y_end, bs):
             left_mv = (0, 0)
             for bx in range(tile.x, tile.x_end, bs):
@@ -277,14 +290,15 @@ class TileEncoder:
                 block_bits, block_ssd, mv, info = self._encode_block(
                     block, bx, by, bw, bh, tile, frame_type, references,
                     reconstruction, left_mv, writer, motion_hook, ops,
-                    upsampled_refs,
+                    upsampled_refs, stage_acc,
                 )
                 bits += block_bits
                 ssd += block_ssd
                 left_mv = mv
                 if block_info_out is not None:
                     block_info_out.append(info)
-        return TileStats(tile=tile, bits=bits, ssd=ssd, ops=ops)
+        return TileStats(tile=tile, bits=bits, ssd=ssd, ops=ops,
+                         stage_seconds=stage_acc)
 
     # ------------------------------------------------------------------
     def _search_reference(
@@ -442,6 +456,7 @@ class TileEncoder:
         motion_hook: Optional[MotionHook],
         ops: OpCounts,
         upsampled_refs: Optional[List[np.ndarray]] = None,
+        stage_acc: Optional[Dict[str, float]] = None,
     ) -> tuple:
         cfg = self.config
         block_f = block.astype(np.float64)
@@ -466,6 +481,8 @@ class TileEncoder:
         # --- inter candidates (P: list 0; B: list 0, list 1, bi) --------------
         # Each option: (mode_code, prediction, cost, rate_bits, mvs).
         options = []
+        if stage_acc is not None:
+            _t_motion = time.perf_counter()
         if frame_type is not FrameType.I and references:
             per_ref = []
             for ref_index, ref in enumerate(references):
@@ -503,6 +520,9 @@ class TileEncoder:
                 rate = list_bits + mvd_bit_length(mv0, left_mv) + mvd_bit_length(mv1, mv0)
                 options.append((2, bi_pred, bi_sad + cfg.lambda_mv * rate, rate, (mv0, mv1)))
 
+        if stage_acc is not None:
+            stage_acc["motion"] += time.perf_counter() - _t_motion
+
         use_inter = False
         inter_mode = 0
         inter_rate = 0
@@ -524,6 +544,8 @@ class TileEncoder:
         # provably quantizes to all zeros — skip its transform.  This
         # is the skip-mode analogue that makes low-activity content
         # cheap in real encoders; the output bitstream is identical.
+        if stage_acc is not None:
+            _t_entropy = time.perf_counter()
         step = quantization_step(cfg.qp)
         zz = None
         ssd = None
@@ -601,6 +623,9 @@ class TileEncoder:
             for i in range(zz.shape[0]):
                 write_block(writer, zz[i])
 
+        if stage_acc is not None:
+            stage_acc["entropy"] += time.perf_counter() - _t_entropy
+
         # --- reconstruction ----------------------------------------------------
         # The fused native path already reconstructed into the plane
         # and computed the SSD (integer samples: exact in any order).
@@ -662,6 +687,8 @@ class FrameEncoder:
             upsampled_refs = [upsample2x_cached(r) for r in refs]
         reconstruction = np.zeros_like(original)
         tile_stats = []
+        tracer = get_tracer()
+        trace_on = tracer.enabled
         for i, tile in enumerate(grid):
             hook = motion_hooks[i] if motion_hooks is not None else None
             encoder = TileEncoder(configs[i])
@@ -669,12 +696,24 @@ class FrameEncoder:
             if block_infos_out is not None:
                 info_sink = []
                 block_infos_out.append(info_sink)
-            stats = encoder.encode(
-                original, reference, reconstruction, tile, frame_type,
-                writer=writer, motion_hook=hook,
-                upsampled_refs=upsampled_refs if configs[i].half_pel else None,
-                block_info_out=info_sink,
-            )
+            with tracer.span("stage.encode", tile=i, frame=frame_index,
+                             type=frame_type.value):
+                stats = encoder.encode(
+                    original, reference, reconstruction, tile, frame_type,
+                    writer=writer, motion_hook=hook,
+                    upsampled_refs=upsampled_refs if configs[i].half_pel else None,
+                    block_info_out=info_sink,
+                    measure_stages=trace_on,
+                )
+                if trace_on and stats.stage_seconds is not None:
+                    tracer.record_span(
+                        "stage.motion", stats.stage_seconds["motion"],
+                        tile=i, frame=frame_index,
+                    )
+                    tracer.record_span(
+                        "stage.entropy", stats.stage_seconds["entropy"],
+                        tile=i, frame=frame_index,
+                    )
             tile_stats.append(stats)
         return (
             FrameStats(frame_index=frame_index, frame_type=frame_type,

@@ -32,15 +32,21 @@ from repro.experiments.common import medical_corpus
 
 @dataclass
 class Table2Side:
-    """One approach's Table II row block."""
+    """One approach's Table II row block.
+
+    The averaged quality fields mirror :class:`ServingReport`: they are
+    ``None`` when the mixed queue admitted zero users (e.g. a faults-only
+    run on a platform with no surviving capacity) — there is no mean
+    PSNR of an empty admission set.
+    """
 
     name: str
     psnr_max: float
     psnr_min: float
-    psnr_avg: float
+    psnr_avg: Optional[float]
     bitrate_max: float
     bitrate_min: float
-    bitrate_avg: float
+    bitrate_avg: Optional[float]
     users_max: int
     users_min: int
     users_avg: float
@@ -52,8 +58,11 @@ class Table2Result:
     baseline: Table2Side
 
     @property
-    def user_ratio(self) -> float:
-        """The paper's headline 1.6x throughput factor."""
+    def user_ratio(self) -> Optional[float]:
+        """The paper's headline 1.6x throughput factor (``None`` when
+        the baseline served zero users — the ratio is undefined)."""
+        if self.baseline.users_avg == 0:
+            return None
         return self.proposed.users_avg / self.baseline.users_avg
 
 
@@ -113,6 +122,13 @@ def run_table2(
     return Table2Result(proposed=proposed, baseline=baseline)
 
 
+def _fmt(value: Optional[float], spec: str, width: int) -> str:
+    """Right-aligned formatted value, or ``n/a`` when undefined."""
+    if value is None:
+        return f"{'n/a':>{width}}"
+    return f"{value:>{width}{spec}}"
+
+
 def format_table2(result: Table2Result) -> str:
     lines = [
         "TABLE II — PSNR, bitrate, and number of served users",
@@ -123,10 +139,15 @@ def format_table2(result: Table2Result) -> str:
                      f"{side.bitrate_max:>16.2f}{side.users_max:>12d}")
         lines.append(f"{'':<12}{'Min':>6}{side.psnr_min:>6.1f}"
                      f"{side.bitrate_min:>16.2f}{side.users_min:>12d}")
-        lines.append(f"{'':<12}{'Avg':>6}{side.psnr_avg:>6.1f}"
-                     f"{side.bitrate_avg:>16.2f}{side.users_avg:>12.0f}")
-    lines.append(f"throughput factor (proposed/baseline users): "
-                 f"{result.user_ratio:.2f}x (paper: 1.6x)")
+        lines.append(f"{'':<12}{'Avg':>6}{_fmt(side.psnr_avg, '.1f', 6)}"
+                     f"{_fmt(side.bitrate_avg, '.2f', 16)}{side.users_avg:>12.0f}")
+    ratio = result.user_ratio
+    if ratio is None:
+        lines.append("throughput factor (proposed/baseline users): "
+                     "n/a (baseline served zero users)")
+    else:
+        lines.append(f"throughput factor (proposed/baseline users): "
+                     f"{ratio:.2f}x (paper: 1.6x)")
     return "\n".join(lines)
 
 

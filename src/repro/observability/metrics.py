@@ -1,0 +1,364 @@
+"""Process-local metrics registry.
+
+Three metric kinds, all keyed by a label tuple:
+
+* **counter** — monotonically increasing float;
+* **gauge** — last-write-wins float;
+* **histogram** — fixed upper-bound buckets (cumulative on exposition,
+  per-bucket internally) plus an exact running sum/count.
+
+Registries are *mergeable*: :meth:`MetricsRegistry.merge` folds another
+registry (or its :meth:`~MetricsRegistry.to_dict` snapshot) into this
+one — counters and histogram bins add, gauges take the other side's
+value when present.  That is how per-worker snapshots from the tile
+process pool come back to the parent
+(:mod:`repro.parallel.executor`), and the operation is commutative,
+associative and count/sum-preserving (property-tested in
+``tests/test_observability.py``).
+
+Exposition formats: :meth:`~MetricsRegistry.to_dict` (JSON) and
+:meth:`~MetricsRegistry.to_prometheus_text` (Prometheus text format
+0.0.4).  The module is stdlib-only on purpose: importing it must never
+cost anything in the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "HistogramValue",
+    "MetricsRegistry",
+    "format_metrics",
+]
+
+#: Default histogram buckets for span/CPU-time observations (seconds).
+#: Geometric-ish ladder from 10 us to 10 s; values above the last bound
+#: land in the implicit +Inf bucket.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+    1e-1, 3e-1, 1.0, 3.0, 10.0,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class HistogramValue:
+    """One fixed-bucket histogram sample (a single label tuple).
+
+    ``bucket_counts`` has ``len(buckets) + 1`` entries: one per finite
+    upper bound plus the overflow (+Inf) bucket.  An observation lands
+    in the first bucket whose upper bound is ``>= value``.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS):
+        b = tuple(float(x) for x in buckets)
+        if not b:
+            raise ValueError("need at least one bucket bound")
+        if any(not math.isfinite(x) for x in b):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        if list(b) != sorted(set(b)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.buckets = b
+        self.bucket_counts = [0] * (len(b) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def _bucket_index(self, value: float) -> int:
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                return i
+        return len(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[self._bucket_index(value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def merge(self, other: "HistogramValue") -> None:
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        for i, c in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += c
+        self.sum += other.sum
+        self.count += other.count
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HistogramValue":
+        hist = cls(buckets=data["buckets"])
+        counts = [int(c) for c in data["bucket_counts"]]
+        if len(counts) != len(hist.bucket_counts):
+            raise ValueError("bucket count length mismatch")
+        if any(c < 0 for c in counts) or int(data["count"]) < 0:
+            raise ValueError("negative histogram counts")
+        hist.bucket_counts = counts
+        hist.sum = float(data["sum"])
+        hist.count = int(data["count"])
+        return hist
+
+
+class _Family:
+    """All samples of one metric name (one kind, one bucket layout)."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "samples")
+
+    def __init__(self, name: str, kind: str, help_text: str = "",
+                 buckets: Optional[Sequence[float]] = None):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self.samples: Dict[LabelKey, Union[float, HistogramValue]] = {}
+
+
+class MetricsRegistry:
+    """Thread-safe, process-local registry of named metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: Dict[str, _Family] = {}
+
+    # -- family management ---------------------------------------------
+    def _family(self, name: str, kind: str, help_text: str = "",
+                buckets: Optional[Sequence[float]] = None) -> _Family:
+        fam = self._families.get(name)
+        if fam is None:
+            fam = _Family(name, kind, help_text, buckets)
+            self._families[name] = fam
+        elif fam.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {fam.kind}, "
+                f"not {kind}"
+            )
+        if help_text and not fam.help:
+            fam.help = help_text
+        return fam
+
+    # -- writes --------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, help: str = "",
+            **labels: object) -> None:
+        """Add ``value`` to a counter (created on first use)."""
+        if value < 0:
+            raise ValueError("counters only go up")
+        key = _label_key({k: v for k, v in labels.items()})
+        with self._lock:
+            fam = self._family(name, "counter", help)
+            fam.samples[key] = float(fam.samples.get(key, 0.0)) + value
+
+    def set_gauge(self, name: str, value: float, help: str = "",
+                  **labels: object) -> None:
+        """Set a gauge to ``value`` (last write wins)."""
+        key = _label_key({k: v for k, v in labels.items()})
+        with self._lock:
+            fam = self._family(name, "gauge", help)
+            fam.samples[key] = float(value)
+
+    def observe(self, name: str, value: float, help: str = "",
+                buckets: Optional[Sequence[float]] = None,
+                **labels: object) -> None:
+        """Record one observation into a fixed-bucket histogram."""
+        key = _label_key({k: v for k, v in labels.items()})
+        with self._lock:
+            fam = self._family(name, "histogram", help,
+                               buckets or DEFAULT_TIME_BUCKETS)
+            hist = fam.samples.get(key)
+            if hist is None:
+                hist = HistogramValue(fam.buckets or DEFAULT_TIME_BUCKETS)
+                fam.samples[key] = hist
+            assert isinstance(hist, HistogramValue)
+            hist.observe(value)
+
+    # -- reads ---------------------------------------------------------
+    def value(self, name: str, **labels: object) -> Optional[
+            Union[float, HistogramValue]]:
+        """The sample for ``name``/``labels``; ``None`` when absent."""
+        key = _label_key({k: v for k, v in labels.items()})
+        with self._lock:
+            fam = self._families.get(name)
+            if fam is None:
+                return None
+            return fam.samples.get(key)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._families)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._families.clear()
+
+    # -- merge ---------------------------------------------------------
+    def merge(self, other: Union["MetricsRegistry", dict]) -> None:
+        """Fold another registry (or snapshot dict) into this one.
+
+        Counters and histogram bins add; gauges take the incoming
+        value.  Kind or bucket-layout conflicts raise ``ValueError``
+        rather than silently corrupting a series.
+        """
+        if isinstance(other, MetricsRegistry):
+            other = other.to_dict()
+        for metric in other.get("metrics", []):
+            name = metric["name"]
+            kind = metric["kind"]
+            with self._lock:
+                fam = self._family(name, kind, metric.get("help", ""),
+                                   metric.get("buckets"))
+                for sample in metric["samples"]:
+                    key = _label_key(sample.get("labels", {}))
+                    if kind == "counter":
+                        fam.samples[key] = (
+                            float(fam.samples.get(key, 0.0))
+                            + float(sample["value"])
+                        )
+                    elif kind == "gauge":
+                        fam.samples[key] = float(sample["value"])
+                    elif kind == "histogram":
+                        incoming = HistogramValue.from_dict(sample["value"])
+                        current = fam.samples.get(key)
+                        if current is None:
+                            fam.samples[key] = incoming
+                        else:
+                            assert isinstance(current, HistogramValue)
+                            current.merge(incoming)
+                    else:
+                        raise ValueError(f"unknown metric kind {kind!r}")
+
+    # -- exposition ----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (schema version 1).
+
+        Families and samples are deterministically ordered so two
+        equal registries serialize byte-identically.
+        """
+        metrics = []
+        with self._lock:
+            for name in sorted(self._families):
+                fam = self._families[name]
+                samples = []
+                for key in sorted(fam.samples):
+                    raw = fam.samples[key]
+                    value = (raw.to_dict()
+                             if isinstance(raw, HistogramValue) else raw)
+                    samples.append({"labels": dict(key), "value": value})
+                entry = {
+                    "name": fam.name,
+                    "kind": fam.kind,
+                    "help": fam.help,
+                    "samples": samples,
+                }
+                if fam.buckets is not None:
+                    entry["buckets"] = list(fam.buckets)
+                metrics.append(entry)
+        return {"version": 1, "metrics": metrics}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        reg = cls()
+        reg.merge(data)
+        return reg
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition (format 0.0.4)."""
+        lines: List[str] = []
+        snapshot = self.to_dict()
+        for fam in snapshot["metrics"]:
+            name, kind = fam["name"], fam["kind"]
+            if fam.get("help"):
+                lines.append(f"# HELP {name} {fam['help']}")
+            lines.append(f"# TYPE {name} {kind}")
+            for sample in fam["samples"]:
+                labels = sample["labels"]
+                if kind in ("counter", "gauge"):
+                    lines.append(
+                        f"{name}{_prom_labels(labels)} "
+                        f"{_prom_num(sample['value'])}"
+                    )
+                else:
+                    hist = sample["value"]
+                    cumulative = 0
+                    bounds = list(hist["buckets"]) + [math.inf]
+                    for bound, count in zip(bounds, hist["bucket_counts"]):
+                        cumulative += count
+                        le = "+Inf" if math.isinf(bound) else _prom_num(bound)
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{_prom_labels(labels, le=le)} {cumulative}"
+                        )
+                    lines.append(
+                        f"{name}_sum{_prom_labels(labels)} "
+                        f"{_prom_num(hist['sum'])}"
+                    )
+                    lines.append(
+                        f"{name}_count{_prom_labels(labels)} {hist['count']}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_num(value: float) -> str:
+    f = float(value)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _prom_labels(labels: Dict[str, str], **extra: str) -> str:
+    merged = dict(labels)
+    merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{k}="{_prom_escape(v)}"' for k, v in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _prom_escape(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def format_metrics(data: dict) -> str:
+    """Human-readable rendering of a :meth:`MetricsRegistry.to_dict`
+    snapshot (the ``repro metrics`` pretty-printer)."""
+    lines: List[str] = []
+    for fam in data.get("metrics", []):
+        lines.append(f"{fam['name']}  [{fam['kind']}]"
+                     + (f"  — {fam['help']}" if fam.get("help") else ""))
+        for sample in fam["samples"]:
+            labels = sample.get("labels", {})
+            tag = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            tag = f"{{{tag}}}" if tag else ""
+            value = sample["value"]
+            if isinstance(value, dict):  # histogram
+                mean = value["sum"] / value["count"] if value["count"] else 0.0
+                lines.append(
+                    f"  {tag:<40} count={value['count']} "
+                    f"sum={value['sum']:.6g} mean={mean:.6g}"
+                )
+            else:
+                lines.append(f"  {tag:<40} {value:g}")
+    return "\n".join(lines)

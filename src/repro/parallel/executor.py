@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -51,6 +52,8 @@ from repro.codec.encoder import (
     normalize_references,
 )
 from repro.motion.base import MotionVector
+from repro.observability import get_registry, get_tracer
+from repro.observability.metrics import MetricsRegistry
 from repro.motion.proposed import (
     BioMedicalSearchPolicy,
     GopMotionState,
@@ -155,9 +158,14 @@ def _spec_policy(spec: TileHookSpec) -> BioMedicalSearchPolicy:
 def _encode_tile_worker(task: tuple):
     """Encode one tile in a worker process (module-level: picklable).
 
-    Returns ``(stats, recon_patch, payload, nbits, infos, learned)``.
+    Returns ``(stats, recon_patch, payload, nbits, infos, learned,
+    metrics)`` where ``metrics`` is a fresh worker-local
+    :class:`MetricsRegistry` snapshot — global registries do not cross
+    the process boundary, so workers report their counters as data and
+    the parent merges them on join.
     """
-    (original, references, tile, config, frame_type, spec, want_infos) = task
+    (original, references, tile, config, frame_type, spec, want_infos,
+     want_stages) = task
     hook = None
     policy = None
     if spec is not None:
@@ -175,6 +183,8 @@ def _encode_tile_worker(task: tuple):
     reconstruction = np.zeros_like(original)
     writer = BitWriter()
     infos: Optional[List[BlockInfo]] = [] if want_infos else None
+    local_metrics = MetricsRegistry()
+    t0 = time.perf_counter()
     stats = TileEncoder(config).encode(
         original,
         references,
@@ -184,6 +194,18 @@ def _encode_tile_worker(task: tuple):
         writer=writer,
         motion_hook=hook,
         block_info_out=infos,
+        measure_stages=want_stages,
+    )
+    elapsed = time.perf_counter() - t0
+    if want_stages and stats.stage_seconds is not None:
+        stats.stage_seconds["encode"] = elapsed
+    local_metrics.inc(
+        "repro_parallel_tiles_encoded_total",
+        help="Tiles encoded by pool workers",
+    )
+    local_metrics.observe(
+        "repro_parallel_tile_encode_seconds", elapsed,
+        help="Wall time of one worker tile encode",
     )
     learned = None
     if policy is not None and spec.is_first:
@@ -199,7 +221,8 @@ def _encode_tile_worker(task: tuple):
     # stream to a byte boundary; the parent splices exactly nbits so
     # the padding never reaches the merged stream.
     nbits = writer.bits_written
-    return stats, patch, writer.flush(), nbits, infos, learned
+    return (stats, patch, writer.flush(), nbits, infos, learned,
+            local_metrics.to_dict())
 
 
 class TileParallelExecutor:
@@ -279,6 +302,8 @@ class TileParallelExecutor:
         if writer is not None:
             writer.write_bits(FrameEncoder.FRAME_TYPE_CODES[frame_type], 2)
         want_infos = block_infos_out is not None
+        tracer = get_tracer()
+        want_stages = tracer.enabled
         tasks = [
             (
                 original,
@@ -288,6 +313,7 @@ class TileParallelExecutor:
                 frame_type,
                 hook_specs[i] if hook_specs is not None else None,
                 want_infos,
+                want_stages,
             )
             for i, tile in enumerate(grid)
         ]
@@ -299,9 +325,9 @@ class TileParallelExecutor:
         reconstruction = np.zeros_like(original)
         tile_stats: List[TileStats] = []
         self.last_learned = []
-        for tile, (stats, patch, payload, nbits, infos, learned) in zip(
-            grid, results
-        ):
+        registry = get_registry()
+        for i, (tile, (stats, patch, payload, nbits, infos, learned,
+                       worker_metrics)) in enumerate(zip(grid, results)):
             reconstruction[tile.y : tile.y_end, tile.x : tile.x_end] = patch
             tile_stats.append(stats)
             if writer is not None:
@@ -310,6 +336,18 @@ class TileParallelExecutor:
                 block_infos_out.append(infos or [])
             if learned is not None:
                 self.last_learned.append(learned)
+            registry.merge(worker_metrics)
+            if want_stages and stats.stage_seconds:
+                tracer.record_span(
+                    "stage.encode", stats.stage_seconds.get("encode", 0.0),
+                    tile=i, frame=frame_index, type=frame_type.value,
+                )
+                for stage in ("motion", "entropy"):
+                    if stage in stats.stage_seconds:
+                        tracer.record_span(
+                            f"stage.{stage}", stats.stage_seconds[stage],
+                            tile=i, frame=frame_index,
+                        )
         return (
             FrameStats(
                 frame_index=frame_index,

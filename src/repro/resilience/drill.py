@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.allocation.proposed import ProposedAllocator
+from repro.observability import get_registry
 from repro.platform.mpsoc import MpsocConfig
 from repro.resilience.checkpoint import load_lut, save_lut
 from repro.resilience.degradation import ResilienceConfig
@@ -259,4 +260,17 @@ def run_drill(config: DrillConfig = DrillConfig()) -> DrillReport:
         os.rmdir(tmpdir)
 
     report.injected = dict(sorted(injector.counts.items()))
+    registry = get_registry()
+    for kind, count in report.injected.items():
+        registry.inc("repro_faults_injected_total", count, kind=kind,
+                     help="Faults injected by the drill, by kind")
+    registry.inc("repro_drill_streams_survived_total",
+                 report.streams_survived,
+                 help="Drill streams that finished transcoding")
+    registry.inc("repro_drill_streams_within_budget_total",
+                 report.streams_within_budget,
+                 help="Drill streams that met the framerate budget")
+    registry.inc("repro_drill_lut_entries_removed_total",
+                 report.lut_entries_removed,
+                 help="Corrupted LUT entries dropped by validation")
     return report

@@ -32,6 +32,7 @@ import numpy as np
 from repro.analysis.evaluator import ContentEvaluator, TileContent
 from repro.analysis.motion_probe import MotionClass
 from repro.analysis.texture import TextureClass
+from repro.observability import get_tracer
 from repro.tiling.constraints import TilingConstraints
 from repro.tiling.tile import Tile, TileGrid, split_evenly
 
@@ -84,19 +85,23 @@ class ContentAwareRetiler:
         """
         height, width = current.shape
         cons = self.constraints
+        tracer = get_tracer()
         if width < 3 * cons.min_tile_width or height < 3 * cons.min_tile_height:
             # Frame too small for a border/centre split: single tile.
-            grid = TileGrid.single(width, height)
-            contents = self.evaluator.evaluate(grid, current, previous)
+            with tracer.span("stage.tiling"):
+                grid = TileGrid.single(width, height)
+            with tracer.span("stage.analysis", tiles=1):
+                contents = self.evaluator.evaluate(grid, current, previous)
             return RetilingResult(grid, contents)
 
-        left = self._grow_margin(current, previous, side="left")
-        right = self._grow_margin(current, previous, side="right")
-        top = self._grow_margin(current, previous, side="top")
-        bottom = self._grow_margin(current, previous, side="bottom")
-
-        grid = self._build_grid(current, previous, left, right, top, bottom)
-        contents = self.evaluator.evaluate(grid, current, previous)
+        with tracer.span("stage.tiling"):
+            left = self._grow_margin(current, previous, side="left")
+            right = self._grow_margin(current, previous, side="right")
+            top = self._grow_margin(current, previous, side="top")
+            bottom = self._grow_margin(current, previous, side="bottom")
+            grid = self._build_grid(current, previous, left, right, top, bottom)
+        with tracer.span("stage.analysis", tiles=len(grid)):
+            contents = self.evaluator.evaluate(grid, current, previous)
         return RetilingResult(grid, contents)
 
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ from repro.analysis.texture import TextureClass
 from repro.codec.config import EncoderConfig, FrameType, GopConfig
 from repro.codec.encoder import FrameEncoder, FrameStats
 from repro.motion.proposed import BioMedicalSearchPolicy, ProposedSearchConfig
+from repro.observability import get_registry, get_tracer
 from repro.parallel.executor import (
     TileHookSpec,
     TileParallelExecutor,
@@ -396,6 +397,10 @@ class StreamTranscoder:
                 if frame.index in corrupt:
                     trace.dropped_frames.append(frame.index)
                     feedback.observe_corrupt_frame(frame.index)
+                    get_registry().inc(
+                        "repro_frames_dropped_total", reason="corrupt",
+                        help="Frames not encoded, by reason",
+                    )
                 else:
                     frames.append(frame)
             if not frames:
@@ -419,6 +424,10 @@ class StreamTranscoder:
                     # whole slot is reclaimed against the debt.
                     trace.dropped_frames.append(frame.index)
                     feedback.observe_dropped_frame(frame.index)
+                    get_registry().inc(
+                        "repro_frames_dropped_total", reason="deadline",
+                        help="Frames not encoded, by reason",
+                    )
                     continue
                 if not cfg.retile_per_gop and pos > 0:
                     # Ablation mode: re-tile on every frame.  Tile
@@ -437,11 +446,15 @@ class StreamTranscoder:
                     sum(recent_bits[-window:]) / (len(recent_bits[-window:]) / cfg.fps) / 1e6
                     if recent_bits else None
                 )
-                frame_record, reference = self._encode_proposed_frame(
-                    frame.luma, frame.index, frame_type, pos, grid, contents,
-                    reference, adapter, policy, feedback, prev_frame_feedback,
-                    stream_bitrate,
-                )
+                with get_tracer().span(
+                    "pipeline.frame", frame=frame.index,
+                    type=frame_type.value, gop=g, tiles=len(grid),
+                ):
+                    frame_record, reference = self._encode_proposed_frame(
+                        frame.luma, frame.index, frame_type, pos, grid,
+                        contents, reference, adapter, policy, feedback,
+                        prev_frame_feedback, stream_bitrate,
+                    )
                 record.frames.append(frame_record)
                 recent_bits.append(frame_record.bits)
                 if len(recent_bits) > window:
@@ -586,16 +599,20 @@ class StreamTranscoder:
             for pos, frame in enumerate(frames):
                 frame_type = cfg.gop.frame_type(pos)
                 configs = [cfg.base_config] * len(grid)
-                if self._parallel is not None:
-                    frame_stats, reference = self._parallel.encode_frame(
-                        frame.luma, grid, configs, frame_type,
-                        reference=reference, frame_index=frame.index,
-                    )
-                else:
-                    frame_stats, reference = self._frame_encoder.encode(
-                        frame.luma, grid, configs, frame_type,
-                        reference=reference, frame_index=frame.index,
-                    )
+                with get_tracer().span(
+                    "pipeline.frame", frame=frame.index,
+                    type=frame_type.value, gop=g, tiles=len(grid),
+                ):
+                    if self._parallel is not None:
+                        frame_stats, reference = self._parallel.encode_frame(
+                            frame.luma, grid, configs, frame_type,
+                            reference=reference, frame_index=frame.index,
+                        )
+                    else:
+                        frame_stats, reference = self._frame_encoder.encode(
+                            frame.luma, grid, configs, frame_type,
+                            reference=reference, frame_index=frame.index,
+                        )
                 record.frames.append(
                     self._record_frame(
                         frame_stats, frame_type, None, configs,
@@ -624,6 +641,9 @@ class StreamTranscoder:
         windows: Sequence[int],
     ) -> FrameRecord:
         f_max = self.config.platform.f_max
+        mode = self.config.mode.value
+        registry = get_registry()
+        tracer = get_tracer()
         tile_records = []
         for i, tile_stat in enumerate(frame_stats.tiles):
             cpu_time = self.cost_model.seconds(tile_stat.ops, f_max)
@@ -653,6 +673,28 @@ class StreamTranscoder:
                 content_class=getattr(self, "_resolved_class", None),
             )
             self.estimator.observe(key, cpu_time)
+            registry.observe(
+                "repro_tile_cpu_seconds", cpu_time, mode=mode,
+                help="Simulated per-tile CPU time at f_max",
+            )
+            if tracer.enabled:
+                tracer.event(
+                    "tile.record",
+                    tile=i,
+                    frame=frame_stats.frame_index,
+                    type=frame_type.value,
+                    texture=texture.name,
+                    motion=motion.name,
+                    qp=configs[i].qp,
+                    window=windows[i],
+                    area_bucket=area_bucket(tile_stat.tile.area),
+                    bits=tile_stat.bits,
+                    cpu_time_fmax=cpu_time,
+                )
+        registry.inc("repro_frames_encoded_total", mode=mode,
+                     help="Frames encoded by the pipeline")
+        registry.inc("repro_tiles_encoded_total", len(frame_stats.tiles),
+                     mode=mode, help="Tiles encoded by the pipeline")
         return FrameRecord(
             frame_index=frame_stats.frame_index,
             frame_type=frame_type,

@@ -19,11 +19,25 @@ import numpy as np
 
 from repro.allocation.demand import UserDemand
 from repro.allocation.proposed import AllocationResult
+from repro.observability import get_registry, get_tracer
 from repro.platform.mpsoc import MpsocConfig, XEON_E5_2667
 from repro.platform.power import PowerModel
 from repro.resilience.errors import AllocationError
 from repro.resilience.faults import FaultInjector
 from repro.transcode.pipeline import StreamTrace
+
+
+def _deadline_margin(result: AllocationResult, slot_duration: float) -> float:
+    """Worst-core slack against the ``1/FPS`` deadline, in seconds.
+
+    Computed at f_max (the paper's feasibility measure): a negative
+    margin means at least one core must carry work into the next slot
+    even at the maximum frequency.
+    """
+    slots = result.schedule.slots
+    if not slots:
+        return slot_duration
+    return slot_duration - max(s.load_fmax for s in slots)
 
 
 @dataclass
@@ -152,7 +166,18 @@ class TranscodingServer:
         else:
             requested = num_users
         user_demands = self.demands(traces, requested)
-        result = allocator.allocate(user_demands, self.fps)
+        with get_tracer().span("server.serve", requested=requested):
+            result = allocator.allocate(user_demands, self.fps)
+        margin = _deadline_margin(result, 1.0 / self.fps)
+        registry = get_registry()
+        registry.set_gauge(
+            "repro_slot_deadline_margin_seconds", margin, context="serve",
+            help="Worst-core slack against the 1/FPS deadline at f_max",
+        )
+        registry.set_gauge(
+            "repro_server_users_served", result.num_users_served,
+            context="serve", help="Users admitted by the last serve pass",
+        )
 
         power = result.schedule.average_power(self.power_model)
         psnrs = []
@@ -225,7 +250,11 @@ class TranscodingServer:
         report = ResilientServingReport(
             num_users_requested=requested, num_slots=num_slots
         )
+        tracer = get_tracer()
+        registry = get_registry()
         for slot_index in range(num_slots):
+            slot_span = tracer.span("server.slot", slot=slot_index)
+            slot_span.__enter__()
             outcome = SlotOutcome(slot_index=slot_index, users_served=0,
                                   power_w=0.0)
             if slot_index > 0:
@@ -267,6 +296,26 @@ class TranscodingServer:
             outcome.users_served = result.num_users_served
             outcome.power_w = result.schedule.average_power(self.power_model)
             report.slots.append(outcome)
+            registry.set_gauge(
+                "repro_slot_deadline_margin_seconds",
+                _deadline_margin(result, 1.0 / self.fps),
+                slot=slot_index,
+                help="Worst-core slack against the 1/FPS deadline at f_max",
+            )
+            registry.set_gauge(
+                "repro_server_users_served", outcome.users_served,
+                slot=slot_index,
+                help="Users admitted by the last serve pass",
+            )
+            tracer.event(
+                "server.slot_outcome",
+                slot=slot_index,
+                users_served=outcome.users_served,
+                failed_cores=list(outcome.failed_cores),
+                shed=sorted(outcome.shed_users),
+                readmitted=sorted(outcome.readmitted_users),
+            )
+            slot_span.__exit__(None, None, None)
         return report
 
     # ------------------------------------------------------------------

@@ -16,6 +16,7 @@ from typing import Optional
 from repro.analysis.motion_probe import MotionClass
 from repro.analysis.texture import TextureClass
 from repro.codec.config import FrameType
+from repro.observability import get_registry
 from repro.workload.keys import WorkloadKey
 from repro.workload.lut import WorkloadLut
 
@@ -70,6 +71,11 @@ class WorkloadEstimator:
     def estimate(self, key: WorkloadKey, area: int) -> float:
         """Estimated CPU time (seconds at f_max) for one tile encode."""
         hist = self.lut.lookup(key)
+        get_registry().inc(
+            "repro_lut_lookups_total",
+            result="miss" if hist is None else "hit",
+            help="Workload-LUT lookups by outcome",
+        )
         if hist is None:
             return self.seed.estimate(key, area)
         if self.quantile is None:
@@ -79,6 +85,10 @@ class WorkloadEstimator:
     def observe(self, key: WorkloadKey, cpu_time: float) -> None:
         """Record a measured tile CPU time after the frame retires."""
         self.lut.observe(key, cpu_time)
+        get_registry().inc(
+            "repro_lut_updates_total",
+            help="Workload-LUT histogram updates",
+        )
 
     def estimation_error(self, key: WorkloadKey, area: int, actual: float) -> float:
         """Signed over(+)/under(-) estimation for diagnostics/tests."""

@@ -14,6 +14,18 @@ from repro.video.generator import (
 )
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden-trace files instead of comparing",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(scope="session")
 def small_video() -> Video:
     """A small, fast synthetic medical video shared across tests."""

@@ -12,7 +12,12 @@ from repro.experiments.common import medical_corpus
 from repro.experiments.fig3 import format_fig3, run_fig3
 from repro.experiments.fig4 import Fig4Result, format_fig4, run_fig4
 from repro.experiments.table1 import Table1Result, format_table1, run_table1
-from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table2 import (
+    Table2Result,
+    Table2Side,
+    format_table2,
+    run_table2,
+)
 from repro.platform.mpsoc import MpsocConfig
 
 SMALL = dict(width=160, height=128, num_frames=8)
@@ -108,6 +113,27 @@ class TestTable2:
         text = format_table2(result)
         assert "TABLE II" in text
         assert "throughput factor" in text
+
+    def test_format_faults_only_run(self):
+        """A side that admitted zero users (e.g. a faults-only run on a
+        dead platform) has ``None`` averaged quality stats and an
+        undefined throughput ratio; formatting must render ``n/a``
+        instead of raising."""
+        empty = Table2Side(
+            name="Work [19]", psnr_max=40.0, psnr_min=38.0, psnr_avg=None,
+            bitrate_max=2.4, bitrate_min=2.1, bitrate_avg=None,
+            users_max=0, users_min=0, users_avg=0.0,
+        )
+        served = Table2Side(
+            name="Proposed", psnr_max=41.0, psnr_min=39.0, psnr_avg=40.0,
+            bitrate_max=2.5, bitrate_min=2.2, bitrate_avg=2.3,
+            users_max=4, users_min=2, users_avg=3.0,
+        )
+        result = Table2Result(proposed=served, baseline=empty)
+        assert result.user_ratio is None
+        text = format_table2(result)
+        assert "n/a" in text
+        assert "baseline served zero users" in text
 
 
 class TestFig4:

@@ -1,0 +1,125 @@
+"""Golden-trace regression tests.
+
+One deterministic 8-frame synthetic stream is transcoded and served
+with tracing enabled; the *discrete* shape of the resulting trace —
+span/event names in program order with their non-float attributes, plus
+the counter samples of the metrics registry — is compared against a
+checked-in golden file.  Wall-clock durations and simulated CPU-time
+floats are stripped before comparison, so the golden is stable across
+machines and runs; any change to the instrumentation topology (a span
+renamed, an allocator decision reordered, a counter dropped) fails
+loudly instead of silently degrading the observability contract.
+
+Regenerate after an intentional change with::
+
+    pytest tests/test_golden_trace.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.allocation.proposed import ProposedAllocator
+from repro.observability import scoped
+from repro.transcode.pipeline import PipelineConfig, StreamTranscoder
+from repro.transcode.server import TranscodingServer
+from repro.video.generator import (
+    BioMedicalVideoGenerator,
+    ContentClass,
+    GeneratorConfig,
+    MotionPreset,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "serve_trace.json"
+
+
+def _golden_run():
+    """The pinned scenario: transcode one 8-frame stream, serve 6 users."""
+    video = BioMedicalVideoGenerator(GeneratorConfig(
+        width=96, height=80, num_frames=8, seed=11,
+        content_class=ContentClass.BRAIN, motion=MotionPreset.PAN_RIGHT,
+        motion_magnitude=2.0,
+    )).generate()
+    with scoped() as (registry, tracer):
+        tracer.enable()
+        trace = StreamTranscoder(PipelineConfig(fps=24.0)).run(video)
+        server = TranscodingServer(fps=24.0)
+        server.serve([trace], ProposedAllocator(), num_users=6)
+        records = [r.to_dict() for r in tracer.records()]
+        snapshot = registry.to_dict()
+    return records, snapshot
+
+
+def _discrete_trace(records):
+    """Trace shape in program (seq) order, float attrs stripped.
+
+    Floats are the non-deterministic (durations) or platform-shaped
+    (simulated CPU times) part of a record; names, nesting kinds and
+    discrete attrs are the golden contract.
+    """
+    out = []
+    for rec in sorted(records, key=lambda r: r["seq"]):
+        attrs = {k: v for k, v in rec["attrs"].items()
+                 if not isinstance(v, float)}
+        out.append({"kind": rec["kind"], "name": rec["name"], "attrs": attrs})
+    return out
+
+
+def _counter_samples(snapshot):
+    """Counter families with integer values (the deterministic subset
+    of the metrics snapshot; gauge/histogram values carry floats)."""
+    out = []
+    for fam in snapshot["metrics"]:
+        for sample in fam["samples"]:
+            entry = {"name": fam["name"], "kind": fam["kind"],
+                     "labels": sample["labels"]}
+            if fam["kind"] == "counter":
+                entry["value"] = int(sample["value"])
+            out.append(entry)
+    return out
+
+
+def _golden_payload():
+    records, snapshot = _golden_run()
+    return {"spans": _discrete_trace(records),
+            "metrics": _counter_samples(snapshot)}
+
+
+class TestGoldenTrace:
+    def test_trace_matches_golden(self, update_golden):
+        payload = _golden_payload()
+        if update_golden:
+            GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN_PATH.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+            pytest.skip(f"rewrote {GOLDEN_PATH}")
+        assert GOLDEN_PATH.exists(), (
+            f"{GOLDEN_PATH} missing; run pytest --update-golden"
+        )
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert payload["spans"] == golden["spans"], (
+            "span sequence diverged from golden; if intentional, "
+            "regenerate with pytest --update-golden"
+        )
+        assert payload["metrics"] == golden["metrics"], (
+            "metric samples diverged from golden; if intentional, "
+            "regenerate with pytest --update-golden"
+        )
+
+    def test_run_is_deterministic(self):
+        """Two consecutive runs produce the identical discrete trace."""
+        assert _golden_payload() == _golden_payload()
+
+    def test_golden_covers_allocator_decision(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        names = [s["name"] for s in golden["spans"]]
+        decision = next(s for s in golden["spans"]
+                        if s["name"] == "allocator.decision")
+        assert decision["attrs"]["admitted"], "no users admitted in golden"
+        assert names.index("allocator.allocate") < names.index(
+            "allocator.decision"
+        ), "decision event must be emitted inside the allocate span"
