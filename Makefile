@@ -10,7 +10,7 @@ PYTEST  := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PY) -m pytest
 HAS_COV := $(shell $(PY) -c "import pytest_cov" 2>/dev/null && echo 1)
 COVOPTS := $(if $(HAS_COV),--cov=repro --cov-report=term-missing)
 
-.PHONY: check test bench-smoke golden serve-demo clean
+.PHONY: check test bench-smoke golden serve-demo serve-smoke clean
 
 check: test bench-smoke
 
@@ -26,6 +26,12 @@ bench-smoke:
 # Regenerate the golden trace after an intentional instrumentation change.
 golden:
 	$(PYTEST) tests/test_golden_trace.py -q --update-golden
+
+# End-to-end gate for the network serving layer: ephemeral port, a few
+# short loadgen sessions, fails on any protocol error or an empty
+# serving-metrics snapshot.
+serve-smoke:
+	PYTHONPATH=src $(PY) -m repro.serving.smoke
 
 # One-shot observability demo: writes metrics.json + trace.jsonl.
 serve-demo:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import subprocess
 import sys
 import tempfile
@@ -56,17 +57,42 @@ def repo_root() -> Path:
     return Path(__file__).resolve().parents[2]
 
 
+#: Exactly ``BENCH_<decimal>`` — names like ``BENCH_old_3`` or
+#: ``BENCH_3_backup`` are unrelated files, not history entries.
+_BENCH_STEM = re.compile(r"^BENCH_(\d+)$")
+
+
 def next_bench_path(root: Path) -> Path:
-    """First unused ``BENCH_<n>.json`` at ``root``."""
+    """First unused ``BENCH_<n>.json`` at ``root``.
+
+    Only stems matching ``BENCH_<decimal>`` occupy an index; any other
+    suffix is ignored rather than misparsed.
+    """
     taken = set()
     for p in root.glob("BENCH_*.json"):
-        stem = p.stem.split("_", 1)[-1]
-        if stem.isdigit():
-            taken.add(int(stem))
+        m = _BENCH_STEM.match(p.stem)
+        if m:
+            taken.add(int(m.group(1)))
     n = 0
     while n in taken:
         n += 1
     return root / f"BENCH_{n}.json"
+
+
+def git_sha(root: Optional[Path] = None) -> Optional[str]:
+    """The repository's current commit SHA (``None`` outside git)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root or repo_root(), capture_output=True, text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    sha = proc.stdout.strip()
+    return sha or None
 
 
 def _bench_frames():
@@ -157,6 +183,7 @@ def summarize(raw: dict, groups: List[str]) -> dict:
     return {
         "machine_info": raw.get("machine_info", {}),
         "datetime": raw.get("datetime"),
+        "git_sha": git_sha(),
         "groups": groups,
         "benchmarks": records,
     }
@@ -176,13 +203,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="output path (default: next free BENCH_<n>.json at the repo root)",
     )
     args = parser.parse_args(argv)
-    out = args.out or next_bench_path(repo_root())
+    if args.out is not None and args.out.exists():
+        parser.error(f"refusing to overwrite existing {args.out}")
     with tempfile.TemporaryDirectory() as tmp:
         raw_path = Path(tmp) / "raw.json"
         run_pytest_benchmark(args.groups, raw_path)
         raw = json.loads(raw_path.read_text())
     summary = summarize(raw, args.groups)
-    out.write_text(json.dumps(summary, indent=2) + "\n")
+    payload = json.dumps(summary, indent=2) + "\n"
+    if args.out is not None:
+        out = args.out
+        try:
+            with open(out, "x") as fh:
+                fh.write(payload)
+        except FileExistsError:
+            raise SystemExit(f"refusing to overwrite existing {out}")
+    else:
+        # Exclusive create; on a lost race the rescan sees the new file
+        # and hands out the next free index.
+        while True:
+            out = next_bench_path(repo_root())
+            try:
+                with open(out, "x") as fh:
+                    fh.write(payload)
+                break
+            except FileExistsError:
+                continue
     print(f"wrote {out}")
     for rec in summary["benchmarks"]:
         rate = rec.get("pixels_per_s") or rec.get("candidates_per_s")

@@ -6,6 +6,8 @@ Usage::
     python -m repro.cli encode video.npz --qp 32 --search hexagon --tiles 2x2
     python -m repro.cli transcode video.npz [--baseline] [--parallel-workers N]
     python -m repro.cli serve --metrics-out metrics.json --trace-out trace.jsonl
+    python -m repro.cli serve-net --port 9470 [--duration 10]
+    python -m repro.cli loadgen --port 9470 --sessions 3 [--arrival burst]
     python -m repro.cli metrics metrics.json [--prom]
     python -m repro.cli experiment table1|fig3|table2|fig4 [options...]
     python -m repro.cli fault-drill --seed 0
@@ -31,6 +33,13 @@ observability artifacts: ``--metrics-out`` writes the metrics registry
 snapshot as JSON, ``--trace-out`` enables span tracing and writes the
 trace buffer as JSONL.  ``metrics`` pretty-prints such a snapshot
 (``--prom`` emits Prometheus text exposition instead).
+
+``serve-net`` runs the real asyncio network front-end (admission
+control, backpressure, online GOP encoding); ``loadgen`` drives it with
+a seeded arrival process and content mix and prints a latency /
+deadline-miss report.  ``--seed`` on ``serve``/``serve-net``/``loadgen``
+makes every stochastic component (corpus, fault injection, arrivals,
+content mix) reproducible.
 """
 
 from __future__ import annotations
@@ -174,6 +183,85 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             disable_tracing()
 
 
+def _cmd_serve_net(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.observability import get_registry
+    from repro.serving.admission import AdmissionPolicy
+    from repro.serving.server import NetworkServer, ServeNetConfig
+
+    config = ServeNetConfig(
+        host=args.host, port=args.port, fps=args.fps, gop=args.gop,
+        seed=args.seed, queue_frames=args.queue_frames,
+        egress_frames=args.egress_frames,
+        parallel_workers=args.parallel_workers,
+        fault_spike_rate=args.spike_rate,
+        fault_spike_factor=args.spike_factor,
+        admission=AdmissionPolicy(utilization=args.utilization,
+                                  park_capacity=args.park_capacity),
+    )
+
+    async def run() -> None:
+        server = NetworkServer(config)
+        await server.start()
+        print(f"serving on {config.host}:{server.port} "
+              f"(fps {config.fps:g}, gop {config.gop}, "
+              f"queue {config.queue_frames} frames)", flush=True)
+        try:
+            if args.duration is not None:
+                forever = asyncio.ensure_future(server.serve_forever())
+                try:
+                    await asyncio.wait_for(forever, timeout=args.duration)
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await server.serve_forever()
+        finally:
+            await server.aclose()
+            if args.metrics_out:
+                with open(args.metrics_out, "w") as fh:
+                    fh.write(get_registry().to_json())
+                    fh.write("\n")
+                print(f"wrote metrics snapshot to {args.metrics_out}")
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; shut down")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serving.loadgen import LoadGenConfig, run_loadgen
+    from repro.video.generator import ContentClass as _CC
+
+    mix = None
+    if args.mix:
+        pairs = []
+        for spec in args.mix:
+            name, _, weight = spec.partition(":")
+            pairs.append((_CC(name), float(weight) if weight else 1.0))
+        mix = tuple(pairs)
+    config = LoadGenConfig(
+        host=args.host, port=args.port, sessions=args.sessions,
+        frames=args.frames, width=args.width, height=args.height,
+        fps=args.fps, gop=args.gop, arrival=args.arrival,
+        rate_hz=args.rate, burst_size=args.burst_size,
+        frame_interval_s=args.frame_interval, seed=args.seed,
+        **({"mix": mix} if mix else {}),
+    )
+    report = run_loadgen(config)
+    print(report.summary())
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote report to {args.json_out}")
+    return 1 if (report.protocol_errors or report.errored) else 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     import json
 
@@ -283,6 +371,65 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--trace-out", default=None, metavar="PATH",
                    help="enable span tracing and write JSONL records")
     s.set_defaults(func=_cmd_serve)
+
+    sn = sub.add_parser(
+        "serve-net",
+        help="run the asyncio network serving front-end",
+    )
+    sn.add_argument("--host", default="127.0.0.1")
+    sn.add_argument("--port", type=int, default=0,
+                    help="TCP port (0 = ephemeral; the bound port is printed)")
+    sn.add_argument("--fps", type=float, default=24.0)
+    sn.add_argument("--gop", type=int, default=8)
+    sn.add_argument("--seed", type=int, default=0,
+                    help="seed for stochastic serving components "
+                         "(fault injection)")
+    sn.add_argument("--queue-frames", type=int, default=16,
+                    help="per-session ingest queue bound")
+    sn.add_argument("--egress-frames", type=int, default=32,
+                    help="per-session egress queue bound")
+    sn.add_argument("--utilization", type=float, default=1.0,
+                    help="fraction of cores admission may fill")
+    sn.add_argument("--park-capacity", type=int, default=2,
+                    help="waiting-room size for parked sessions")
+    sn.add_argument("--parallel-workers", type=int, default=None, metavar="N",
+                    help="per-session tile process pool (0 = all cores)")
+    sn.add_argument("--spike-rate", type=float, default=0.0,
+                    help="seeded CPU-time spike injection rate (0 = off)")
+    sn.add_argument("--spike-factor", type=float, default=8.0)
+    sn.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                    help="stop after this long (default: run until ^C)")
+    sn.add_argument("--metrics-out", default=None, metavar="PATH",
+                    help="write the metrics snapshot as JSON on shutdown")
+    sn.set_defaults(func=_cmd_serve_net)
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="drive serve-net with a seeded arrival process",
+    )
+    lg.add_argument("--host", default="127.0.0.1")
+    lg.add_argument("--port", type=int, required=True)
+    lg.add_argument("--sessions", type=int, default=3)
+    lg.add_argument("--frames", type=int, default=16,
+                    help="frames per session (default: two GOPs)")
+    lg.add_argument("--width", type=int, default=96)
+    lg.add_argument("--height", type=int, default=96)
+    lg.add_argument("--fps", type=float, default=24.0)
+    lg.add_argument("--gop", type=int, default=8)
+    lg.add_argument("--arrival", default="poisson",
+                    choices=["poisson", "burst"])
+    lg.add_argument("--rate", type=float, default=20.0,
+                    help="mean session arrival rate (sessions/s)")
+    lg.add_argument("--burst-size", type=int, default=4)
+    lg.add_argument("--frame-interval", type=float, default=0.0,
+                    help="inter-frame pacing in seconds (0 = flat out)")
+    lg.add_argument("--mix", nargs="+", default=None, metavar="CLASS[:W]",
+                    help="weighted content mix, e.g. brain:2 lung:1")
+    lg.add_argument("--seed", type=int, default=0,
+                    help="seed for arrivals, content mix and video synthesis")
+    lg.add_argument("--json-out", default=None, metavar="PATH",
+                    help="also write the report as JSON")
+    lg.set_defaults(func=_cmd_loadgen)
 
     m = sub.add_parser(
         "metrics",

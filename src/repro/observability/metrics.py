@@ -96,6 +96,26 @@ class HistogramValue:
         self.sum += other.sum
         self.count += other.count
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated ``q``-quantile (linear interpolation inside the
+        containing bucket, Prometheus-style).  ``None`` when empty; an
+        observation landing in the overflow bucket clamps to the last
+        finite bound."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            if n > 0 and cumulative + n >= target:
+                fraction = (target - cumulative) / n
+                return lower + (bound - lower) * fraction
+            cumulative += n
+            lower = bound
+        return self.buckets[-1]
+
     def to_dict(self) -> dict:
         return {
             "buckets": list(self.buckets),
@@ -341,6 +361,58 @@ def _prom_escape(value: str) -> str:
             .replace("\n", "\\n"))
 
 
+def _counter_sum(fams: Dict[str, dict], name: str, **match: str) -> float:
+    """Sum a counter family's samples whose labels contain ``match``."""
+    fam = fams.get(name)
+    if fam is None:
+        return 0.0
+    total = 0.0
+    for sample in fam["samples"]:
+        labels = sample.get("labels", {})
+        if all(labels.get(k) == v for k, v in match.items()):
+            total += float(sample["value"])
+    return total
+
+
+def serving_summary(data: dict) -> Optional[Dict[str, object]]:
+    """Digest of the ``repro_serving_*`` families of a snapshot.
+
+    ``None`` when the snapshot contains no serving metrics (e.g. it was
+    written by the offline ``repro serve`` simulation).
+    """
+    fams = {f["name"]: f for f in data.get("metrics", [])}
+    if not any(n.startswith("repro_serving_") for n in fams):
+        return None
+    latency = HistogramValue()
+    fam = fams.get("repro_serving_frame_latency_seconds")
+    if fam is not None:
+        for sample in fam["samples"]:
+            latency.merge(HistogramValue.from_dict(sample["value"]))
+    encoded = _counter_sum(fams, "repro_serving_frames_encoded_total")
+    misses = _counter_sum(fams, "repro_serving_deadline_miss_total")
+    adm = "repro_serving_admission_total"
+    return {
+        "sessions_accepted": _counter_sum(fams, adm, decision="accept"),
+        "sessions_parked": _counter_sum(fams, adm, decision="park"),
+        "sessions_rejected": _counter_sum(fams, adm, decision="reject"),
+        "frames_encoded": encoded,
+        "frames_dropped": _counter_sum(
+            fams, "repro_serving_frames_dropped_total"
+        ),
+        "protocol_errors": _counter_sum(
+            fams, "repro_serving_protocol_errors_total"
+        ),
+        "latency_p50_s": latency.quantile(0.50),
+        "latency_p95_s": latency.quantile(0.95),
+        "deadline_misses": misses,
+        "deadline_miss_rate": (misses / encoded) if encoded else None,
+    }
+
+
+def _fmt_latency(value: Optional[float]) -> str:
+    return f"{value * 1e3:.1f} ms" if value is not None else "n/a"
+
+
 def format_metrics(data: dict) -> str:
     """Human-readable rendering of a :meth:`MetricsRegistry.to_dict`
     snapshot (the ``repro metrics`` pretty-printer)."""
@@ -361,4 +433,21 @@ def format_metrics(data: dict) -> str:
                 )
             else:
                 lines.append(f"  {tag:<40} {value:g}")
+    serving = serving_summary(data)
+    if serving is not None:
+        miss_rate = serving["deadline_miss_rate"]
+        lines += [
+            "",
+            "serving",
+            f"  sessions     : accepted {serving['sessions_accepted']:g}, "
+            f"parked {serving['sessions_parked']:g}, "
+            f"rejected {serving['sessions_rejected']:g}",
+            f"  frames       : encoded {serving['frames_encoded']:g}, "
+            f"dropped {serving['frames_dropped']:g}",
+            f"  latency      : p50 {_fmt_latency(serving['latency_p50_s'])}, "
+            f"p95 {_fmt_latency(serving['latency_p95_s'])}",
+            f"  deadline miss: {serving['deadline_misses']:g} "
+            + (f"({miss_rate:.1%})" if miss_rate is not None else "(n/a)"),
+            f"  protocol errs: {serving['protocol_errors']:g}",
+        ]
     return "\n".join(lines)

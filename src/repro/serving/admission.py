@@ -1,0 +1,297 @@
+"""Admission control for network sessions.
+
+A HELLO declares a stream's geometry, frame rate and (optionally)
+content class.  The controller prices the session with the workload-LUT
+estimator — exactly the predictor the pipeline itself uses for
+allocation (§III-D1) — and then asks Algorithm 2's admission stage
+(:meth:`~repro.allocation.proposed.ProposedAllocator.admit`) whether
+the *whole* set of active sessions plus the candidate still fits the
+``1/FPS`` slot capacity of the platform.  Three outcomes:
+
+* **accept** — everything fits; the session is charged its estimated
+  core demand until :meth:`AdmissionController.release`.
+* **park** — the candidate alone overflows capacity but a bounded
+  waiting room has space; the server holds the connection and retries
+  when an active session ends.
+* **reject** — capacity and waiting room are both exhausted.
+
+Sustained overload (a run of park/reject decisions) trips a
+server-level degradation ladder: instead of admitting sessions that
+would miss deadlines, *new* sessions are admitted with progressively
+lighter encoder configurations (QP bump, then search-window shrink —
+the same rungs as :class:`repro.resilience.degradation`'s
+per-stream ladder).  A run of accepts with occupancy back under the
+relief threshold walks the ladder back down.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.allocation.demand import UserDemand, cores_needed
+from repro.allocation.proposed import ProposedAllocator
+from repro.analysis.motion_probe import MotionClass
+from repro.analysis.texture import TextureClass
+from repro.codec.config import FrameType
+from repro.observability import get_registry, get_tracer
+from repro.platform.mpsoc import MpsocConfig, XEON_E5_2667
+from repro.platform.schedule import ThreadTask
+from repro.resilience.degradation import DegradationLevel
+from repro.serving.protocol import Hello
+from repro.video.generator import ContentClass
+from repro.workload.estimator import WorkloadEstimator
+from repro.workload.keys import WorkloadKey, area_bucket
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "SessionTicket",
+]
+
+
+class AdmissionDecision(enum.Enum):
+    ACCEPT = "accept"
+    PARK = "park"
+    REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs of the admission controller."""
+
+    #: Fraction of the platform's cores sessions may occupy (< 1 keeps
+    #: headroom for allocator/OS jitter).
+    utilization: float = 1.0
+    #: Waiting-room size for parked sessions.
+    park_capacity: int = 2
+    #: Consecutive non-accept decisions before the overload ladder
+    #: climbs one rung.
+    overload_trip: int = 3
+    #: Occupancy fraction below which an accept walks the ladder down.
+    relief_occupancy: float = 0.75
+    #: Highest rung of the server-level ladder (new sessions only ever
+    #: get lighter configs; the server never drops admitted streams).
+    max_level: DegradationLevel = DegradationLevel.WINDOW_SHRINK
+    #: Pessimism of the LUT estimate (``None`` = histogram mean; e.g.
+    #: 0.9 prices sessions at the 90th percentile of observed cost).
+    quantile: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.utilization <= 1:
+            raise ValueError("utilization must be in (0, 1]")
+        if self.park_capacity < 0:
+            raise ValueError("park_capacity must be >= 0")
+        if self.overload_trip < 1:
+            raise ValueError("overload_trip must be >= 1")
+
+
+@dataclass
+class SessionTicket:
+    """One admitted session's standing charge against the slot cap."""
+
+    session_id: int
+    demand: UserDemand
+    cores: float
+
+
+class AdmissionController:
+    """Prices HELLOs with the LUT and admits against Algorithm 2."""
+
+    def __init__(
+        self,
+        estimator: Optional[WorkloadEstimator] = None,
+        allocator: Optional[ProposedAllocator] = None,
+        platform: MpsocConfig = XEON_E5_2667,
+        policy: AdmissionPolicy = AdmissionPolicy(),
+    ):
+        self.estimator = estimator or WorkloadEstimator(
+            quantile=policy.quantile
+        )
+        self.platform = platform
+        self.allocator = allocator or ProposedAllocator(platform=platform)
+        self.policy = policy
+        self._active: Dict[int, SessionTicket] = {}
+        self._parked = 0
+        self._overload_streak = 0
+        self._level = DegradationLevel.NONE
+
+    # -- pricing -------------------------------------------------------
+    def estimate_session(self, hello: Hello) -> Tuple[float, UserDemand]:
+        """Predicted per-slot demand of a session, from its HELLO.
+
+        The LUT key describes the session's steady state: a P frame at
+        the pipeline's default QP/window with mid texture and high
+        motion (the conservative prior before any tile statistics
+        exist); once the LUT has observations for the stream's content
+        class, the estimate sharpens automatically.
+        """
+        content = None
+        if hello.content_class:
+            try:
+                content = ContentClass(hello.content_class)
+            except ValueError:
+                content = None
+        area = max(1, hello.width * hello.height)
+        key = WorkloadKey(
+            texture=TextureClass.MEDIUM,
+            motion=MotionClass.HIGH,
+            qp=32,
+            search_window=64,
+            frame_type=FrameType.P,
+            area_bucket=area_bucket(area),
+            content_class=content,
+        )
+        cpu_per_frame = self.estimator.estimate(key, area)
+        demand = UserDemand(
+            user_id=0,
+            threads=[ThreadTask(thread_id=0, user_id=0,
+                                cpu_time_fmax=cpu_per_frame, tile_index=0)],
+        )
+        return cores_needed(demand, hello.fps), demand
+
+    # -- occupancy -----------------------------------------------------
+    @property
+    def capacity_cores(self) -> float:
+        return self.platform.num_cores * self.policy.utilization
+
+    @property
+    def occupancy_cores(self) -> float:
+        return sum(t.cores for t in self._active.values())
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self._active)
+
+    @property
+    def level(self) -> DegradationLevel:
+        """Current rung of the server-level overload ladder."""
+        return self._level
+
+    def lighten(self, qp: int, window: int) -> Tuple[int, int]:
+        """Apply the overload ladder to a new session's base config."""
+        if self._level >= DegradationLevel.QP_BUMP:
+            qp = min(51, qp + 2)
+        if self._level >= DegradationLevel.WINDOW_SHRINK:
+            window = max(8, window // 2)
+        return qp, window
+
+    # -- decisions -----------------------------------------------------
+    def decide(self, session_id: int, hello: Hello,
+               fps: Optional[float] = None) -> Tuple[AdmissionDecision, str]:
+        """Admission decision for one HELLO.
+
+        ``fps`` overrides the HELLO's frame rate (the server's slot
+        clock wins when they disagree).  An ACCEPT immediately charges
+        the session; callers must :meth:`release` it when it ends.
+        """
+        fps = fps if fps is not None else hello.fps
+        if fps <= 0:
+            return AdmissionDecision.REJECT, "non-positive fps"
+        cores, demand = self.estimate_session(hello)
+        demands = [
+            t.demand for t in self._active.values()
+        ]
+        candidate = UserDemand(
+            user_id=session_id,
+            threads=[
+                ThreadTask(thread_id=t.thread_id, user_id=session_id,
+                           cpu_time_fmax=t.cpu_time_fmax,
+                           tile_index=t.tile_index)
+                for t in demand.threads
+            ],
+        )
+        demands.append(candidate)
+        capacity = max(1, int(self.capacity_cores))
+        admitted, _, _ = self.allocator.admit(demands, fps, capacity=capacity)
+        fits = len(admitted) == len(demands)
+        registry = get_registry()
+        if fits:
+            self._active[session_id] = SessionTicket(
+                session_id=session_id, demand=candidate, cores=cores,
+            )
+            decision, reason = AdmissionDecision.ACCEPT, (
+                f"estimated {cores:.2f} cores of "
+                f"{self.capacity_cores:.0f} "
+                f"({self.occupancy_cores:.2f} occupied)"
+            )
+            self._observe_accept()
+        elif self._parked < self.policy.park_capacity:
+            self._parked += 1
+            decision, reason = AdmissionDecision.PARK, (
+                f"slot cap exceeded: need {cores:.2f} cores, "
+                f"{self.occupancy_cores:.2f}/{self.capacity_cores:.0f} "
+                "occupied; parked"
+            )
+            self._observe_overload()
+        else:
+            decision, reason = AdmissionDecision.REJECT, (
+                f"slot cap exceeded: need {cores:.2f} cores, "
+                f"{self.occupancy_cores:.2f}/{self.capacity_cores:.0f} "
+                "occupied; waiting room full"
+            )
+            self._observe_overload()
+        registry.inc(
+            "repro_serving_admission_total", decision=decision.value,
+            help="Admission decisions by outcome",
+        )
+        registry.set_gauge(
+            "repro_serving_occupancy_cores", self.occupancy_cores,
+            help="Estimated core demand of active sessions",
+        )
+        registry.set_gauge(
+            "repro_serving_overload_level", int(self._level),
+            help="Server-level overload degradation rung",
+        )
+        get_tracer().event(
+            "admission.decide", session=session_id,
+            decision=decision.value, cores=cores,
+            occupancy=self.occupancy_cores, level=self._level.name,
+        )
+        return decision, reason
+
+    def unpark(self, session_id: int, hello: Hello,
+               fps: Optional[float] = None) -> Tuple[AdmissionDecision, str]:
+        """Retry admission for a parked session (frees its park slot;
+        a PARK outcome re-takes it)."""
+        self._parked = max(0, self._parked - 1)
+        return self.decide(session_id, hello, fps)
+
+    def abandon_park(self) -> None:
+        """A parked session gave up (timeout or disconnect)."""
+        self._parked = max(0, self._parked - 1)
+
+    def release(self, session_id: int) -> None:
+        """An admitted session ended: free its capacity."""
+        ticket = self._active.pop(session_id, None)
+        if ticket is None:
+            return
+        get_registry().set_gauge(
+            "repro_serving_occupancy_cores", self.occupancy_cores,
+            help="Estimated core demand of active sessions",
+        )
+        get_tracer().event(
+            "admission.release", session=session_id,
+            occupancy=self.occupancy_cores,
+        )
+
+    # -- overload ladder -----------------------------------------------
+    def _observe_overload(self) -> None:
+        self._overload_streak += 1
+        if (self._overload_streak >= self.policy.overload_trip
+                and self._level < self.policy.max_level):
+            self._level = DegradationLevel(self._level + 1)
+            self._overload_streak = 0
+            get_registry().inc(
+                "repro_serving_overload_escalations_total",
+                help="Overload-ladder escalations",
+            )
+
+    def _observe_accept(self) -> None:
+        self._overload_streak = 0
+        relief = self.capacity_cores * self.policy.relief_occupancy
+        if self._level > DegradationLevel.NONE and (
+                self.occupancy_cores <= relief):
+            self._level = DegradationLevel(self._level - 1)

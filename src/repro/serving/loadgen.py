@@ -1,0 +1,326 @@
+"""Load generator: many concurrent clients against the network server.
+
+Sessions arrive by a configurable process (Poisson inter-arrivals or
+synchronized bursts), draw a content class from a weighted mix, stream
+a synthetic bio-medical video over the wire protocol and collect a
+client-side report: admission outcomes, end-to-end frame latency
+percentiles and the server-reported deadline-miss counts.  Everything
+stochastic — arrivals, content mix, video synthesis — derives from one
+seed, so a run is reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serving.protocol import (
+    Bye,
+    Encoded,
+    ErrorMsg,
+    FrameMsg,
+    Hello,
+    HelloAck,
+    ProtocolError,
+    Stats,
+    read_message,
+    write_message,
+)
+from repro.video.generator import ContentClass, generate_video
+
+__all__ = ["LoadGenConfig", "LoadReport", "SessionReport", "run_loadgen"]
+
+#: Default content-class mix (uniform over three common modalities).
+DEFAULT_MIX: Tuple[Tuple[ContentClass, float], ...] = (
+    (ContentClass.BRAIN, 1.0),
+    (ContentClass.BONE, 1.0),
+    (ContentClass.LUNG, 1.0),
+)
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """Configuration of one load-generator run."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    sessions: int = 3
+    #: Frames each session streams (default: two GOPs at gop=8).
+    frames: int = 16
+    width: int = 96
+    height: int = 96
+    fps: float = 24.0
+    gop: int = 8
+    #: Arrival process: ``"poisson"`` (exponential inter-arrivals at
+    #: ``rate_hz``) or ``"burst"`` (groups of ``burst_size`` arriving
+    #: together, groups separated by ``1/rate_hz``).
+    arrival: str = "poisson"
+    #: Mean session arrival rate (sessions/second).
+    rate_hz: float = 20.0
+    burst_size: int = 4
+    #: Inter-frame pacing within a session; 0 streams as fast as the
+    #: socket accepts (exercises ingest backpressure).
+    frame_interval_s: float = 0.0
+    #: Weighted content-class mix sessions draw from.
+    mix: Tuple[Tuple[ContentClass, float], ...] = DEFAULT_MIX
+    seed: int = 0
+    #: Per-session wall-clock budget before the client gives up.
+    timeout_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.sessions < 1:
+            raise ValueError("sessions must be >= 1")
+        if self.frames < 1:
+            raise ValueError("frames must be >= 1")
+        if self.arrival not in ("poisson", "burst"):
+            raise ValueError("arrival must be 'poisson' or 'burst'")
+        if self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        if self.burst_size < 1:
+            raise ValueError("burst_size must be >= 1")
+        if not self.mix:
+            raise ValueError("content mix must be non-empty")
+
+
+@dataclass
+class SessionReport:
+    """Client-side outcome of one session."""
+
+    session: int
+    content_class: str
+    decision: str = "error"
+    reason: str = ""
+    parked: bool = False
+    frames_sent: int = 0
+    frames_encoded: int = 0
+    frames_dropped: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+    server_stats: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+
+
+def _percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile (no numpy needed for the report)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of a load-generator run."""
+
+    sessions: List[SessionReport] = field(default_factory=list)
+    protocol_errors: int = 0
+    wall_clock_s: float = 0.0
+
+    @property
+    def accepted(self) -> int:
+        return sum(1 for s in self.sessions if s.decision == "accept")
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for s in self.sessions if s.decision == "reject")
+
+    @property
+    def errored(self) -> int:
+        return sum(1 for s in self.sessions if s.error is not None)
+
+    @property
+    def parked(self) -> int:
+        return sum(1 for s in self.sessions if s.parked)
+
+    @property
+    def latencies_s(self) -> List[float]:
+        return [x for s in self.sessions for x in s.latencies_s]
+
+    @property
+    def deadline_misses(self) -> int:
+        return sum(
+            int(s.server_stats.get("deadline_misses", 0))
+            for s in self.sessions if s.server_stats
+        )
+
+    @property
+    def frames_encoded(self) -> int:
+        return sum(s.frames_encoded for s in self.sessions)
+
+    def to_dict(self) -> Dict[str, object]:
+        lat = self.latencies_s
+        encoded = self.frames_encoded
+        return {
+            "sessions": len(self.sessions),
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "parked": self.parked,
+            "errors": self.errored,
+            "protocol_errors": self.protocol_errors,
+            "frames_sent": sum(s.frames_sent for s in self.sessions),
+            "frames_encoded": encoded,
+            "frames_dropped": sum(s.frames_dropped for s in self.sessions),
+            "latency_p50_s": _percentile(lat, 0.50),
+            "latency_p95_s": _percentile(lat, 0.95),
+            "deadline_misses": self.deadline_misses,
+            "deadline_miss_rate": (
+                self.deadline_misses / encoded if encoded else None
+            ),
+            "wall_clock_s": self.wall_clock_s,
+        }
+
+    def summary(self) -> str:
+        d = self.to_dict()
+        p50 = d["latency_p50_s"]
+        p95 = d["latency_p95_s"]
+        miss = d["deadline_miss_rate"]
+        lines = [
+            "loadgen report",
+            f"  sessions     : {d['sessions']} "
+            f"(accepted {d['accepted']}, rejected {d['rejected']}, "
+            f"parked {d['parked']}, errors {d['errors']})",
+            f"  frames       : sent {d['frames_sent']}, "
+            f"encoded {d['frames_encoded']}, dropped {d['frames_dropped']}",
+            f"  latency      : p50 "
+            f"{f'{p50 * 1e3:.1f} ms' if p50 is not None else 'n/a'}, p95 "
+            f"{f'{p95 * 1e3:.1f} ms' if p95 is not None else 'n/a'}",
+            f"  deadline miss: {d['deadline_misses']} "
+            f"({f'{miss:.1%}' if miss is not None else 'n/a'})",
+            f"  protocol errs: {d['protocol_errors']}",
+            f"  wall clock   : {d['wall_clock_s']:.2f} s",
+        ]
+        return "\n".join(lines)
+
+
+def _arrival_delays(config: LoadGenConfig, rng: random.Random) -> List[float]:
+    """Absolute start offset of each session, per the arrival process."""
+    delays: List[float] = []
+    t = 0.0
+    if config.arrival == "poisson":
+        for _ in range(config.sessions):
+            delays.append(t)
+            t += rng.expovariate(config.rate_hz)
+    else:  # burst
+        for i in range(config.sessions):
+            if i > 0 and i % config.burst_size == 0:
+                t += 1.0 / config.rate_hz
+            delays.append(t)
+    return delays
+
+
+async def _run_session(config: LoadGenConfig, index: int,
+                       content: ContentClass, seed: int,
+                       report: SessionReport) -> None:
+    video = generate_video(
+        content_class=content, width=config.width, height=config.height,
+        num_frames=config.frames, seed=seed,
+    )
+    reader, writer = await asyncio.open_connection(config.host, config.port)
+    try:
+        await write_message(writer, Hello(
+            width=config.width, height=config.height, fps=config.fps,
+            num_frames=config.frames, gop=config.gop,
+            content_class=content.value, client_id=f"loadgen-{index}",
+        ))
+        ack = await read_message(reader)
+        while isinstance(ack, HelloAck) and ack.decision == "park":
+            report.parked = True
+            ack = await read_message(reader)
+        if not isinstance(ack, HelloAck):
+            raise ProtocolError(f"expected HELLO_ACK, got {ack.type.name}")
+        report.decision = ack.decision
+        report.reason = ack.reason
+        if ack.decision != "accept":
+            return
+
+        send_times: Dict[int, float] = {}
+
+        async def sender() -> None:
+            for frame in video.frames:
+                send_times[frame.index] = time.perf_counter()
+                await write_message(writer, FrameMsg(
+                    frame_index=frame.index, width=config.width,
+                    height=config.height, luma=frame.luma.tobytes(),
+                ))
+                report.frames_sent += 1
+                if config.frame_interval_s > 0:
+                    await asyncio.sleep(config.frame_interval_s)
+            await write_message(writer, Bye("done"))
+
+        async def receiver() -> None:
+            while True:
+                msg = await read_message(reader)
+                if isinstance(msg, Encoded):
+                    if msg.dropped is None:
+                        report.frames_encoded += 1
+                        sent = send_times.get(msg.frame_index)
+                        if sent is not None:
+                            report.latencies_s.append(
+                                time.perf_counter() - sent
+                            )
+                    else:
+                        report.frames_dropped += 1
+                elif isinstance(msg, Stats):
+                    report.server_stats = msg.data
+                elif isinstance(msg, Bye):
+                    return
+                elif isinstance(msg, ErrorMsg):
+                    raise ProtocolError(
+                        f"server error [{msg.code}]: {msg.detail}"
+                    )
+                else:
+                    raise ProtocolError(
+                        f"unexpected {msg.type.name} from server"
+                    )
+
+        await asyncio.wait_for(
+            asyncio.gather(sender(), receiver()), timeout=config.timeout_s
+        )
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def run_loadgen_async(config: LoadGenConfig) -> LoadReport:
+    """Run the configured load against ``config.host:config.port``."""
+    rng = random.Random(config.seed)
+    classes = [c for c, _ in config.mix]
+    weights = [w for _, w in config.mix]
+    picks = rng.choices(classes, weights=weights, k=config.sessions)
+    delays = _arrival_delays(config, rng)
+    seeds = [rng.randrange(2**31) for _ in range(config.sessions)]
+    report = LoadReport()
+    report.sessions = [
+        SessionReport(session=i, content_class=picks[i].value)
+        for i in range(config.sessions)
+    ]
+
+    async def one(i: int) -> None:
+        if delays[i] > 0:
+            await asyncio.sleep(delays[i])
+        try:
+            await _run_session(
+                config, i, picks[i], seeds[i], report.sessions[i]
+            )
+        except ProtocolError as exc:
+            report.protocol_errors += 1
+            report.sessions[i].error = str(exc)
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.TimeoutError, OSError) as exc:
+            report.sessions[i].error = f"{type(exc).__name__}: {exc}"
+
+    start = time.perf_counter()
+    await asyncio.gather(*(one(i) for i in range(config.sessions)))
+    report.wall_clock_s = time.perf_counter() - start
+    return report
+
+
+def run_loadgen(config: LoadGenConfig) -> LoadReport:
+    """Synchronous entry point (used by the CLI)."""
+    return asyncio.run(run_loadgen_async(config))

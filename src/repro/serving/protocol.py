@@ -1,0 +1,451 @@
+"""Length-prefixed binary wire protocol of the serving layer.
+
+Every message travels as one *frame*::
+
+    +-------+---------+------+-------+----------+---------+----------+
+    | magic | version | type | flags | length   | crc32   | payload  |
+    | 4 B   | 1 B     | 1 B  | 2 B   | 4 B (BE) | 4 B(BE) | length B |
+    +-------+---------+------+-------+----------+---------+----------+
+
+``magic`` is ``b"RPRV"``; ``version`` is :data:`PROTOCOL_VERSION`;
+``crc32`` is ``zlib.crc32`` of the payload.  A reader rejects bad
+magic, unknown versions, oversized lengths, unknown message types and
+checksum mismatches with :class:`ProtocolError` — a corrupted or
+truncated stream can never be silently misparsed as frames.
+
+Payload encodings are per-type: pixel-carrying messages (FRAME,
+ENCODED) use fixed ``struct`` prefixes followed by the raw luma bytes;
+control messages (HELLO, HELLO_ACK, STATS, BYE, ERROR) use UTF-8 JSON,
+which keeps them extensible without version bumps.
+
+The module is sans-io at its core — :func:`encode_message`,
+:func:`decode_frame` and the incremental :class:`MessageDecoder`
+operate on bytes — with thin asyncio adapters (:func:`read_message`,
+:func:`write_message`) on top, so the protocol is testable without a
+socket.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.resilience.errors import TranscodeError
+
+__all__ = [
+    "HEADER_SIZE",
+    "MAGIC",
+    "MAX_PAYLOAD",
+    "PROTOCOL_VERSION",
+    "Bye",
+    "Encoded",
+    "ErrorMsg",
+    "FrameMsg",
+    "Hello",
+    "HelloAck",
+    "Message",
+    "MessageDecoder",
+    "MsgType",
+    "ProtocolError",
+    "Stats",
+    "decode_frame",
+    "encode_message",
+    "read_message",
+    "write_message",
+]
+
+MAGIC = b"RPRV"
+PROTOCOL_VERSION = 1
+#: Hard payload bound: a 4K 8-bit luma plane is ~8.3 MB; anything far
+#: beyond that is a corrupted length field, not a frame.
+MAX_PAYLOAD = 32 * 1024 * 1024
+
+_HEADER = struct.Struct("!4sBBHII")  # magic, version, type, flags, len, crc
+HEADER_SIZE = _HEADER.size
+
+_FRAME_PREFIX = struct.Struct("!IHH")  # frame_index, width, height
+_ENCODED_PREFIX = struct.Struct("!IBBHHQd")  # idx, ftype, drop, w, h, bits, psnr
+
+
+class ProtocolError(TranscodeError, ValueError):
+    """The byte stream violates the wire protocol (bad magic, version,
+    checksum, length, or a malformed payload)."""
+
+
+class MsgType(enum.IntEnum):
+    HELLO = 1        # client -> server: session request
+    HELLO_ACK = 2    # server -> client: admission decision
+    FRAME = 3        # client -> server: one raw luma frame
+    ENCODED = 4      # server -> client: one encoded/decoded frame
+    STATS = 5        # server -> client: end-of-session summary
+    BYE = 6          # either direction: orderly shutdown
+    ERROR = 7        # server -> client: fatal protocol/session error
+
+
+#: ``Encoded.dropped`` reason codes (0 = not dropped).
+DROP_REASONS = {0: None, 1: "corrupt", 2: "deadline", 3: "backpressure"}
+DROP_CODES = {v: k for k, v in DROP_REASONS.items()}
+
+#: ``Encoded.frame_type`` codes.
+FRAME_TYPE_CODES = {"I": 0, "P": 1, "B": 2, "": 3}
+FRAME_TYPE_NAMES = {v: k for k, v in FRAME_TYPE_CODES.items()}
+
+
+# ----------------------------------------------------------------------
+# Message dataclasses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Hello:
+    """Session request: declared stream geometry and rate.
+
+    The admission controller prices the session off these fields via
+    the workload LUT, so they are promises the client must keep —
+    FRAME messages disagreeing with the declared geometry are
+    rejected.
+    """
+
+    width: int
+    height: int
+    fps: float = 24.0
+    num_frames: int = 0  # 0 = unknown/open-ended
+    gop: int = 8
+    content_class: Optional[str] = None
+    client_id: str = ""
+
+    type = MsgType.HELLO
+
+    def payload(self) -> bytes:
+        return _json_bytes({
+            "width": self.width, "height": self.height, "fps": self.fps,
+            "num_frames": self.num_frames, "gop": self.gop,
+            "content_class": self.content_class, "client_id": self.client_id,
+        })
+
+    @classmethod
+    def from_payload(cls, flags: int, data: bytes) -> "Hello":
+        obj = _json_obj(data)
+        try:
+            return cls(
+                width=int(obj["width"]), height=int(obj["height"]),
+                fps=float(obj.get("fps", 24.0)),
+                num_frames=int(obj.get("num_frames", 0)),
+                gop=int(obj.get("gop", 8)),
+                content_class=obj.get("content_class"),
+                client_id=str(obj.get("client_id", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed HELLO payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class HelloAck:
+    """Admission decision: ``accept``, ``reject`` or ``park``."""
+
+    decision: str
+    session_id: int = 0
+    reason: str = ""
+    queue_frames: int = 0  # server's per-session ingest bound
+
+    type = MsgType.HELLO_ACK
+
+    def payload(self) -> bytes:
+        return _json_bytes({
+            "decision": self.decision, "session_id": self.session_id,
+            "reason": self.reason, "queue_frames": self.queue_frames,
+        })
+
+    @classmethod
+    def from_payload(cls, flags: int, data: bytes) -> "HelloAck":
+        obj = _json_obj(data)
+        decision = obj.get("decision")
+        if decision not in ("accept", "reject", "park"):
+            raise ProtocolError(f"unknown admission decision {decision!r}")
+        return cls(
+            decision=decision,
+            session_id=int(obj.get("session_id", 0)),
+            reason=str(obj.get("reason", "")),
+            queue_frames=int(obj.get("queue_frames", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class FrameMsg:
+    """One raw 8-bit luma frame."""
+
+    frame_index: int
+    width: int
+    height: int
+    luma: bytes
+
+    type = MsgType.FRAME
+
+    def __post_init__(self) -> None:
+        if len(self.luma) != self.width * self.height:
+            raise ProtocolError(
+                f"FRAME luma length {len(self.luma)} != "
+                f"{self.width}x{self.height}"
+            )
+
+    def payload(self) -> bytes:
+        return _FRAME_PREFIX.pack(
+            self.frame_index, self.width, self.height
+        ) + self.luma
+
+    @classmethod
+    def from_payload(cls, flags: int, data: bytes) -> "FrameMsg":
+        if len(data) < _FRAME_PREFIX.size:
+            raise ProtocolError("truncated FRAME payload")
+        idx, width, height = _FRAME_PREFIX.unpack_from(data)
+        luma = data[_FRAME_PREFIX.size:]
+        if len(luma) != width * height:
+            raise ProtocolError(
+                f"FRAME luma length {len(luma)} != {width}x{height}"
+            )
+        return cls(frame_index=idx, width=width, height=height, luma=luma)
+
+
+@dataclass(frozen=True)
+class Encoded:
+    """One frame's encoded outcome.
+
+    ``luma`` carries the reconstructed (decoded) plane — the server's
+    proof of what the client's decoder would display; it is empty when
+    the frame was dropped (``dropped`` names the reason).
+    """
+
+    frame_index: int
+    frame_type: str = "P"  # "I" | "P" | "B" | "" (dropped)
+    dropped: Optional[str] = None
+    width: int = 0
+    height: int = 0
+    bits: int = 0
+    psnr: float = 0.0
+    luma: bytes = b""
+
+    type = MsgType.ENCODED
+
+    def __post_init__(self) -> None:
+        if len(self.luma) not in (0, self.width * self.height):
+            raise ProtocolError(
+                f"ENCODED luma length {len(self.luma)} != "
+                f"{self.width}x{self.height}"
+            )
+
+    def payload(self) -> bytes:
+        try:
+            ftype = FRAME_TYPE_CODES[self.frame_type]
+            drop = DROP_CODES[self.dropped]
+        except KeyError as exc:
+            raise ProtocolError(f"unencodable ENCODED field: {exc}") from exc
+        return _ENCODED_PREFIX.pack(
+            self.frame_index, ftype, drop, self.width, self.height,
+            self.bits, self.psnr,
+        ) + self.luma
+
+    @classmethod
+    def from_payload(cls, flags: int, data: bytes) -> "Encoded":
+        if len(data) < _ENCODED_PREFIX.size:
+            raise ProtocolError("truncated ENCODED payload")
+        idx, ftype, drop, width, height, bits, psnr = (
+            _ENCODED_PREFIX.unpack_from(data)
+        )
+        if ftype not in FRAME_TYPE_NAMES:
+            raise ProtocolError(f"unknown frame-type code {ftype}")
+        if drop not in DROP_REASONS:
+            raise ProtocolError(f"unknown drop-reason code {drop}")
+        luma = data[_ENCODED_PREFIX.size:]
+        if len(luma) not in (0, width * height):
+            raise ProtocolError(
+                f"ENCODED luma length {len(luma)} != {width}x{height}"
+            )
+        return cls(
+            frame_index=idx, frame_type=FRAME_TYPE_NAMES[ftype],
+            dropped=DROP_REASONS[drop], width=width, height=height,
+            bits=bits, psnr=psnr, luma=luma,
+        )
+
+
+@dataclass(frozen=True)
+class Stats:
+    """End-of-session summary (free-form JSON dict)."""
+
+    data: Dict[str, object] = field(default_factory=dict)
+
+    type = MsgType.STATS
+
+    def payload(self) -> bytes:
+        return _json_bytes(self.data)
+
+    @classmethod
+    def from_payload(cls, flags: int, data: bytes) -> "Stats":
+        return cls(data=_json_obj(data))
+
+
+@dataclass(frozen=True)
+class Bye:
+    """Orderly shutdown of one direction of the session."""
+
+    reason: str = ""
+
+    type = MsgType.BYE
+
+    def payload(self) -> bytes:
+        return _json_bytes({"reason": self.reason})
+
+    @classmethod
+    def from_payload(cls, flags: int, data: bytes) -> "Bye":
+        return cls(reason=str(_json_obj(data).get("reason", "")))
+
+
+@dataclass(frozen=True)
+class ErrorMsg:
+    """Fatal session error; the sender closes after this message."""
+
+    code: str = "error"
+    detail: str = ""
+
+    type = MsgType.ERROR
+
+    def payload(self) -> bytes:
+        return _json_bytes({"code": self.code, "detail": self.detail})
+
+    @classmethod
+    def from_payload(cls, flags: int, data: bytes) -> "ErrorMsg":
+        obj = _json_obj(data)
+        return cls(code=str(obj.get("code", "error")),
+                   detail=str(obj.get("detail", "")))
+
+
+Message = Union[Hello, HelloAck, FrameMsg, Encoded, Stats, Bye, ErrorMsg]
+
+_DECODERS = {
+    MsgType.HELLO: Hello.from_payload,
+    MsgType.HELLO_ACK: HelloAck.from_payload,
+    MsgType.FRAME: FrameMsg.from_payload,
+    MsgType.ENCODED: Encoded.from_payload,
+    MsgType.STATS: Stats.from_payload,
+    MsgType.BYE: Bye.from_payload,
+    MsgType.ERROR: ErrorMsg.from_payload,
+}
+
+
+def _json_bytes(obj: dict) -> bytes:
+    return json.dumps(obj, sort_keys=True).encode("utf-8")
+
+
+def _json_obj(data: bytes) -> dict:
+    try:
+        obj = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable JSON payload: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("JSON payload must be an object")
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_message(msg: Message, flags: int = 0) -> bytes:
+    """Serialize one message to its wire frame."""
+    payload = msg.payload()
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD"
+        )
+    header = _HEADER.pack(
+        MAGIC, PROTOCOL_VERSION, int(msg.type), flags,
+        len(payload), zlib.crc32(payload) & 0xFFFFFFFF,
+    )
+    return header + payload
+
+
+def _parse_header(header: bytes) -> Tuple[MsgType, int, int, int]:
+    magic, version, mtype, flags, length, crc = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} "
+            f"(speaking {PROTOCOL_VERSION})"
+        )
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"declared payload of {length} bytes too large")
+    try:
+        mtype = MsgType(mtype)
+    except ValueError:
+        raise ProtocolError(f"unknown message type {mtype}") from None
+    return mtype, flags, length, crc
+
+
+def _check_payload(payload: bytes, crc: int) -> None:
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise ProtocolError("payload checksum mismatch")
+
+
+def decode_frame(buf: bytes) -> Tuple[Optional[Message], int]:
+    """Decode one message from the head of ``buf``.
+
+    Returns ``(message, bytes_consumed)``; ``(None, 0)`` when the
+    buffer does not yet hold a complete frame.  Raises
+    :class:`ProtocolError` on any framing violation.
+    """
+    if len(buf) < HEADER_SIZE:
+        return None, 0
+    mtype, flags, length, crc = _parse_header(buf[:HEADER_SIZE])
+    end = HEADER_SIZE + length
+    if len(buf) < end:
+        return None, 0
+    payload = bytes(buf[HEADER_SIZE:end])
+    _check_payload(payload, crc)
+    return _DECODERS[mtype](flags, payload), end
+
+
+class MessageDecoder:
+    """Incremental sans-io decoder: feed arbitrary byte chunks, get
+    complete messages out (the TCP stream reassembly layer)."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> List[Message]:
+        self._buf.extend(data)
+        out: List[Message] = []
+        while True:
+            msg, consumed = decode_frame(bytes(self._buf))
+            if msg is None:
+                return out
+            del self._buf[:consumed]
+            out.append(msg)
+
+
+# ----------------------------------------------------------------------
+# asyncio adapters
+# ----------------------------------------------------------------------
+async def read_message(reader) -> Message:
+    """Read exactly one message from an ``asyncio.StreamReader``.
+
+    Raises :class:`ProtocolError` on framing violations and
+    ``asyncio.IncompleteReadError`` / ``ConnectionError`` on transport
+    loss mid-frame (EOF *between* frames surfaces as
+    ``IncompleteReadError`` with no partial bytes).
+    """
+    header = await reader.readexactly(HEADER_SIZE)
+    mtype, flags, length, crc = _parse_header(header)
+    payload = await reader.readexactly(length) if length else b""
+    _check_payload(payload, crc)
+    return _DECODERS[mtype](flags, payload)
+
+
+async def write_message(writer, msg: Message, flags: int = 0) -> None:
+    """Write one message to an ``asyncio.StreamWriter`` and drain."""
+    writer.write(encode_message(msg, flags))
+    await writer.drain()

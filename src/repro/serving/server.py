@@ -1,0 +1,583 @@
+"""Asyncio streaming front-end for the transcoding pipeline.
+
+One TCP connection is one session: HELLO -> admission decision ->
+frame ingest -> encoded-bitstream egress -> STATS/BYE.  Per session
+the server runs three tasks:
+
+* **ingest** reads FRAME messages off the socket and feeds a *bounded*
+  queue; when the client outruns the encoder and the queue is full,
+  the incoming frame is dropped (an ENCODED notice with
+  ``dropped="backpressure"`` tells the client) instead of growing RAM;
+* **encode** pulls frames in order and pushes them through a
+  :class:`repro.transcode.pipeline.ProposedStreamSession` on a
+  dedicated executor thread, so the event loop never blocks on CPU
+  work (with ``parallel_workers`` set, the tile process pool of
+  :mod:`repro.parallel.executor` carries the heavy per-tile encode out
+  of the GIL entirely);
+* **egress** writes ENCODED messages from a second bounded queue; a
+  slow reader causes the *oldest* undelivered frame to be coalesced
+  away (newest results win — a viewer wants the current frame, not a
+  backlog).
+
+Admission (:mod:`repro.serving.admission`) prices each HELLO with the
+shared workload-LUT estimator and admits against Algorithm 2's slot
+capacity; parked sessions wait bounded time for capacity to free.  All
+sessions share one estimator, so the LUT a session warms speeds up
+admission pricing and allocation for every later user of the same
+content class — the paper's cross-user reuse, now end to end.
+
+Every admission decision, queue depth, drop and end-to-end frame
+latency lands in :mod:`repro.observability`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.codec.config import EncoderConfig, GopConfig
+from repro.observability import get_registry, get_tracer
+from repro.platform.mpsoc import MpsocConfig, XEON_E5_2667
+from repro.resilience.errors import CorruptFrameError
+from repro.resilience.faults import FaultConfig, FaultInjector
+from repro.resilience.degradation import ResilienceConfig
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+)
+from repro.serving.protocol import (
+    Bye,
+    Encoded,
+    ErrorMsg,
+    FrameMsg,
+    Hello,
+    HelloAck,
+    Message,
+    ProtocolError,
+    Stats,
+    read_message,
+    write_message,
+)
+from repro.transcode.pipeline import (
+    FrameOutput,
+    PipelineConfig,
+    StreamTranscoder,
+)
+from repro.video.frame import Frame
+from repro.video.generator import ContentClass
+from repro.workload.estimator import WorkloadEstimator
+
+__all__ = ["NetworkServer", "ServeNetConfig", "SessionStats"]
+
+
+@dataclass(frozen=True)
+class ServeNetConfig:
+    """Configuration of the network server."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral
+    fps: float = 24.0
+    gop: int = 8
+    #: Seed for every stochastic serving component (currently the
+    #: optional CPU-time fault injection below).
+    seed: int = 0
+    #: Bound of the per-session ingest queue (frames awaiting encode).
+    queue_frames: int = 16
+    #: Bound of the per-session egress queue (encoded frames awaiting
+    #: a slow reader).
+    egress_frames: int = 32
+    #: How long a parked session waits for capacity before rejection.
+    park_timeout_s: float = 2.0
+    #: Handshake timeout (connection to first HELLO).
+    hello_timeout_s: float = 10.0
+    max_frame_width: int = 4096
+    max_frame_height: int = 4096
+    #: Tile process pool per session (``None`` = serial encode).
+    parallel_workers: Optional[int] = None
+    #: Per-stream resilience (degradation ladder, corrupt-frame drops).
+    resilience: Optional[ResilienceConfig] = field(
+        default_factory=ResilienceConfig
+    )
+    #: Seeded CPU-time spike injection (0 disables); reproducible from
+    #: ``seed``.
+    fault_spike_rate: float = 0.0
+    fault_spike_factor: float = 8.0
+    admission: AdmissionPolicy = AdmissionPolicy()
+    platform: MpsocConfig = XEON_E5_2667
+
+
+@dataclass
+class SessionStats:
+    """Per-session counters, summarized into the STATS message."""
+
+    session_id: int
+    frames_received: int = 0
+    frames_encoded: int = 0
+    dropped_backpressure: int = 0
+    dropped_egress: int = 0
+    dropped_corrupt: int = 0
+    dropped_deadline: int = 0
+    deadline_misses: int = 0
+    total_bits: int = 0
+    psnr_sum: float = 0.0
+    peak_ingest_depth: int = 0
+    peak_egress_depth: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+
+    def to_dict(self, queue_frames: int) -> Dict[str, object]:
+        return {
+            "session_id": self.session_id,
+            "frames_received": self.frames_received,
+            "frames_encoded": self.frames_encoded,
+            "frames_dropped": {
+                "backpressure": self.dropped_backpressure,
+                "egress": self.dropped_egress,
+                "corrupt": self.dropped_corrupt,
+                "deadline": self.dropped_deadline,
+            },
+            "deadline_misses": self.deadline_misses,
+            "total_bits": self.total_bits,
+            "psnr_avg": (
+                self.psnr_sum / self.frames_encoded
+                if self.frames_encoded else None
+            ),
+            "peak_ingest_depth": self.peak_ingest_depth,
+            "peak_egress_depth": self.peak_egress_depth,
+            "queue_frames": queue_frames,
+        }
+
+
+_BYE_SENTINEL = object()
+
+
+class _Session:
+    """Mutable state of one accepted client session."""
+
+    def __init__(self, session_id: int, hello: Hello, server: "NetworkServer"):
+        cfg = server.config
+        self.session_id = session_id
+        self.hello = hello
+        self.stats = SessionStats(session_id=session_id)
+        self.ingest: asyncio.Queue = asyncio.Queue(maxsize=cfg.queue_frames)
+        self.egress: asyncio.Queue = asyncio.Queue(maxsize=cfg.egress_frames)
+        self.arrival_s: Dict[int, float] = {}
+        self.next_index = 0
+        content = None
+        if hello.content_class:
+            try:
+                content = ContentClass(hello.content_class)
+            except ValueError:
+                content = None
+        qp, window = server.admission.lighten(32, 64)
+        pipeline = PipelineConfig(
+            fps=hello.fps if hello.fps > 0 else cfg.fps,
+            gop=GopConfig(max(1, hello.gop)),
+            base_config=EncoderConfig(qp=qp, search="hexagon",
+                                      search_window=window),
+            content_class=content,
+            resilience=cfg.resilience,
+            platform=cfg.platform,
+            parallel_tiles=cfg.parallel_workers is not None,
+            parallel_workers=cfg.parallel_workers or None,
+        )
+        injector = None
+        if cfg.fault_spike_rate > 0:
+            injector = FaultInjector(FaultConfig(
+                seed=cfg.seed + session_id,
+                time_spike_rate=cfg.fault_spike_rate,
+                time_spike_factor=cfg.fault_spike_factor,
+            ))
+        self.transcoder = StreamTranscoder(
+            pipeline, estimator=server.estimator, fault_injector=injector,
+        )
+        self.stream = self.transcoder.open_session()
+        self.slot_s = 1.0 / pipeline.fps
+
+
+class NetworkServer:
+    """The asyncio serving front-end."""
+
+    def __init__(
+        self,
+        config: ServeNetConfig = ServeNetConfig(),
+        estimator: Optional[WorkloadEstimator] = None,
+        admission: Optional[AdmissionController] = None,
+    ):
+        self.config = config
+        self.estimator = estimator or WorkloadEstimator(
+            quantile=config.admission.quantile
+        )
+        self.admission = admission or AdmissionController(
+            estimator=self.estimator,
+            platform=config.platform,
+            policy=config.admission,
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        # One encode thread: CPU work leaves the event loop, and the
+        # shared estimator/classifier/LUT see strictly serialized
+        # updates (per-tile parallelism happens in the process pool
+        # below this thread when enabled).
+        self._encode_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-encode"
+        )
+        self._capacity_freed = asyncio.Event()
+        self._next_session_id = 0
+        self._active_handlers = 0
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        get_registry().set_gauge(
+            "repro_serving_listening", 1, help="1 while the server accepts",
+        )
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._encode_pool.shutdown(wait=True)
+        get_registry().set_gauge(
+            "repro_serving_listening", 0, help="1 while the server accepts",
+        )
+
+    # -- connection handling -------------------------------------------
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        registry = get_registry()
+        self._active_handlers += 1
+        registry.set_gauge(
+            "repro_serving_active_connections", self._active_handlers,
+            help="Open client connections",
+        )
+        try:
+            await self._run_connection(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            registry.inc("repro_serving_connection_resets_total",
+                         help="Connections lost mid-session")
+        except ProtocolError as exc:
+            registry.inc("repro_serving_protocol_errors_total",
+                         help="Wire-protocol violations")
+            await self._try_send(writer, ErrorMsg("protocol", str(exc)))
+        finally:
+            self._active_handlers -= 1
+            registry.set_gauge(
+                "repro_serving_active_connections", self._active_handlers,
+                help="Open client connections",
+            )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _try_send(self, writer: asyncio.StreamWriter,
+                        msg: Message) -> None:
+        try:
+            await write_message(writer, msg)
+        except (ConnectionError, OSError):
+            pass
+
+    async def _run_connection(self, reader: asyncio.StreamReader,
+                              writer: asyncio.StreamWriter) -> None:
+        cfg = self.config
+        registry = get_registry()
+        msg = await asyncio.wait_for(
+            read_message(reader), timeout=cfg.hello_timeout_s
+        )
+        if not isinstance(msg, Hello):
+            raise ProtocolError(
+                f"expected HELLO, got {msg.type.name}"
+            )
+        hello = msg
+        if not (0 < hello.width <= cfg.max_frame_width
+                and 0 < hello.height <= cfg.max_frame_height):
+            await write_message(writer, HelloAck(
+                decision="reject", reason=(
+                    f"geometry {hello.width}x{hello.height} outside "
+                    f"1..{cfg.max_frame_width} x 1..{cfg.max_frame_height}"
+                ),
+            ))
+            return
+        session_id = self._next_session_id
+        self._next_session_id += 1
+        decision, reason = self.admission.decide(session_id, hello)
+        if decision is AdmissionDecision.PARK:
+            await write_message(writer, HelloAck(
+                decision="park", session_id=session_id, reason=reason,
+            ))
+            decision, reason = await self._wait_parked(session_id, hello)
+        if decision is not AdmissionDecision.ACCEPT:
+            await write_message(writer, HelloAck(
+                decision="reject", session_id=session_id, reason=reason,
+            ))
+            return
+        session = _Session(session_id, hello, self)
+        await write_message(writer, HelloAck(
+            decision="accept", session_id=session_id, reason=reason,
+            queue_frames=cfg.queue_frames,
+        ))
+        span = get_tracer().span(
+            "serving.session", session=session_id,
+            width=hello.width, height=hello.height,
+        )
+        try:
+            with span:
+                await self._run_session(session, reader, writer)
+            registry.inc("repro_serving_sessions_total", outcome="completed",
+                         help="Finished sessions by outcome")
+        except BaseException:
+            registry.inc("repro_serving_sessions_total", outcome="aborted",
+                         help="Finished sessions by outcome")
+            raise
+        finally:
+            session.transcoder.close()
+            self.admission.release(session_id)
+            self._capacity_freed.set()
+
+    async def _wait_parked(self, session_id: int, hello: Hello):
+        """Hold a parked session until capacity frees or the park
+        timeout elapses."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.park_timeout_s
+        while True:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                self.admission.abandon_park()
+                return AdmissionDecision.REJECT, "park timeout"
+            self._capacity_freed.clear()
+            try:
+                await asyncio.wait_for(
+                    self._capacity_freed.wait(), timeout=remaining
+                )
+            except asyncio.TimeoutError:
+                self.admission.abandon_park()
+                return AdmissionDecision.REJECT, "park timeout"
+            decision, reason = self.admission.unpark(session_id, hello)
+            if decision is not AdmissionDecision.PARK:
+                return decision, reason
+
+    # -- session tasks -------------------------------------------------
+    async def _run_session(self, session: _Session,
+                           reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        ingest_task = asyncio.ensure_future(
+            self._ingest_loop(session, reader)
+        )
+        encode_task = asyncio.ensure_future(self._encode_loop(session))
+        egress_task = asyncio.ensure_future(
+            self._egress_loop(session, writer)
+        )
+        tasks = [ingest_task, encode_task, egress_task]
+        try:
+            await asyncio.gather(*tasks)
+        finally:
+            for t in tasks:
+                if not t.done():
+                    t.cancel()
+            # Reap cancellations and secondary errors so no task dies
+            # with an unretrieved exception.
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _ingest_loop(self, session: _Session,
+                           reader: asyncio.StreamReader) -> None:
+        cfg = self.config
+        registry = get_registry()
+        hello = session.hello
+        while True:
+            msg = await read_message(reader)
+            if isinstance(msg, Bye):
+                await session.ingest.put(_BYE_SENTINEL)
+                return
+            if not isinstance(msg, FrameMsg):
+                raise ProtocolError(
+                    f"expected FRAME or BYE, got {msg.type.name}"
+                )
+            if (msg.width, msg.height) != (hello.width, hello.height):
+                raise ProtocolError(
+                    f"FRAME geometry {msg.width}x{msg.height} disagrees "
+                    f"with HELLO {hello.width}x{hello.height}"
+                )
+            registry.inc("repro_serving_frames_total", direction="in",
+                         help="Frames crossing the wire by direction")
+            registry.inc(
+                "repro_serving_bytes_total", len(msg.luma), direction="in",
+                help="Payload bytes crossing the wire by direction",
+            )
+            index = session.next_index
+            session.next_index += 1
+            session.stats.frames_received += 1
+            if session.ingest.full():
+                # Backpressure: the client outruns the encoder.  The
+                # incoming frame is dropped (never buffered), keeping
+                # the queue depth at its configured bound.
+                session.stats.dropped_backpressure += 1
+                registry.inc(
+                    "repro_serving_frames_dropped_total",
+                    reason="backpressure",
+                    help="Frames dropped by the serving layer, by reason",
+                )
+                await self._egress_put(session, Encoded(
+                    frame_index=index, frame_type="",
+                    dropped="backpressure",
+                ))
+                continue
+            luma = np.frombuffer(msg.luma, dtype=np.uint8).reshape(
+                msg.height, msg.width
+            ).copy()
+            session.arrival_s[index] = time.perf_counter()
+            session.ingest.put_nowait(Frame(luma, index=index))
+            depth = session.ingest.qsize()
+            if depth > session.stats.peak_ingest_depth:
+                session.stats.peak_ingest_depth = depth
+                registry.set_gauge(
+                    "repro_serving_queue_depth_peak", depth, queue="ingest",
+                    help="Highest per-session queue depth observed",
+                )
+            if cfg.queue_frames and depth > cfg.queue_frames:
+                raise RuntimeError(
+                    "ingest queue exceeded its bound"
+                )  # pragma: no cover - guarded by maxsize
+
+    async def _encode_loop(self, session: _Session) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await session.ingest.get()
+            if item is _BYE_SENTINEL:
+                outputs = await loop.run_in_executor(
+                    self._encode_pool, session.stream.finish
+                )
+                await self._emit_outputs(session, outputs)
+                await self._egress_put(
+                    session,
+                    Stats(session.stats.to_dict(self.config.queue_frames)),
+                    coalesce=False,
+                )
+                await self._egress_put(
+                    session, Bye("session complete"), coalesce=False
+                )
+                await session.egress.put(_BYE_SENTINEL)
+                return
+            try:
+                outputs = await loop.run_in_executor(
+                    self._encode_pool, session.stream.push, item
+                )
+            except CorruptFrameError as exc:
+                raise ProtocolError(f"unencodable frame: {exc}") from exc
+            await self._emit_outputs(session, outputs)
+
+    async def _emit_outputs(self, session: _Session,
+                            outputs: List[FrameOutput]) -> None:
+        registry = get_registry()
+        now = time.perf_counter()
+        for out in outputs:
+            arrival = session.arrival_s.pop(out.frame_index, None)
+            if out.dropped is not None:
+                if out.dropped == "corrupt":
+                    session.stats.dropped_corrupt += 1
+                else:
+                    session.stats.dropped_deadline += 1
+                await self._egress_put(session, Encoded(
+                    frame_index=out.frame_index, frame_type="",
+                    dropped=out.dropped,
+                ))
+                continue
+            record = out.record
+            critical = max(t.cpu_time_fmax for t in record.tiles)
+            session.stats.frames_encoded += 1
+            session.stats.total_bits += record.bits
+            psnr = float(np.mean([t.psnr for t in record.tiles]))
+            session.stats.psnr_sum += psnr
+            registry.inc("repro_serving_frames_encoded_total",
+                         help="Frames encoded by the serving layer")
+            if critical > session.slot_s:
+                session.stats.deadline_misses += 1
+                registry.inc(
+                    "repro_serving_deadline_miss_total",
+                    help="Encoded frames whose critical tile exceeded "
+                         "the 1/FPS slot",
+                )
+            if arrival is not None:
+                latency = now - arrival
+                session.stats.latencies_s.append(latency)
+                registry.observe(
+                    "repro_serving_frame_latency_seconds", latency,
+                    help="End-to-end frame latency (arrival to encoded)",
+                )
+            recon = out.reconstruction
+            await self._egress_put(session, Encoded(
+                frame_index=out.frame_index,
+                frame_type=out.frame_type.value,
+                width=recon.shape[1], height=recon.shape[0],
+                bits=record.bits, psnr=psnr,
+                luma=recon.tobytes(),
+            ))
+
+    async def _egress_put(self, session: _Session, msg: Message,
+                          coalesce: bool = True) -> None:
+        """Queue an outbound message, coalescing on a slow reader.
+
+        When the egress queue is full and ``coalesce`` is allowed, the
+        oldest undelivered ENCODED frame is discarded — the client
+        gets the freshest results and the queue never exceeds its
+        bound.  Control messages (STATS/BYE) always enqueue.
+        """
+        registry = get_registry()
+        if coalesce:
+            while session.egress.full():
+                try:
+                    stale = session.egress.get_nowait()
+                except asyncio.QueueEmpty:  # pragma: no cover - race guard
+                    break
+                if stale is _BYE_SENTINEL:
+                    session.egress.put_nowait(stale)
+                    break
+                session.stats.dropped_egress += 1
+                registry.inc(
+                    "repro_serving_frames_dropped_total", reason="egress",
+                    help="Frames dropped by the serving layer, by reason",
+                )
+        await session.egress.put(msg)
+        depth = session.egress.qsize()
+        if depth > session.stats.peak_egress_depth:
+            session.stats.peak_egress_depth = depth
+            registry.set_gauge(
+                "repro_serving_queue_depth_peak", depth, queue="egress",
+                help="Highest per-session queue depth observed",
+            )
+
+    async def _egress_loop(self, session: _Session,
+                           writer: asyncio.StreamWriter) -> None:
+        registry = get_registry()
+        while True:
+            msg = await session.egress.get()
+            if msg is _BYE_SENTINEL:
+                return
+            await write_message(writer, msg)
+            if isinstance(msg, Encoded):
+                registry.inc("repro_serving_frames_total", direction="out",
+                             help="Frames crossing the wire by direction")
+                registry.inc(
+                    "repro_serving_bytes_total", len(msg.luma),
+                    direction="out",
+                    help="Payload bytes crossing the wire by direction",
+                )

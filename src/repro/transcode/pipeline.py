@@ -206,6 +206,24 @@ class GopRecord:
 
 
 @dataclass
+class FrameOutput:
+    """One frame's outcome as emitted by :class:`ProposedStreamSession`.
+
+    ``dropped`` is ``None`` for an encoded frame, otherwise the reason
+    (``"corrupt"`` or ``"deadline"``).  ``reconstruction`` is the
+    decoded luma plane — what a receiver's decoder would display — and
+    is byte-identical between the offline :meth:`StreamTranscoder.run`
+    path and an online push-fed session.
+    """
+
+    frame_index: int
+    dropped: Optional[str] = None
+    frame_type: Optional[FrameType] = None
+    record: Optional[FrameRecord] = None
+    reconstruction: Optional[np.ndarray] = None
+
+
+@dataclass
 class StreamTrace:
     """Full outcome of transcoding one stream."""
 
@@ -373,106 +391,24 @@ class StreamTranscoder:
     # ------------------------------------------------------------------
     def _run_proposed(self, video: Video,
                       corrupt: Optional[Set[int]] = None) -> StreamTrace:
-        cfg = self.config
-        corrupt = corrupt or set()
-        gop_size = cfg.gop.size
-        trace = StreamTrace(fps=cfg.fps)
-        adapter = QpAdapter(cfg.quality)
-        policy = BioMedicalSearchPolicy(cfg.search)
-        if cfg.resilience is not None:
-            feedback = DegradationController(cfg.fps, cfg.resilience)
-        else:
-            feedback = FramerateFeedback(fps=cfg.fps)
-        resilient = isinstance(feedback, DegradationController)
-        reference: Optional[np.ndarray] = None
-        previous_original: Optional[np.ndarray] = None
-        prev_frame_feedback: Dict[int, TileQualityFeedback] = {}
+        session = ProposedStreamSession(self, known_corrupt=corrupt or set())
+        for frame in video.frames:
+            session.push(frame)
+        session.finish()
+        return session.trace
 
-        recent_bits: List[int] = []  # rolling ~1 s window for BR_{t-dt}
-        num_gops = math.ceil(len(video) / gop_size)
-        for g in range(num_gops):
-            all_frames = video.frames[g * gop_size : (g + 1) * gop_size]
-            frames = []
-            for frame in all_frames:
-                if frame.index in corrupt:
-                    trace.dropped_frames.append(frame.index)
-                    feedback.observe_corrupt_frame(frame.index)
-                    get_registry().inc(
-                        "repro_frames_dropped_total", reason="corrupt",
-                        help="Frames not encoded, by reason",
-                    )
-                else:
-                    frames.append(frame)
-            if not frames:
-                continue  # whole GOP corrupt: nothing to encode
-            # Re-tiling once per GOP on its first frame (§III-D2); under
-            # TILE_MERGE pressure the maximum tile count is halved.
-            retiling = self._retile(
-                frames[0].luma, previous_original,
-                merged=resilient and feedback.merge_tiles,
-            )
-            grid, contents = retiling.grid, retiling.contents
-            adapter.reset()
-            policy.start_gop()
-            prev_frame_feedback.clear()
-            record = GopRecord(gop_index=g, grid=grid, contents=contents)
+    def open_session(self) -> "ProposedStreamSession":
+        """Open a push-based online session (proposed mode only).
 
-            for pos, frame in enumerate(frames):
-                frame_type = cfg.gop.frame_type(pos)
-                if resilient and pos > 0 and feedback.should_drop_frame():
-                    # Top ladder rung: skip this P frame outright; its
-                    # whole slot is reclaimed against the debt.
-                    trace.dropped_frames.append(frame.index)
-                    feedback.observe_dropped_frame(frame.index)
-                    get_registry().inc(
-                        "repro_frames_dropped_total", reason="deadline",
-                        help="Frames not encoded, by reason",
-                    )
-                    continue
-                if not cfg.retile_per_gop and pos > 0:
-                    # Ablation mode: re-tile on every frame.  Tile
-                    # identities change, so per-tile adaptation state
-                    # restarts — the cost the per-GOP scheme avoids.
-                    retiling = self._retile(
-                        frame.luma, previous_original,
-                        merged=resilient and feedback.merge_tiles,
-                    )
-                    grid, contents = retiling.grid, retiling.contents
-                    record.grid, record.contents = grid, contents
-                    adapter.reset()
-                    prev_frame_feedback.clear()
-                window = max(1, int(round(cfg.fps)))
-                stream_bitrate = (
-                    sum(recent_bits[-window:]) / (len(recent_bits[-window:]) / cfg.fps) / 1e6
-                    if recent_bits else None
-                )
-                with get_tracer().span(
-                    "pipeline.frame", frame=frame.index,
-                    type=frame_type.value, gop=g, tiles=len(grid),
-                ):
-                    frame_record, reference = self._encode_proposed_frame(
-                        frame.luma, frame.index, frame_type, pos, grid,
-                        contents, reference, adapter, policy, feedback,
-                        prev_frame_feedback, stream_bitrate,
-                    )
-                record.frames.append(frame_record)
-                recent_bits.append(frame_record.bits)
-                if len(recent_bits) > window:
-                    recent_bits = recent_bits[-window:]
-                feedback.observe_frame(
-                    [t.cpu_time_fmax for t in frame_record.tiles],
-                    frame.index,
-                )
-                prev_frame_feedback = {
-                    t.tile_index: TileQualityFeedback(psnr_db=t.psnr, bits=t.bits)
-                    for t in frame_record.tiles
-                }
-                previous_original = frame.luma
-            if record.frames:
-                trace.gops.append(record)
-        if resilient:
-            trace.resilience = feedback.report
-        return trace
+        Frames are validated on arrival; GOPs are encoded as soon as
+        they complete, so the caller gets encoded output while the
+        stream is still arriving — the network serving layer's entry
+        point.  Output is bit-identical to :meth:`run` fed the same
+        frames (both paths run through
+        :class:`ProposedStreamSession`)."""
+        if self.config.mode is not PipelineMode.PROPOSED:
+            raise ValueError("online sessions require the proposed pipeline")
+        return ProposedStreamSession(self)
 
     def _retile(self, luma: np.ndarray, previous: Optional[np.ndarray],
                 merged: bool = False):
@@ -700,3 +636,239 @@ class StreamTranscoder:
             frame_type=frame_type,
             tiles=tile_records,
         )
+
+
+class ProposedStreamSession:
+    """Push-based online transcoding session (proposed pipeline).
+
+    Frames are pushed one at a time; whenever a GOP's worth has
+    accumulated (or :meth:`finish` flushes the tail) the GOP is encoded
+    through the exact per-GOP logic of :meth:`StreamTranscoder.run` and
+    the per-frame outputs are returned.  All cross-GOP state (QP
+    adapter, motion policy, framerate feedback/degradation ladder,
+    reference plane, rolling bitrate window) lives on the session, so
+    a sequence of pushes is bit-identical to one offline run over the
+    same frames.
+
+    Two validation modes:
+
+    * ``known_corrupt`` given (the offline :meth:`StreamTranscoder.run`
+      path): the whole video was validated upfront; per-frame checks
+      are skipped.
+    * otherwise (online serving): each frame is validated on arrival.
+      Corrupt frames raise :class:`CorruptFrameError` unless the
+      pipeline's resilience config absorbs them, in which case they are
+      dropped and reported as a ``FrameOutput`` with
+      ``dropped="corrupt"``.
+    """
+
+    def __init__(
+        self,
+        transcoder: StreamTranscoder,
+        known_corrupt: Optional[Set[int]] = None,
+    ):
+        cfg = transcoder.config
+        if cfg.mode is not PipelineMode.PROPOSED:
+            raise ValueError("streaming sessions require the proposed pipeline")
+        self.transcoder = transcoder
+        self.config = cfg
+        self._validate = known_corrupt is None
+        self._known_corrupt = known_corrupt or set()
+        self._adapter = QpAdapter(cfg.quality)
+        self._policy = BioMedicalSearchPolicy(cfg.search)
+        if cfg.resilience is not None:
+            self._feedback = DegradationController(cfg.fps, cfg.resilience)
+        else:
+            self._feedback = FramerateFeedback(fps=cfg.fps)
+        self._resilient = isinstance(self._feedback, DegradationController)
+        self._reference: Optional[np.ndarray] = None
+        self._previous_original: Optional[np.ndarray] = None
+        self._prev_frame_feedback: Dict[int, TileQualityFeedback] = {}
+        self._recent_bits: List[int] = []  # rolling ~1 s window
+        self._pending: List = []  # buffered frames of the current GOP
+        self._pending_corrupt: Set[int] = set()
+        self._reference_shape: Optional[tuple] = None
+        self._gop_index = 0
+        self._frames_pushed = 0
+        self._finished = False
+        self.trace = StreamTrace(fps=cfg.fps)
+
+    # -- validation (online mode) --------------------------------------
+    def _check_frame(self, frame) -> bool:
+        """``True`` when the frame is corrupt (mirrors
+        :meth:`StreamTranscoder._validate_video` frame-by-frame)."""
+        luma = frame.luma
+        ok = (
+            isinstance(luma, np.ndarray)
+            and luma.ndim == 2
+            and luma.dtype == np.uint8
+        )
+        if ok and self._reference_shape is None:
+            height, width = luma.shape
+            tiling = self.config.tiling
+            if (width < tiling.min_tile_width
+                    or height < tiling.min_tile_height):
+                raise CorruptFrameError(
+                    f"frame {width}x{height} smaller than the minimum tile "
+                    f"size {tiling.min_tile_width}x{tiling.min_tile_height}"
+                )
+            self._reference_shape = luma.shape
+        elif ok and luma.shape != self._reference_shape:
+            ok = False
+        if ok:
+            return False
+        absorb = (
+            self._resilient
+            and self.config.resilience is not None
+            and self.config.resilience.drop_corrupt_frames
+        )
+        if not absorb:
+            raise CorruptFrameError(
+                f"corrupt frame at index {frame.index}: mismatched "
+                "geometry or non-finite luma"
+            )
+        return True
+
+    def _resolve_class(self, frame) -> None:
+        if getattr(self.transcoder, "_resolved_class", None) is not None:
+            return
+        resolved = self.config.content_class
+        if resolved is None:
+            resolved = _shared_classifier().classify_frame(frame)
+        self.transcoder._resolved_class = resolved
+
+    # -- ingest --------------------------------------------------------
+    def push(self, frame) -> List[FrameOutput]:
+        """Buffer one frame; encode and return outputs when a GOP
+        completes (an empty list otherwise)."""
+        if self._finished:
+            raise ValueError("session already finished")
+        if self._validate:
+            if self._check_frame(frame):
+                self._pending_corrupt.add(frame.index)
+            else:
+                self._resolve_class(frame)
+        elif frame.index in self._known_corrupt:
+            self._pending_corrupt.add(frame.index)
+        self._pending.append(frame)
+        self._frames_pushed += 1
+        if len(self._pending) >= self.config.gop.size:
+            return self._flush_gop()
+        return []
+
+    def finish(self) -> List[FrameOutput]:
+        """Flush the final partial GOP and close the session."""
+        if self._finished:
+            return []
+        self._finished = True
+        outputs = self._flush_gop() if self._pending else []
+        if self._resilient:
+            self.trace.resilience = self._feedback.report
+        return outputs
+
+    # -- per-GOP encode (the body of the offline per-GOP loop) ---------
+    def _flush_gop(self) -> List[FrameOutput]:
+        cfg = self.config
+        transcoder = self.transcoder
+        feedback = self._feedback
+        g = self._gop_index
+        self._gop_index += 1
+        all_frames, self._pending = self._pending, []
+        corrupt, self._pending_corrupt = self._pending_corrupt, set()
+
+        outputs: List[FrameOutput] = []
+        frames = []
+        for frame in all_frames:
+            if frame.index in corrupt:
+                self.trace.dropped_frames.append(frame.index)
+                feedback.observe_corrupt_frame(frame.index)
+                get_registry().inc(
+                    "repro_frames_dropped_total", reason="corrupt",
+                    help="Frames not encoded, by reason",
+                )
+                outputs.append(
+                    FrameOutput(frame_index=frame.index, dropped="corrupt")
+                )
+            else:
+                frames.append(frame)
+        if not frames:
+            return outputs  # whole GOP corrupt: nothing to encode
+        # Re-tiling once per GOP on its first frame (§III-D2); under
+        # TILE_MERGE pressure the maximum tile count is halved.
+        retiling = transcoder._retile(
+            frames[0].luma, self._previous_original,
+            merged=self._resilient and feedback.merge_tiles,
+        )
+        grid, contents = retiling.grid, retiling.contents
+        self._adapter.reset()
+        self._policy.start_gop()
+        self._prev_frame_feedback.clear()
+        record = GopRecord(gop_index=g, grid=grid, contents=contents)
+
+        for pos, frame in enumerate(frames):
+            frame_type = cfg.gop.frame_type(pos)
+            if self._resilient and pos > 0 and feedback.should_drop_frame():
+                # Top ladder rung: skip this P frame outright; its
+                # whole slot is reclaimed against the debt.
+                self.trace.dropped_frames.append(frame.index)
+                feedback.observe_dropped_frame(frame.index)
+                get_registry().inc(
+                    "repro_frames_dropped_total", reason="deadline",
+                    help="Frames not encoded, by reason",
+                )
+                outputs.append(
+                    FrameOutput(frame_index=frame.index, dropped="deadline")
+                )
+                continue
+            if not cfg.retile_per_gop and pos > 0:
+                # Ablation mode: re-tile on every frame.  Tile
+                # identities change, so per-tile adaptation state
+                # restarts — the cost the per-GOP scheme avoids.
+                retiling = transcoder._retile(
+                    frame.luma, self._previous_original,
+                    merged=self._resilient and feedback.merge_tiles,
+                )
+                grid, contents = retiling.grid, retiling.contents
+                record.grid, record.contents = grid, contents
+                self._adapter.reset()
+                self._prev_frame_feedback.clear()
+            window = max(1, int(round(cfg.fps)))
+            recent = self._recent_bits[-window:]
+            stream_bitrate = (
+                sum(recent) / (len(recent) / cfg.fps) / 1e6
+                if recent else None
+            )
+            with get_tracer().span(
+                "pipeline.frame", frame=frame.index,
+                type=frame_type.value, gop=g, tiles=len(grid),
+            ):
+                frame_record, self._reference = (
+                    transcoder._encode_proposed_frame(
+                        frame.luma, frame.index, frame_type, pos, grid,
+                        contents, self._reference, self._adapter,
+                        self._policy, feedback, self._prev_frame_feedback,
+                        stream_bitrate,
+                    )
+                )
+            record.frames.append(frame_record)
+            self._recent_bits.append(frame_record.bits)
+            if len(self._recent_bits) > window:
+                self._recent_bits = self._recent_bits[-window:]
+            feedback.observe_frame(
+                [t.cpu_time_fmax for t in frame_record.tiles],
+                frame.index,
+            )
+            self._prev_frame_feedback = {
+                t.tile_index: TileQualityFeedback(psnr_db=t.psnr, bits=t.bits)
+                for t in frame_record.tiles
+            }
+            self._previous_original = frame.luma
+            outputs.append(FrameOutput(
+                frame_index=frame.index,
+                frame_type=frame_type,
+                record=frame_record,
+                reconstruction=self._reference,
+            ))
+        if record.frames:
+            self.trace.gops.append(record)
+        return outputs
