@@ -10,9 +10,9 @@ PYTEST  := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PY) -m pytest
 HAS_COV := $(shell $(PY) -c "import pytest_cov" 2>/dev/null && echo 1)
 COVOPTS := $(if $(HAS_COV),--cov=repro --cov-report=term-missing)
 
-.PHONY: check test bench-smoke golden serve-demo serve-smoke clean
+.PHONY: check test bench-smoke golden serve-demo serve-smoke chaos clean
 
-check: test bench-smoke
+check: test bench-smoke serve-smoke chaos
 
 test:
 	$(PYTEST) -x -q $(COVOPTS)
@@ -32,6 +32,12 @@ golden:
 # serving-metrics snapshot.
 serve-smoke:
 	PYTHONPATH=src $(PY) -m repro.serving.smoke
+
+# Fixed-seed chaos drill: journaled server behind the chaos proxy, a
+# deterministic mid-stream cut, fault-tolerant clients; fails unless
+# the severed session RESUMEs and every frame outcome is delivered.
+chaos:
+	PYTHONPATH=src $(PY) -m repro.serving.chaos_smoke
 
 # One-shot observability demo: writes metrics.json + trace.jsonl.
 serve-demo:

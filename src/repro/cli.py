@@ -6,8 +6,9 @@ Usage::
     python -m repro.cli encode video.npz --qp 32 --search hexagon --tiles 2x2
     python -m repro.cli transcode video.npz [--baseline] [--parallel-workers N]
     python -m repro.cli serve --metrics-out metrics.json --trace-out trace.jsonl
-    python -m repro.cli serve-net --port 9470 [--duration 10]
-    python -m repro.cli loadgen --port 9470 --sessions 3 [--arrival burst]
+    python -m repro.cli serve-net --port 9470 [--duration 10] [--journal-dir j]
+    python -m repro.cli loadgen --port 9470 --sessions 3 [--max-reconnects 3]
+    python -m repro.cli chaos --port 9471 --upstream-port 9470 --reset-rate 0.01
     python -m repro.cli metrics metrics.json [--prom]
     python -m repro.cli experiment table1|fig3|table2|fig4 [options...]
     python -m repro.cli fault-drill --seed 0
@@ -40,6 +41,15 @@ a seeded arrival process and content mix and prints a latency /
 deadline-miss report.  ``--seed`` on ``serve``/``serve-net``/``loadgen``
 makes every stochastic component (corpus, fault injection, arrivals,
 content mix) reproducible.
+
+``serve-net --journal-dir`` enables the fault-tolerance stack of
+``DESIGN.md`` §11: per-session journals, RESUME after a connection
+loss, SIGTERM graceful drain (parked sessions survive a restart) and a
+warm LUT checkpoint.  ``loadgen --max-reconnects N`` makes the clients
+fault tolerant (exponential backoff + seeded jitter, RESUME with the
+server's token).  ``chaos`` interposes a seeded TCP fault proxy —
+latency spikes, resets, corruption, half-open stalls, or a
+deterministic mid-stream cut — between the two.
 """
 
 from __future__ import annotations
@@ -185,6 +195,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_serve_net(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from repro.observability import get_registry
     from repro.serving.admission import AdmissionPolicy
@@ -199,6 +210,11 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
         fault_spike_factor=args.spike_factor,
         admission=AdmissionPolicy(utilization=args.utilization,
                                   park_capacity=args.park_capacity),
+        journal_dir=args.journal_dir,
+        journal_fsync=not args.no_journal_fsync,
+        watchdog_multiple=args.watchdog_multiple,
+        watchdog_min_s=args.watchdog_min,
+        drain_grace_s=args.drain_grace,
     )
 
     async def run() -> None:
@@ -207,27 +223,83 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
         print(f"serving on {config.host}:{server.port} "
               f"(fps {config.fps:g}, gop {config.gop}, "
               f"queue {config.queue_frames} frames)", flush=True)
+        loop = asyncio.get_running_loop()
+        term = asyncio.Event()
         try:
-            if args.duration is not None:
-                forever = asyncio.ensure_future(server.serve_forever())
-                try:
-                    await asyncio.wait_for(forever, timeout=args.duration)
-                except asyncio.TimeoutError:
-                    pass
-            else:
-                await server.serve_forever()
+            loop.add_signal_handler(signal.SIGTERM, term.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platform without signal handlers (e.g. Windows loop)
+        try:
+            forever = asyncio.ensure_future(server.serve_forever())
+            stop = asyncio.ensure_future(term.wait())
+            done, _ = await asyncio.wait(
+                {forever, stop}, timeout=args.duration,
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            if stop in done:
+                print("SIGTERM: draining (admissions stopped, "
+                      "flushing in-flight sessions)", flush=True)
+            for task in (forever, stop):
+                task.cancel()
+            await asyncio.gather(forever, stop, return_exceptions=True)
         finally:
-            await server.aclose()
+            # Graceful path for every exit: journaled sessions park,
+            # the LUT checkpoint lands next to the journals.
+            await server.drain()
             if args.metrics_out:
                 with open(args.metrics_out, "w") as fh:
                     fh.write(get_registry().to_json())
                     fh.write("\n")
                 print(f"wrote metrics snapshot to {args.metrics_out}")
+        print("drained; exiting", flush=True)
 
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("interrupted; shut down")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serving.chaos import ChaosConfig, ChaosProxy
+
+    config = ChaosConfig(
+        seed=args.seed,
+        latency_spike_rate=args.latency_rate,
+        latency_spike_s=args.latency_s,
+        reset_rate=args.reset_rate,
+        corrupt_rate=args.corrupt_rate,
+        stall_rate=args.stall_rate,
+        stall_s=args.stall_s,
+        cut_after_c2s_bytes=args.cut_after,
+        cut_connections=args.cut_connections,
+    )
+
+    async def run() -> None:
+        proxy = ChaosProxy(args.upstream_host, args.upstream_port,
+                           config, host=args.host, port=args.port)
+        await proxy.start()
+        print(f"chaos proxy on {proxy.host}:{proxy.port} -> "
+              f"{args.upstream_host}:{args.upstream_port} "
+              f"(seed {config.seed})", flush=True)
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()
+        finally:
+            await proxy.stop()
+            print("chaos proxy stopped; injected "
+                  + (", ".join(f"{k}={v}"
+                               for k, v in sorted(proxy.counts.items()))
+                     or "nothing"), flush=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; proxy stopped")
     return 0
 
 
@@ -248,6 +320,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         fps=args.fps, gop=args.gop, arrival=args.arrival,
         rate_hz=args.rate, burst_size=args.burst_size,
         frame_interval_s=args.frame_interval, seed=args.seed,
+        max_reconnects=args.max_reconnects,
+        backoff_base_s=args.backoff_base,
+        backoff_max_s=args.backoff_max,
+        backoff_jitter=args.backoff_jitter,
         **({"mix": mix} if mix else {}),
     )
     report = run_loadgen(config)
@@ -401,7 +477,51 @@ def build_parser() -> argparse.ArgumentParser:
                     help="stop after this long (default: run until ^C)")
     sn.add_argument("--metrics-out", default=None, metavar="PATH",
                     help="write the metrics snapshot as JSON on shutdown")
+    sn.add_argument("--journal-dir", default=None, metavar="DIR",
+                    help="per-session journal directory (enables RESUME, "
+                         "drain parking and the warm LUT checkpoint)")
+    sn.add_argument("--no-journal-fsync", action="store_true",
+                    help="skip fsync on journal appends (benchmarks only)")
+    sn.add_argument("--watchdog-multiple", type=float, default=0.0,
+                    help="cancel an encode exceeding this multiple of the "
+                         "GOP real-time budget (0 = watchdog off)")
+    sn.add_argument("--watchdog-min", type=float, default=0.25,
+                    metavar="SECONDS", help="watchdog deadline floor")
+    sn.add_argument("--drain-grace", type=float, default=10.0,
+                    metavar="SECONDS",
+                    help="SIGTERM drain: max wait for in-flight sessions")
     sn.set_defaults(func=_cmd_serve_net)
+
+    ch = sub.add_parser(
+        "chaos",
+        help="seeded TCP chaos proxy in front of serve-net",
+    )
+    ch.add_argument("--host", default="127.0.0.1")
+    ch.add_argument("--port", type=int, default=0,
+                    help="listen port (0 = ephemeral; printed on start)")
+    ch.add_argument("--upstream-host", default="127.0.0.1")
+    ch.add_argument("--upstream-port", type=int, required=True)
+    ch.add_argument("--seed", type=int, default=0,
+                    help="seed of the per-connection fault schedule")
+    ch.add_argument("--latency-rate", type=float, default=0.0,
+                    help="per-chunk latency-spike probability")
+    ch.add_argument("--latency-s", type=float, default=0.05)
+    ch.add_argument("--reset-rate", type=float, default=0.0,
+                    help="per-chunk connection-reset probability")
+    ch.add_argument("--corrupt-rate", type=float, default=0.0,
+                    help="per-chunk byte-corruption probability")
+    ch.add_argument("--stall-rate", type=float, default=0.0,
+                    help="per-chunk half-open stall probability")
+    ch.add_argument("--stall-s", type=float, default=0.25)
+    ch.add_argument("--cut-after", type=int, default=0, metavar="BYTES",
+                    help="deterministic cut after exactly this many "
+                         "client->server bytes (0 = off)")
+    ch.add_argument("--cut-connections", type=int, default=1,
+                    help="only the first N connections suffer the cut")
+    ch.add_argument("--duration", type=float, default=None,
+                    metavar="SECONDS",
+                    help="stop after this long (default: run until ^C)")
+    ch.set_defaults(func=_cmd_chaos)
 
     lg = sub.add_parser(
         "loadgen",
@@ -429,6 +549,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="seed for arrivals, content mix and video synthesis")
     lg.add_argument("--json-out", default=None, metavar="PATH",
                     help="also write the report as JSON")
+    lg.add_argument("--max-reconnects", type=int, default=0,
+                    help="per-session reconnect budget (0 = give up on "
+                         "the first connection loss)")
+    lg.add_argument("--backoff-base", type=float, default=0.05,
+                    metavar="SECONDS", help="initial reconnect backoff")
+    lg.add_argument("--backoff-max", type=float, default=2.0,
+                    metavar="SECONDS", help="reconnect backoff ceiling")
+    lg.add_argument("--backoff-jitter", type=float, default=0.5,
+                    help="seeded jitter fraction applied to each backoff")
     lg.set_defaults(func=_cmd_loadgen)
 
     m = sub.add_parser(

@@ -406,6 +406,23 @@ def serving_summary(data: dict) -> Optional[Dict[str, object]]:
         "latency_p95_s": latency.quantile(0.95),
         "deadline_misses": misses,
         "deadline_miss_rate": (misses / encoded) if encoded else None,
+        "resumes": _counter_sum(fams, "repro_serving_resumes_total"),
+        "watchdog_fires": _counter_sum(
+            fams, "repro_serving_watchdog_fires_total"
+        ),
+        "watchdog_replans": _counter_sum(
+            fams, "repro_serving_watchdog_replans_total"
+        ),
+        "journal_gops": _counter_sum(
+            fams, "repro_serving_journal_gops_total"
+        ),
+        "journal_corruptions": _counter_sum(
+            fams, "repro_serving_journal_corruptions_total"
+        ),
+        "sessions_parked_for_resume": _counter_sum(
+            fams, "repro_serving_sessions_parked_total"
+        ),
+        "drains": _counter_sum(fams, "repro_serving_drains_total"),
     }
 
 
@@ -449,5 +466,12 @@ def format_metrics(data: dict) -> str:
             f"  deadline miss: {serving['deadline_misses']:g} "
             + (f"({miss_rate:.1%})" if miss_rate is not None else "(n/a)"),
             f"  protocol errs: {serving['protocol_errors']:g}",
+            f"  recovery     : resumes {serving['resumes']:g}, "
+            f"watchdog fires {serving['watchdog_fires']:g} "
+            f"(replans {serving['watchdog_replans']:g}), "
+            f"parked for resume {serving['sessions_parked_for_resume']:g}, "
+            f"drains {serving['drains']:g}",
+            f"  journal      : GOPs {serving['journal_gops']:g}, "
+            f"corruptions {serving['journal_corruptions']:g}",
         ]
     return "\n".join(lines)

@@ -24,12 +24,22 @@ from repro.workload.lut import WorkloadLut
 _FORMAT_VERSION = 1
 
 
-def _canonical(payload: dict) -> str:
+def canonical_json(payload: dict) -> str:
+    """Canonical (sorted, separator-stable) JSON rendering used for
+    checksums.  Shared with the session journal
+    (:mod:`repro.serving.recovery`), which reuses this checkpoint
+    format for its per-record integrity checks."""
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
-def _checksum(payload: dict) -> str:
-    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+def payload_checksum(payload: dict) -> str:
+    """SHA-256 over the canonical JSON of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+# Backwards-compatible internal aliases.
+_canonical = canonical_json
+_checksum = payload_checksum
 
 
 def save_lut(lut: WorkloadLut, path: Union[str, os.PathLike]) -> str:

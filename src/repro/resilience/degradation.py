@@ -274,6 +274,63 @@ class DegradationController:
         )
         self._snapshot()
 
+    def force_escalate(self, frame_index: int = -1,
+                       kind: str = "watchdog") -> DegradationLevel:
+        """Climb one rung outside the normal miss-streak path.
+
+        Used by the serving watchdog when an encode task wedges: the
+        session continues degraded instead of stalling, and the action
+        log records why (``kind``).  Returns the new level.
+        """
+        if self._level < self.config.max_level:
+            self._level = DegradationLevel(self._level + 1)
+        self._hit_streak = 0
+        self._miss_streak = 0
+        self.report.actions.append(
+            DegradationAction(frame_index, kind, self._level)
+        )
+        self._snapshot()
+        return self._level
+
+    # -- persistence ---------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of the monitor's mutable state.
+
+        Everything that influences *future* decisions is captured
+        (level, debt, streaks, bottleneck set) plus the report counters
+        so a resumed stream's summary stays continuous.  The per-action
+        log is not carried across a resume.
+        """
+        return {
+            "level": int(self._level),
+            "miss_streak": self._miss_streak,
+            "hit_streak": self._hit_streak,
+            "debt_seconds": self._debt_seconds,
+            "bottlenecks": sorted(self._bottlenecks),
+            "report": {
+                "frames_observed": self.report.frames_observed,
+                "deadline_misses": self.report.deadline_misses,
+                "frames_dropped": self.report.frames_dropped,
+                "corrupt_frames_dropped": self.report.corrupt_frames_dropped,
+            },
+        }
+
+    def import_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        self._level = DegradationLevel(int(state["level"]))
+        self._miss_streak = int(state["miss_streak"])
+        self._hit_streak = int(state["hit_streak"])
+        self._debt_seconds = float(state["debt_seconds"])
+        self._bottlenecks = {int(i) for i in state["bottlenecks"]}
+        counters = state.get("report") or {}
+        self.report.frames_observed = int(counters.get("frames_observed", 0))
+        self.report.deadline_misses = int(counters.get("deadline_misses", 0))
+        self.report.frames_dropped = int(counters.get("frames_dropped", 0))
+        self.report.corrupt_frames_dropped = int(
+            counters.get("corrupt_frames_dropped", 0)
+        )
+        self._snapshot()
+
     def reset(self) -> None:
         self._debt_seconds = 0.0
         self._bottlenecks.clear()

@@ -37,3 +37,11 @@ class AllocationError(TranscodeError, ValueError):
 class LutCorruptionError(TranscodeError, ValueError):
     """A workload-LUT checkpoint failed its integrity check (checksum
     mismatch, truncated payload, or undecodable key/histogram)."""
+
+
+class JournalCorruptionError(TranscodeError, ValueError):
+    """A session journal failed its integrity check: a record whose
+    checksum does not match its payload, an undecodable record body, or
+    a sequence-number gap.  A *truncated tail* (the mid-write crash
+    case) is not corruption — loaders discard the partial final record
+    and resume from the last intact one."""

@@ -117,6 +117,7 @@ class AdmissionController:
         self._parked = 0
         self._overload_streak = 0
         self._level = DegradationLevel.NONE
+        self._draining = False
 
     # -- pricing -------------------------------------------------------
     def estimate_session(self, hello: Hello) -> Tuple[float, UserDemand]:
@@ -190,6 +191,13 @@ class AdmissionController:
         fps = fps if fps is not None else hello.fps
         if fps <= 0:
             return AdmissionDecision.REJECT, "non-positive fps"
+        if self._draining:
+            get_registry().inc(
+                "repro_serving_admission_total", decision="reject",
+                help="Admission decisions by outcome",
+            )
+            return (AdmissionDecision.REJECT,
+                    "server draining; admissions stopped")
         cores, demand = self.estimate_session(hello)
         demands = [
             t.demand for t in self._active.values()
@@ -262,6 +270,65 @@ class AdmissionController:
     def abandon_park(self) -> None:
         """A parked session gave up (timeout or disconnect)."""
         self._parked = max(0, self._parked - 1)
+
+    # -- drain / recovery ----------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting: every subsequent HELLO (and RESUME) is
+        rejected while active sessions run to completion or park."""
+        self._draining = True
+        get_registry().set_gauge(
+            "repro_serving_draining", 1,
+            help="1 while the server refuses new admissions",
+        )
+
+    def replan_after_stall(self, session_id: int,
+                           fps: float) -> List[int]:
+        """Watchdog recovery: re-pack the active sessions around the
+        stalled session's core.
+
+        The wedged encode is indistinguishable from a sick core, so the
+        response is Algorithm 2's core-failure path: build the current
+        packing, mark the core hosting the stalled session's threads
+        failed, and let
+        :meth:`~repro.allocation.proposed.ProposedAllocator.reallocate`
+        evict it, shed what no longer fits and re-place the orphans.
+        Shed sessions lose their capacity tickets (they are the lowest
+        priority — the server keeps serving them degraded, but their
+        charge stops distorting admission).  Returns the shed ids.
+        """
+        if fps <= 0 or session_id not in self._active:
+            return []
+        demands = [t.demand for t in self._active.values()]
+        result = self.allocator.allocate(demands, fps)
+        stalled_core = None
+        for slot in result.schedule.slots:
+            if any(t.user_id == session_id for t in slot.tasks):
+                stalled_core = slot.core_id
+                break
+        if stalled_core is None:
+            return []
+        repacked = self.allocator.reallocate(result, [stalled_core], fps)
+        shed_ids = sorted(d.user_id for d in repacked.shed)
+        for sid in shed_ids:
+            self._active.pop(sid, None)
+        registry = get_registry()
+        registry.inc(
+            "repro_serving_watchdog_replans_total",
+            help="Allocator re-packs triggered by the encode watchdog",
+        )
+        registry.set_gauge(
+            "repro_serving_occupancy_cores", self.occupancy_cores,
+            help="Estimated core demand of active sessions",
+        )
+        get_tracer().event(
+            "admission.replan_after_stall", session=session_id,
+            failed_core=stalled_core, shed=len(shed_ids),
+        )
+        return shed_ids
 
     def release(self, session_id: int) -> None:
         """An admitted session ended: free its capacity."""

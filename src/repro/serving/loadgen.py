@@ -5,8 +5,19 @@ synchronized bursts), draw a content class from a weighted mix, stream
 a synthetic bio-medical video over the wire protocol and collect a
 client-side report: admission outcomes, end-to-end frame latency
 percentiles and the server-reported deadline-miss counts.  Everything
-stochastic — arrivals, content mix, video synthesis — derives from one
-seed, so a run is reproducible end to end.
+stochastic — arrivals, content mix, video synthesis, retry jitter —
+derives from one seed, so a run is reproducible end to end.
+
+With ``max_reconnects > 0`` each client is fault tolerant: a lost
+connection (or a drain-parked session) is retried with exponential
+backoff plus seeded jitter, and when the server handed out a resume
+token the client reattaches with RESUME and continues from the
+server's ``next_frame_index`` — duplicate outcomes from the replay are
+deduplicated by frame index, so the report counts each frame once.
+The report distinguishes *connection refusals* (the server was not
+accepting — it never saw the session) from *mid-stream disconnects*
+(an established session lost its transport), and counts reconnect
+attempts per session.
 """
 
 from __future__ import annotations
@@ -25,6 +36,8 @@ from repro.serving.protocol import (
     Hello,
     HelloAck,
     ProtocolError,
+    Resume,
+    ResumeAck,
     Stats,
     read_message,
     write_message,
@@ -69,6 +82,14 @@ class LoadGenConfig:
     seed: int = 0
     #: Per-session wall-clock budget before the client gives up.
     timeout_s: float = 120.0
+    #: Reconnect budget per session (0 = give up on the first loss;
+    #: classification counters are still recorded).
+    max_reconnects: int = 0
+    #: Exponential backoff between reconnects: first wait, cap, and
+    #: the fraction of each wait randomized as jitter (seeded).
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    backoff_jitter: float = 0.5
 
     def __post_init__(self) -> None:
         if self.sessions < 1:
@@ -83,6 +104,12 @@ class LoadGenConfig:
             raise ValueError("burst_size must be >= 1")
         if not self.mix:
             raise ValueError("content mix must be non-empty")
+        if self.max_reconnects < 0:
+            raise ValueError("max_reconnects must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1]")
 
 
 @dataclass
@@ -100,6 +127,18 @@ class SessionReport:
     latencies_s: List[float] = field(default_factory=list)
     server_stats: Optional[Dict[str, object]] = None
     error: Optional[str] = None
+    #: Connection attempts refused before a transport was established
+    #: (the server was down or not accepting).
+    connect_refusals: int = 0
+    #: Established connections lost before the session completed.
+    mid_stream_disconnects: int = 0
+    #: Reconnects actually attempted after a refusal or disconnect.
+    reconnect_attempts: int = 0
+    #: Successful RESUME handshakes.
+    resumes: int = 0
+    #: Outcomes replayed from the server's journal across all resumes.
+    replayed: int = 0
+    resume_token: str = ""
 
 
 def _percentile(values: Sequence[float], q: float) -> Optional[float]:
@@ -150,6 +189,22 @@ class LoadReport:
     def frames_encoded(self) -> int:
         return sum(s.frames_encoded for s in self.sessions)
 
+    @property
+    def connect_refusals(self) -> int:
+        return sum(s.connect_refusals for s in self.sessions)
+
+    @property
+    def mid_stream_disconnects(self) -> int:
+        return sum(s.mid_stream_disconnects for s in self.sessions)
+
+    @property
+    def reconnect_attempts(self) -> int:
+        return sum(s.reconnect_attempts for s in self.sessions)
+
+    @property
+    def resumes(self) -> int:
+        return sum(s.resumes for s in self.sessions)
+
     def to_dict(self) -> Dict[str, object]:
         lat = self.latencies_s
         encoded = self.frames_encoded
@@ -169,6 +224,10 @@ class LoadReport:
             "deadline_miss_rate": (
                 self.deadline_misses / encoded if encoded else None
             ),
+            "connect_refusals": self.connect_refusals,
+            "mid_stream_disconnects": self.mid_stream_disconnects,
+            "reconnect_attempts": self.reconnect_attempts,
+            "resumes": self.resumes,
             "wall_clock_s": self.wall_clock_s,
         }
 
@@ -189,6 +248,10 @@ class LoadReport:
             f"{f'{p95 * 1e3:.1f} ms' if p95 is not None else 'n/a'}",
             f"  deadline miss: {d['deadline_misses']} "
             f"({f'{miss:.1%}' if miss is not None else 'n/a'})",
+            f"  connectivity : refused {d['connect_refusals']}, "
+            f"mid-stream lost {d['mid_stream_disconnects']}, "
+            f"reconnects {d['reconnect_attempts']}, "
+            f"resumes {d['resumes']}",
             f"  protocol errs: {d['protocol_errors']}",
             f"  wall clock   : {d['wall_clock_s']:.2f} s",
         ]
@@ -211,36 +274,91 @@ def _arrival_delays(config: LoadGenConfig, rng: random.Random) -> List[float]:
     return delays
 
 
-async def _run_session(config: LoadGenConfig, index: int,
-                       content: ContentClass, seed: int,
-                       report: SessionReport) -> None:
-    video = generate_video(
-        content_class=content, width=config.width, height=config.height,
-        num_frames=config.frames, seed=seed,
+class _SessionState:
+    """Client-side progress that survives reconnects."""
+
+    def __init__(self) -> None:
+        #: frame index -> drop reason (``None`` = encoded), deduplicated
+        #: across resume replays.
+        self.outcomes: Dict[int, Optional[str]] = {}
+        self.send_times: Dict[int, float] = {}
+        self.next_send = 0
+        self.complete = False
+
+    @property
+    def have_below(self) -> int:
+        """Contiguous-delivery watermark: every index below it has an
+        outcome."""
+        have = 0
+        while have in self.outcomes:
+            have += 1
+        return have
+
+
+def _sync_counts(report: SessionReport, state: _SessionState) -> None:
+    report.frames_encoded = sum(
+        1 for v in state.outcomes.values() if v is None
     )
+    report.frames_dropped = sum(
+        1 for v in state.outcomes.values() if v is not None
+    )
+
+
+async def _session_attempt(config: LoadGenConfig, index: int,
+                           content: ContentClass, video,
+                           report: SessionReport,
+                           state: _SessionState) -> None:
+    """One connection's worth of a session: handshake (HELLO or
+    RESUME), stream the remaining frames, collect outcomes until BYE.
+
+    Sets ``state.complete`` when the server closed the session cleanly;
+    a drain-parked BYE leaves it unset so the caller reconnects.
+    """
     reader, writer = await asyncio.open_connection(config.host, config.port)
     try:
-        await write_message(writer, Hello(
-            width=config.width, height=config.height, fps=config.fps,
-            num_frames=config.frames, gop=config.gop,
-            content_class=content.value, client_id=f"loadgen-{index}",
-        ))
-        ack = await read_message(reader)
-        while isinstance(ack, HelloAck) and ack.decision == "park":
-            report.parked = True
+        if report.resume_token:
+            await write_message(writer, Resume(
+                resume_token=report.resume_token,
+                have_below=state.have_below,
+                client_id=f"loadgen-{index}",
+            ))
             ack = await read_message(reader)
-        if not isinstance(ack, HelloAck):
-            raise ProtocolError(f"expected HELLO_ACK, got {ack.type.name}")
-        report.decision = ack.decision
-        report.reason = ack.reason
-        if ack.decision != "accept":
-            return
+            if not isinstance(ack, ResumeAck):
+                raise ProtocolError(
+                    f"expected RESUME_ACK, got {ack.type.name}"
+                )
+            if ack.decision != "accept":
+                raise ProtocolError(f"resume rejected: {ack.reason}")
+            report.resumes += 1
+            report.replayed += ack.replayed
+            report.resume_token = ack.resume_token or report.resume_token
+            state.next_send = ack.next_frame_index
+        else:
+            await write_message(writer, Hello(
+                width=config.width, height=config.height, fps=config.fps,
+                num_frames=config.frames, gop=config.gop,
+                content_class=content.value, client_id=f"loadgen-{index}",
+            ))
+            ack = await read_message(reader)
+            while isinstance(ack, HelloAck) and ack.decision == "park":
+                report.parked = True
+                ack = await read_message(reader)
+            if not isinstance(ack, HelloAck):
+                raise ProtocolError(
+                    f"expected HELLO_ACK, got {ack.type.name}"
+                )
+            report.decision = ack.decision
+            report.reason = ack.reason
+            report.resume_token = ack.resume_token
+            if ack.decision != "accept":
+                state.complete = True
+                return
 
-        send_times: Dict[int, float] = {}
+        bye_reason: List[str] = []
 
         async def sender() -> None:
-            for frame in video.frames:
-                send_times[frame.index] = time.perf_counter()
+            for frame in video.frames[state.next_send:]:
+                state.send_times[frame.index] = time.perf_counter()
                 await write_message(writer, FrameMsg(
                     frame_index=frame.index, width=config.width,
                     height=config.height, luma=frame.luma.tobytes(),
@@ -254,18 +372,18 @@ async def _run_session(config: LoadGenConfig, index: int,
             while True:
                 msg = await read_message(reader)
                 if isinstance(msg, Encoded):
-                    if msg.dropped is None:
-                        report.frames_encoded += 1
-                        sent = send_times.get(msg.frame_index)
+                    first = msg.frame_index not in state.outcomes
+                    state.outcomes[msg.frame_index] = msg.dropped
+                    if first and msg.dropped is None:
+                        sent = state.send_times.get(msg.frame_index)
                         if sent is not None:
                             report.latencies_s.append(
                                 time.perf_counter() - sent
                             )
-                    else:
-                        report.frames_dropped += 1
                 elif isinstance(msg, Stats):
                     report.server_stats = msg.data
                 elif isinstance(msg, Bye):
+                    bye_reason.append(msg.reason)
                     return
                 elif isinstance(msg, ErrorMsg):
                     raise ProtocolError(
@@ -279,12 +397,70 @@ async def _run_session(config: LoadGenConfig, index: int,
         await asyncio.wait_for(
             asyncio.gather(sender(), receiver()), timeout=config.timeout_s
         )
+        # A draining server says goodbye without completing the
+        # session; everything else is a clean finish.
+        if not (bye_reason and bye_reason[0].startswith("server draining")):
+            state.complete = True
     finally:
+        _sync_counts(report, state)
         writer.close()
         try:
             await writer.wait_closed()
         except (ConnectionError, OSError):
             pass
+
+
+async def _run_session(config: LoadGenConfig, index: int,
+                       content: ContentClass, seed: int,
+                       report: SessionReport) -> None:
+    video = generate_video(
+        content_class=content, width=config.width, height=config.height,
+        num_frames=config.frames, seed=seed,
+    )
+    rng = random.Random((seed << 1) ^ 0x5EED)
+    state = _SessionState()
+    attempts_left = config.max_reconnects
+    backoff = config.backoff_base_s
+
+    async def retry_or_raise(exc: BaseException) -> None:
+        nonlocal attempts_left, backoff
+        if attempts_left <= 0:
+            raise exc
+        attempts_left -= 1
+        report.reconnect_attempts += 1
+        jitter = 1.0 + config.backoff_jitter * (2 * rng.random() - 1)
+        await asyncio.sleep(max(0.0, backoff * jitter))
+        backoff = min(config.backoff_max_s, backoff * 2 or 0.01)
+
+    while True:
+        try:
+            await _session_attempt(
+                config, index, content, video, report, state
+            )
+        except (ConnectionRefusedError,) as exc:
+            report.connect_refusals += 1
+            await retry_or_raise(exc)
+            continue
+        except (ConnectionError, asyncio.IncompleteReadError,
+                OSError) as exc:
+            if isinstance(exc, TimeoutError):
+                # Client-side deadline, not a transport fault: the
+                # session overran ``timeout_s`` — report, don't retry.
+                raise
+            report.mid_stream_disconnects += 1
+            # Only a journaling server can continue the session; a lost
+            # session without a token restarts from scratch... which
+            # the deduplicated outcome map does not model — give up.
+            if not report.resume_token:
+                raise
+            await retry_or_raise(exc)
+            continue
+        if state.complete:
+            return
+        # Parked by a drain: back off and reattach.
+        await retry_or_raise(
+            ConnectionError("session parked by server drain")
+        )
 
 
 async def run_loadgen_async(config: LoadGenConfig) -> LoadReport:

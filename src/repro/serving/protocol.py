@@ -37,10 +37,12 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.resilience.errors import TranscodeError
 
 __all__ = [
+    "DEFAULT_DECODER_MAX_PAYLOAD",
     "HEADER_SIZE",
     "MAGIC",
     "MAX_PAYLOAD",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "Bye",
     "Encoded",
     "ErrorMsg",
@@ -51,6 +53,8 @@ __all__ = [
     "MessageDecoder",
     "MsgType",
     "ProtocolError",
+    "Resume",
+    "ResumeAck",
     "Stats",
     "decode_frame",
     "encode_message",
@@ -59,10 +63,18 @@ __all__ = [
 ]
 
 MAGIC = b"RPRV"
-PROTOCOL_VERSION = 1
+#: v2 adds the RESUME / RESUME_ACK handshake (session fault tolerance);
+#: v1 frames remain accepted — the message set of v1 is a strict subset.
+PROTOCOL_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 #: Hard payload bound: a 4K 8-bit luma plane is ~8.3 MB; anything far
 #: beyond that is a corrupted length field, not a frame.
 MAX_PAYLOAD = 32 * 1024 * 1024
+#: Default per-message bound of :class:`MessageDecoder`: tighter than
+#: the wire-level :data:`MAX_PAYLOAD` so an embedded reassembly buffer
+#: never commits to an adversarial 32 MiB allocation (configurable per
+#: decoder instance).
+DEFAULT_DECODER_MAX_PAYLOAD = 16 * 1024 * 1024
 
 _HEADER = struct.Struct("!4sBBHII")  # magic, version, type, flags, len, crc
 HEADER_SIZE = _HEADER.size
@@ -84,10 +96,13 @@ class MsgType(enum.IntEnum):
     STATS = 5        # server -> client: end-of-session summary
     BYE = 6          # either direction: orderly shutdown
     ERROR = 7        # server -> client: fatal protocol/session error
+    RESUME = 8       # client -> server: reattach to a journaled session (v2)
+    RESUME_ACK = 9   # server -> client: resume decision + replay plan (v2)
 
 
 #: ``Encoded.dropped`` reason codes (0 = not dropped).
-DROP_REASONS = {0: None, 1: "corrupt", 2: "deadline", 3: "backpressure"}
+DROP_REASONS = {0: None, 1: "corrupt", 2: "deadline", 3: "backpressure",
+                4: "watchdog"}
 DROP_CODES = {v: k for k, v in DROP_REASONS.items()}
 
 #: ``Encoded.frame_type`` codes.
@@ -143,12 +158,18 @@ class Hello:
 
 @dataclass(frozen=True)
 class HelloAck:
-    """Admission decision: ``accept``, ``reject`` or ``park``."""
+    """Admission decision: ``accept``, ``reject`` or ``park``.
+
+    ``resume_token`` (v2, journaling servers only) names the session's
+    journal: a client that loses its connection presents the token in a
+    RESUME message to reattach with no loss of encoded output.
+    """
 
     decision: str
     session_id: int = 0
     reason: str = ""
     queue_frames: int = 0  # server's per-session ingest bound
+    resume_token: str = ""  # "" = server does not journal this session
 
     type = MsgType.HELLO_ACK
 
@@ -156,6 +177,7 @@ class HelloAck:
         return _json_bytes({
             "decision": self.decision, "session_id": self.session_id,
             "reason": self.reason, "queue_frames": self.queue_frames,
+            "resume_token": self.resume_token,
         })
 
     @classmethod
@@ -169,6 +191,7 @@ class HelloAck:
             session_id=int(obj.get("session_id", 0)),
             reason=str(obj.get("reason", "")),
             queue_frames=int(obj.get("queue_frames", 0)),
+            resume_token=str(obj.get("resume_token", "")),
         )
 
 
@@ -320,7 +343,91 @@ class ErrorMsg:
                    detail=str(obj.get("detail", "")))
 
 
-Message = Union[Hello, HelloAck, FrameMsg, Encoded, Stats, Bye, ErrorMsg]
+@dataclass(frozen=True)
+class Resume:
+    """Reattach to a journaled session after a connection loss (v2).
+
+    ``have_below`` is the client's delivery watermark: every frame
+    index strictly below it already has an ENCODED outcome client-side.
+    The server replays journaled outcomes from ``have_below`` up and
+    then tells the client (via RESUME_ACK ``next_frame_index``) where
+    to restart FRAME transmission.
+    """
+
+    resume_token: str
+    have_below: int = 0
+    client_id: str = ""
+
+    type = MsgType.RESUME
+
+    def payload(self) -> bytes:
+        return _json_bytes({
+            "resume_token": self.resume_token,
+            "have_below": self.have_below,
+            "client_id": self.client_id,
+        })
+
+    @classmethod
+    def from_payload(cls, flags: int, data: bytes) -> "Resume":
+        obj = _json_obj(data)
+        token = obj.get("resume_token")
+        if not token or not isinstance(token, str):
+            raise ProtocolError("RESUME without a resume_token")
+        have_below = int(obj.get("have_below", 0))
+        if have_below < 0:
+            raise ProtocolError(f"negative have_below {have_below}")
+        return cls(resume_token=token, have_below=have_below,
+                   client_id=str(obj.get("client_id", "")))
+
+
+@dataclass(frozen=True)
+class ResumeAck:
+    """Resume decision (v2).
+
+    On ``accept`` the server has rebuilt the session from its journal:
+    journaled ENCODED outcomes from ``have_below`` on are replayed
+    (``replayed`` of them), and the client must restart FRAME
+    transmission at ``next_frame_index``.
+    """
+
+    decision: str  # "accept" | "reject"
+    session_id: int = 0
+    next_frame_index: int = 0
+    replayed: int = 0
+    reason: str = ""
+    queue_frames: int = 0
+    resume_token: str = ""
+
+    type = MsgType.RESUME_ACK
+
+    def payload(self) -> bytes:
+        return _json_bytes({
+            "decision": self.decision, "session_id": self.session_id,
+            "next_frame_index": self.next_frame_index,
+            "replayed": self.replayed, "reason": self.reason,
+            "queue_frames": self.queue_frames,
+            "resume_token": self.resume_token,
+        })
+
+    @classmethod
+    def from_payload(cls, flags: int, data: bytes) -> "ResumeAck":
+        obj = _json_obj(data)
+        decision = obj.get("decision")
+        if decision not in ("accept", "reject"):
+            raise ProtocolError(f"unknown resume decision {decision!r}")
+        return cls(
+            decision=decision,
+            session_id=int(obj.get("session_id", 0)),
+            next_frame_index=int(obj.get("next_frame_index", 0)),
+            replayed=int(obj.get("replayed", 0)),
+            reason=str(obj.get("reason", "")),
+            queue_frames=int(obj.get("queue_frames", 0)),
+            resume_token=str(obj.get("resume_token", "")),
+        )
+
+
+Message = Union[Hello, HelloAck, FrameMsg, Encoded, Stats, Bye, ErrorMsg,
+                Resume, ResumeAck]
 
 _DECODERS = {
     MsgType.HELLO: Hello.from_payload,
@@ -330,6 +437,8 @@ _DECODERS = {
     MsgType.STATS: Stats.from_payload,
     MsgType.BYE: Bye.from_payload,
     MsgType.ERROR: ErrorMsg.from_payload,
+    MsgType.RESUME: Resume.from_payload,
+    MsgType.RESUME_ACK: ResumeAck.from_payload,
 }
 
 
@@ -368,10 +477,11 @@ def _parse_header(header: bytes) -> Tuple[MsgType, int, int, int]:
     magic, version, mtype, flags, length, crc = _HEADER.unpack(header)
     if magic != MAGIC:
         raise ProtocolError(f"bad magic {magic!r}")
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
             f"unsupported protocol version {version} "
-            f"(speaking {PROTOCOL_VERSION})"
+            f"(speaking {PROTOCOL_VERSION}, accepting "
+            f"{list(SUPPORTED_VERSIONS)})"
         )
     if length > MAX_PAYLOAD:
         raise ProtocolError(f"declared payload of {length} bytes too large")
@@ -379,6 +489,10 @@ def _parse_header(header: bytes) -> Tuple[MsgType, int, int, int]:
         mtype = MsgType(mtype)
     except ValueError:
         raise ProtocolError(f"unknown message type {mtype}") from None
+    if version < 2 and mtype in (MsgType.RESUME, MsgType.RESUME_ACK):
+        raise ProtocolError(
+            f"{mtype.name} is a v2 message but the frame declares v{version}"
+        )
     return mtype, flags, length, crc
 
 
@@ -407,9 +521,21 @@ def decode_frame(buf: bytes) -> Tuple[Optional[Message], int]:
 
 class MessageDecoder:
     """Incremental sans-io decoder: feed arbitrary byte chunks, get
-    complete messages out (the TCP stream reassembly layer)."""
+    complete messages out (the TCP stream reassembly layer).
 
-    def __init__(self) -> None:
+    ``max_payload`` bounds what the decoder will *commit to buffering*
+    for one message: a FRAME whose declared length exceeds it is
+    rejected with :class:`ProtocolError` as soon as its header is
+    parsed, never accumulated.  The default
+    (:data:`DEFAULT_DECODER_MAX_PAYLOAD`, 16 MiB) is deliberately
+    tighter than the wire-format ceiling :data:`MAX_PAYLOAD`; raise it
+    per instance when legitimately reassembling larger planes.
+    """
+
+    def __init__(self, max_payload: int = DEFAULT_DECODER_MAX_PAYLOAD):
+        if max_payload < 1:
+            raise ValueError("max_payload must be positive")
+        self.max_payload = min(max_payload, MAX_PAYLOAD)
         self._buf = bytearray()
 
     @property
@@ -420,6 +546,15 @@ class MessageDecoder:
         self._buf.extend(data)
         out: List[Message] = []
         while True:
+            if len(self._buf) >= HEADER_SIZE:
+                # Reject an oversized declaration before buffering its
+                # payload — the unbounded-memory guard.
+                _, _, length, _ = _parse_header(bytes(self._buf[:HEADER_SIZE]))
+                if length > self.max_payload:
+                    raise ProtocolError(
+                        f"declared payload of {length} bytes exceeds the "
+                        f"decoder limit of {self.max_payload}"
+                    )
             msg, consumed = decode_frame(bytes(self._buf))
             if msg is None:
                 return out

@@ -1,0 +1,492 @@
+"""Per-session journal and restore path for the serving layer.
+
+The serving fault-tolerance story (DESIGN.md §11) rests on one
+invariant: **everything the encoder needs to continue a session
+bit-identically is durable at every GOP boundary**.  This module owns
+that durability layer:
+
+``SessionJournal``
+    An append-only JSONL file of checksummed records.  Each line is a
+    self-contained JSON object ``{"seq", "kind", "payload",
+    "checksum"}`` whose checksum is the SHA-256 of the canonical JSON
+    of ``{"seq", "kind", "payload"}`` — the same canonicalisation the
+    LUT checkpoint uses (:mod:`repro.resilience.checkpoint`), so the
+    two on-disk formats verify identically.  Appends ``flush`` +
+    ``fsync`` by default; the server journals once per GOP, which is
+    what keeps the overhead within the <2 % budget (BENCH_4.json).
+
+``read_journal`` / ``restore_session``
+    Crash-tolerant loaders.  A *truncated tail* — the final line cut
+    short by a mid-write crash — is expected and silently discarded;
+    the journal is authoritative up to its last intact record.
+    Anything else (checksum mismatch, undecodable body, sequence gap)
+    is corruption: :class:`~repro.resilience.errors.JournalCorruptionError`
+    in strict mode, a best-effort prefix otherwise.
+
+Record kinds, in the order a journal accumulates them:
+
+``admit``
+    Written once at admission: the client's HELLO fields plus the
+    encoder configuration the admission controller chose (``qp``,
+    ``window``) — a resumed session must re-derive the *same*
+    pipeline or bit-identity is lost.
+``gop``
+    Written at every GOP boundary: the stream's cross-GOP state
+    snapshot (:meth:`ProposedStreamSession.export_state`) and the
+    GOP's per-frame outcomes, reconstruction planes included
+    (zlib-compressed) so a reconnecting client can be replayed
+    outcomes its previous connection never delivered.
+``park``
+    Written by graceful drain when a session is interrupted mid-GOP:
+    the raw frames pushed since the last boundary plus anything still
+    queued, so a restarted server re-feeds them and the GOP
+    structure — hence the output bytes — match an uninterrupted run.
+``resume``
+    A marker written when a reconnecting client reattaches; it
+    invalidates any earlier ``park`` record (its frames were
+    re-fed and will reappear in later ``gop`` records).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import io
+import os
+import re
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.resilience.checkpoint import canonical_json, payload_checksum
+from repro.resilience.errors import JournalCorruptionError
+from repro.serving.protocol import Encoded
+
+__all__ = [
+    "JOURNAL_SUFFIX",
+    "JournalReadResult",
+    "JournalStore",
+    "RestoredSession",
+    "SessionJournal",
+    "frame_output_record",
+    "pack_plane",
+    "unpack_plane",
+    "read_journal",
+    "replay_messages",
+    "restore_session",
+]
+
+JOURNAL_SUFFIX = ".journal"
+
+_RECORD_KINDS = ("admit", "gop", "park", "resume")
+_TOKEN_RE = re.compile(r"[^A-Za-z0-9_.-]")
+
+
+# ----------------------------------------------------------------------
+# ndarray <-> JSON-safe packing
+# ----------------------------------------------------------------------
+def pack_plane(plane: np.ndarray) -> Dict[str, object]:
+    """Pack one uint8 luma plane into a JSON-safe dict.
+
+    zlib over the raw bytes: bio-medical planes (smooth gradients,
+    static backgrounds) compress well, which is most of why per-GOP
+    journaling stays cheap.
+    """
+    arr = np.ascontiguousarray(plane, dtype=np.uint8)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D plane, got shape {arr.shape}")
+    return {
+        "shape": [int(arr.shape[0]), int(arr.shape[1])],
+        "zlib": base64.b64encode(zlib.compress(arr.tobytes(), 6)).decode(
+            "ascii"
+        ),
+    }
+
+
+def unpack_plane(obj: Dict[str, object]) -> np.ndarray:
+    """Inverse of :func:`pack_plane`."""
+    try:
+        height, width = (int(v) for v in obj["shape"])
+        raw = zlib.decompress(base64.b64decode(obj["zlib"]))
+    except (KeyError, TypeError, ValueError, zlib.error) as exc:
+        raise JournalCorruptionError(f"undecodable plane: {exc}") from exc
+    if len(raw) != width * height:
+        raise JournalCorruptionError(
+            f"plane byte length {len(raw)} != {width}x{height}"
+        )
+    return np.frombuffer(raw, dtype=np.uint8).reshape(height, width).copy()
+
+
+def frame_output_record(out) -> Dict[str, object]:
+    """Serialize one :class:`~repro.transcode.pipeline.FrameOutput`
+    into a journal-safe dict mirroring the wire ENCODED message."""
+    if out.dropped is not None:
+        return {
+            "frame_index": int(out.frame_index),
+            "dropped": out.dropped,
+            "frame_type": "",
+            "bits": 0,
+            "psnr": 0.0,
+            "recon": None,
+        }
+    record = out.record
+    psnr = float(np.mean([t.psnr for t in record.tiles]))
+    return {
+        "frame_index": int(out.frame_index),
+        "dropped": None,
+        "frame_type": out.frame_type.value,
+        "bits": int(record.bits),
+        "psnr": psnr,
+        "recon": pack_plane(out.reconstruction),
+    }
+
+
+def encoded_from_record(rec: Dict[str, object]) -> Encoded:
+    """Rebuild the wire ENCODED message for one journaled outcome."""
+    if rec.get("dropped") is not None:
+        return Encoded(
+            frame_index=int(rec["frame_index"]), frame_type="",
+            dropped=str(rec["dropped"]),
+        )
+    plane = unpack_plane(rec["recon"])
+    return Encoded(
+        frame_index=int(rec["frame_index"]),
+        frame_type=str(rec["frame_type"]),
+        width=int(plane.shape[1]), height=int(plane.shape[0]),
+        bits=int(rec["bits"]), psnr=float(rec["psnr"]),
+        luma=plane.tobytes(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Journal writer
+# ----------------------------------------------------------------------
+class SessionJournal:
+    """Append-only checksummed JSONL journal for one session.
+
+    Opened in append mode, so a resumed session keeps extending the
+    same file its predecessor wrote — the journal is the session's
+    full history across any number of reconnects.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike], fsync: bool = True,
+                 next_seq: int = 0):
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        self._seq = next_seq
+        self._fh: Optional[io.BufferedWriter] = open(self.path, "ab")
+        self.appends = 0
+
+    @property
+    def next_seq(self) -> int:
+        return self._seq
+
+    @property
+    def closed(self) -> bool:
+        return self._fh is None
+
+    def append(self, kind: str, payload: Dict[str, object]) -> int:
+        """Append one record; returns its sequence number.
+
+        The record is flushed and (by default) fsync'd before
+        returning: once ``append`` returns, the record survives a
+        crash.  A crash *during* the write leaves at most a truncated
+        final line, which loaders discard.
+        """
+        if self._fh is None:
+            raise ValueError(f"journal {self.path!r} is closed")
+        if kind not in _RECORD_KINDS:
+            raise ValueError(f"unknown journal record kind {kind!r}")
+        body = {"seq": self._seq, "kind": kind, "payload": payload}
+        # Serialize the (possibly large) body once: checksum the
+        # canonical body JSON, then splice the checksum field in front.
+        # ``canonical_json`` sorts keys and "checksum" sorts before
+        # "kind"/"payload"/"seq", so the spliced line is byte-identical
+        # to ``canonical_json({**body, "checksum": ...})``.
+        body_json = canonical_json(body)
+        digest = hashlib.sha256(body_json.encode("utf-8")).hexdigest()
+        line = '{"checksum":"' + digest + '",' + body_json[1:]
+        self._fh.write(line.encode("utf-8") + b"\n")
+        self._fh.flush()
+        if self.fsync:
+            # fdatasync is durability-equivalent for an append-only
+            # record (it flushes the data and the file size) and avoids
+            # the unrelated-metadata stalls full fsync can incur.
+            getattr(os, "fdatasync", os.fsync)(self._fh.fileno())
+        self._seq += 1
+        self.appends += 1
+        return self._seq - 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SessionJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Journal reader
+# ----------------------------------------------------------------------
+@dataclass
+class JournalReadResult:
+    """Outcome of scanning one journal file."""
+
+    records: List[Tuple[str, Dict[str, object]]] = field(
+        default_factory=list
+    )  #: intact ``(kind, payload)`` pairs, in sequence order
+    truncated: bool = False  #: a partial final line was discarded
+    reason: str = "ok"  #: "ok", "truncated tail", or corruption detail
+
+    @property
+    def next_seq(self) -> int:
+        return len(self.records)
+
+
+def _decode_record(line: bytes, expect_seq: int) -> Tuple[str, dict]:
+    import json
+
+    try:
+        record = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ValueError(f"undecodable record: {exc}") from exc
+    if not isinstance(record, dict):
+        raise ValueError("record is not a JSON object")
+    try:
+        body = {"seq": record["seq"], "kind": record["kind"],
+                "payload": record["payload"]}
+        declared = record["checksum"]
+    except KeyError as exc:
+        raise ValueError(f"record missing field {exc}") from exc
+    if payload_checksum(body) != declared:
+        raise ValueError(f"checksum mismatch at seq {record.get('seq')}")
+    if body["seq"] != expect_seq:
+        raise ValueError(
+            f"sequence gap: expected {expect_seq}, found {body['seq']}"
+        )
+    kind = body["kind"]
+    if kind not in _RECORD_KINDS or not isinstance(body["payload"], dict):
+        raise ValueError(f"malformed record of kind {kind!r}")
+    return kind, body["payload"]
+
+
+def read_journal(path: Union[str, os.PathLike],
+                 strict: bool = False) -> JournalReadResult:
+    """Scan a journal, verifying every record.
+
+    A bad *final* line is the mid-write crash signature: discarded,
+    ``truncated=True``, never an error.  A bad line with intact
+    records after it cannot be a torn write — that is corruption:
+    :class:`JournalCorruptionError` when ``strict``, else the intact
+    prefix with ``reason`` describing the damage.
+    """
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    result = JournalReadResult()
+    lines = raw.split(b"\n")
+    # A well-formed journal ends with a newline, so the final split
+    # element is empty; anything else is a torn final record.
+    tail_torn = lines and lines[-1] != b""
+    body_lines = lines[:-1]
+    for i, line in enumerate(body_lines):
+        try:
+            kind, payload = _decode_record(line, expect_seq=i)
+        except ValueError as exc:
+            last = i == len(body_lines) - 1 and not tail_torn
+            if last:
+                # Torn write that still got its newline out.
+                result.truncated = True
+                result.reason = "truncated tail"
+                return result
+            if strict:
+                raise JournalCorruptionError(
+                    f"corrupt journal {os.fspath(path)!r}: {exc}"
+                ) from exc
+            result.reason = str(exc)
+            return result
+        result.records.append((kind, payload))
+    if tail_torn:
+        result.truncated = True
+        result.reason = "truncated tail"
+    return result
+
+
+# ----------------------------------------------------------------------
+# Session restore
+# ----------------------------------------------------------------------
+@dataclass
+class RestoredSession:
+    """Everything a server needs to reattach a journaled session."""
+
+    token: str
+    #: HELLO fields + chosen encoder config from the ``admit`` record.
+    admit: Dict[str, object]
+    #: Latest GOP-boundary pipeline snapshot, ``previous_original``
+    #: already unpacked to an ndarray — ready for
+    #: :meth:`ProposedStreamSession.import_state`.  ``None`` when the
+    #: session never completed a GOP.
+    state: Optional[Dict[str, object]]
+    #: Journaled per-frame outcomes keyed by frame index (replay pool).
+    outputs: Dict[int, Dict[str, object]]
+    #: Raw frames parked by a graceful drain: ``(index, plane)`` in
+    #: push order.  Empty unless the last record is an active ``park``.
+    pending: List[Tuple[int, np.ndarray]]
+    #: Index the client must resend from (== the server's restored
+    #: ``next_index`` once ``pending`` has been re-fed).
+    next_frame_index: int
+    #: True when the session was parked by a drain (vs cut mid-GOP).
+    parked: bool
+    #: Number of times this session has already been resumed.
+    resumes: int
+    #: Sequence number the continuing journal must start at.
+    next_seq: int
+    truncated: bool = False
+
+
+def restore_session(path: Union[str, os.PathLike],
+                    strict: bool = False) -> RestoredSession:
+    """Fold a journal into the state needed to reattach its session."""
+    scan = read_journal(path, strict=strict)
+    if not scan.records:
+        raise JournalCorruptionError(
+            f"journal {os.fspath(path)!r} holds no intact records"
+        )
+    kind0, admit = scan.records[0]
+    if kind0 != "admit":
+        raise JournalCorruptionError(
+            f"journal {os.fspath(path)!r} does not start with an "
+            f"admit record (found {kind0!r})"
+        )
+    state: Optional[Dict[str, object]] = None
+    outputs: Dict[int, Dict[str, object]] = {}
+    pending: List[Tuple[int, np.ndarray]] = []
+    next_frame_index = 0
+    parked = False
+    resumes = 0
+    for kind, payload in scan.records[1:]:
+        if kind == "gop":
+            state = dict(payload["state"])
+            previous = state.get("previous_original")
+            state["previous_original"] = (
+                unpack_plane(previous) if previous is not None else None
+            )
+            for rec in payload["outputs"]:
+                outputs[int(rec["frame_index"])] = rec
+            next_frame_index = int(payload["next_frame_index"])
+            pending = []
+            parked = False
+        elif kind == "park":
+            pending = [
+                (int(f["frame_index"]), unpack_plane(f["plane"]))
+                for f in payload.get("frames", [])
+            ]
+            next_frame_index = int(payload["next_frame_index"])
+            parked = True
+        elif kind == "resume":
+            pending = []
+            parked = False
+            resumes += 1
+    token = str(admit.get("token", ""))
+    return RestoredSession(
+        token=token, admit=dict(admit), state=state, outputs=outputs,
+        pending=pending, next_frame_index=next_frame_index, parked=parked,
+        resumes=resumes, next_seq=scan.next_seq, truncated=scan.truncated,
+    )
+
+
+def replay_messages(restored: RestoredSession,
+                    have_below: int) -> List[Encoded]:
+    """Build the replay stream for a reconnecting client.
+
+    Every journaled outcome with ``frame_index >= have_below`` is
+    replayed in index order.  Indices below ``next_frame_index`` that
+    are neither journaled nor parked were consumed by ingest
+    backpressure before ever reaching the encoder; they are
+    synthesised as backpressure drops so the client's
+    contiguous-delivery watermark never wedges on a hole.  Parked
+    indices are skipped — re-feeding encodes them afresh.
+    """
+    pending_indices = {index for index, _ in restored.pending}
+    out: List[Encoded] = []
+    for index in range(max(0, have_below), restored.next_frame_index):
+        if index in pending_indices:
+            continue
+        rec = restored.outputs.get(index)
+        if rec is not None:
+            out.append(encoded_from_record(rec))
+        else:
+            out.append(Encoded(frame_index=index, frame_type="",
+                               dropped="backpressure"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Journal store (token -> file mapping)
+# ----------------------------------------------------------------------
+class JournalStore:
+    """Directory of session journals, one file per resume token.
+
+    Tokens are minted by the server (``new_token``) from the session
+    id plus entropy; they double as capability secrets — knowing the
+    token is what authorises a RESUME — so they are unguessable, and
+    they are sanitised before ever touching the filesystem.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike], fsync: bool = True):
+        self.root = os.fspath(root)
+        self.fsync = fsync
+        os.makedirs(self.root, exist_ok=True)
+
+    def new_token(self, session_id: int, client_id: str = "") -> str:
+        prefix = _TOKEN_RE.sub("", client_id)[:16] or "session"
+        return f"{prefix}-{session_id}-{os.urandom(6).hex()}"
+
+    def path_for(self, token: str) -> str:
+        safe = _TOKEN_RE.sub("", token)
+        if not safe or safe != token:
+            raise JournalCorruptionError(
+                f"malformed resume token {token!r}"
+            )
+        return os.path.join(self.root, safe + JOURNAL_SUFFIX)
+
+    def exists(self, token: str) -> bool:
+        try:
+            return os.path.exists(self.path_for(token))
+        except JournalCorruptionError:
+            return False
+
+    def create(self, token: str) -> SessionJournal:
+        """Open a *fresh* journal for a newly admitted session."""
+        path = self.path_for(token)
+        if os.path.exists(path):
+            raise ValueError(f"journal for token {token!r} already exists")
+        return SessionJournal(path, fsync=self.fsync)
+
+    def reopen(self, token: str, next_seq: int) -> SessionJournal:
+        """Reopen an existing journal for appending (resume path)."""
+        return SessionJournal(self.path_for(token), fsync=self.fsync,
+                              next_seq=next_seq)
+
+    def restore(self, token: str, strict: bool = False) -> RestoredSession:
+        return restore_session(self.path_for(token), strict=strict)
+
+    def tokens(self) -> List[str]:
+        """Tokens of every journal in the store, sorted."""
+        out = []
+        for name in os.listdir(self.root):
+            if name.endswith(JOURNAL_SUFFIX):
+                out.append(name[: -len(JOURNAL_SUFFIX)])
+        return sorted(out)
+
+    def discard(self, token: str) -> None:
+        """Delete one journal (session completed cleanly)."""
+        try:
+            os.unlink(self.path_for(token))
+        except (FileNotFoundError, JournalCorruptionError):
+            pass

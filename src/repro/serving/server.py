@@ -28,11 +28,28 @@ content class — the paper's cross-user reuse, now end to end.
 
 Every admission decision, queue depth, drop and end-to-end frame
 latency lands in :mod:`repro.observability`.
+
+**Fault tolerance** (DESIGN.md §11).  With ``journal_dir`` set, every
+session writes a checksummed journal (:mod:`repro.serving.recovery`)
+fsync'd at GOP granularity: admission state, cross-GOP pipeline
+snapshots and the encoded outcomes themselves.  A client that loses
+its connection reattaches with RESUME and continues *bit-identically* —
+the journal restores the encoder to the last GOP boundary and replays
+any outcomes the old connection never delivered.  ``watchdog_multiple``
+arms an encode watchdog: a push that exceeds the deadline multiple is
+abandoned (the executor is replaced), the stream is rebuilt from the
+in-memory GOP-boundary snapshot, the wedged frame is dropped as
+``"watchdog"``, the degradation ladder climbs one rung, and the
+allocator re-packs around the presumed-sick core.  :meth:`drain`
+(SIGTERM) stops admissions, finishes or parks in-flight GOPs,
+checkpoints the LUT and exits cleanly; parked sessions survive a full
+server restart.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -43,7 +60,8 @@ import numpy as np
 from repro.codec.config import EncoderConfig, GopConfig
 from repro.observability import get_registry, get_tracer
 from repro.platform.mpsoc import MpsocConfig, XEON_E5_2667
-from repro.resilience.errors import CorruptFrameError
+from repro.resilience.checkpoint import load_lut, save_lut
+from repro.resilience.errors import CorruptFrameError, JournalCorruptionError
 from repro.resilience.faults import FaultConfig, FaultInjector
 from repro.resilience.degradation import ResilienceConfig
 from repro.serving.admission import (
@@ -60,9 +78,19 @@ from repro.serving.protocol import (
     HelloAck,
     Message,
     ProtocolError,
+    Resume,
+    ResumeAck,
     Stats,
     read_message,
     write_message,
+)
+from repro.serving.recovery import (
+    JournalStore,
+    RestoredSession,
+    SessionJournal,
+    frame_output_record,
+    pack_plane,
+    replay_messages,
 )
 from repro.transcode.pipeline import (
     FrameOutput,
@@ -110,6 +138,22 @@ class ServeNetConfig:
     fault_spike_factor: float = 8.0
     admission: AdmissionPolicy = AdmissionPolicy()
     platform: MpsocConfig = XEON_E5_2667
+    #: Directory of per-session journals (``None`` disables journaled
+    #: resume, graceful parking and the warm LUT checkpoint).
+    journal_dir: Optional[str] = None
+    #: fsync each journal append (off only for benchmarks that want to
+    #: isolate the serialization cost from the disk).
+    journal_fsync: bool = True
+    #: Encode watchdog: a single ``push`` call (at most one GOP encode)
+    #: exceeding ``watchdog_multiple`` x GOP x ``1/FPS`` wall seconds is
+    #: declared wedged and cancelled (0 disables).
+    watchdog_multiple: float = 0.0
+    #: Floor of the watchdog timeout, so high-FPS streams on slow CI
+    #: machines are not watchdogged spuriously.
+    watchdog_min_s: float = 0.25
+    #: How long :meth:`NetworkServer.drain` waits for in-flight
+    #: sessions to finish or park before closing anyway.
+    drain_grace_s: float = 10.0
 
 
 @dataclass
@@ -123,12 +167,20 @@ class SessionStats:
     dropped_egress: int = 0
     dropped_corrupt: int = 0
     dropped_deadline: int = 0
+    dropped_watchdog: int = 0
     deadline_misses: int = 0
     total_bits: int = 0
     psnr_sum: float = 0.0
     peak_ingest_depth: int = 0
     peak_egress_depth: int = 0
     latencies_s: List[float] = field(default_factory=list)
+    #: Recovery counters: how many times this session has reattached,
+    #: how many journaled outcomes the last resume replayed, and how
+    #: often the encode watchdog fired on it.
+    resumes: int = 0
+    replayed: int = 0
+    watchdog_fires: int = 0
+    parked: bool = False
 
     def to_dict(self, queue_frames: int) -> Dict[str, object]:
         return {
@@ -140,6 +192,13 @@ class SessionStats:
                 "egress": self.dropped_egress,
                 "corrupt": self.dropped_corrupt,
                 "deadline": self.dropped_deadline,
+                "watchdog": self.dropped_watchdog,
+            },
+            "recovery": {
+                "resumes": self.resumes,
+                "replayed": self.replayed,
+                "watchdog_fires": self.watchdog_fires,
+                "parked": self.parked,
             },
             "deadline_misses": self.deadline_misses,
             "total_bits": self.total_bits,
@@ -154,12 +213,24 @@ class SessionStats:
 
 
 _BYE_SENTINEL = object()
+_DRAIN_SENTINEL = object()
 
 
 class _Session:
-    """Mutable state of one accepted client session."""
+    """Mutable state of one accepted client session.
 
-    def __init__(self, session_id: int, hello: Hello, server: "NetworkServer"):
+    ``restored`` rebuilds the session from its journal: the pipeline is
+    restored to the last GOP-boundary snapshot, parked in-flight frames
+    are staged in ``prefeed`` for the encode loop to re-push, and the
+    encoder configuration (``qp``/``window``) comes from the journaled
+    admit record rather than the *current* overload ladder — the same
+    config the original admission chose is what bit-identity requires.
+    """
+
+    def __init__(self, session_id: int, hello: Hello,
+                 server: "NetworkServer", resume_token: str = "",
+                 journal: Optional[SessionJournal] = None,
+                 restored: Optional[RestoredSession] = None):
         cfg = server.config
         self.session_id = session_id
         self.hello = hello
@@ -174,7 +245,13 @@ class _Session:
                 content = ContentClass(hello.content_class)
             except ValueError:
                 content = None
-        qp, window = server.admission.lighten(32, 64)
+        if restored is not None:
+            qp = int(restored.admit["qp"])
+            window = int(restored.admit["window"])
+        else:
+            qp, window = server.admission.lighten(32, 64)
+        self.qp = qp
+        self.window = window
         pipeline = PipelineConfig(
             fps=hello.fps if hello.fps > 0 else cfg.fps,
             gop=GopConfig(max(1, hello.gop)),
@@ -198,6 +275,35 @@ class _Session:
         )
         self.stream = self.transcoder.open_session()
         self.slot_s = 1.0 / pipeline.fps
+        self.gop_size = max(1, hello.gop)
+        # -- recovery state --------------------------------------------
+        self.resume_token = resume_token
+        self.journal = journal
+        #: Bumped by the watchdog; cooperative cancellation hook for
+        #: anything (tests, instrumented encoders) polling it.
+        self.epoch = 0
+        #: Raw frames pushed since the last GOP boundary — the watchdog
+        #: rebuild and the drain park record re-feed from here.
+        self.replay_frames: List[Frame] = []
+        #: In-memory copy of the last GOP-boundary snapshot.
+        self.last_state: Optional[Dict[str, object]] = None
+        #: Parked frames a resume must re-push before reading the wire.
+        self.prefeed: List[Frame] = []
+        #: Ordered hand-off from the encode loop to the emit loop:
+        #: ``(append_future_or_None, outputs)`` pairs.  Bounded so the
+        #: encoder stays at most a few GOPs ahead of durable emission
+        #: (deep enough to ride out an occasional slow fsync).
+        self.emit_queue: asyncio.Queue = asyncio.Queue(maxsize=4)
+        self.completed = False
+        if restored is not None:
+            if restored.state is not None:
+                self.stream.import_state(restored.state)
+                self.last_state = restored.state
+            self.next_index = restored.next_frame_index
+            self.prefeed = [
+                Frame(plane, index=index)
+                for index, plane in restored.pending
+            ]
 
 
 class NetworkServer:
@@ -213,6 +319,16 @@ class NetworkServer:
         self.estimator = estimator or WorkloadEstimator(
             quantile=config.admission.quantile
         )
+        self._journal_store: Optional[JournalStore] = None
+        if config.journal_dir is not None:
+            self._journal_store = JournalStore(
+                config.journal_dir, fsync=config.journal_fsync
+            )
+            # Warm-start the shared LUT from the drain checkpoint, if
+            # an intact one survived the previous run.
+            loaded = load_lut(self._lut_path())
+            if loaded.recovered:
+                self.estimator.lut = loaded.lut
         self.admission = admission or AdmissionController(
             estimator=self.estimator,
             platform=config.platform,
@@ -226,9 +342,32 @@ class NetworkServer:
         self._encode_pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-encode"
         )
+        # Journal writes (plane packing, checksumming, fsync) get their
+        # own single writer thread so durability work overlaps with the
+        # encode thread instead of stealing its time.  Egress for a GOP
+        # still *awaits* the append, preserving journal-before-egress;
+        # per-journal ordering holds because each session awaits its
+        # append before issuing the next.  The watchdog only swaps the
+        # encode pool, so pending appends survive a wedged encode.
+        self._journal_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-journal"
+        )
         self._capacity_freed = asyncio.Event()
         self._next_session_id = 0
         self._active_handlers = 0
+        self._draining = False
+        self._drain_event = asyncio.Event()
+
+    def _lut_path(self) -> str:
+        return os.path.join(self.config.journal_dir, "lut.json")
+
+    @property
+    def parked_tokens(self) -> List[str]:
+        """Resume tokens with a journal on disk (including sessions
+        parked by a previous run's drain)."""
+        if self._journal_store is None:
+            return []
+        return self._journal_store.tokens()
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -256,9 +395,39 @@ class NetworkServer:
             self._server.close()
             await self._server.wait_closed()
         self._encode_pool.shutdown(wait=True)
+        self._journal_pool.shutdown(wait=True)
         get_registry().set_gauge(
             "repro_serving_listening", 0, help="1 while the server accepts",
         )
+
+    async def drain(self) -> None:
+        """Graceful shutdown (the SIGTERM path).
+
+        Stops accepting connections and admissions, signals every
+        in-flight session to finish (journal-less) or park (journaled —
+        the in-flight GOP's raw frames land in the journal so a
+        restarted server can resume the session bit-identically), waits
+        up to ``drain_grace_s`` for sessions to flush their STATS/BYE,
+        checkpoints the shared LUT next to the journals, and closes.
+        Idempotent; concurrent callers share one drain.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        registry = get_registry()
+        registry.inc("repro_serving_drains_total",
+                     help="Graceful drains initiated")
+        self.admission.begin_drain()
+        if self._server is not None:
+            self._server.close()
+        self._drain_event.set()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_grace_s
+        while self._active_handlers > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        if self._journal_store is not None:
+            save_lut(self.estimator.lut, self._lut_path())
+        await self.aclose()
 
     # -- connection handling -------------------------------------------
     async def _handle_client(self, reader: asyncio.StreamReader,
@@ -304,9 +473,12 @@ class NetworkServer:
         msg = await asyncio.wait_for(
             read_message(reader), timeout=cfg.hello_timeout_s
         )
+        if isinstance(msg, Resume):
+            await self._resume_connection(msg, reader, writer)
+            return
         if not isinstance(msg, Hello):
             raise ProtocolError(
-                f"expected HELLO, got {msg.type.name}"
+                f"expected HELLO or RESUME, got {msg.type.name}"
             )
         hello = msg
         if not (0 < hello.width <= cfg.max_frame_width
@@ -331,14 +503,125 @@ class NetworkServer:
                 decision="reject", session_id=session_id, reason=reason,
             ))
             return
-        session = _Session(session_id, hello, self)
+        resume_token = ""
+        journal: Optional[SessionJournal] = None
+        if self._journal_store is not None:
+            resume_token = self._journal_store.new_token(
+                session_id, hello.client_id
+            )
+            journal = self._journal_store.create(resume_token)
+        session = _Session(session_id, hello, self,
+                           resume_token=resume_token, journal=journal)
+        if journal is not None:
+            admit_payload = {
+                "token": resume_token, "session_id": session_id,
+                "width": hello.width, "height": hello.height,
+                "fps": hello.fps, "num_frames": hello.num_frames,
+                "gop": hello.gop, "content_class": hello.content_class,
+                "client_id": hello.client_id,
+                "qp": session.qp, "window": session.window,
+            }
+            await asyncio.get_running_loop().run_in_executor(
+                self._journal_pool, journal.append, "admit", admit_payload
+            )
         await write_message(writer, HelloAck(
             decision="accept", session_id=session_id, reason=reason,
-            queue_frames=cfg.queue_frames,
+            queue_frames=cfg.queue_frames, resume_token=resume_token,
         ))
+        await self._serve_admitted(session, reader, writer)
+
+    async def _resume_connection(self, msg: Resume,
+                                 reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        """RESUME handshake: restore the journaled session, replay the
+        outcomes the client lacks, and hand over to the normal loops."""
+        cfg = self.config
+        registry = get_registry()
+        started = time.perf_counter()
+        store = self._journal_store
+        if store is None or not store.exists(msg.resume_token):
+            await write_message(writer, ResumeAck(
+                decision="reject", reason="unknown resume token",
+            ))
+            return
+        try:
+            restored = store.restore(msg.resume_token, strict=True)
+        except JournalCorruptionError as exc:
+            registry.inc("repro_serving_journal_corruptions_total",
+                         help="Journals rejected by integrity checks")
+            await write_message(writer, ResumeAck(
+                decision="reject", reason=f"journal corrupt: {exc}",
+            ))
+            return
+        admit = restored.admit
+        hello = Hello(
+            width=int(admit["width"]), height=int(admit["height"]),
+            fps=float(admit["fps"]),
+            num_frames=int(admit.get("num_frames", 0)),
+            gop=int(admit["gop"]),
+            content_class=admit.get("content_class"),
+            client_id=msg.client_id or str(admit.get("client_id", "")),
+        )
+        session_id = self._next_session_id
+        self._next_session_id += 1
+        # A resumed session re-charges admission capacity like any
+        # other: its old ticket died with its old connection.
+        decision, reason = self.admission.decide(session_id, hello)
+        if decision is AdmissionDecision.PARK:
+            decision, reason = await self._wait_parked(session_id, hello)
+        if decision is not AdmissionDecision.ACCEPT:
+            await write_message(writer, ResumeAck(
+                decision="reject", session_id=session_id, reason=reason,
+            ))
+            return
+        journal = store.reopen(msg.resume_token, restored.next_seq)
+        session = _Session(session_id, hello, self,
+                           resume_token=msg.resume_token, journal=journal,
+                           restored=restored)
+        session.stats.resumes = restored.resumes + 1
+        await asyncio.get_running_loop().run_in_executor(
+            self._journal_pool, journal.append, "resume", {
+                "have_below": msg.have_below,
+                "next_frame_index": restored.next_frame_index,
+                "session_id": session_id,
+            },
+        )
+        replay = replay_messages(restored, msg.have_below)
+        session.stats.replayed = len(replay)
+        await write_message(writer, ResumeAck(
+            decision="accept", session_id=session_id,
+            next_frame_index=restored.next_frame_index,
+            replayed=len(replay), reason=reason,
+            queue_frames=cfg.queue_frames, resume_token=msg.resume_token,
+        ))
+        for encoded in replay:
+            await write_message(writer, encoded)
+            registry.inc("repro_serving_frames_total", direction="out",
+                         help="Frames crossing the wire by direction")
+            registry.inc("repro_serving_bytes_total", len(encoded.luma),
+                         direction="out",
+                         help="Payload bytes crossing the wire by direction")
+        registry.inc("repro_serving_resumes_total",
+                     help="Sessions reattached via RESUME")
+        registry.observe(
+            "repro_serving_resume_latency_seconds",
+            time.perf_counter() - started,
+            help="RESUME to RESUME_ACK (journal restore + replay)",
+        )
+        get_tracer().event(
+            "serving.resume", session=session_id,
+            token=msg.resume_token, replayed=len(replay),
+            next_frame_index=restored.next_frame_index,
+        )
+        await self._serve_admitted(session, reader, writer)
+
+    async def _serve_admitted(self, session: "_Session",
+                              reader: asyncio.StreamReader,
+                              writer: asyncio.StreamWriter) -> None:
+        registry = get_registry()
         span = get_tracer().span(
-            "serving.session", session=session_id,
-            width=hello.width, height=hello.height,
+            "serving.session", session=session.session_id,
+            width=session.hello.width, height=session.hello.height,
         )
         try:
             with span:
@@ -351,7 +634,12 @@ class NetworkServer:
             raise
         finally:
             session.transcoder.close()
-            self.admission.release(session_id)
+            if session.journal is not None:
+                session.journal.close()
+                if session.completed and self._journal_store is not None:
+                    # Clean BYE: the journal has served its purpose.
+                    self._journal_store.discard(session.resume_token)
+            self.admission.release(session.session_id)
             self._capacity_freed.set()
 
     async def _wait_parked(self, session_id: int, hello: Hello):
@@ -384,10 +672,11 @@ class NetworkServer:
             self._ingest_loop(session, reader)
         )
         encode_task = asyncio.ensure_future(self._encode_loop(session))
+        emit_task = asyncio.ensure_future(self._emit_loop(session))
         egress_task = asyncio.ensure_future(
             self._egress_loop(session, writer)
         )
-        tasks = [ingest_task, encode_task, egress_task]
+        tasks = [ingest_task, encode_task, emit_task, egress_task]
         try:
             await asyncio.gather(*tasks)
         finally:
@@ -403,70 +692,113 @@ class NetworkServer:
         cfg = self.config
         registry = get_registry()
         hello = session.hello
-        while True:
-            msg = await read_message(reader)
-            if isinstance(msg, Bye):
-                await session.ingest.put(_BYE_SENTINEL)
-                return
-            if not isinstance(msg, FrameMsg):
-                raise ProtocolError(
-                    f"expected FRAME or BYE, got {msg.type.name}"
+        drain_wait = asyncio.ensure_future(self._drain_event.wait())
+        try:
+            while True:
+                read_task = asyncio.ensure_future(read_message(reader))
+                await asyncio.wait(
+                    {read_task, drain_wait},
+                    return_when=asyncio.FIRST_COMPLETED,
                 )
-            if (msg.width, msg.height) != (hello.width, hello.height):
-                raise ProtocolError(
-                    f"FRAME geometry {msg.width}x{msg.height} disagrees "
-                    f"with HELLO {hello.width}x{hello.height}"
-                )
-            registry.inc("repro_serving_frames_total", direction="in",
-                         help="Frames crossing the wire by direction")
-            registry.inc(
-                "repro_serving_bytes_total", len(msg.luma), direction="in",
-                help="Payload bytes crossing the wire by direction",
-            )
-            index = session.next_index
-            session.next_index += 1
-            session.stats.frames_received += 1
-            if session.ingest.full():
-                # Backpressure: the client outruns the encoder.  The
-                # incoming frame is dropped (never buffered), keeping
-                # the queue depth at its configured bound.
-                session.stats.dropped_backpressure += 1
+                if not read_task.done():
+                    # Drain signalled mid-read: stop ingesting; the
+                    # encode loop parks or flushes what is in flight.
+                    read_task.cancel()
+                    await asyncio.gather(read_task, return_exceptions=True)
+                    await session.ingest.put(_DRAIN_SENTINEL)
+                    return
+                msg = read_task.result()
+                if isinstance(msg, Bye):
+                    await session.ingest.put(_BYE_SENTINEL)
+                    return
+                if not isinstance(msg, FrameMsg):
+                    raise ProtocolError(
+                        f"expected FRAME or BYE, got {msg.type.name}"
+                    )
+                if (msg.width, msg.height) != (hello.width, hello.height):
+                    raise ProtocolError(
+                        f"FRAME geometry {msg.width}x{msg.height} disagrees "
+                        f"with HELLO {hello.width}x{hello.height}"
+                    )
+                registry.inc("repro_serving_frames_total", direction="in",
+                             help="Frames crossing the wire by direction")
                 registry.inc(
-                    "repro_serving_frames_dropped_total",
-                    reason="backpressure",
-                    help="Frames dropped by the serving layer, by reason",
+                    "repro_serving_bytes_total", len(msg.luma),
+                    direction="in",
+                    help="Payload bytes crossing the wire by direction",
                 )
-                await self._egress_put(session, Encoded(
-                    frame_index=index, frame_type="",
-                    dropped="backpressure",
-                ))
-                continue
-            luma = np.frombuffer(msg.luma, dtype=np.uint8).reshape(
-                msg.height, msg.width
-            ).copy()
-            session.arrival_s[index] = time.perf_counter()
-            session.ingest.put_nowait(Frame(luma, index=index))
-            depth = session.ingest.qsize()
-            if depth > session.stats.peak_ingest_depth:
-                session.stats.peak_ingest_depth = depth
-                registry.set_gauge(
-                    "repro_serving_queue_depth_peak", depth, queue="ingest",
-                    help="Highest per-session queue depth observed",
-                )
-            if cfg.queue_frames and depth > cfg.queue_frames:
-                raise RuntimeError(
-                    "ingest queue exceeded its bound"
-                )  # pragma: no cover - guarded by maxsize
+                index = session.next_index
+                session.next_index += 1
+                session.stats.frames_received += 1
+                if session.ingest.full():
+                    # Backpressure: the client outruns the encoder.  The
+                    # incoming frame is dropped (never buffered), keeping
+                    # the queue depth at its configured bound.
+                    session.stats.dropped_backpressure += 1
+                    registry.inc(
+                        "repro_serving_frames_dropped_total",
+                        reason="backpressure",
+                        help="Frames dropped by the serving layer, by reason",
+                    )
+                    await self._egress_put(session, Encoded(
+                        frame_index=index, frame_type="",
+                        dropped="backpressure",
+                    ))
+                    continue
+                luma = np.frombuffer(msg.luma, dtype=np.uint8).reshape(
+                    msg.height, msg.width
+                ).copy()
+                session.arrival_s[index] = time.perf_counter()
+                session.ingest.put_nowait(Frame(luma, index=index))
+                depth = session.ingest.qsize()
+                if depth > session.stats.peak_ingest_depth:
+                    session.stats.peak_ingest_depth = depth
+                    registry.set_gauge(
+                        "repro_serving_queue_depth_peak", depth,
+                        queue="ingest",
+                        help="Highest per-session queue depth observed",
+                    )
+                if cfg.queue_frames and depth > cfg.queue_frames:
+                    raise RuntimeError(
+                        "ingest queue exceeded its bound"
+                    )  # pragma: no cover - guarded by maxsize
+        finally:
+            drain_wait.cancel()
+            await asyncio.gather(drain_wait, return_exceptions=True)
+
+    def _watchdog_timeout(self, session: _Session) -> Optional[float]:
+        """Wall-clock budget for one ``push`` (at most one GOP encode),
+        or ``None`` when the watchdog is disarmed."""
+        multiple = self.config.watchdog_multiple
+        if multiple <= 0:
+            return None
+        return max(self.config.watchdog_min_s,
+                   multiple * session.slot_s * session.gop_size)
+
+    def _tracks_gop_state(self, session: _Session) -> bool:
+        return (session.journal is not None
+                or self._watchdog_timeout(session) is not None)
 
     async def _encode_loop(self, session: _Session) -> None:
         loop = asyncio.get_running_loop()
+        # Re-push frames parked by a previous drain before touching the
+        # wire queue: they carry their original indices, so the resumed
+        # GOP is built from exactly the frames the old run accepted.
+        prefeed, session.prefeed = session.prefeed, []
+        for frame in prefeed:
+            outputs = await self._push_frame(session, frame)
+            await self._queue_boundary(session, outputs)
         while True:
             item = await session.ingest.get()
             if item is _BYE_SENTINEL:
+                # Let every queued GOP become durable and reach the
+                # wire before the tail flush and BYE.
+                await session.emit_queue.join()
                 outputs = await loop.run_in_executor(
                     self._encode_pool, session.stream.finish
                 )
                 await self._emit_outputs(session, outputs)
+                session.completed = True
                 await self._egress_put(
                     session,
                     Stats(session.stats.to_dict(self.config.queue_frames)),
@@ -476,14 +808,203 @@ class NetworkServer:
                     session, Bye("session complete"), coalesce=False
                 )
                 await session.egress.put(_BYE_SENTINEL)
+                await session.emit_queue.put(_BYE_SENTINEL)
                 return
-            try:
-                outputs = await loop.run_in_executor(
-                    self._encode_pool, session.stream.push, item
+            if item is _DRAIN_SENTINEL:
+                await session.emit_queue.join()
+                await self._park_session(session)
+                await session.emit_queue.put(_BYE_SENTINEL)
+                return
+            outputs = await self._push_frame(session, item)
+            await self._queue_boundary(session, outputs)
+
+    async def _push_frame(self, session: _Session,
+                          frame: Frame) -> List[FrameOutput]:
+        """One encoder push, watchdog-guarded when armed."""
+        loop = asyncio.get_running_loop()
+        if self._tracks_gop_state(session):
+            session.replay_frames.append(frame)
+        stream = session.stream
+        future = loop.run_in_executor(self._encode_pool, stream.push, frame)
+        timeout = self._watchdog_timeout(session)
+        try:
+            if timeout is None:
+                return await future
+            return await asyncio.wait_for(asyncio.shield(future), timeout)
+        except CorruptFrameError as exc:
+            raise ProtocolError(f"unencodable frame: {exc}") from exc
+        except asyncio.TimeoutError:
+            # The executor thread is wedged; Python cannot kill it, so
+            # swallow whatever it eventually produces and move on.
+            future.add_done_callback(lambda f: f.exception())
+            await self._fire_watchdog(session, frame)
+            return []
+
+    async def _fire_watchdog(self, session: _Session,
+                             frame: Frame) -> None:
+        """A push exceeded its deadline multiple: abandon it, rebuild
+        the stream at the last GOP boundary, drop the wedged frame,
+        degrade, and re-pack the allocator around the sick core."""
+        registry = get_registry()
+        session.stats.watchdog_fires += 1
+        session.stats.dropped_watchdog += 1
+        registry.inc("repro_serving_watchdog_fires_total",
+                     help="Encode watchdog firings")
+        registry.inc("repro_serving_frames_dropped_total", reason="watchdog",
+                     help="Frames dropped by the serving layer, by reason")
+        session.epoch += 1
+        # Replace the shared executor: its single worker thread is
+        # stuck inside the wedged push.  Sessions with work queued on
+        # the old pool see a cancellation and abort — their journals
+        # (when enabled) let them resume; head-of-line blocking behind
+        # a wedged thread would stall them forever anyway.
+        old_pool = self._encode_pool
+        self._encode_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-encode"
+        )
+        old_pool.shutdown(wait=False, cancel_futures=True)
+        # Rebuild the stream from the in-memory GOP-boundary snapshot
+        # and re-buffer the interrupted GOP minus the wedged frame.
+        replay = [f for f in session.replay_frames
+                  if f.index != frame.index]
+        session.replay_frames = []
+        stream = session.transcoder.open_session()
+        if session.last_state is not None:
+            stream.import_state(session.last_state)
+        session.stream = stream
+        loop = asyncio.get_running_loop()
+        for f in replay:
+            session.replay_frames.append(f)
+            # Mid-GOP pushes only validate and buffer (encoding happens
+            # at the flush), so re-feeding is cheap and cannot wedge.
+            await loop.run_in_executor(self._encode_pool, stream.push, f)
+        stream.bump_degradation(frame.index)
+        self.admission.replan_after_stall(
+            session.session_id, 1.0 / session.slot_s
+        )
+        session.arrival_s.pop(frame.index, None)
+        await self._egress_put(session, Encoded(
+            frame_index=frame.index, frame_type="", dropped="watchdog",
+        ))
+        get_tracer().event(
+            "serving.watchdog", session=session.session_id,
+            frame=frame.index, epoch=session.epoch,
+        )
+
+    async def _queue_boundary(self, session: _Session,
+                              outputs: List[FrameOutput]) -> None:
+        """Hand one push's outputs to the emit loop.
+
+        At a GOP boundary the cross-GOP state is captured *here*,
+        synchronously (``export_state`` builds a small dict and borrows
+        the previous-original plane without copying), so the watchdog
+        and drain paths always see current recovery state.  The
+        expensive durability work — plane packing, checksumming, the
+        fsync'd append — is scheduled on the journal writer thread and
+        the resulting future queued alongside the outputs: the encode
+        thread moves straight on to the next frame while
+        :meth:`_emit_loop` awaits the append before letting the GOP
+        reach egress (journal-before-egress is what makes everything
+        the client ever saw replayable)."""
+        if not outputs:
+            return
+        append = None
+        if self._tracks_gop_state(session):
+            state = session.stream.export_state()
+            session.last_state = state
+            session.replay_frames = []
+            journal = session.journal
+            if journal is not None:
+                def persist() -> None:
+                    packed_state = dict(state)
+                    previous = packed_state.get("previous_original")
+                    packed_state["previous_original"] = (
+                        pack_plane(previous) if previous is not None
+                        else None
+                    )
+                    journal.append("gop", {
+                        "gop_index": int(state["gop_index"]) - 1,
+                        "state": packed_state,
+                        "outputs": [
+                            frame_output_record(o) for o in outputs
+                        ],
+                        "next_frame_index": max(
+                            o.frame_index for o in outputs
+                        ) + 1,
+                    })
+
+                append = asyncio.get_running_loop().run_in_executor(
+                    self._journal_pool, persist
                 )
-            except CorruptFrameError as exc:
-                raise ProtocolError(f"unencodable frame: {exc}") from exc
+                # The emit loop awaits this; retrieve defensively too,
+                # for sessions torn down with an append still queued.
+                append.add_done_callback(
+                    lambda f: f.cancelled() or f.exception()
+                )
+        await session.emit_queue.put((append, outputs))
+
+    async def _emit_loop(self, session: _Session) -> None:
+        """Per-session emitter: for each queued GOP, await its journal
+        append (when journaling) and only then emit the outputs.  Runs
+        concurrently with the encode loop so durability work overlaps
+        encode work instead of stalling it."""
+        while True:
+            item = await session.emit_queue.get()
+            if item is _BYE_SENTINEL:
+                session.emit_queue.task_done()
+                return
+            append, outputs = item
+            try:
+                if append is not None:
+                    await append
+                    get_registry().inc(
+                        "repro_serving_journal_gops_total",
+                        help="GOP records made durable by session journals",
+                    )
+                await self._emit_outputs(session, outputs)
+            finally:
+                session.emit_queue.task_done()
+
+    async def _park_session(self, session: _Session) -> None:
+        """Drain-path exit: journal the in-flight GOP's raw frames (a
+        ``park`` record) so a restarted server resumes bit-identically,
+        or — journal-less — flush the partial GOP the classic way."""
+        loop = asyncio.get_running_loop()
+        if session.journal is not None:
+            journal = session.journal
+            frames = list(session.replay_frames)
+            next_index = session.next_index
+
+            def park() -> None:
+                journal.append("park", {
+                    "next_frame_index": next_index,
+                    "frames": [
+                        {"frame_index": f.index,
+                         "plane": pack_plane(f.luma)}
+                        for f in frames
+                    ],
+                })
+
+            await loop.run_in_executor(self._journal_pool, park)
+            session.stats.parked = True
+            get_registry().inc(
+                "repro_serving_sessions_parked_total",
+                help="Sessions parked to their journal by a drain",
+            )
+            reason = "server draining; session parked for resume"
+        else:
+            outputs = await loop.run_in_executor(
+                self._encode_pool, session.stream.finish
+            )
             await self._emit_outputs(session, outputs)
+            reason = "server draining"
+        await self._egress_put(
+            session,
+            Stats(session.stats.to_dict(self.config.queue_frames)),
+            coalesce=False,
+        )
+        await self._egress_put(session, Bye(reason), coalesce=False)
+        await session.egress.put(_BYE_SENTINEL)
 
     async def _emit_outputs(self, session: _Session,
                             outputs: List[FrameOutput]) -> None:

@@ -756,6 +756,79 @@ class ProposedStreamSession:
             return self._flush_gop()
         return []
 
+    def bump_degradation(self, frame_index: int = -1,
+                         kind: str = "watchdog"):
+        """Force one rung of ladder escalation (serving watchdog hook).
+
+        Returns the new :class:`DegradationLevel`, or ``None`` when the
+        session runs without a resilience config."""
+        if not self._resilient:
+            return None
+        return self._feedback.force_escalate(frame_index, kind=kind)
+
+    # -- persistence ---------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Snapshot the session's cross-GOP state at a GOP boundary.
+
+        Only callable when no frames are pending (i.e. right after a
+        :meth:`push` that flushed a GOP, or before any push): within a
+        GOP the encoder also depends on intra-GOP reference planes and
+        adaptation state that this snapshot deliberately excludes.  A
+        fresh session that imports the snapshot and is fed the same
+        subsequent frames produces bit-identical output to this session
+        — the property the serving layer's journaled resume builds on.
+
+        ``previous_original`` is returned as the raw ``ndarray``;
+        serialization (compression, encoding) is the caller's concern.
+        """
+        if self._pending:
+            raise ValueError(
+                "export_state requires a GOP boundary "
+                f"({len(self._pending)} frames pending)"
+            )
+        resolved = getattr(self.transcoder, "_resolved_class", None)
+        return {
+            "gop_index": self._gop_index,
+            "frames_pushed": self._frames_pushed,
+            "recent_bits": list(self._recent_bits),
+            "reference_shape": (
+                list(self._reference_shape)
+                if self._reference_shape is not None else None
+            ),
+            "content_class": resolved.value if resolved else None,
+            "feedback": (
+                self._feedback.export_state() if self._resilient else None
+            ),
+            "dropped_frames": list(self.trace.dropped_frames),
+            "previous_original": self._previous_original,
+        }
+
+    def import_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot from :meth:`export_state` into a *fresh*
+        session (nothing pushed yet)."""
+        if self._frames_pushed or self._pending or self._finished:
+            raise ValueError("import_state requires a fresh session")
+        self._gop_index = int(state["gop_index"])
+        self._frames_pushed = int(state["frames_pushed"])
+        self._recent_bits = [int(b) for b in state["recent_bits"]]
+        shape = state.get("reference_shape")
+        self._reference_shape = tuple(shape) if shape is not None else None
+        self.trace.dropped_frames = [
+            int(i) for i in state.get("dropped_frames", [])
+        ]
+        content = state.get("content_class")
+        if content:
+            self.transcoder._resolved_class = ContentClass(content)
+        feedback = state.get("feedback")
+        if feedback is not None and self._resilient:
+            self._feedback.import_state(feedback)
+        previous = state.get("previous_original")
+        if previous is not None:
+            self._previous_original = np.asarray(previous, dtype=np.uint8)
+        # The next pushed frame starts a new GOP with an I frame, so no
+        # reconstruction reference crosses the boundary.
+        self._reference = None
+
     def finish(self) -> List[FrameOutput]:
         """Flush the final partial GOP and close the session."""
         if self._finished:

@@ -390,6 +390,18 @@ class TestLutCheckpoint:
         with pytest.raises(LutCorruptionError):
             load_lut(path, strict=True)
 
+    def test_truncated_checkpoint_strict_raises(self, small_video, tmp_path):
+        lut = _trained_lut(small_video)
+        path = tmp_path / "lut.json"
+        save_lut(lut, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:len(raw) // 2])  # torn write
+        with pytest.raises(LutCorruptionError):
+            load_lut(path, strict=True)
+        loaded = load_lut(path)  # lenient mode: fall back to cold start
+        assert not loaded.recovered
+        assert len(loaded.lut) == 0
+
     def test_validate_drops_corrupted_entries(self, small_video):
         lut = _trained_lut(small_video)
         before = len(lut)
