@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.serving.protocol import (
+    DEFAULT_DECODER_MAX_PAYLOAD,
+    MAX_PAYLOAD,
     Bye,
     Encoded,
     ErrorMsg,
@@ -315,6 +317,10 @@ async def _session_attempt(config: LoadGenConfig, index: int,
     a drain-parked BYE leaves it unset so the caller reconnects.
     """
     reader, writer = await asyncio.open_connection(config.host, config.port)
+    # Reader allocation bound: ENCODED carries one reconstructed plane
+    # of the session's geometry; never loosen beyond the wire ceiling.
+    recv_max = min(MAX_PAYLOAD, max(DEFAULT_DECODER_MAX_PAYLOAD,
+                                    config.width * config.height + 1024))
     try:
         if report.resume_token:
             await write_message(writer, Resume(
@@ -322,7 +328,7 @@ async def _session_attempt(config: LoadGenConfig, index: int,
                 have_below=state.have_below,
                 client_id=f"loadgen-{index}",
             ))
-            ack = await read_message(reader)
+            ack = await read_message(reader, max_payload=recv_max)
             if not isinstance(ack, ResumeAck):
                 raise ProtocolError(
                     f"expected RESUME_ACK, got {ack.type.name}"
@@ -339,10 +345,10 @@ async def _session_attempt(config: LoadGenConfig, index: int,
                 num_frames=config.frames, gop=config.gop,
                 content_class=content.value, client_id=f"loadgen-{index}",
             ))
-            ack = await read_message(reader)
+            ack = await read_message(reader, max_payload=recv_max)
             while isinstance(ack, HelloAck) and ack.decision == "park":
                 report.parked = True
-                ack = await read_message(reader)
+                ack = await read_message(reader, max_payload=recv_max)
             if not isinstance(ack, HelloAck):
                 raise ProtocolError(
                     f"expected HELLO_ACK, got {ack.type.name}"
@@ -370,7 +376,7 @@ async def _session_attempt(config: LoadGenConfig, index: int,
 
         async def receiver() -> None:
             while True:
-                msg = await read_message(reader)
+                msg = await read_message(reader, max_payload=recv_max)
                 if isinstance(msg, Encoded):
                     first = msg.frame_index not in state.outcomes
                     state.outcomes[msg.frame_index] = msg.dropped

@@ -565,8 +565,16 @@ class MessageDecoder:
 # ----------------------------------------------------------------------
 # asyncio adapters
 # ----------------------------------------------------------------------
-async def read_message(reader) -> Message:
+async def read_message(
+    reader, max_payload: int = DEFAULT_DECODER_MAX_PAYLOAD
+) -> Message:
     """Read exactly one message from an ``asyncio.StreamReader``.
+
+    ``max_payload`` bounds what the reader will commit to allocating
+    for one message (same contract as :class:`MessageDecoder`): a
+    declared length beyond it is rejected as soon as the header is
+    parsed, before a single payload byte is buffered.  Raise it per
+    call site when legitimately receiving larger planes.
 
     Raises :class:`ProtocolError` on framing violations and
     ``asyncio.IncompleteReadError`` / ``ConnectionError`` on transport
@@ -575,6 +583,11 @@ async def read_message(reader) -> Message:
     """
     header = await reader.readexactly(HEADER_SIZE)
     mtype, flags, length, crc = _parse_header(header)
+    if length > min(max_payload, MAX_PAYLOAD):
+        raise ProtocolError(
+            f"declared payload of {length} bytes exceeds the reader "
+            f"limit of {min(max_payload, MAX_PAYLOAD)}"
+        )
     payload = await reader.readexactly(length) if length else b""
     _check_payload(payload, crc)
     return _DECODERS[mtype](flags, payload)

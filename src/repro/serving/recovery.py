@@ -41,6 +41,9 @@ Record kinds, in the order a journal accumulates them:
     the raw frames pushed since the last boundary plus anything still
     queued, so a restarted server re-feeds them and the GOP
     structure — hence the output bytes — match an uninterrupted run.
+    Also carries any outcomes egressed since the last boundary that no
+    ``gop`` record covers (watchdog drops), so replay classification
+    matches the original delivery.
 ``resume``
     A marker written when a reconnecting client reattaches; it
     invalidates any earlier ``park`` record (its frames were
@@ -243,6 +246,11 @@ class JournalReadResult:
     )  #: intact ``(kind, payload)`` pairs, in sequence order
     truncated: bool = False  #: a partial final line was discarded
     reason: str = "ok"  #: "ok", "truncated tail", or corruption detail
+    #: Byte offset just past the last intact record (newline included).
+    #: When ``truncated``, the file must be cut back to this offset
+    #: before any further append — appending onto a torn tail would
+    #: weld the next record to the partial line and corrupt the file.
+    intact_bytes: int = 0
 
     @property
     def next_seq(self) -> int:
@@ -311,6 +319,7 @@ def read_journal(path: Union[str, os.PathLike],
             result.reason = str(exc)
             return result
         result.records.append((kind, payload))
+        result.intact_bytes += len(line) + 1
     if tail_torn:
         result.truncated = True
         result.reason = "truncated tail"
@@ -347,6 +356,10 @@ class RestoredSession:
     #: Sequence number the continuing journal must start at.
     next_seq: int
     truncated: bool = False
+    #: Byte offset of the end of the last intact record; a continuing
+    #: journal must be truncated to this before appending when
+    #: ``truncated`` (see :meth:`JournalStore.reopen`).
+    intact_bytes: int = 0
 
 
 def restore_session(path: Union[str, os.PathLike],
@@ -386,6 +399,11 @@ def restore_session(path: Union[str, os.PathLike],
                 (int(f["frame_index"]), unpack_plane(f["plane"]))
                 for f in payload.get("frames", [])
             ]
+            # Outcomes egressed outside a gop record (watchdog drops)
+            # ride along in the park record so a replay classifies
+            # them identically to the original delivery.
+            for rec in payload.get("outputs", []):
+                outputs[int(rec["frame_index"])] = rec
             next_frame_index = int(payload["next_frame_index"])
             parked = True
         elif kind == "resume":
@@ -397,6 +415,7 @@ def restore_session(path: Union[str, os.PathLike],
         token=token, admit=dict(admit), state=state, outputs=outputs,
         pending=pending, next_frame_index=next_frame_index, parked=parked,
         resumes=resumes, next_seq=scan.next_seq, truncated=scan.truncated,
+        intact_bytes=scan.intact_bytes,
     )
 
 
@@ -468,10 +487,21 @@ class JournalStore:
             raise ValueError(f"journal for token {token!r} already exists")
         return SessionJournal(path, fsync=self.fsync)
 
-    def reopen(self, token: str, next_seq: int) -> SessionJournal:
-        """Reopen an existing journal for appending (resume path)."""
-        return SessionJournal(self.path_for(token), fsync=self.fsync,
-                              next_seq=next_seq)
+    def reopen(self, token: str, next_seq: int,
+               truncate_to: Optional[int] = None) -> SessionJournal:
+        """Reopen an existing journal for appending (resume path).
+
+        ``truncate_to`` is the restore's ``intact_bytes``: when a
+        mid-append crash left a torn final line, the file is cut back
+        to the last intact record *before* the append handle opens —
+        otherwise the next record would be welded onto the partial
+        line, turning a benign truncation into mid-file corruption
+        that makes every later strict restore fail.
+        """
+        path = self.path_for(token)
+        if truncate_to is not None and os.path.getsize(path) > truncate_to:
+            os.truncate(path, truncate_to)
+        return SessionJournal(path, fsync=self.fsync, next_seq=next_seq)
 
     def restore(self, token: str, strict: bool = False) -> RestoredSession:
         return restore_session(self.path_for(token), strict=strict)

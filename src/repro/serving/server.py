@@ -70,6 +70,7 @@ from repro.serving.admission import (
     AdmissionPolicy,
 )
 from repro.serving.protocol import (
+    MAX_PAYLOAD,
     Bye,
     Encoded,
     ErrorMsg,
@@ -287,6 +288,10 @@ class _Session:
         self.replay_frames: List[Frame] = []
         #: In-memory copy of the last GOP-boundary snapshot.
         self.last_state: Optional[Dict[str, object]] = None
+        #: Outcomes egressed outside the GOP flush (watchdog drops),
+        #: awaiting durability in the next ``gop``/``park`` record so a
+        #: resume replays them with their original classification.
+        self.pending_drops: List[Dict[str, object]] = []
         #: Parked frames a resume must re-push before reading the wire.
         self.prefeed: List[Frame] = []
         #: Ordered hand-off from the encode loop to the emit loop:
@@ -357,6 +362,22 @@ class NetworkServer:
         self._active_handlers = 0
         self._draining = False
         self._drain_event = asyncio.Event()
+        # resume_token -> the connection-handler task currently serving
+        # that journal.  A RESUME for an attached token preempts the
+        # old handler (half-open TCP: the client is gone but the server
+        # side has not noticed) so two sessions never append to one
+        # journal concurrently.
+        self._attached: Dict[str, asyncio.Task] = {}
+        # Per-message allocation bound for reads: sized to the largest
+        # FRAME the configured geometry ceiling permits (plus framing
+        # slack), never beyond the wire-format ceiling — a client
+        # cannot make the server commit to a 32 MiB buffer by inflating
+        # the declared length.
+        self._recv_max_payload = min(
+            MAX_PAYLOAD,
+            max(65536,
+                config.max_frame_width * config.max_frame_height + 1024),
+        )
 
     def _lut_path(self) -> str:
         return os.path.join(self.config.journal_dir, "lut.json")
@@ -471,7 +492,8 @@ class NetworkServer:
         cfg = self.config
         registry = get_registry()
         msg = await asyncio.wait_for(
-            read_message(reader), timeout=cfg.hello_timeout_s
+            read_message(reader, max_payload=self._recv_max_payload),
+            timeout=cfg.hello_timeout_s,
         )
         if isinstance(msg, Resume):
             await self._resume_connection(msg, reader, writer)
@@ -544,6 +566,34 @@ class NetworkServer:
                 decision="reject", reason="unknown resume token",
             ))
             return
+        # Half-open TCP: the client timed out and reconnected while the
+        # old handler is still alive (e.g. a chaos-proxy stall).  The
+        # journal admits one writer, so preempt the old handler —
+        # cancel it and wait for its teardown (which closes its journal
+        # handle) before reading the journal.
+        old = self._attached.get(msg.resume_token)
+        if old is not None and not old.done():
+            registry.inc("repro_serving_resume_preemptions_total",
+                         help="Attached sessions preempted by a RESUME")
+            old.cancel()
+            await asyncio.wait({old}, timeout=cfg.hello_timeout_s)
+            if not old.done():
+                await write_message(writer, ResumeAck(
+                    decision="reject",
+                    reason="session still attached; preemption timed out",
+                ))
+                return
+        # Claim the token before touching the journal so a concurrent
+        # RESUME for the same token preempts *this* handler instead of
+        # racing it to the reopen.
+        self._attached[msg.resume_token] = asyncio.current_task()
+        # Barrier through the single journal-writer thread: any append
+        # the old session scheduled before teardown has now either
+        # landed in the file or failed against the closed handle, so
+        # the restore below reads the journal's final state.
+        await asyncio.get_running_loop().run_in_executor(
+            self._journal_pool, lambda: None
+        )
         try:
             restored = store.restore(msg.resume_token, strict=True)
         except JournalCorruptionError as exc:
@@ -574,7 +624,12 @@ class NetworkServer:
                 decision="reject", session_id=session_id, reason=reason,
             ))
             return
-        journal = store.reopen(msg.resume_token, restored.next_seq)
+        # A mid-append crash leaves a torn final line; cut the file back
+        # to its last intact record before appending, or the next
+        # record would merge with the partial line mid-file and poison
+        # every later strict restore.
+        journal = store.reopen(msg.resume_token, restored.next_seq,
+                               truncate_to=restored.intact_bytes)
         session = _Session(session_id, hello, self,
                            resume_token=msg.resume_token, journal=journal,
                            restored=restored)
@@ -623,6 +678,9 @@ class NetworkServer:
             "serving.session", session=session.session_id,
             width=session.hello.width, height=session.hello.height,
         )
+        task = asyncio.current_task()
+        if session.resume_token:
+            self._attached[session.resume_token] = task
         try:
             with span:
                 await self._run_session(session, reader, writer)
@@ -633,6 +691,8 @@ class NetworkServer:
                          help="Finished sessions by outcome")
             raise
         finally:
+            if self._attached.get(session.resume_token) is task:
+                del self._attached[session.resume_token]
             session.transcoder.close()
             if session.journal is not None:
                 session.journal.close()
@@ -695,7 +755,9 @@ class NetworkServer:
         drain_wait = asyncio.ensure_future(self._drain_event.wait())
         try:
             while True:
-                read_task = asyncio.ensure_future(read_message(reader))
+                read_task = asyncio.ensure_future(
+                    read_message(reader, max_payload=self._recv_max_payload)
+                )
                 await asyncio.wait(
                     {read_task, drain_wait},
                     return_when=asyncio.FIRST_COMPLETED,
@@ -883,6 +945,14 @@ class NetworkServer:
             session.session_id, 1.0 / session.slot_s
         )
         session.arrival_s.pop(frame.index, None)
+        if session.journal is not None:
+            # The drop is egressed here, outside any GOP flush, so it
+            # rides in the next gop/park record — a resume must replay
+            # it as "watchdog", not re-synthesize it as backpressure.
+            session.pending_drops.append({
+                "frame_index": int(frame.index), "dropped": "watchdog",
+                "frame_type": "", "bits": 0, "psnr": 0.0, "recon": None,
+            })
         await self._egress_put(session, Encoded(
             frame_index=frame.index, frame_type="", dropped="watchdog",
         ))
@@ -915,6 +985,10 @@ class NetworkServer:
             session.replay_frames = []
             journal = session.journal
             if journal is not None:
+                # Claim already-egressed watchdog drops synchronously:
+                # they become durable with this GOP record.
+                drops, session.pending_drops = session.pending_drops, []
+
                 def persist() -> None:
                     packed_state = dict(state)
                     previous = packed_state.get("previous_original")
@@ -925,11 +999,12 @@ class NetworkServer:
                     journal.append("gop", {
                         "gop_index": int(state["gop_index"]) - 1,
                         "state": packed_state,
-                        "outputs": [
+                        "outputs": drops + [
                             frame_output_record(o) for o in outputs
                         ],
                         "next_frame_index": max(
-                            o.frame_index for o in outputs
+                            [o.frame_index for o in outputs]
+                            + [int(d["frame_index"]) for d in drops]
                         ) + 1,
                     })
 
@@ -974,6 +1049,7 @@ class NetworkServer:
             journal = session.journal
             frames = list(session.replay_frames)
             next_index = session.next_index
+            drops, session.pending_drops = session.pending_drops, []
 
             def park() -> None:
                 journal.append("park", {
@@ -983,6 +1059,7 @@ class NetworkServer:
                          "plane": pack_plane(f.luma)}
                         for f in frames
                     ],
+                    "outputs": drops,
                 })
 
             await loop.run_in_executor(self._journal_pool, park)

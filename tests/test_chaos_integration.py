@@ -196,6 +196,89 @@ class TestResumeAfterCut:
         _assert_bit_identical(received, reference)
 
 
+class TestResumePreemption:
+    def test_resume_preempts_half_open_session(self, tmp_path):
+        """A RESUME while the old handler is still attached (half-open
+        TCP: the client timed out, the server never noticed) preempts
+        the old session instead of letting two writers interleave
+        records in one journal."""
+        content = ContentClass.BRAIN
+        video = generate_video(content, width=_W, height=_H,
+                               num_frames=_FRAMES, seed=24)
+        hello = _hello(video, content)
+
+        async def run():
+            server = NetworkServer(ServeNetConfig(
+                port=0, journal_dir=str(tmp_path)))
+            await server.start()
+            received = {}
+            try:
+                r1, w1 = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                try:
+                    await write_message(w1, hello)
+                    ack = await read_message(r1)
+                    assert isinstance(ack, HelloAck)
+                    assert ack.decision == "accept"
+                    token = ack.resume_token
+                    # Stream six frames so the first GOP becomes
+                    # durable, then go silent: the server-side handler
+                    # stays alive, blocked on the half-open socket.
+                    for frame in video.frames[:6]:
+                        await write_message(w1, _frame_msg(frame))
+                    while len(received) < _GOP:
+                        msg = await read_message(r1)
+                        if isinstance(msg, Encoded):
+                            received.setdefault(msg.frame_index, msg)
+
+                    # The client gives up on the stalled connection and
+                    # RESUMEs on a fresh one while the old handler is
+                    # still attached to the journal.
+                    have_below = 0
+                    while have_below in received:
+                        have_below += 1
+                    r2, w2 = await asyncio.open_connection(
+                        "127.0.0.1", server.port)
+                    try:
+                        await write_message(w2, Resume(
+                            resume_token=token, have_below=have_below,
+                            client_id="chaos-test"))
+                        ack2 = await read_message(r2)
+                        assert isinstance(ack2, ResumeAck)
+                        assert ack2.decision == "accept", ack2.reason
+                        assert ack2.next_frame_index == _GOP
+                        # The preempted handler tore its connection down.
+                        with pytest.raises((asyncio.IncompleteReadError,
+                                            ConnectionError, OSError)):
+                            while True:
+                                await read_message(r1)
+                        for frame in video.frames[ack2.next_frame_index:]:
+                            await write_message(w2, _frame_msg(frame))
+                        await write_message(w2, Bye("done"))
+                        reason, stats = await _collect_until_bye(
+                            r2, received)
+                        assert reason == "session complete"
+                        assert stats["recovery"]["resumes"] == 1
+                    finally:
+                        await _close(w2)
+                finally:
+                    await _close(w1)
+            finally:
+                await server.drain()
+            return received
+
+        with scoped():
+            received = asyncio.run(run())
+            registry = get_registry()
+            preempted = registry.value(
+                "repro_serving_resume_preemptions_total")
+            resumes = registry.value("repro_serving_resumes_total")
+        assert preempted == 1 and resumes == 1
+        with scoped():
+            reference = _offline_reference(video, content)
+        _assert_bit_identical(received, reference)
+
+
 class TestDrainAndRestart:
     def test_parked_session_survives_server_restart(self, tmp_path):
         content = ContentClass.BONE

@@ -33,6 +33,7 @@ from repro.serving.protocol import (
     ResumeAck,
     decode_frame,
     encode_message,
+    read_message,
 )
 from repro.serving.recovery import (
     JournalStore,
@@ -133,6 +134,16 @@ class TestSessionJournal:
             assert journal.append("gop", {"next_frame_index": 8}) == 2
         assert read_journal(path, strict=True).next_seq == 3
 
+    def test_intact_bytes_excludes_torn_tail(self, tmp_path):
+        path = tmp_path / "s.journal"
+        self._write(path)
+        clean_size = path.stat().st_size
+        with open(path, "ab") as fh:
+            fh.write(b'{"seq": 3, "kind": "gop"')  # crash mid-write
+        scan = read_journal(path)
+        assert scan.truncated
+        assert scan.intact_bytes == clean_size
+
 
 class TestJournalStore:
     def test_token_is_sanitized_and_unique(self, tmp_path):
@@ -162,6 +173,44 @@ class TestJournalStore:
         assert store.tokens() == [token]
         store.discard(token)
         assert store.tokens() == [] and not store.exists(token)
+
+    def test_reopen_repairs_torn_tail(self, tmp_path):
+        # A crash mid-append leaves a partial final line.  Reopening
+        # for append must truncate it first: otherwise the next record
+        # merges with the garbage mid-file and every later strict
+        # restore fails — the session becomes permanently unresumable.
+        store = JournalStore(tmp_path, fsync=False)
+        token = store.new_token(3)
+        with store.create(token) as journal:
+            journal.append("admit", {"token": token, "qp": 32})
+            journal.append("gop", {"gop_index": 0,
+                                   "state": {"previous_original": None},
+                                   "outputs": [], "next_frame_index": 4})
+        path = store.path_for(token)
+        with open(path, "ab") as fh:
+            fh.write(b'{"seq": 2, "kind": "gop"')  # crash mid-write
+        restored = store.restore(token, strict=True)
+        assert restored.truncated and restored.next_seq == 2
+        with store.reopen(token, restored.next_seq,
+                          truncate_to=restored.intact_bytes) as journal:
+            journal.append("resume", {"have_below": 0})
+        # The continuation is clean: strict restore keeps working.
+        healed = store.restore(token, strict=True)
+        assert not healed.truncated
+        assert healed.next_seq == 3 and healed.resumes == 1
+
+    def test_reopen_truncate_is_noop_on_clean_journal(self, tmp_path):
+        store = JournalStore(tmp_path, fsync=False)
+        token = store.new_token(4)
+        with store.create(token) as journal:
+            journal.append("admit", {"token": token})
+        restored = store.restore(token, strict=True)
+        size = (tmp_path / (token + ".journal")).stat().st_size
+        with store.reopen(token, restored.next_seq,
+                          truncate_to=restored.intact_bytes) as journal:
+            journal.append("resume", {"have_below": 0})
+        assert (tmp_path / (token + ".journal")).stat().st_size > size
+        assert store.restore(token, strict=True).next_seq == 2
 
 
 # ----------------------------------------------------------------------
@@ -246,6 +295,40 @@ class TestRestoreSession:
         assert by_index[3].dropped is None and by_index[3].bits == 100
         assert by_index[5].dropped == "backpressure"
 
+    def test_watchdog_drop_keeps_classification_across_resume(
+            self, tmp_path):
+        # A watchdog drop is egressed outside the GOP flush; it rides
+        # in the gop/park "outputs" so a replay reports "watchdog",
+        # not a re-synthesized "backpressure".
+        watchdog = {"frame_index": 2, "dropped": "watchdog",
+                    "frame_type": "", "bits": 0, "psnr": 0.0,
+                    "recon": None}
+        path = self._journal(tmp_path, [
+            ("admit", {"token": "t"}),
+            ("gop", self._gop([0, 1], 2)),
+            ("park", {"next_frame_index": 4,
+                      "frames": [{"frame_index": 3,
+                                  "plane": pack_plane(_plane(3, (8, 8)))}],
+                      "outputs": [watchdog]}),
+        ])
+        restored = restore_session(path, strict=True)
+        replay = replay_messages(restored, have_below=0)
+        by_index = {m.frame_index: m for m in replay}
+        assert by_index[2].dropped == "watchdog"
+        assert 3 not in by_index  # parked, re-encoded fresh
+
+    def test_gop_outputs_may_carry_watchdog_drops(self, tmp_path):
+        gop = self._gop([0, 1, 3], 4)
+        gop["outputs"].append({"frame_index": 2, "dropped": "watchdog",
+                               "frame_type": "", "bits": 0, "psnr": 0.0,
+                               "recon": None})
+        path = self._journal(tmp_path, [("admit", {"token": "t"}),
+                                        ("gop", gop)])
+        restored = restore_session(path, strict=True)
+        replay = replay_messages(restored, have_below=0)
+        by_index = {m.frame_index: m for m in replay}
+        assert by_index[2].dropped == "watchdog"
+
 
 # ----------------------------------------------------------------------
 # Protocol v2: RESUME handshake + decoder payload bound
@@ -295,6 +378,28 @@ class TestProtocolResume:
         wire = encode_message(msg)
         decoder = MessageDecoder(max_payload=len(wire) - HEADER_SIZE)
         assert decoder.feed(wire) == [msg]
+
+    def test_read_message_rejects_oversized_declared_length(self):
+        # The asyncio reader honours the same bound as MessageDecoder:
+        # an inflated length field is rejected at the header, before
+        # the reader commits to buffering the payload.
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(
+                "!4sBBHII", b"RPRV", 2, int(MsgType.FRAME), 0, 2048, 0))
+            with pytest.raises(ProtocolError, match="reader limit"):
+                await read_message(reader, max_payload=1024)
+
+        asyncio.run(run())
+
+    def test_read_message_accepts_within_bound(self):
+        async def run():
+            msg = Resume(resume_token="tok-1", have_below=2)
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_message(msg))
+            assert await read_message(reader, max_payload=4096) == msg
+
+        asyncio.run(run())
 
 
 # ----------------------------------------------------------------------
