@@ -10,9 +10,10 @@ PYTEST  := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PY) -m pytest
 HAS_COV := $(shell $(PY) -c "import pytest_cov" 2>/dev/null && echo 1)
 COVOPTS := $(if $(HAS_COV),--cov=repro --cov-report=term-missing)
 
-.PHONY: check test bench-smoke golden serve-demo serve-smoke chaos clean
+.PHONY: check test bench-smoke golden serve-demo serve-smoke chaos \
+	fleet-chaos clean
 
-check: test bench-smoke serve-smoke chaos
+check: test bench-smoke serve-smoke chaos fleet-chaos
 
 test:
 	$(PYTEST) -x -q $(COVOPTS)
@@ -38,6 +39,13 @@ serve-smoke:
 # the severed session RESUMEs and every frame outcome is delivered.
 chaos:
 	PYTHONPATH=src $(PY) -m repro.serving.chaos_smoke
+
+# Fixed-seed fleet failover drill: SIGKILL one of two workers
+# mid-stream; fails unless the dead worker's sessions are adopted by
+# the survivor, delivery is bit-identical to an uninterrupted
+# reference pass, and the supervisor restarts the dead slot.
+fleet-chaos:
+	PYTHONPATH=src $(PY) -m repro.serving.fleet_smoke
 
 # One-shot observability demo: writes metrics.json + trace.jsonl.
 serve-demo:

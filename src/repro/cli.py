@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli transcode video.npz [--baseline] [--parallel-workers N]
     python -m repro.cli serve --metrics-out metrics.json --trace-out trace.jsonl
     python -m repro.cli serve-net --port 9470 [--duration 10] [--journal-dir j]
+    python -m repro.cli serve-fleet --workers 4 --journal-dir j [--port 9470]
     python -m repro.cli loadgen --port 9470 --sessions 3 [--max-reconnects 3]
     python -m repro.cli chaos --port 9471 --upstream-port 9470 --reset-rate 0.01
     python -m repro.cli metrics metrics.json [--prom]
@@ -50,6 +51,14 @@ fault tolerant (exponential backoff + seeded jitter, RESUME with the
 server's token).  ``chaos`` interposes a seeded TCP fault proxy —
 latency spikes, resets, corruption, half-open stalls, or a
 deterministic mid-stream cut — between the two.
+
+``serve-fleet`` runs the supervised multi-worker fleet of ``DESIGN.md``
+§12: N worker processes behind one public port, heartbeat monitoring,
+crash restarts with exponential backoff and a flap circuit breaker, and
+cross-worker session adoption — a RESUME token whose owning worker died
+is adopted by a survivor from the shared ``--journal-dir``.  The
+long-running commands accept ``--run-dir`` so their pidfiles land in a
+dedicated run directory instead of the CWD.
 """
 
 from __future__ import annotations
@@ -193,6 +202,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             disable_tracing()
 
 
+def _enter_run_dir(run_dir: Optional[str], name: str) -> Optional[str]:
+    """Materialise ``run_dir`` and drop ``<name>.pid`` into it.
+
+    Long-running commands (``serve-net``, ``serve-fleet``, ``chaos``)
+    own their runtime artifacts: the pidfile lands in the run directory
+    instead of whatever the shell's CWD happens to be (historically the
+    repo root), so harnesses that background them can find the pid
+    without ``echo $! > server.pid`` debris.  Returns the pidfile path,
+    or ``None`` when no run directory was requested.
+    """
+    if not run_dir:
+        return None
+    os.makedirs(run_dir, exist_ok=True)
+    path = os.path.join(run_dir, f"{name}.pid")
+    with open(path, "w") as fh:
+        fh.write(f"{os.getpid()}\n")
+    return path
+
+
 def _cmd_serve_net(args: argparse.Namespace) -> int:
     import asyncio
     import signal
@@ -201,6 +229,7 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
     from repro.serving.admission import AdmissionPolicy
     from repro.serving.server import NetworkServer, ServeNetConfig
 
+    _enter_run_dir(args.run_dir, "server")
     config = ServeNetConfig(
         host=args.host, port=args.port, fps=args.fps, gop=args.gop,
         seed=args.seed, queue_frames=args.queue_frames,
@@ -260,11 +289,81 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import signal
+
+    from repro.serving.admission import AdmissionPolicy
+    from repro.serving.fleet import (
+        FleetConfig,
+        FleetSupervisor,
+        RestartPolicy,
+    )
+    from repro.serving.server import ServeNetConfig
+
+    _enter_run_dir(args.run_dir, "supervisor")
+    server = ServeNetConfig(
+        fps=args.fps, gop=args.gop, seed=args.seed,
+        queue_frames=args.queue_frames,
+        egress_frames=args.egress_frames,
+        admission=AdmissionPolicy(utilization=args.utilization,
+                                  park_capacity=args.park_capacity),
+        journal_dir=args.journal_dir,
+        journal_fsync=not args.no_journal_fsync,
+        drain_grace_s=args.drain_grace,
+        encode_floor_s=args.encode_floor,
+    )
+    config = FleetConfig(
+        workers=args.workers, host=args.host, port=args.port,
+        mode=args.mode, heartbeat_s=args.heartbeat, server=server,
+        restart=RestartPolicy(backoff_base_s=args.backoff_base,
+                              breaker_threshold=args.breaker_threshold),
+        drain_grace_s=args.drain_grace,
+    )
+
+    async def run() -> None:
+        supervisor = FleetSupervisor(config)
+        await supervisor.start()
+        await supervisor.wait_ready()
+        print(f"fleet serving on {config.host}:{supervisor.port} "
+              f"({config.workers} workers, mode {config.mode})", flush=True)
+        loop = asyncio.get_running_loop()
+        term = asyncio.Event()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, term.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platform without signal handlers (e.g. Windows loop)
+        try:
+            stop = asyncio.ensure_future(term.wait())
+            done, _ = await asyncio.wait({stop}, timeout=args.duration)
+            if stop in done:
+                print("SIGTERM: draining fleet (admissions stopped, "
+                      "in-flight sessions parking)", flush=True)
+            stop.cancel()
+            await asyncio.gather(stop, return_exceptions=True)
+        finally:
+            await supervisor.drain()
+            if args.metrics_out:
+                with open(args.metrics_out, "w") as fh:
+                    json.dump(supervisor.metrics_snapshot(), fh)
+                    fh.write("\n")
+                print(f"wrote metrics snapshot to {args.metrics_out}")
+        print("fleet drained; exiting", flush=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; shut down")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.serving.chaos import ChaosConfig, ChaosProxy
 
+    _enter_run_dir(args.run_dir, "chaos")
     config = ChaosConfig(
         seed=args.seed,
         latency_spike_rate=args.latency_rate,
@@ -490,7 +589,64 @@ def build_parser() -> argparse.ArgumentParser:
     sn.add_argument("--drain-grace", type=float, default=10.0,
                     metavar="SECONDS",
                     help="SIGTERM drain: max wait for in-flight sessions")
+    sn.add_argument("--run-dir", default=None, metavar="DIR",
+                    help="directory for runtime artifacts (pidfile); "
+                         "created if missing")
     sn.set_defaults(func=_cmd_serve_net)
+
+    sf = sub.add_parser(
+        "serve-fleet",
+        help="supervised multi-worker serving fleet with crash failover",
+    )
+    sf.add_argument("--workers", type=int, default=2,
+                    help="number of worker processes")
+    sf.add_argument("--host", default="127.0.0.1")
+    sf.add_argument("--port", type=int, default=0,
+                    help="public TCP port (0 = ephemeral in router mode; "
+                         "reuseport mode requires an explicit port)")
+    sf.add_argument("--mode", default="router",
+                    choices=["router", "reuseport"],
+                    help="router: supervisor owns the port and splices to "
+                         "workers; reuseport: workers share the port via "
+                         "SO_REUSEPORT")
+    sf.add_argument("--fps", type=float, default=24.0)
+    sf.add_argument("--gop", type=int, default=8)
+    sf.add_argument("--seed", type=int, default=0)
+    sf.add_argument("--queue-frames", type=int, default=16)
+    sf.add_argument("--egress-frames", type=int, default=32)
+    sf.add_argument("--utilization", type=float, default=1.0,
+                    help="fraction of cores admission may fill, split "
+                         "evenly across workers")
+    sf.add_argument("--park-capacity", type=int, default=2,
+                    help="per-worker waiting-room size (the fleet-wide "
+                         "park scales with live workers)")
+    sf.add_argument("--journal-dir", required=True, metavar="DIR",
+                    help="shared state directory (journals, leases, LUT "
+                         "checkpoint); required — adoption needs it")
+    sf.add_argument("--no-journal-fsync", action="store_true")
+    sf.add_argument("--heartbeat", type=float, default=0.25,
+                    metavar="SECONDS", help="worker heartbeat interval")
+    sf.add_argument("--backoff-base", type=float, default=0.25,
+                    metavar="SECONDS", help="first restart backoff delay")
+    sf.add_argument("--breaker-threshold", type=int, default=5,
+                    help="worker deaths in the flap window before the "
+                         "slot's circuit breaker opens")
+    sf.add_argument("--encode-floor", type=float, default=0.0,
+                    metavar="SECONDS",
+                    help="minimum wall-clock per encoded frame (pacing "
+                         "for scaling benchmarks; 0 = off)")
+    sf.add_argument("--drain-grace", type=float, default=10.0,
+                    metavar="SECONDS")
+    sf.add_argument("--duration", type=float, default=None,
+                    metavar="SECONDS",
+                    help="stop after this long (default: run until ^C)")
+    sf.add_argument("--metrics-out", default=None, metavar="PATH",
+                    help="write the merged fleet metrics snapshot as "
+                         "JSON on shutdown")
+    sf.add_argument("--run-dir", default=None, metavar="DIR",
+                    help="directory for runtime artifacts (pidfile); "
+                         "created if missing")
+    sf.set_defaults(func=_cmd_serve_fleet)
 
     ch = sub.add_parser(
         "chaos",
@@ -521,6 +677,9 @@ def build_parser() -> argparse.ArgumentParser:
     ch.add_argument("--duration", type=float, default=None,
                     metavar="SECONDS",
                     help="stop after this long (default: run until ^C)")
+    ch.add_argument("--run-dir", default=None, metavar="DIR",
+                    help="directory for runtime artifacts (pidfile); "
+                         "created if missing")
     ch.set_defaults(func=_cmd_chaos)
 
     lg = sub.add_parser(

@@ -423,6 +423,33 @@ def serving_summary(data: dict) -> Optional[Dict[str, object]]:
             fams, "repro_serving_sessions_parked_total"
         ),
         "drains": _counter_sum(fams, "repro_serving_drains_total"),
+        # Fleet counters.  ``_counter_sum`` yields 0.0 for absent families,
+        # so snapshots written before the multi-worker fleet existed still
+        # summarise cleanly with stable zero defaults.
+        "sessions_adopted": _counter_sum(
+            fams, "repro_serving_sessions_adopted_total"
+        ),
+        "lease_conflicts": _counter_sum(
+            fams, "repro_serving_lease_conflicts_total"
+        ),
+        "worker_deaths": _counter_sum(
+            fams, "repro_serving_worker_deaths_total"
+        ),
+        "worker_restarts": _counter_sum(
+            fams, "repro_serving_worker_restarts_total"
+        ),
+        "worker_breaker_trips": _counter_sum(
+            fams, "repro_serving_worker_breaker_trips_total"
+        ),
+        "fleet_accepted": _counter_sum(
+            fams, "repro_serving_fleet_admission_total", decision="accept"
+        ),
+        "fleet_parked": _counter_sum(
+            fams, "repro_serving_fleet_admission_total", decision="park"
+        ),
+        "fleet_rejected": _counter_sum(
+            fams, "repro_serving_fleet_admission_total", decision="reject"
+        ),
     }
 
 
@@ -473,5 +500,10 @@ def format_metrics(data: dict) -> str:
             f"drains {serving['drains']:g}",
             f"  journal      : GOPs {serving['journal_gops']:g}, "
             f"corruptions {serving['journal_corruptions']:g}",
+            f"  fleet        : adopted {serving['sessions_adopted']:g}, "
+            f"lease conflicts {serving['lease_conflicts']:g}, "
+            f"worker deaths {serving['worker_deaths']:g}, "
+            f"restarts {serving['worker_restarts']:g}, "
+            f"breaker trips {serving['worker_breaker_trips']:g}",
         ]
     return "\n".join(lines)

@@ -45,3 +45,21 @@ class JournalCorruptionError(TranscodeError, ValueError):
     a sequence-number gap.  A *truncated tail* (the mid-write crash
     case) is not corruption — loaders discard the partial final record
     and resume from the last intact one."""
+
+
+class LeaseHeldError(TranscodeError, RuntimeError):
+    """A session lease is held by another live owner.
+
+    Raised by :meth:`repro.serving.statestore.SharedDirStateStore.acquire`
+    when the single-owner lease of a resume token belongs to a different
+    worker whose process is still alive.  A lease whose owner pid is
+    dead is *not* an error — it is reclaimed in place (crash failover).
+    """
+
+    def __init__(self, token: str, owner: str, pid: int):
+        super().__init__(
+            f"lease for {token!r} held by {owner!r} (pid {pid})"
+        )
+        self.token = token
+        self.owner = owner
+        self.pid = pid

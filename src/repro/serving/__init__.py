@@ -16,13 +16,21 @@ This package puts a real network path in front of the reproduction:
 * :mod:`repro.serving.loadgen` — load-generator client with Poisson or
   burst arrivals, a content-class mix and a latency report;
 * :mod:`repro.serving.smoke` — the ``make serve-smoke`` end-to-end
-  gate.
+  gate;
+* :mod:`repro.serving.statestore` — externalised session state behind
+  the pluggable :class:`~repro.serving.statestore.StateStore` interface
+  (shared-directory journals + single-owner lease records);
+* :mod:`repro.serving.fleet` — supervised multi-worker fleet: crash
+  restarts with backoff, heartbeat monitoring and cross-worker session
+  adoption (``repro serve-fleet``).
 """
 
 from repro.serving.admission import (
     AdmissionController,
     AdmissionDecision,
     AdmissionPolicy,
+    FleetAdmission,
+    WorkerLoad,
 )
 from repro.serving.protocol import (
     Bye,
@@ -41,6 +49,17 @@ from repro.serving.protocol import (
 )
 from repro.serving.server import NetworkServer, ServeNetConfig
 from repro.serving.loadgen import LoadGenConfig, LoadReport, run_loadgen
+from repro.serving.statestore import (
+    Lease,
+    SharedDirStateStore,
+    StateStore,
+)
+from repro.serving.fleet import (
+    FleetConfig,
+    FleetSupervisor,
+    RestartPolicy,
+    RestartTracker,
+)
 
 __all__ = [
     "AdmissionController",
@@ -49,17 +68,26 @@ __all__ = [
     "Bye",
     "Encoded",
     "ErrorMsg",
+    "FleetAdmission",
+    "FleetConfig",
+    "FleetSupervisor",
     "FrameMsg",
     "Hello",
     "HelloAck",
+    "Lease",
     "LoadGenConfig",
     "LoadReport",
     "MessageDecoder",
     "MsgType",
     "NetworkServer",
     "ProtocolError",
+    "RestartPolicy",
+    "RestartTracker",
     "ServeNetConfig",
+    "SharedDirStateStore",
+    "StateStore",
     "Stats",
+    "WorkerLoad",
     "encode_message",
     "read_message",
     "run_loadgen",

@@ -48,7 +48,9 @@ __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "AdmissionPolicy",
+    "FleetAdmission",
     "SessionTicket",
+    "WorkerLoad",
 ]
 
 
@@ -362,3 +364,167 @@ class AdmissionController:
         if self._level > DegradationLevel.NONE and (
                 self.occupancy_cores <= relief):
             self._level = DegradationLevel(self._level - 1)
+
+
+# ----------------------------------------------------------------------
+# Cluster-level admission (Algorithm 2, one level up)
+# ----------------------------------------------------------------------
+@dataclass
+class WorkerLoad:
+    """One worker's load as last gossiped over the heartbeat channel.
+
+    ``pending_cores`` is the supervisor's optimistic charge for
+    placements routed since the last gossip tick — without it, every
+    session arriving inside one heartbeat interval would dogpile onto
+    the same "least loaded" worker.  A fresh gossip snapshot (which by
+    then reflects the worker's own admission accounting) resets it.
+    """
+
+    worker_id: str
+    occupancy_cores: float = 0.0
+    capacity_cores: float = 0.0
+    active_sessions: int = 0
+    draining: bool = False
+    alive: bool = True
+    pending_cores: float = 0.0
+
+    @property
+    def free_cores(self) -> float:
+        return self.capacity_cores - self.occupancy_cores - self.pending_cores
+
+    def accepts_sessions(self) -> bool:
+        return self.alive and not self.draining and self.capacity_cores > 0
+
+
+class FleetAdmission:
+    """Packs *sessions onto workers* with the same min-distance-to-cap
+    heuristic Algorithm 2 uses to pack tiles onto cores.
+
+    The paper's admission stage asks "does the candidate fit the
+    platform's slot capacity?"; at cluster level each worker *is* a
+    capacity bin (its cores divided by the fleet width), and the
+    supervisor's router asks "which bin?".  Placement is least-loaded:
+    among workers with headroom for the session, pick the one with the
+    most free cores (ties: fewest active sessions, then worker id, so
+    placement is deterministic).  Unlike the tile level — where
+    best-fit preserves contiguous headroom for expensive tiles — each
+    worker serializes *all* its sessions through one encode thread
+    (shared estimator/LUT state, see ``NetworkServer``), so spreading
+    streams across workers is what buys session concurrency; packing
+    them would idle the other encode threads.  When no worker has
+    headroom the fleet parks the session (bounded waiting room scaled
+    by the live-worker count); with no live workers at all it rejects.
+    """
+
+    def __init__(
+        self,
+        estimator: Optional[WorkloadEstimator] = None,
+        platform: MpsocConfig = XEON_E5_2667,
+        policy: AdmissionPolicy = AdmissionPolicy(),
+    ):
+        self.policy = policy
+        # Pricing only: sessions are charged per worker, not here.
+        self._pricer = AdmissionController(
+            estimator=estimator, platform=platform, policy=policy,
+        )
+        self.workers: Dict[str, WorkerLoad] = {}
+        self._parked = 0
+
+    # -- membership / gossip -------------------------------------------
+    def register(self, worker_id: str, capacity_cores: float) -> None:
+        self.workers[worker_id] = WorkerLoad(
+            worker_id=worker_id, capacity_cores=capacity_cores,
+        )
+
+    def mark_dead(self, worker_id: str) -> None:
+        load = self.workers.get(worker_id)
+        if load is not None:
+            load.alive = False
+
+    def update(self, worker_id: str, snapshot: Dict[str, float]) -> None:
+        """Fold one heartbeat's load gossip into the routing table."""
+        load = self.workers.get(worker_id)
+        if load is None:
+            load = self.workers[worker_id] = WorkerLoad(worker_id=worker_id)
+        load.occupancy_cores = float(
+            snapshot.get("occupancy_cores", load.occupancy_cores)
+        )
+        load.capacity_cores = float(
+            snapshot.get("capacity_cores", load.capacity_cores)
+        )
+        load.active_sessions = int(
+            snapshot.get("active_sessions", load.active_sessions)
+        )
+        load.draining = bool(snapshot.get("draining", 0.0))
+        load.alive = True
+        load.pending_cores = 0.0
+
+    # -- placement -----------------------------------------------------
+    @property
+    def live_workers(self) -> List[WorkerLoad]:
+        return [w for w in self.workers.values() if w.accepts_sessions()]
+
+    def place(self, hello: Hello,
+              prefer: str = "") -> Tuple[AdmissionDecision,
+                                         Optional[str], str]:
+        """Route one HELLO: ``(decision, worker_id, reason)``.
+
+        ``prefer`` pins the placement (the RESUME path routes to the
+        token's lease owner when that worker is alive) as long as the
+        preferred worker accepts sessions at all — a resumed session's
+        capacity charge lives on that worker regardless.
+        """
+        registry = get_registry()
+        cores, _ = self._pricer.estimate_session(hello)
+        live = self.live_workers
+        choice: Optional[WorkerLoad] = None
+        if prefer:
+            preferred = self.workers.get(prefer)
+            if preferred is not None and preferred.accepts_sessions():
+                choice = preferred
+        if choice is None:
+            fitting = [w for w in live if w.free_cores >= cores]
+            if fitting:
+                # Least loaded: the most free cores; deterministic ties.
+                choice = min(
+                    fitting,
+                    key=lambda w: (-w.free_cores, w.active_sessions,
+                                   w.worker_id),
+                )
+        if choice is not None:
+            choice.pending_cores += cores
+            if self._parked:
+                self._parked = max(0, self._parked - 1)
+            decision = AdmissionDecision.ACCEPT
+            reason = (
+                f"routed to {choice.worker_id}: estimated {cores:.2f} "
+                f"cores, {choice.free_cores:.2f} free of "
+                f"{choice.capacity_cores:.0f}"
+            )
+            worker = choice.worker_id
+        elif live and self._parked < self.policy.park_capacity * len(live):
+            self._parked += 1
+            decision = AdmissionDecision.PARK
+            worker = None
+            reason = (
+                f"fleet saturated: need {cores:.2f} cores, no worker "
+                f"has headroom; parked"
+            )
+        else:
+            decision = AdmissionDecision.REJECT
+            worker = None
+            reason = ("no live workers" if not live else
+                      "fleet saturated and waiting room full")
+        registry.inc(
+            "repro_serving_fleet_admission_total", decision=decision.value,
+            help="Fleet-level routing decisions by outcome",
+        )
+        get_tracer().event(
+            "fleet.place", decision=decision.value, worker=worker,
+            cores=cores, live_workers=len(live),
+        )
+        return decision, worker, reason
+
+    def abandon_park(self) -> None:
+        """A fleet-parked session gave up (timeout or disconnect)."""
+        self._parked = max(0, self._parked - 1)

@@ -1,0 +1,272 @@
+"""Fleet scaling + lease overhead benchmark
+(``python -m repro.serving.bench_fleet``).
+
+Two claims, recorded in the ``BENCH_<n>.json`` schema:
+
+* **Fleet scaling** — every worker serializes its sessions through one
+  encode thread (shared estimator/LUT state), so the multi-worker
+  fleet is the session-concurrency axis of the serving stack.  The
+  benchmark drives the same 8-session workload through a 1-worker and
+  a 4-worker router-mode fleet and claims >= 2.5x session throughput.
+  Frames are paced by ``encode_floor_s`` (a wall-clock floor per
+  encoded frame) so the 1-CPU CI box measures the architecture's
+  concurrency honestly instead of raw encode contention: with the
+  floor dominating, a worker's encode thread is sleep-bound and worker
+  processes overlap freely, exactly as independent encode threads
+  would on a wider machine.
+
+* **Lease overhead** — externalizing session ownership as single-owner
+  lease records (one checksummed lease file + flock per session, not
+  per frame) costs <= 2% serving throughput against the lease-free
+  journaled path of the previous benchmark generation.  Methodology
+  mirrors ``bench_journal``: deterministic pacing at a realistic
+  operating point, paired rounds alternating order, median headline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import datetime
+import json
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench import git_sha, repo_root
+from repro.observability import scoped
+from repro.serving.fleet import FleetConfig, FleetSupervisor
+from repro.serving.loadgen import LoadGenConfig, run_loadgen_async
+from repro.serving.server import NetworkServer, ServeNetConfig
+
+_GROUP = "serving-fleet"
+
+# Scaling arm.
+_SCALE_SESSIONS = 8
+_SCALE_FRAMES = 16
+_SCALE_GOP = 4
+_ENCODE_FLOOR_S = 0.04
+_FLEET_WIDTHS = (1, 4)
+
+# Lease arm (mirrors bench_journal's operating point).
+_LEASE_SESSIONS = 2
+_LEASE_FRAMES = 48
+_LEASE_GOP = 8
+_LEASE_FRAME_INTERVAL_S = 0.01
+
+
+async def _fleet_round(workers: int, journal_dir: str) -> float:
+    """One fleet run; returns session throughput in sessions/s."""
+    supervisor = FleetSupervisor(FleetConfig(
+        workers=workers,
+        server=ServeNetConfig(
+            gop=_SCALE_GOP, seed=29, journal_dir=journal_dir,
+            journal_fsync=False, encode_floor_s=_ENCODE_FLOOR_S,
+        ),
+    ))
+    await supervisor.start()
+    try:
+        await supervisor.wait_ready(30.0)
+        start = time.perf_counter()
+        report = await run_loadgen_async(LoadGenConfig(
+            port=supervisor.port, sessions=_SCALE_SESSIONS,
+            frames=_SCALE_FRAMES, width=64, height=64, gop=_SCALE_GOP,
+            seed=29, arrival="burst", burst_size=_SCALE_SESSIONS,
+            rate_hz=100.0, timeout_s=300.0,
+        ))
+        elapsed = time.perf_counter() - start
+    finally:
+        await supervisor.drain()
+    if report.errored or report.protocol_errors:
+        raise RuntimeError(f"benchmark run errored: {report.summary()}")
+    if report.accepted != _SCALE_SESSIONS:
+        raise RuntimeError(
+            f"only {report.accepted}/{_SCALE_SESSIONS} sessions accepted"
+        )
+    return _SCALE_SESSIONS / elapsed
+
+
+async def _lease_round(journal_dir: str, lease: bool) -> float:
+    """One solo-server run; returns throughput in frames/s."""
+    server = NetworkServer(ServeNetConfig(
+        port=0, seed=17, journal_dir=journal_dir, journal_fsync=True,
+        lease=lease,
+    ))
+    await server.start()
+    try:
+        start = time.perf_counter()
+        report = await run_loadgen_async(LoadGenConfig(
+            port=server.port, sessions=_LEASE_SESSIONS,
+            frames=_LEASE_FRAMES, width=96, height=96, gop=_LEASE_GOP,
+            seed=17, rate_hz=100.0,
+            frame_interval_s=_LEASE_FRAME_INTERVAL_S,
+        ))
+        elapsed = time.perf_counter() - start
+    finally:
+        await server.aclose()
+    if report.errored or report.protocol_errors:
+        raise RuntimeError(f"benchmark run errored: {report.summary()}")
+    return report.frames_encoded / elapsed
+
+
+def _measure_scaling(rounds: int) -> dict:
+    rates = {w: [] for w in _FLEET_WIDTHS}
+    with tempfile.TemporaryDirectory() as root:
+        with scoped():
+            asyncio.run(_fleet_round(
+                max(_FLEET_WIDTHS), str(Path(root) / "warmup")
+            ))
+        for i in range(rounds):
+            for workers in _FLEET_WIDTHS:
+                with scoped():
+                    rates[workers].append(asyncio.run(_fleet_round(
+                        workers, str(Path(root) / f"w{workers}-{i}")
+                    )))
+    return rates
+
+
+def _measure_lease(rounds: int) -> dict:
+    off: List[float] = []
+    on: List[float] = []
+    with tempfile.TemporaryDirectory() as root:
+        with scoped():
+            asyncio.run(_lease_round(str(Path(root) / "warmup"), True))
+        for i in range(rounds):
+            order = ((False, off), (True, on))
+            if i % 2:
+                order = tuple(reversed(order))
+            for lease, sink in order:
+                path = str(Path(root) / f"lease{int(lease)}-{i}")
+                with scoped():
+                    sink.append(asyncio.run(_lease_round(path, lease)))
+    return {"off": off, "on": on}
+
+
+def _rate_record(name: str, rates: List[float], unit: str,
+                 work: float) -> dict:
+    mean_rate = statistics.fmean(rates)
+    return {
+        "name": name,
+        "group": _GROUP,
+        "mean_s": work / mean_rate,
+        "stddev_s": (
+            statistics.stdev([work / r for r in rates])
+            if len(rates) > 1 else 0.0
+        ),
+        "rounds": len(rates),
+        f"{unit}_per_s": mean_rate,
+        f"median_{unit}_per_s": statistics.median(rates),
+        f"best_{unit}_per_s": max(rates),
+    }
+
+
+def summarize(scaling: dict, lease: dict) -> dict:
+    records = [
+        _rate_record(f"serve_fleet_w{w}", scaling[w], "sessions",
+                     _SCALE_SESSIONS)
+        for w in _FLEET_WIDTHS
+    ]
+    base, wide = (statistics.median(scaling[w]) for w in _FLEET_WIDTHS)
+    records.append({
+        "name": "fleet_scaling",
+        "group": _GROUP,
+        "workers": list(_FLEET_WIDTHS),
+        "sessions": _SCALE_SESSIONS,
+        "frames_per_session": _SCALE_FRAMES,
+        "gop": _SCALE_GOP,
+        "encode_floor_s": _ENCODE_FLOOR_S,
+        "speedup_median": wide / base,
+        "speedup_best": max(scaling[_FLEET_WIDTHS[-1]])
+        / max(scaling[_FLEET_WIDTHS[0]]),
+        "claim": "4 workers carry >= 2.5x the session throughput of 1",
+    })
+    records += [
+        _rate_record("serve_lease_off", lease["off"], "frames",
+                     _LEASE_SESSIONS * _LEASE_FRAMES),
+        _rate_record("serve_lease_on", lease["on"], "frames",
+                     _LEASE_SESSIONS * _LEASE_FRAMES),
+    ]
+    med_off = statistics.median(lease["off"])
+    med_on = statistics.median(lease["on"])
+    records.append({
+        "name": "lease_overhead",
+        "group": _GROUP,
+        "sessions": _LEASE_SESSIONS,
+        "frames_per_session": _LEASE_FRAMES,
+        "gop": _LEASE_GOP,
+        "frame_interval_s": _LEASE_FRAME_INTERVAL_S,
+        "overhead_frac_median": (med_off - med_on) / med_off,
+        "overhead_frac_best": (
+            (max(lease["off"]) - max(lease["on"])) / max(lease["off"])
+        ),
+        "overhead_frac_mean": (
+            (statistics.fmean(lease["off"]) - statistics.fmean(lease["on"]))
+            / statistics.fmean(lease["off"])
+        ),
+        "claim": "per-session ownership leases cost <= 2% throughput",
+    })
+    return {
+        "machine_info": {
+            "node": platform.node(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "release": platform.release(),
+            "python_implementation": platform.python_implementation(),
+            "python_version": platform.python_version(),
+        },
+        "datetime": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(),
+        "git_sha": git_sha(),
+        "groups": [_GROUP],
+        "benchmarks": records,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving.bench_fleet", description=__doc__,
+    )
+    parser.add_argument("--scale-rounds", type=int, default=3,
+                        help="measurement rounds per fleet width")
+    parser.add_argument("--lease-rounds", type=int, default=9,
+                        help="paired measurement rounds for the lease arm")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default: BENCH_5.json at the "
+                             "repo root; refuses to overwrite)")
+    args = parser.parse_args(argv)
+    out = args.out or (repo_root() / "BENCH_5.json")
+    if out.exists():
+        parser.error(f"refusing to overwrite existing {out}")
+    summary = summarize(
+        _measure_scaling(args.scale_rounds),
+        _measure_lease(args.lease_rounds),
+    )
+    with open(out, "x") as fh:
+        fh.write(json.dumps(summary, indent=2) + "\n")
+    print(f"wrote {out}")
+    for rec in summary["benchmarks"]:
+        if "sessions_per_s" in rec:
+            print(f"  {rec['name']:<16} "
+                  f"{rec['median_sessions_per_s']:7.2f} sessions/s median"
+                  f"  (best {rec['best_sessions_per_s']:.2f})")
+        elif "frames_per_s" in rec:
+            print(f"  {rec['name']:<16} "
+                  f"{rec['median_frames_per_s']:7.1f} frames/s median"
+                  f"  (best {rec['best_frames_per_s']:.1f})")
+        elif rec["name"] == "fleet_scaling":
+            print(f"  {rec['name']:<16} x{rec['speedup_median']:.2f} median"
+                  f"  (best x{rec['speedup_best']:.2f})")
+        else:
+            print(f"  {rec['name']:<16} "
+                  f"median {rec['overhead_frac_median']:+.2%}"
+                  f"  best {rec['overhead_frac_best']:+.2%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,7 @@ from __future__ import annotations
 import asyncio
 import random
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -132,6 +133,15 @@ class SessionReport:
     #: Connection attempts refused before a transport was established
     #: (the server was down or not accepting).
     connect_refusals: int = 0
+    #: Refusals while already holding a resume token: the *worker*
+    #: serving this session is down (a fleet restart window), not an
+    #: admission verdict — fleet drills assert these retry cleanly and
+    #: that ``connect_refusals`` proper stays zero.
+    retryable_restarts: int = 0
+    #: RESUMEs transiently rejected because the session's lease was
+    #: held by a worker whose fate the fleet had not yet resolved
+    #: (retried after the server's ``retry_after_s`` hint).
+    lease_retries: int = 0
     #: Established connections lost before the session completed.
     mid_stream_disconnects: int = 0
     #: Reconnects actually attempted after a refusal or disconnect.
@@ -141,6 +151,13 @@ class SessionReport:
     #: Outcomes replayed from the server's journal across all resumes.
     replayed: int = 0
     resume_token: str = ""
+    #: Replayed outcomes whose reconstructed plane differed from what
+    #: this client already received for the same frame index — any
+    #: non-zero value is a bit-identity violation.
+    divergent_replays: int = 0
+    #: CRC-32 digest of the session's decoded output, folded over frame
+    #: indices in order: equal digests == bit-identical delivery.
+    output_digest: Optional[int] = None
 
 
 def _percentile(values: Sequence[float], q: float) -> Optional[float]:
@@ -196,6 +213,18 @@ class LoadReport:
         return sum(s.connect_refusals for s in self.sessions)
 
     @property
+    def retryable_restarts(self) -> int:
+        return sum(s.retryable_restarts for s in self.sessions)
+
+    @property
+    def lease_retries(self) -> int:
+        return sum(s.lease_retries for s in self.sessions)
+
+    @property
+    def divergent_replays(self) -> int:
+        return sum(s.divergent_replays for s in self.sessions)
+
+    @property
     def mid_stream_disconnects(self) -> int:
         return sum(s.mid_stream_disconnects for s in self.sessions)
 
@@ -227,9 +256,12 @@ class LoadReport:
                 self.deadline_misses / encoded if encoded else None
             ),
             "connect_refusals": self.connect_refusals,
+            "retryable_restarts": self.retryable_restarts,
+            "lease_retries": self.lease_retries,
             "mid_stream_disconnects": self.mid_stream_disconnects,
             "reconnect_attempts": self.reconnect_attempts,
             "resumes": self.resumes,
+            "divergent_replays": self.divergent_replays,
             "wall_clock_s": self.wall_clock_s,
         }
 
@@ -251,6 +283,8 @@ class LoadReport:
             f"  deadline miss: {d['deadline_misses']} "
             f"({f'{miss:.1%}' if miss is not None else 'n/a'})",
             f"  connectivity : refused {d['connect_refusals']}, "
+            f"restart-retries {d['retryable_restarts']}, "
+            f"lease-retries {d['lease_retries']}, "
             f"mid-stream lost {d['mid_stream_disconnects']}, "
             f"reconnects {d['reconnect_attempts']}, "
             f"resumes {d['resumes']}",
@@ -283,9 +317,24 @@ class _SessionState:
         #: frame index -> drop reason (``None`` = encoded), deduplicated
         #: across resume replays.
         self.outcomes: Dict[int, Optional[str]] = {}
+        #: frame index -> CRC-32 of the delivered reconstruction: the
+        #: bit-identity evidence (a replay disagreeing with what this
+        #: client already holds is a divergence, counted not merged).
+        self.luma_crc: Dict[int, int] = {}
         self.send_times: Dict[int, float] = {}
         self.next_send = 0
         self.complete = False
+
+    def digest(self) -> int:
+        """CRC-32 folded over outcomes in frame order."""
+        crc = 0
+        for index in sorted(self.outcomes):
+            reason = self.outcomes[index] or ""
+            crc = zlib.crc32(
+                f"{index}:{reason}:{self.luma_crc.get(index, 0)}".encode(),
+                crc,
+            )
+        return crc
 
     @property
     def have_below(self) -> int:
@@ -304,6 +353,17 @@ def _sync_counts(report: SessionReport, state: _SessionState) -> None:
     report.frames_dropped = sum(
         1 for v in state.outcomes.values() if v is not None
     )
+    report.output_digest = state.digest()
+
+
+class _TransientResumeReject(ConnectionError):
+    """A RESUME was rejected with a ``retry_after_s`` hint: the lease
+    owner's fate is unresolved (or the fleet is mid-restart) — retry
+    the same token, don't give up."""
+
+    def __init__(self, retry_after_s: float, reason: str):
+        super().__init__(f"resume deferred: {reason}")
+        self.retry_after_s = retry_after_s
 
 
 async def _session_attempt(config: LoadGenConfig, index: int,
@@ -334,6 +394,10 @@ async def _session_attempt(config: LoadGenConfig, index: int,
                     f"expected RESUME_ACK, got {ack.type.name}"
                 )
             if ack.decision != "accept":
+                if ack.retry_after_s > 0:
+                    raise _TransientResumeReject(
+                        ack.retry_after_s, ack.reason
+                    )
                 raise ProtocolError(f"resume rejected: {ack.reason}")
             report.resumes += 1
             report.replayed += ack.replayed
@@ -379,13 +443,25 @@ async def _session_attempt(config: LoadGenConfig, index: int,
                 msg = await read_message(reader, max_payload=recv_max)
                 if isinstance(msg, Encoded):
                     first = msg.frame_index not in state.outcomes
-                    state.outcomes[msg.frame_index] = msg.dropped
-                    if first and msg.dropped is None:
-                        sent = state.send_times.get(msg.frame_index)
-                        if sent is not None:
-                            report.latencies_s.append(
-                                time.perf_counter() - sent
+                    if first:
+                        state.outcomes[msg.frame_index] = msg.dropped
+                        if msg.dropped is None:
+                            state.luma_crc[msg.frame_index] = zlib.crc32(
+                                msg.luma
                             )
+                            sent = state.send_times.get(msg.frame_index)
+                            if sent is not None:
+                                report.latencies_s.append(
+                                    time.perf_counter() - sent
+                                )
+                    elif (msg.dropped is None
+                          and msg.frame_index in state.luma_crc
+                          and zlib.crc32(msg.luma)
+                          != state.luma_crc[msg.frame_index]):
+                        # A resume replayed this frame with different
+                        # bytes than the original delivery: the exact
+                        # divergence the journal exists to prevent.
+                        report.divergent_replays += 1
                 elif isinstance(msg, Stats):
                     report.server_stats = msg.data
                 elif isinstance(msg, Bye):
@@ -443,8 +519,22 @@ async def _run_session(config: LoadGenConfig, index: int,
             await _session_attempt(
                 config, index, content, video, report, state
             )
+        except _TransientResumeReject as exc:
+            # The server itself asked for a retry (lease held by a
+            # worker whose death is not yet confirmed, or a fleet
+            # mid-restart): honour its hint, then the normal backoff.
+            report.lease_retries += 1
+            await asyncio.sleep(exc.retry_after_s)
+            await retry_or_raise(exc)
+            continue
         except (ConnectionRefusedError,) as exc:
-            report.connect_refusals += 1
+            if report.resume_token:
+                # Refused while holding a token: the worker that owed
+                # us a session is restarting — retryable, and distinct
+                # from an admission-level refusal.
+                report.retryable_restarts += 1
+            else:
+                report.connect_refusals += 1
             await retry_or_raise(exc)
             continue
         except (ConnectionError, asyncio.IncompleteReadError,

@@ -388,6 +388,11 @@ class ResumeAck:
     journaled ENCODED outcomes from ``have_below`` on are replayed
     (``replayed`` of them), and the client must restart FRAME
     transmission at ``next_frame_index``.
+
+    ``retry_after_s`` qualifies a ``reject``: non-zero means the
+    rejection is *transient* — the session's lease is held by a worker
+    the fleet has not yet confirmed dead — and the client should retry
+    the same RESUME after that many seconds rather than give up.
     """
 
     decision: str  # "accept" | "reject"
@@ -397,6 +402,7 @@ class ResumeAck:
     reason: str = ""
     queue_frames: int = 0
     resume_token: str = ""
+    retry_after_s: float = 0.0
 
     type = MsgType.RESUME_ACK
 
@@ -407,6 +413,7 @@ class ResumeAck:
             "replayed": self.replayed, "reason": self.reason,
             "queue_frames": self.queue_frames,
             "resume_token": self.resume_token,
+            "retry_after_s": self.retry_after_s,
         })
 
     @classmethod
@@ -423,6 +430,7 @@ class ResumeAck:
             reason=str(obj.get("reason", "")),
             queue_frames=int(obj.get("queue_frames", 0)),
             resume_token=str(obj.get("resume_token", "")),
+            retry_after_s=float(obj.get("retry_after_s", 0.0)),
         )
 
 

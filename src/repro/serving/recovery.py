@@ -355,6 +355,12 @@ class RestoredSession:
     resumes: int
     #: Sequence number the continuing journal must start at.
     next_seq: int
+    #: Owner id (``"<worker>:<pid>"``) recorded by the last admit or
+    #: resume record — who was appending when the journal went quiet.
+    #: A worker resuming a journal whose ``last_owner`` differs from
+    #: its own id is *adopting* a dead peer's session.  ``""`` for
+    #: journals written before owner tracking existed.
+    last_owner: str = ""
     truncated: bool = False
     #: Byte offset of the end of the last intact record; a continuing
     #: journal must be truncated to this before appending when
@@ -382,6 +388,7 @@ def restore_session(path: Union[str, os.PathLike],
     next_frame_index = 0
     parked = False
     resumes = 0
+    last_owner = str(admit.get("owner", ""))
     for kind, payload in scan.records[1:]:
         if kind == "gop":
             state = dict(payload["state"])
@@ -410,12 +417,13 @@ def restore_session(path: Union[str, os.PathLike],
             pending = []
             parked = False
             resumes += 1
+            last_owner = str(payload.get("owner", last_owner))
     token = str(admit.get("token", ""))
     return RestoredSession(
         token=token, admit=dict(admit), state=state, outputs=outputs,
         pending=pending, next_frame_index=next_frame_index, parked=parked,
-        resumes=resumes, next_seq=scan.next_seq, truncated=scan.truncated,
-        intact_bytes=scan.intact_bytes,
+        resumes=resumes, next_seq=scan.next_seq, last_owner=last_owner,
+        truncated=scan.truncated, intact_bytes=scan.intact_bytes,
     )
 
 

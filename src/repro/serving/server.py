@@ -60,8 +60,11 @@ import numpy as np
 from repro.codec.config import EncoderConfig, GopConfig
 from repro.observability import get_registry, get_tracer
 from repro.platform.mpsoc import MpsocConfig, XEON_E5_2667
-from repro.resilience.checkpoint import load_lut, save_lut
-from repro.resilience.errors import CorruptFrameError, JournalCorruptionError
+from repro.resilience.errors import (
+    CorruptFrameError,
+    JournalCorruptionError,
+    LeaseHeldError,
+)
 from repro.resilience.faults import FaultConfig, FaultInjector
 from repro.resilience.degradation import ResilienceConfig
 from repro.serving.admission import (
@@ -86,13 +89,13 @@ from repro.serving.protocol import (
     write_message,
 )
 from repro.serving.recovery import (
-    JournalStore,
     RestoredSession,
     SessionJournal,
     frame_output_record,
     pack_plane,
     replay_messages,
 )
+from repro.serving.statestore import SharedDirStateStore
 from repro.transcode.pipeline import (
     FrameOutput,
     PipelineConfig,
@@ -155,6 +158,26 @@ class ServeNetConfig:
     #: How long :meth:`NetworkServer.drain` waits for in-flight
     #: sessions to finish or park before closing anyway.
     drain_grace_s: float = 10.0
+    #: Fleet worker identity, recorded in lease records and journal
+    #: admit/resume records (``""`` = standalone single-server mode).
+    worker_id: str = ""
+    #: Bind with ``SO_REUSEPORT`` so N workers share one listen port
+    #: (the fleet's kernel-balanced accept group).
+    reuse_port: bool = False
+    #: Single-owner session leases (:mod:`repro.serving.statestore`):
+    #: required for multi-worker deployments sharing one journal dir;
+    #: harmless (one file create/unlink per session) standalone.  Off
+    #: only for the lease-overhead benchmark's baseline arm.
+    lease: bool = True
+    #: RESUME retry hint sent when a session's lease is held by a
+    #: worker not yet confirmed dead (transient reject).
+    lease_retry_s: float = 0.5
+    #: Wall-clock floor per encoder push, modelling a heavier codec
+    #: tier: the encode thread sleeps up to the floor after the real
+    #: push.  This is what the fleet scaling bench uses to measure the
+    #: architecture's session-concurrency ceiling (one encode thread
+    #: per worker process) independently of this machine's core count.
+    encode_floor_s: float = 0.0
 
 
 @dataclass
@@ -324,14 +347,16 @@ class NetworkServer:
         self.estimator = estimator or WorkloadEstimator(
             quantile=config.admission.quantile
         )
-        self._journal_store: Optional[JournalStore] = None
+        self._owner = f"{config.worker_id or 'solo'}:{os.getpid()}"
+        self._journal_store: Optional[SharedDirStateStore] = None
         if config.journal_dir is not None:
-            self._journal_store = JournalStore(
-                config.journal_dir, fsync=config.journal_fsync
+            self._journal_store = SharedDirStateStore(
+                config.journal_dir, fsync=config.journal_fsync,
+                owner=self._owner, lease=config.lease,
             )
             # Warm-start the shared LUT from the drain checkpoint, if
             # an intact one survived the previous run.
-            loaded = load_lut(self._lut_path())
+            loaded = self._journal_store.load_lut()
             if loaded.recovered:
                 self.estimator.lut = loaded.lut
         self.admission = admission or AdmissionController(
@@ -379,9 +404,6 @@ class NetworkServer:
                 config.max_frame_width * config.max_frame_height + 1024),
         )
 
-    def _lut_path(self) -> str:
-        return os.path.join(self.config.journal_dir, "lut.json")
-
     @property
     def parked_tokens(self) -> List[str]:
         """Resume tokens with a journal on disk (including sessions
@@ -397,9 +419,25 @@ class NetworkServer:
             raise RuntimeError("server not started")
         return self._server.sockets[0].getsockname()[1]
 
+    @property
+    def owner(self) -> str:
+        """Lease-owner identity of this server (``worker:pid``)."""
+        return self._owner
+
+    def load_snapshot(self) -> Dict[str, float]:
+        """Point-in-time load for the fleet's utilization gossip."""
+        return {
+            "active_sessions": float(self.admission.active_sessions),
+            "occupancy_cores": float(self.admission.occupancy_cores),
+            "capacity_cores": float(self.admission.capacity_cores),
+            "active_handlers": float(self._active_handlers),
+            "draining": 1.0 if self._draining else 0.0,
+        }
+
     async def start(self) -> None:
         self._server = await asyncio.start_server(
-            self._handle_client, self.config.host, self.config.port
+            self._handle_client, self.config.host, self.config.port,
+            reuse_port=self.config.reuse_port or None,
         )
         get_registry().set_gauge(
             "repro_serving_listening", 1, help="1 while the server accepts",
@@ -447,7 +485,7 @@ class NetworkServer:
         while self._active_handlers > 0 and loop.time() < deadline:
             await asyncio.sleep(0.02)
         if self._journal_store is not None:
-            save_lut(self.estimator.lut, self._lut_path())
+            self._journal_store.save_lut(self.estimator.lut)
         await self.aclose()
 
     # -- connection handling -------------------------------------------
@@ -531,6 +569,10 @@ class NetworkServer:
             resume_token = self._journal_store.new_token(
                 session_id, hello.client_id
             )
+            # A fresh token is uncontended, but taking its lease here
+            # makes the invariant uniform: a journal with an appender
+            # always has a lease naming that appender.
+            self._journal_store.acquire(resume_token)
             journal = self._journal_store.create(resume_token)
         session = _Session(session_id, hello, self,
                            resume_token=resume_token, journal=journal)
@@ -542,6 +584,7 @@ class NetworkServer:
                 "gop": hello.gop, "content_class": hello.content_class,
                 "client_id": hello.client_id,
                 "qp": session.qp, "window": session.window,
+                "owner": self._owner,
             }
             await asyncio.get_running_loop().run_in_executor(
                 self._journal_pool, journal.append, "admit", admit_payload
@@ -583,6 +626,23 @@ class NetworkServer:
                     reason="session still attached; preemption timed out",
                 ))
                 return
+        # Cross-process exclusion: take the token's single-owner lease.
+        # In-process preemption (above) already cleared our own path,
+        # so a held lease here names *another worker* — alive means
+        # its session is still appending (transient reject: the client
+        # should retry after the fleet confirms the worker's fate);
+        # dead means we adopt, which is the crash-failover headline.
+        try:
+            lease = store.acquire(msg.resume_token)
+        except LeaseHeldError as exc:
+            registry.inc("repro_serving_lease_conflicts_total",
+                         help="RESUMEs rejected: lease held by a live peer")
+            await write_message(writer, ResumeAck(
+                decision="reject",
+                reason=f"session lease held by {exc.owner}",
+                retry_after_s=cfg.lease_retry_s,
+            ))
+            return
         # Claim the token before touching the journal so a concurrent
         # RESUME for the same token preempts *this* handler instead of
         # racing it to the reopen.
@@ -599,10 +659,22 @@ class NetworkServer:
         except JournalCorruptionError as exc:
             registry.inc("repro_serving_journal_corruptions_total",
                          help="Journals rejected by integrity checks")
+            store.release(msg.resume_token)
             await write_message(writer, ResumeAck(
                 decision="reject", reason=f"journal corrupt: {exc}",
             ))
             return
+        adopted = restored.last_owner not in ("", self._owner)
+        if adopted:
+            registry.inc(
+                "repro_serving_sessions_adopted_total",
+                help="Journaled sessions adopted from a dead worker",
+            )
+            get_tracer().event(
+                "serving.adopt", token=msg.resume_token,
+                previous_owner=restored.last_owner, owner=self._owner,
+                reclaimed=lease.reclaimed,
+            )
         admit = restored.admit
         hello = Hello(
             width=int(admit["width"]), height=int(admit["height"]),
@@ -620,6 +692,7 @@ class NetworkServer:
         if decision is AdmissionDecision.PARK:
             decision, reason = await self._wait_parked(session_id, hello)
         if decision is not AdmissionDecision.ACCEPT:
+            store.release(msg.resume_token)
             await write_message(writer, ResumeAck(
                 decision="reject", session_id=session_id, reason=reason,
             ))
@@ -639,6 +712,7 @@ class NetworkServer:
                 "have_below": msg.have_below,
                 "next_frame_index": restored.next_frame_index,
                 "session_id": session_id,
+                "owner": self._owner,
             },
         )
         replay = replay_messages(restored, msg.have_below)
@@ -691,14 +765,21 @@ class NetworkServer:
                          help="Finished sessions by outcome")
             raise
         finally:
-            if self._attached.get(session.resume_token) is task:
+            holds_token = self._attached.get(session.resume_token) is task
+            if holds_token:
                 del self._attached[session.resume_token]
             session.transcoder.close()
             if session.journal is not None:
                 session.journal.close()
                 if session.completed and self._journal_store is not None:
-                    # Clean BYE: the journal has served its purpose.
+                    # Clean BYE: the journal has served its purpose
+                    # (discard removes the lease with it).
                     self._journal_store.discard(session.resume_token)
+                elif holds_token and self._journal_store is not None:
+                    # Interrupted (disconnect, park, preemption target
+                    # already re-leased the token — hence holds_token):
+                    # free the lease so *any* worker can resume it.
+                    self._journal_store.release(session.resume_token)
             self.admission.release(session.session_id)
             self._capacity_freed.set()
 
@@ -887,7 +968,21 @@ class NetworkServer:
         if self._tracks_gop_state(session):
             session.replay_frames.append(frame)
         stream = session.stream
-        future = loop.run_in_executor(self._encode_pool, stream.push, frame)
+        floor = self.config.encode_floor_s
+        if floor > 0:
+            def timed_push() -> List[FrameOutput]:
+                t0 = time.perf_counter()
+                outs = stream.push(frame)
+                remaining = floor - (time.perf_counter() - t0)
+                if remaining > 0:
+                    time.sleep(remaining)
+                return outs
+
+            future = loop.run_in_executor(self._encode_pool, timed_push)
+        else:
+            future = loop.run_in_executor(
+                self._encode_pool, stream.push, frame
+            )
         timeout = self._watchdog_timeout(session)
         try:
             if timeout is None:
