@@ -10,10 +10,10 @@ PYTEST  := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) $(PY) -m pytest
 HAS_COV := $(shell $(PY) -c "import pytest_cov" 2>/dev/null && echo 1)
 COVOPTS := $(if $(HAS_COV),--cov=repro --cov-report=term-missing)
 
-.PHONY: check test bench-smoke golden serve-demo serve-smoke chaos \
-	fleet-chaos clean
+.PHONY: check test bench-smoke bench-serving golden serve-demo \
+	serve-smoke chaos fleet-chaos clean
 
-check: test bench-smoke serve-smoke chaos fleet-chaos
+check: test bench-smoke bench-serving serve-smoke chaos fleet-chaos
 
 test:
 	$(PYTEST) -x -q $(COVOPTS)
@@ -23,6 +23,13 @@ bench-smoke:
 		-m "not slow" --co -q >/dev/null
 	$(PYTEST) benchmarks/test_micro.py -q --override-ini="addopts=" \
 		-m "not slow" --benchmark-disable
+
+# Serving hot-path regression tripwire: one small unpaced loadgen
+# round against a live server; fails if end-to-end throughput falls
+# below the pre-hot-path seed floor.  Full measurement (BENCH_6.json):
+# `python -m repro.serving.bench_serving`.
+bench-serving:
+	PYTHONPATH=src $(PY) -m repro.serving.bench_serving --smoke
 
 # Regenerate the golden trace after an intentional instrumentation change.
 golden:

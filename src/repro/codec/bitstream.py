@@ -43,13 +43,24 @@ class BitWriter:
             self._bit_count = 0
 
     def write_bits(self, value: int, count: int) -> None:
-        """Write ``count`` bits of ``value``, MSB first."""
+        """Write ``count`` bits of ``value``, MSB first.
+
+        Batched: the value is spliced into the accumulator whole and
+        flushed a byte at a time, instead of looping bit by bit.
+        """
         if count < 0:
             raise ValueError("count must be non-negative")
         if value < 0 or (count < value.bit_length()):
             raise ValueError(f"value {value} does not fit in {count} bits")
-        for shift in range(count - 1, -1, -1):
-            self.write_bit((value >> shift) & 1)
+        acc = (self._accumulator << count) | value
+        n = self._bit_count + count
+        self.bits_written += count
+        out = self._bytes
+        while n >= 8:
+            n -= 8
+            out.append((acc >> n) & 0xFF)
+        self._accumulator = acc & ((1 << n) - 1)
+        self._bit_count = n
 
     def write_ue(self, value: int) -> None:
         """Unsigned exp-Golomb."""

@@ -242,6 +242,16 @@ class TileEncoder:
 
     def __init__(self, config: EncoderConfig):
         self.config = config
+        #: Lazily-built search algorithm (one instance per tile encode
+        #: instead of one per block) and its native driver dispatch.
+        self._search = None
+        self._native_search_spec = None
+
+    def _get_search(self):
+        if self._search is None:
+            self._search = self.config.make_search()
+            self._native_search_spec = self._search.native_spec()
+        return self._search
 
     @staticmethod
     def _is_b_coded(frame_type: FrameType, references: List[np.ndarray]) -> bool:
@@ -281,6 +291,31 @@ class TileEncoder:
         bits = 0
         ssd = 0.0
         stage_acc = {"motion": 0.0, "entropy": 0.0} if measure_stages else None
+        # Fully-native block path: I/P frames at integer-pel precision
+        # on contiguous uint8 planes go through `_encode_block_native`,
+        # which keeps the whole block pipeline (intra choice, motion
+        # search, transform/quant, entropy emission, reconstruction)
+        # inside the C kernels — same outputs bit-for-bit.
+        native_ok = (
+            native.lib is not None
+            and TRANSFORM_SIZE == 8
+            and not cfg.half_pel
+            and frame_type is not FrameType.B
+            and bs <= 64
+            and original.dtype == np.uint8
+            and original.flags.c_contiguous
+            and reconstruction.dtype == np.uint8
+            and reconstruction.flags.c_contiguous
+            and all(
+                r.dtype == np.uint8 and r.flags.c_contiguous
+                for r in references
+            )
+        )
+        if native_ok:
+            return self._encode_tile_native(
+                original, references, reconstruction, tile, frame_type,
+                writer, motion_hook, ops, block_info_out, stage_acc,
+            )
         for by in range(tile.y, tile.y_end, bs):
             left_mv = (0, 0)
             for bx in range(tile.x, tile.x_end, bs):
@@ -298,6 +333,263 @@ class TileEncoder:
                 if block_info_out is not None:
                     block_info_out.append(info)
         return TileStats(tile=tile, bits=bits, ssd=ssd, ops=ops,
+                         stage_seconds=stage_acc)
+
+    # ------------------------------------------------------------------
+    def _encode_tile_native(
+        self,
+        original: np.ndarray,
+        references: List[np.ndarray],
+        reconstruction: np.ndarray,
+        tile: Tile,
+        frame_type: FrameType,
+        writer: Optional[BitWriter],
+        motion_hook: Optional[MotionHook],
+        ops: OpCounts,
+        block_info_out: Optional[List[BlockInfo]],
+        stage_acc: Optional[Dict[str, float]],
+    ) -> TileStats:
+        """Fused-kernel twin of the block loop for I/P frames.
+
+        The current samples never leave the uint8 plane (uint8 ->
+        float64 conversion is exact, so every arithmetic result matches
+        the staged float64 path bit-for-bit), the motion search runs in
+        the C driver when the algorithm has a native spec, and the
+        residual bits are batch-emitted and spliced into the writer.
+        Outputs, op accounting, and written bits are identical to the
+        legacy path.
+
+        Plane base pointers, strides and per-tile constants are hoisted
+        out of the block loop; blocks address the kernels by pointer
+        arithmetic, so the steady state performs no ndarray slicing and
+        no ``.ctypes`` attribute traffic.
+        """
+        cfg = self.config
+        lib = native.lib
+        sc = native.scratch()
+        bs = cfg.block_size
+        step = quantization_step(cfg.qp)
+        lam = cfg.lambda_mv
+        window = cfg.search_window
+        ostride = original.strides[0]
+        orig_ptr = original.ctypes.data
+        rstride = reconstruction.strides[0]
+        recon_ptr = reconstruction.ctypes.data
+        not_i = frame_type is not FrameType.I
+        is_p = not_i and bool(references)
+        spec = None
+        ref = ref_ptr = ref_stride = ref_h = ref_w = None
+        if is_p:
+            ref = references[0]
+            ref_stride = ref.strides[0]
+            ref_ptr = ref.ctypes.data
+            ref_h, ref_w = ref.shape
+            if motion_hook is None:
+                self._get_search()
+                spec = self._native_search_spec
+        emit = writer is not None
+        bitbuf_ptr = sc.bitbuf_ptr if emit else None
+        bitbuf_cap = sc.bitbuf.size if emit else 0
+        pred_ptr = sc.pred_ptr
+        mode_ptr = sc.mode_ptr
+        sad_ptr = sc.sad_ptr
+        stats3 = sc.stats3
+        stats3_ptr = sc.stats3_ptr
+        levels_ptr = sc.levels_ptr
+        sadf = sc.sad
+        tile_x = tile.x
+        tile_y = tile.y
+        choose_intra = lib.choose_intra_plane_u8
+        fused = lib.encode_block_fused2
+        infos = block_info_out
+        measure = stage_acc is not None
+        bits = 0
+        ssd = 0.0
+        pp = spx = mec = tb = eb = 0  # op-count accumulators
+        for by in range(tile_y, tile.y_end, bs):
+            left_mv = (0, 0)
+            for bx in range(tile_x, tile.x_end, bs):
+                bw = min(bs, tile.x_end - bx)
+                bh = min(bs, tile.y_end - by)
+                if bw % 8 or bh % 8:
+                    # Partial edge block: the legacy path handles it
+                    # (native_ok guarantees integer-pel, so no
+                    # upsampled references are needed).
+                    block = original[by : by + bh, bx : bx + bw]
+                    b_bits, b_ssd, mv, info = self._encode_block(
+                        block, bx, by, bw, bh, tile, frame_type, references,
+                        reconstruction, left_mv, writer, motion_hook, ops,
+                        None, stage_acc,
+                    )
+                    bits += b_bits
+                    ssd += b_ssd
+                    left_mv = mv
+                    if infos is not None:
+                        infos.append(info)
+                    continue
+                area = bw * bh
+                blk_ptr = orig_ptr + by * ostride + bx
+
+                # --- intra candidate -----------------------------------------
+                choose_intra(
+                    blk_ptr, ostride, recon_ptr, rstride,
+                    bh, bw, bx, by, tile_x, tile_y,
+                    pred_ptr, mode_ptr, sad_ptr,
+                )
+                intra_sad = sadf[0]
+                pp += 4 * area  # four intra mode trials
+
+                # --- inter candidate (single reference; B frames take
+                # --- the legacy path) ----------------------------------------
+                use_inter = False
+                inter_rate = 0
+                pred_f = None
+                mv = (0, 0)
+                if is_p:
+                    if measure:
+                        _t_motion = time.perf_counter()
+                    raw = (ref_ptr, ref_stride, ref_h, ref_w,
+                           blk_ptr, ostride, bh, bw, bx, by)
+                    if motion_hook is not None:
+                        def ctx_factory(w, _bx=bx, _by=by, _bw=bw, _bh=bh):
+                            return SearchContext(
+                                ref,
+                                original[_by : _by + _bh, _bx : _bx + _bw],
+                                _bx, _by, w, lambda_mv=lam,
+                            )
+
+                        ctx_factory.native_args = (ref, None, bx, by, lam, raw)
+                        result = motion_hook(ctx_factory, left_mv)
+                    else:
+                        result = None
+                        if spec is not None:
+                            ns = native.motion_search_raw(
+                                raw, window, lam, spec[0], spec[1],
+                                ((0, 0), left_mv),
+                            )
+                            if ns is not None:
+                                result = MotionSearchResult(
+                                    mv=ns[0], cost=ns[1],
+                                    sad_evaluations=ns[2],
+                                    pixel_ops=ns[2] * area, sad=ns[3],
+                                )
+                        if result is None:
+                            result = self._search.search(
+                                SearchContext(
+                                    ref,
+                                    original[by : by + bh, bx : bx + bw],
+                                    bx, by, window, lambda_mv=lam,
+                                ),
+                                start=left_mv,
+                            )
+                    spx += result.pixel_ops
+                    mec += result.sad_evaluations
+                    rmv = result.mv
+                    sad = result.sad
+                    if (
+                        sad is None
+                        or sad < 0
+                        or bx + rmv[0] < 0
+                        or by + rmv[1] < 0
+                        or bx + rmv[0] + bw > ref_w
+                        or by + rmv[1] + bh > ref_h
+                    ):
+                        # Search didn't hand back the winning SAD
+                        # (non-native algorithm) or the MV needs
+                        # clamping — derive both like the legacy path.
+                        mv = clamp_mv(rmv, bx, by, bw, bh, ref_w, ref_h)
+                        pred_f = motion_compensate(ref, bx, by, mv, bw, bh)
+                        sad = float(np.abs(
+                            original[by : by + bh, bx : bx + bw]
+                            .astype(np.float64) - pred_f
+                        ).sum())
+                    else:
+                        mv = rmv
+                    pp += area
+                    # Inline mvd_bit_length (signed exp-Golomb rate).
+                    mdx = mv[0] - left_mv[0]
+                    mdy = mv[1] - left_mv[1]
+                    mdx = 2 * mdx - 1 if mdx > 0 else -2 * mdx
+                    mdy = 2 * mdy - 1 if mdy > 0 else -2 * mdy
+                    inter_rate = (
+                        2 * (mdx + 1).bit_length()
+                        + 2 * (mdy + 1).bit_length() - 2
+                    )
+                    use_inter = sad + lam * inter_rate <= intra_sad
+                    if measure:
+                        stage_acc["motion"] += time.perf_counter() - _t_motion
+
+                # --- residual coding + reconstruction ------------------------
+                if measure:
+                    _t_entropy = time.perf_counter()
+                if use_inter:
+                    if pred_f is None:
+                        # Integer-pel motion compensation straight off
+                        # the uint8 reference window — no staging copy.
+                        predd_ptr, pds = None, 0
+                        predu_ptr = (
+                            ref_ptr + (by + mv[1]) * ref_stride + (bx + mv[0])
+                        )
+                        pus = ref_stride
+                    else:
+                        pred_f = np.ascontiguousarray(pred_f)
+                        predd_ptr, pds = pred_f.ctypes.data, bw
+                        predu_ptr, pus = None, 0
+                else:
+                    predd_ptr, pds = pred_ptr, bw
+                    predu_ptr, pus = None, 0
+                fused(
+                    blk_ptr, ostride, predd_ptr, pds, predu_ptr, pus,
+                    bh, bw, step, _BASIS8_PTR, _ZZ_ORDER8_PTR,
+                    levels_ptr, recon_ptr + by * rstride + bx, rstride,
+                    bitbuf_ptr, bitbuf_cap, stats3_ptr, sad_ptr,
+                )
+                residual_bits, num_active, emitted = stats3.tolist()
+                tb += num_active
+                header_bits = (1 if not_i else 0) + (
+                    inter_rate if use_inter else 2
+                )
+                total_bits = header_bits + residual_bits
+                eb += total_bits
+                if emit:
+                    if not_i:
+                        writer.write_bits(0 if use_inter else 1, 1)
+                    if use_inter:
+                        write_mvd(writer, mv, left_mv)
+                    else:
+                        writer.write_bits(int(sc.mode[0]), 2)
+                    if emitted == residual_bits:
+                        writer.append_bits(
+                            sc.bitbuf[: (emitted + 7) // 8].tobytes(), emitted
+                        )
+                    else:
+                        # Emission buffer overflow (pathological
+                        # residual): re-emit the cached levels through
+                        # the Python writer.
+                        n_sub = (bh // TRANSFORM_SIZE) * (bw // TRANSFORM_SIZE)
+                        zz = zigzag_scan(sc.levels[:n_sub].copy())
+                        for i in range(zz.shape[0]):
+                            write_block(writer, zz[i])
+                if measure:
+                    stage_acc["entropy"] += time.perf_counter() - _t_entropy
+                pp += area  # reconstruction
+                bits += total_bits
+                ssd += sadf[0]
+                if infos is not None:
+                    infos.append(BlockInfo(
+                        bx=bx, by=by, bw=bw, bh=bh,
+                        use_inter=use_inter, mode=0,
+                        mvs=((mv if use_inter else (0, 0)),),
+                    ))
+                if use_inter:
+                    left_mv = mv
+        ops.pred_pixels += pp
+        ops.sad_pixel_ops += spx
+        ops.me_candidates += mec
+        ops.transform_blocks += tb
+        ops.quant_coeffs += tb * (TRANSFORM_SIZE * TRANSFORM_SIZE)
+        ops.entropy_bits += eb
+        return TileStats(tile=tile, bits=bits, ssd=float(ssd), ops=ops,
                          stage_seconds=stage_acc)
 
     # ------------------------------------------------------------------
@@ -330,12 +622,46 @@ class TileEncoder:
                 reference, block, bx, by, window, lambda_mv=cfg.lambda_mv
             )
 
+        if (
+            native.lib is not None
+            and reference.dtype == np.uint8
+            and reference.flags.c_contiguous
+            and block.dtype == np.uint8
+            and block.ndim == 2
+            and block.strides[1] == block.itemsize
+        ):
+            # Hooks that understand the native search driver (the
+            # bio-medical policy) can skip SearchContext entirely.
+            ctx_factory.native_args = (
+                reference, block, bx, by, cfg.lambda_mv,
+                (
+                    reference.ctypes.data, reference.strides[0],
+                    reference.shape[0], reference.shape[1],
+                    block.ctypes.data, block.strides[0],
+                    bh, bw, bx, by,
+                ),
+            )
         if motion_hook is not None:
             result = motion_hook(ctx_factory, start)
         else:
-            result = cfg.make_search().search(
-                ctx_factory(cfg.search_window), start=start
-            )
+            search = self._get_search()
+            spec = self._native_search_spec
+            result = None
+            if spec is not None and hasattr(ctx_factory, "native_args"):
+                ns = native.motion_search(
+                    reference, block, bx, by, cfg.search_window,
+                    cfg.lambda_mv, spec[0], spec[1], [(0, 0), start],
+                )
+                if ns is not None:
+                    result = MotionSearchResult(
+                        mv=ns[0], cost=ns[1], sad_evaluations=ns[2],
+                        pixel_ops=ns[2] * block.shape[0] * block.shape[1],
+                        sad=ns[3],
+                    )
+            if result is None:
+                result = search.search(
+                    ctx_factory(cfg.search_window), start=start
+                )
         ops.sad_pixel_ops += result.pixel_ops
         ops.me_candidates += result.sad_evaluations
         mv = clamp_mv(

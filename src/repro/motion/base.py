@@ -51,6 +51,10 @@ class MotionSearchResult:
     cost: float
     sad_evaluations: int
     pixel_ops: int
+    #: Integer SAD of the winning vector when the search driver already
+    #: computed it (the native C driver does); ``None`` otherwise.  Lets
+    #: the encoder skip re-deriving the prediction SAD.
+    sad: Optional[int] = None
 
     @property
     def dx(self) -> int:
@@ -334,6 +338,15 @@ class MotionSearch(abc.ABC):
         self, ctx: SearchContext, start: MotionVector = (0, 0)
     ) -> MotionSearchResult:
         """Run the search and return the best motion vector found."""
+
+    def native_spec(self) -> Optional[Tuple[int, int]]:
+        """``(alg_code, param)`` for :func:`repro.native.motion_search`.
+
+        Algorithms the C search driver replicates
+        evaluation-for-evaluation return their dispatch code; others
+        return ``None`` and always run the Python loop.
+        """
+        return None
 
     def _start(self, ctx: SearchContext, start: MotionVector) -> Tuple[MotionVector, float]:
         """Evaluate the start predictor and the zero vector."""

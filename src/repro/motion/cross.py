@@ -20,6 +20,9 @@ _PLUS = [(0, -1), (-1, 0), (1, 0), (0, 1)]
 class CrossSearch(MotionSearch):
     name = "cross"
 
+    def native_spec(self):
+        return (0, 0)
+
     def search(
         self, ctx: SearchContext, start: MotionVector = (0, 0)
     ) -> MotionSearchResult:

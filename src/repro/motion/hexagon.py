@@ -40,6 +40,14 @@ class HexagonSearch(MotionSearch):
 
     def __init__(self, orientation: HexagonOrientation = HexagonOrientation.HORIZONTAL):
         self.orientation = orientation
+        self._native_spec = (2, {
+            HexagonOrientation.HORIZONTAL: 0,
+            HexagonOrientation.VERTICAL: 1,
+            HexagonOrientation.ROTATING: 2,
+        }[orientation])
+
+    def native_spec(self):
+        return self._native_spec
 
     def _pattern(self, iteration: int) -> List[Tuple[int, int]]:
         if self.orientation is HexagonOrientation.HORIZONTAL:

@@ -22,6 +22,9 @@ class OneAtATimeSearch(MotionSearch):
             raise ValueError(f"primary_axis must be 'x' or 'y', got {primary_axis!r}")
         self.primary_axis = primary_axis
 
+    def native_spec(self):
+        return (1, 0 if self.primary_axis == "x" else 1)
+
     def _walk(
         self,
         ctx: SearchContext,

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.analysis.motion_probe import MotionClass
+from repro import native
 from repro.motion.base import MotionSearch, MotionSearchResult, MotionVector, SearchContext
 from repro.motion.cross import CrossSearch
 from repro.motion.hexagon import HexagonOrientation, HexagonSearch
@@ -80,6 +81,10 @@ class BioMedicalSearchPolicy:
     def __init__(self, config: ProposedSearchConfig = ProposedSearchConfig()):
         self.config = config
         self.state = GopMotionState()
+        # The algorithms are stateless value objects, so the (motion,
+        # first, axis) -> (algorithm, window) mapping is memoized —
+        # `select` sits on the per-block hot path.
+        self._select_cache: Dict[Tuple[MotionClass, bool, str], Tuple[MotionSearch, int]] = {}
 
     def start_gop(self) -> None:
         """Reset learned motion at a GOP boundary."""
@@ -89,8 +94,17 @@ class BioMedicalSearchPolicy:
         self, motion: MotionClass, is_first_in_gop: bool
     ) -> Tuple[MotionSearch, int]:
         """Return (algorithm, window) for a tile."""
-        cfg = self.config
         axis = self.state.dominant_axis or "x"
+        key = (motion, is_first_in_gop, axis)
+        hit = self._select_cache.get(key)
+        if hit is None:
+            hit = self._select_cache[key] = self._select(motion, is_first_in_gop, axis)
+        return hit
+
+    def _select(
+        self, motion: MotionClass, is_first_in_gop: bool, axis: str
+    ) -> Tuple[MotionSearch, int]:
+        cfg = self.config
         if motion is MotionClass.LOW:
             if is_first_in_gop:
                 return CrossSearch(), cfg.low_first_window
@@ -119,6 +133,41 @@ class BioMedicalSearchPolicy:
         an AMVP-style candidate list.
         """
         algorithm, window = self.select(motion, is_first_in_gop)
+        nargs = getattr(ctx_factory, "native_args", None)
+        if nargs is not None:
+            spec = algorithm.native_spec()
+        else:
+            spec = None
+        if spec is not None:
+            # Native search driver: same seed list, same evaluation
+            # order, same counters — SearchContext never materializes.
+            # (Probing the seeds first and starting the pattern from
+            # their argmin is exactly `_start` semantics: the argmin
+            # re-read is a cache hit either way.)
+            win = getattr(ctx_factory, "native_window", window)
+            seeds = ((0, 0), left_mv, self.state.predictor(tile_id))
+            raw = nargs[5] if len(nargs) > 5 else None
+            if raw is not None:
+                ns = native.motion_search_raw(
+                    raw, win, nargs[4], spec[0], spec[1], seeds,
+                )
+                area = raw[6] * raw[7]
+            else:
+                reference, block, bx, by, lambda_mv = nargs[:5]
+                ns = native.motion_search(
+                    reference, block, bx, by, win, lambda_mv,
+                    spec[0], spec[1], list(seeds),
+                )
+                area = block.shape[0] * block.shape[1]
+            if ns is not None:
+                mv, cost, evals, sad = ns
+                if is_first_in_gop:
+                    self.state.learn(tile_id, mv)
+                return MotionSearchResult(
+                    mv=mv, cost=cost, sad_evaluations=evals,
+                    pixel_ops=evals * area,
+                    sad=sad,
+                )
         ctx: SearchContext = ctx_factory(window)
         start, _ = ctx.evaluate_many(
             [(0, 0), left_mv, self.state.predictor(tile_id)]

@@ -56,7 +56,17 @@ _BUILD_DIR = _HERE / "_build"
 #: ``-ffp-contract=off`` disables FMA contraction: a fused multiply-add
 #: rounds once where NumPy rounds twice, which would break the
 #: bit-exactness of the intra prediction arithmetic.
-_CFLAGS = ["-O3", "-ffp-contract=off", "-fPIC", "-shared"]
+#: ``-Wall -Werror`` is the compile-time guard: a kernel change that
+#: introduces any warning fails the build, and the package falls back
+#: to NumPy (tests comparing native vs. fallback would then expose the
+#: regression as a missing-native skip rather than silent corruption).
+_CFLAGS = ["-O3", "-ffp-contract=off", "-fPIC", "-shared", "-Wall", "-Werror"]
+
+#: Half-extent of the motion-search cost cache table (must match
+#: ``MS_H`` in ``kernels.c``): the C driver caches candidate costs for
+#: displacements in ``[-MOTION_CACHE_HALF, MOTION_CACHE_HALF]`` per
+#: axis.  The wrapper refuses windows/seeds that could step outside.
+MOTION_CACHE_HALF = 160
 
 #: The loaded shared library, or None when native kernels are off.
 lib: Optional[ctypes.CDLL] = None
@@ -124,6 +134,28 @@ def _load() -> Optional[ctypes.CDLL]:
         ptr, ptr, i32, i32, f64, ptr, ptr, ptr, ptr, i64, ptr, ptr,
     ]
     cdll.encode_block_fused.restype = None
+    cdll.simd_detect.argtypes = []
+    cdll.simd_detect.restype = i32
+    cdll.simd_set_level.argtypes = [i32]
+    cdll.simd_set_level.restype = None
+    cdll.simd_get_level.argtypes = []
+    cdll.simd_get_level.restype = i32
+    cdll.motion_search_u8.argtypes = [
+        ptr, i64, i64, i64, ptr, i64, i32, i32, i64, i64, i32, f64,
+        i32, i32, ptr, ptr, i32, ptr, ptr, ptr, ptr, ptr,
+    ]
+    cdll.motion_search_u8.restype = None
+    cdll.entropy_write_levels.argtypes = [ptr, i64, ptr, ptr, i64]
+    cdll.entropy_write_levels.restype = i64
+    cdll.choose_intra_plane_u8.argtypes = [
+        ptr, i64, ptr, i64, i32, i32, i64, i64, i64, i64, ptr, ptr, ptr,
+    ]
+    cdll.choose_intra_plane_u8.restype = None
+    cdll.encode_block_fused2.argtypes = [
+        ptr, i64, ptr, i64, ptr, i64, i32, i32, f64, ptr, ptr, ptr,
+        ptr, i64, ptr, i64, ptr, ptr,
+    ]
+    cdll.encode_block_fused2.restype = None
     return cdll
 
 
@@ -150,6 +182,39 @@ class _Scratch(threading.local):
         self.stats = np.empty(2, dtype=np.int64)
         self.stats_ptr = self.stats.ctypes.data
         self.cap = 0
+        # Fully-native block path scratch: intra prediction (up to a
+        # 64x64 block), quantized level stack, residual bit emission
+        # buffer, motion seeds and outputs.
+        self.stats3 = np.empty(3, dtype=np.int64)
+        self.stats3_ptr = self.stats3.ctypes.data
+        self.pred = np.empty(64 * 64, dtype=np.float64)
+        self.pred_ptr = self.pred.ctypes.data
+        self.levels = np.empty((64, 8, 8), dtype=np.int32)
+        self.levels_ptr = self.levels.ctypes.data
+        self.bitbuf = np.empty(1 << 16, dtype=np.uint8)
+        self.bitbuf_ptr = self.bitbuf.ctypes.data
+        self.seed_dx = np.empty(8, dtype=np.int64)
+        self.seed_dx_ptr = self.seed_dx.ctypes.data
+        self.seed_dy = np.empty(8, dtype=np.int64)
+        self.seed_dy_ptr = self.seed_dy.ctypes.data
+        self.mout = np.empty(4, dtype=np.int64)
+        self.mout_ptr = self.mout.ctypes.data
+        self.mcost = np.empty(1, dtype=np.float64)
+        self.mcost_ptr = self.mcost.ctypes.data
+        # The ~1.7 MiB motion cost-cache table is lazy: only threads
+        # that actually drive the native motion search pay for it.
+        self.mcache_costs: Optional[np.ndarray] = None
+
+    def ensure_motion(self) -> None:
+        """Allocate the epoch-stamped motion cost cache on first use."""
+        if self.mcache_costs is None:
+            dim = 2 * MOTION_CACHE_HALF + 1
+            self.mcache_costs = np.empty(dim * dim, dtype=np.float64)
+            self.mcache_stamps = np.zeros(dim * dim, dtype=np.int64)
+            self.mcache_epoch = np.zeros(1, dtype=np.int64)
+            self.mcache_costs_ptr = self.mcache_costs.ctypes.data
+            self.mcache_stamps_ptr = self.mcache_stamps.ctypes.data
+            self.mcache_epoch_ptr = self.mcache_epoch.ctypes.data
 
     def ensure(self, n: int) -> None:
         """Grow the candidate scratch (xs, ys, costs) to hold ``n``."""
@@ -275,4 +340,135 @@ def encode_residual(
     return levels, int(sc.stats[0]), int(sc.stats[1])
 
 
+def motion_search(
+    reference: np.ndarray,
+    block: np.ndarray,
+    bx: int,
+    by: int,
+    window: int,
+    lambda_mv: float,
+    alg: int,
+    param: int,
+    seeds,
+) -> Optional[Tuple[Tuple[int, int], float, int, int]]:
+    """Run the C search driver; returns ``(mv, cost, evals, sad)``.
+
+    Replicates ``SearchContext`` + the cross / one-at-a-time / hexagon
+    loops evaluation-for-evaluation: same candidates in the same order,
+    same cost cache semantics, same strict-< tie-breaks, same
+    evaluation counters.  ``seeds`` is the AMVP candidate list probed
+    first (the plain path passes ``[(0, 0), start]``, the bio-medical
+    policy adds the learned predictor).  Returns ``None`` when the
+    inputs fall outside the driver's envelope (non-uint8 planes,
+    windows larger than the cache table) — callers then run the Python
+    search.
+    """
+    if lib is None:
+        return None
+    bh, bw = block.shape
+    if (
+        reference.dtype != np.uint8
+        or not reference.flags.c_contiguous
+        or block.dtype != np.uint8
+        or block.strides[1] != 1
+        # Pattern offsets reach at most window + window // 2 (cross)
+        # past the origin; keep everything inside the cache table.
+        or window + window // 2 >= MOTION_CACHE_HALF
+        or len(seeds) > 8
+    ):
+        return None
+    raw = (
+        reference.ctypes.data, reference.strides[0],
+        reference.shape[0], reference.shape[1],
+        block.ctypes.data, block.strides[0],
+        bh, bw, bx, by,
+    )
+    return motion_search_raw(raw, window, lambda_mv, alg, param, seeds)
+
+
+def motion_search_raw(
+    raw: Tuple[int, int, int, int, int, int, int, int, int, int],
+    window: int,
+    lambda_mv: float,
+    alg: int,
+    param: int,
+    seeds,
+) -> Optional[Tuple[Tuple[int, int], float, int, int]]:
+    """Pointer-level twin of :func:`motion_search` for pre-vetted planes.
+
+    ``raw`` is ``(ref_ptr, ref_stride, ref_h, ref_w, blk_ptr, blk_stride,
+    bh, bw, bx, by)`` with both planes already known to be C-contiguous
+    uint8 — the per-tile encoder loop computes it once per block from
+    hoisted base pointers so the hot path never touches ``ndarray.ctypes``
+    (each access builds a fresh ctypes helper object).
+    """
+    if window + window // 2 >= MOTION_CACHE_HALF or len(seeds) > 8:
+        return None
+    sc = _scratch
+    sdx = sc.seed_dx
+    sdy = sc.seed_dy
+    i = 0
+    for sx, sy in seeds:
+        if -MOTION_CACHE_HALF < sx < MOTION_CACHE_HALF and \
+                -MOTION_CACHE_HALF < sy < MOTION_CACHE_HALF:
+            sdx[i] = sx
+            sdy[i] = sy
+            i += 1
+        else:
+            return None
+    if sc.mcache_costs is None:
+        sc.ensure_motion()
+    lib.motion_search_u8(
+        raw[0], raw[1], raw[2], raw[3], raw[4], raw[5],
+        raw[6], raw[7], raw[8], raw[9], window, lambda_mv, alg, param,
+        sc.seed_dx_ptr, sc.seed_dy_ptr, i,
+        sc.mcache_costs_ptr, sc.mcache_stamps_ptr, sc.mcache_epoch_ptr,
+        sc.mout_ptr, sc.mcost_ptr,
+    )
+    dx, dy, evals, sad = sc.mout.tolist()
+    return (dx, dy), sc.mcost[0].item(), evals, sad
+
+
+def entropy_write(
+    levels: np.ndarray, zz_order: np.ndarray
+) -> Optional[Tuple[bytes, int]]:
+    """Batch-emit the residual syntax of an ``(n, 8, 8)`` level stack.
+
+    Returns ``(payload, nbits)`` where the first ``nbits`` bits of
+    ``payload`` (MSB-first) are exactly what ``write_block`` would have
+    produced for each sub-block in order; splice with
+    ``BitWriter.append_bits``.  ``None`` when the native layer is off.
+    """
+    if lib is None:
+        return None
+    sc = _scratch
+    nbits = lib.entropy_write_levels(
+        levels.ctypes.data, levels.shape[0], zz_order.ctypes.data,
+        sc.bitbuf_ptr, sc.bitbuf.size,
+    )
+    if nbits < 0:
+        return None
+    return sc.bitbuf[: (nbits + 7) // 8].tobytes(), int(nbits)
+
+
+#: Active SIMD level of the SAD kernels: 0 = scalar/SSE2 baseline,
+#: 1 = AVX2, 2 = AVX-512.  Set at import from the CPU capabilities,
+#: clamped by the ``REPRO_NATIVE_SIMD`` environment escape hatch.
+simd_level: int = 0
+
+
+def _init_simd(cdll: ctypes.CDLL) -> int:
+    want = cdll.simd_detect()
+    env = os.environ.get("REPRO_NATIVE_SIMD")
+    if env is not None:
+        try:
+            want = min(want, int(env))
+        except ValueError:
+            pass
+    cdll.simd_set_level(want)
+    return int(cdll.simd_get_level())
+
+
 lib = _load()
+if lib is not None:
+    simd_level = _init_simd(lib)

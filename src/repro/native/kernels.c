@@ -11,6 +11,195 @@
 #include <math.h>
 #include <stddef.h>
 #include <stdint.h>
+#include <string.h>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define REPRO_X86 1
+#else
+#define REPRO_X86 0
+#endif
+
+/* ------------------------------------------------------------------ */
+/* SIMD dispatch.                                                      */
+/*                                                                     */
+/* Every SIMD path computes *integer* sums of absolute differences,    */
+/* which are exact in any lane order — bit-identical to the scalar     */
+/* loop and to the NumPy oracle by construction.  The active level is  */
+/* set from Python after load (REPRO_NATIVE_SIMD escape hatch); level  */
+/* 0 forces the scalar loops, 1 allows AVX2, 2 allows AVX-512.  The    */
+/* x86-64 SSE2 baseline psadbw path counts as level 0: it needs no     */
+/* runtime dispatch and is always safe.                                */
+/* ------------------------------------------------------------------ */
+
+static int g_simd_level = 0;
+
+int simd_detect(void)
+{
+#if REPRO_X86
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw"))
+        return 2;
+    if (__builtin_cpu_supports("avx2"))
+        return 1;
+#endif
+    return 0;
+}
+
+void simd_set_level(int level)
+{
+    int cap = simd_detect();
+    if (level > cap)
+        level = cap;
+    if (level < 0)
+        level = 0;
+    g_simd_level = level;
+}
+
+int simd_get_level(void)
+{
+    return g_simd_level;
+}
+
+/* Plain C SAD of a (bh, bw) uint8 block (row stride cs) against a
+ * window of the reference plane (row stride ws). */
+static int64_t sad_win_scalar(const uint8_t *win, ptrdiff_t ws,
+                              const uint8_t *cur, ptrdiff_t cs,
+                              int bh, int bw)
+{
+    int64_t acc = 0;
+    for (int r = 0; r < bh; r++) {
+        const uint8_t *wr = win + (ptrdiff_t)r * ws;
+        const uint8_t *cr = cur + (ptrdiff_t)r * cs;
+        for (int c = 0; c < bw; c++) {
+            int d = (int)wr[c] - (int)cr[c];
+            acc += d < 0 ? -d : d;
+        }
+    }
+    return acc;
+}
+
+#if REPRO_X86
+/* SSE2 baseline: 16-byte psadbw, bw % 16 == 0. */
+static int64_t sad_win_sse2(const uint8_t *win, ptrdiff_t ws,
+                            const uint8_t *cur, ptrdiff_t cs,
+                            int bh, int bw)
+{
+    __m128i acc = _mm_setzero_si128();
+    for (int r = 0; r < bh; r++) {
+        const uint8_t *wr = win + (ptrdiff_t)r * ws;
+        const uint8_t *cr = cur + (ptrdiff_t)r * cs;
+        for (int c = 0; c < bw; c += 16) {
+            __m128i a = _mm_loadu_si128((const __m128i *)(wr + c));
+            __m128i b = _mm_loadu_si128((const __m128i *)(cr + c));
+            acc = _mm_add_epi64(acc, _mm_sad_epu8(a, b));
+        }
+    }
+    return (int64_t)(_mm_cvtsi128_si64(acc)
+                     + _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc)));
+}
+
+/* AVX2: 32-byte rows, or two 16-byte rows packed into one ymm. */
+__attribute__((target("avx2")))
+static int64_t sad_win_avx2(const uint8_t *win, ptrdiff_t ws,
+                            const uint8_t *cur, ptrdiff_t cs,
+                            int bh, int bw)
+{
+    __m256i acc = _mm256_setzero_si256();
+    if (bw % 32 == 0) {
+        for (int r = 0; r < bh; r++) {
+            const uint8_t *wr = win + (ptrdiff_t)r * ws;
+            const uint8_t *cr = cur + (ptrdiff_t)r * cs;
+            for (int c = 0; c < bw; c += 32) {
+                __m256i a = _mm256_loadu_si256((const __m256i *)(wr + c));
+                __m256i b = _mm256_loadu_si256((const __m256i *)(cr + c));
+                acc = _mm256_add_epi64(acc, _mm256_sad_epu8(a, b));
+            }
+        }
+    } else { /* bw % 16 == 0, bh % 2 == 0: two rows per iteration */
+        for (int r = 0; r < bh; r += 2) {
+            const uint8_t *wr = win + (ptrdiff_t)r * ws;
+            const uint8_t *cr = cur + (ptrdiff_t)r * cs;
+            for (int c = 0; c < bw; c += 16) {
+                __m256i a = _mm256_set_m128i(
+                    _mm_loadu_si128((const __m128i *)(wr + ws + c)),
+                    _mm_loadu_si128((const __m128i *)(wr + c)));
+                __m256i b = _mm256_set_m128i(
+                    _mm_loadu_si128((const __m128i *)(cr + cs + c)),
+                    _mm_loadu_si128((const __m128i *)(cr + c)));
+                acc = _mm256_add_epi64(acc, _mm256_sad_epu8(a, b));
+            }
+        }
+    }
+    __m128i lo = _mm256_castsi256_si128(acc);
+    __m128i hi = _mm256_extracti128_si256(acc, 1);
+    __m128i s = _mm_add_epi64(lo, hi);
+    return (int64_t)(_mm_cvtsi128_si64(s)
+                     + _mm_cvtsi128_si64(_mm_unpackhi_epi64(s, s)));
+}
+
+/* AVX-512: 64-byte rows (bw % 64 == 0), or four 16-byte rows per zmm. */
+__attribute__((target("avx512f,avx512bw")))
+static int64_t sad_win_avx512(const uint8_t *win, ptrdiff_t ws,
+                              const uint8_t *cur, ptrdiff_t cs,
+                              int bh, int bw)
+{
+    __m512i acc = _mm512_setzero_si512();
+    if (bw % 64 == 0) {
+        for (int r = 0; r < bh; r++) {
+            const uint8_t *wr = win + (ptrdiff_t)r * ws;
+            const uint8_t *cr = cur + (ptrdiff_t)r * cs;
+            for (int c = 0; c < bw; c += 64) {
+                __m512i a = _mm512_loadu_si512((const void *)(wr + c));
+                __m512i b = _mm512_loadu_si512((const void *)(cr + c));
+                acc = _mm512_add_epi64(acc, _mm512_sad_epu8(a, b));
+            }
+        }
+    } else { /* bw % 16 == 0, bh % 4 == 0: four rows per iteration */
+        for (int r = 0; r < bh; r += 4) {
+            const uint8_t *wr = win + (ptrdiff_t)r * ws;
+            const uint8_t *cr = cur + (ptrdiff_t)r * cs;
+            for (int c = 0; c < bw; c += 16) {
+                __m512i a = _mm512_castsi128_si512(
+                    _mm_loadu_si128((const __m128i *)(wr + c)));
+                a = _mm512_inserti32x4(a,
+                    _mm_loadu_si128((const __m128i *)(wr + ws + c)), 1);
+                a = _mm512_inserti32x4(a,
+                    _mm_loadu_si128((const __m128i *)(wr + 2 * ws + c)), 2);
+                a = _mm512_inserti32x4(a,
+                    _mm_loadu_si128((const __m128i *)(wr + 3 * ws + c)), 3);
+                __m512i b = _mm512_castsi128_si512(
+                    _mm_loadu_si128((const __m128i *)(cr + c)));
+                b = _mm512_inserti32x4(b,
+                    _mm_loadu_si128((const __m128i *)(cr + cs + c)), 1);
+                b = _mm512_inserti32x4(b,
+                    _mm_loadu_si128((const __m128i *)(cr + 2 * cs + c)), 2);
+                b = _mm512_inserti32x4(b,
+                    _mm_loadu_si128((const __m128i *)(cr + 3 * cs + c)), 3);
+                acc = _mm512_add_epi64(acc, _mm512_sad_epu8(a, b));
+            }
+        }
+    }
+    return (int64_t)_mm512_reduce_add_epi64(acc);
+}
+#endif /* REPRO_X86 */
+
+/* Width/level dispatch for the u8-vs-u8 SAD. */
+static inline int64_t sad_win_u8(const uint8_t *win, ptrdiff_t ws,
+                                 const uint8_t *cur, ptrdiff_t cs,
+                                 int bh, int bw)
+{
+#if REPRO_X86
+    if (bw % 16 == 0) {
+        if (g_simd_level >= 2 && (bw % 64 == 0 || bh % 4 == 0))
+            return sad_win_avx512(win, ws, cur, cs, bh, bw);
+        if (g_simd_level >= 1 && (bw % 32 == 0 || bh % 2 == 0))
+            return sad_win_avx2(win, ws, cur, cs, bh, bw);
+        return sad_win_sse2(win, ws, cur, cs, bh, bw);
+    }
+#endif
+    return sad_win_scalar(win, ws, cur, cs, bh, bw);
+}
 
 /* Exp-Golomb code lengths (same arithmetic as repro.codec.bitstream). */
 static inline int64_t ue_bits(int64_t value)
@@ -34,11 +223,42 @@ static inline int64_t se_bits(int64_t value)
  * are half-pel coordinates and the window samples at integer pitch).
  * Accumulates in int64 — bit-identical to the NumPy int path.
  */
+/* Stage an int32 block into a u8 buffer when every value fits a byte
+ * (true whenever the block came from a uint8 plane).  Returns 0 when
+ * any value is out of range, in which case callers keep the exact
+ * scalar int32 loop.  The staged copy lets the batch kernels run the
+ * SIMD psadbw paths, whose integer sums are bit-identical. */
+#define SAD_STAGE_MAX 16384
+
+static int stage_block_u8(const int32_t *block, int bh, int bw,
+                          uint8_t *staged)
+{
+    ptrdiff_t n = (ptrdiff_t)bh * bw;
+    if (n > SAD_STAGE_MAX)
+        return 0;
+    for (ptrdiff_t k = 0; k < n; k++) {
+        int32_t v = block[k];
+        if (v & ~0xFF)
+            return 0;
+        staged[k] = (uint8_t)v;
+    }
+    return 1;
+}
+
 void sad_batch_u8(const uint8_t *ref, int64_t stride, int64_t istep,
                   const int32_t *block, int bh, int bw,
                   const int64_t *xs, const int64_t *ys, int n,
                   int64_t *out)
 {
+    if (istep == 1 && bw % 16 == 0) {
+        uint8_t staged[SAD_STAGE_MAX];
+        if (stage_block_u8(block, bh, bw, staged)) {
+            for (int i = 0; i < n; i++)
+                out[i] = sad_win_u8(ref + ys[i] * stride + xs[i], stride,
+                                    staged, bw, bh, bw);
+            return;
+        }
+    }
     for (int i = 0; i < n; i++) {
         const uint8_t *anchor = ref + ys[i] * stride + xs[i];
         int64_t acc = 0;
@@ -132,15 +352,22 @@ void sad_cost_batch_u8(const uint8_t *ref, int64_t stride,
                        int64_t bx, int64_t by, double lam,
                        double *out)
 {
+    uint8_t staged[SAD_STAGE_MAX];
+    int use_staged = bw % 16 == 0 && stage_block_u8(block, bh, bw, staged);
     for (int i = 0; i < n; i++) {
         const uint8_t *anchor = ref + ys[i] * stride + xs[i];
-        int64_t acc = 0;
-        for (int r = 0; r < bh; r++) {
-            const uint8_t *wr = anchor + (int64_t)r * stride;
-            const int32_t *br = block + (int64_t)r * bw;
-            for (int c = 0; c < bw; c++) {
-                int32_t d = (int32_t)wr[c] - br[c];
-                acc += d < 0 ? -d : d;
+        int64_t acc;
+        if (use_staged) {
+            acc = sad_win_u8(anchor, stride, staged, bw, bh, bw);
+        } else {
+            acc = 0;
+            for (int r = 0; r < bh; r++) {
+                const uint8_t *wr = anchor + (int64_t)r * stride;
+                const int32_t *br = block + (int64_t)r * bw;
+                for (int c = 0; c < bw; c++) {
+                    int32_t d = (int32_t)wr[c] - br[c];
+                    acc += d < 0 ? -d : d;
+                }
             }
         }
         int64_t adx = xs[i] - bx, ady = ys[i] - by;
@@ -502,4 +729,571 @@ void encode_residual(const double *block, const double *pred, int h, int w,
     }
     stats_out[0] = bits;
     stats_out[1] = active;
+}
+
+/* ------------------------------------------------------------------ */
+/* Motion search driver.                                               */
+/*                                                                     */
+/* Replicates repro.motion's SearchContext + CrossSearch /             */
+/* OneAtATimeSearch / HexagonSearch evaluation-for-evaluation: the     */
+/* same candidates in the same order, the same strict-< tie-breaks,    */
+/* the same cost cache semantics (revisited candidates are free and    */
+/* never recounted), the same INFEASIBLE = +inf convention and the     */
+/* same cost arithmetic ((double)sad + lam * (double)(|dx| + |dy|)).   */
+/* The cost cache is an epoch-stamped table supplied by the caller     */
+/* (thread-local in Python), covering displacements in [-MS_H, MS_H]   */
+/* per axis; the Python wrapper only engages the driver when the       */
+/* window and seeds fit the table.                                     */
+/* ------------------------------------------------------------------ */
+
+#define MS_H 160
+#define MS_DIM (2 * MS_H + 1)
+
+typedef struct {
+    const uint8_t *ref;
+    ptrdiff_t rstride;
+    const uint8_t *cur;
+    ptrdiff_t cstride;
+    int bh, bw;
+    int64_t bx, by;
+    int64_t ref_w, ref_h;
+    int window;
+    double lambda;
+    double *costs;
+    int64_t *stamps;
+    int64_t epoch;
+    int64_t evals;
+} MSearch;
+
+static double ms_eval(MSearch *s, int64_t dx, int64_t dy)
+{
+    size_t idx = (size_t)(dy + MS_H) * MS_DIM + (size_t)(dx + MS_H);
+    if (s->stamps[idx] == s->epoch)
+        return s->costs[idx];
+    double cost;
+    int64_t rx = s->bx + dx, ry = s->by + dy;
+    if (dx < -s->window || dx > s->window || dy < -s->window || dy > s->window
+        || rx < 0 || ry < 0 || rx + s->bw > s->ref_w || ry + s->bh > s->ref_h) {
+        cost = INFINITY;
+    } else {
+        int64_t sad = sad_win_u8(s->ref + ry * s->rstride + rx, s->rstride,
+                                 s->cur, s->cstride, s->bh, s->bw);
+        int64_t adx = dx < 0 ? -dx : dx, ady = dy < 0 ? -dy : dy;
+        cost = (double)sad + s->lambda * (double)(adx + ady);
+        s->evals++;
+    }
+    s->stamps[idx] = s->epoch;
+    s->costs[idx] = cost;
+    return cost;
+}
+
+/* evaluate_many: best of the candidate list, ties toward the earlier
+ * candidate; all-infeasible falls back to the zero vector. */
+static double ms_eval_many(MSearch *s, const int64_t (*cands)[2], int n,
+                           int64_t *bdx, int64_t *bdy)
+{
+    double best = INFINITY;
+    int found = 0;
+    for (int i = 0; i < n; i++) {
+        double c = ms_eval(s, cands[i][0], cands[i][1]);
+        if (c < best) {
+            best = c;
+            *bdx = cands[i][0];
+            *bdy = cands[i][1];
+            found = 1;
+        }
+    }
+    if (!found) {
+        *bdx = 0;
+        *bdy = 0;
+        best = ms_eval(s, 0, 0);
+    }
+    return best;
+}
+
+/* OneAtATimeSearch._walk: step +-1 along one axis while improving. */
+static double ms_ota_walk(MSearch *s, int64_t *bdx, int64_t *bdy,
+                          double best, int axis_y)
+{
+    int64_t sx = axis_y ? 0 : 1, sy = axis_y ? 1 : 0;
+    double plus = ms_eval(s, *bdx + sx, *bdy + sy);
+    double minus = ms_eval(s, *bdx - sx, *bdy - sy);
+    if (plus >= best && minus >= best)
+        return best;
+    int64_t dir = plus < minus ? 1 : -1;
+    double ahead = plus < minus ? plus : minus;
+    while (ahead < best) {
+        best = ahead;
+        *bdx += dir * sx;
+        *bdy += dir * sy;
+        ahead = ms_eval(s, *bdx + dir * sx, *bdy + dir * sy);
+    }
+    return best;
+}
+
+static const int64_t HEX_H[6][2] = {
+    {-2, 0}, {2, 0}, {-1, -2}, {1, -2}, {-1, 2}, {1, 2}};
+static const int64_t HEX_V[6][2] = {
+    {0, -2}, {0, 2}, {-2, -1}, {-2, 1}, {2, -1}, {2, 1}};
+static const int64_t SMALL_CROSS[4][2] = {{0, -1}, {-1, 0}, {1, 0}, {0, 1}};
+static const int64_t DIAG[4][2] = {{-1, -1}, {1, -1}, {-1, 1}, {1, 1}};
+static const int64_t DIAG_PLUS[8][2] = {
+    {-1, -1}, {1, -1}, {-1, 1}, {1, 1}, {0, -1}, {-1, 0}, {1, 0}, {0, 1}};
+
+/* alg: 0 = cross, 1 = one-at-a-time (param: 0 x-first, 1 y-first),
+ * 2 = hexagon (param: 0 horizontal, 1 vertical, 2 rotating).
+ * seeds: AMVP-style candidates probed before the pattern search (the
+ * policy passes (0,0) / left MV / learned predictor; the plain path
+ * passes (0,0) / start).  out_i = {best_dx, best_dy, new_evals,
+ * best_sad}; out_cost[0] = rate-penalized best cost. */
+void motion_search_u8(const uint8_t *ref, int64_t rstride,
+                      int64_t ref_h, int64_t ref_w,
+                      const uint8_t *cur, int64_t cstride,
+                      int bh, int bw, int64_t bx, int64_t by,
+                      int window, double lambda, int alg, int param,
+                      const int64_t *seed_dx, const int64_t *seed_dy,
+                      int n_seeds,
+                      double *cache_costs, int64_t *cache_stamps,
+                      int64_t *epoch_io,
+                      int64_t *out_i, double *out_cost)
+{
+    MSearch s;
+    s.ref = ref;
+    s.rstride = rstride;
+    s.cur = cur;
+    s.cstride = cstride;
+    s.bh = bh;
+    s.bw = bw;
+    s.bx = bx;
+    s.by = by;
+    s.ref_w = ref_w;
+    s.ref_h = ref_h;
+    s.window = window;
+    s.lambda = lambda;
+    s.costs = cache_costs;
+    s.stamps = cache_stamps;
+    s.epoch = ++(*epoch_io);
+    s.evals = 0;
+
+    int64_t cands[8][2];
+    int64_t sdx = 0, sdy = 0;
+    for (int i = 0; i < n_seeds && i < 8; i++) {
+        cands[i][0] = seed_dx[i];
+        cands[i][1] = seed_dy[i];
+    }
+    ms_eval_many(&s, (const int64_t(*)[2])cands, n_seeds, &sdx, &sdy);
+
+    /* MotionSearch._start: best of the zero vector and the seed-best
+     * (all cached at this point, so it costs no new evaluations). */
+    int64_t bdx = 0, bdy = 0;
+    cands[0][0] = 0;
+    cands[0][1] = 0;
+    cands[1][0] = sdx;
+    cands[1][1] = sdy;
+    double best = ms_eval_many(&s, (const int64_t(*)[2])cands, 2, &bdx, &bdy);
+
+    if (alg == 0) { /* CrossSearch */
+        int64_t step = window / 2;
+        if (step < 1)
+            step = 1;
+        while (step > 1) {
+            for (int i = 0; i < 4; i++) {
+                cands[i][0] = bdx + DIAG[i][0] * step;
+                cands[i][1] = bdy + DIAG[i][1] * step;
+            }
+            int64_t mdx = 0, mdy = 0;
+            double c = ms_eval_many(&s, (const int64_t(*)[2])cands, 4,
+                                    &mdx, &mdy);
+            if (c < best) {
+                best = c;
+                bdx = mdx;
+                bdy = mdy;
+            } else {
+                step /= 2;
+            }
+        }
+        for (int i = 0; i < 8; i++) {
+            cands[i][0] = bdx + DIAG_PLUS[i][0];
+            cands[i][1] = bdy + DIAG_PLUS[i][1];
+        }
+        int64_t mdx = 0, mdy = 0;
+        double c = ms_eval_many(&s, (const int64_t(*)[2])cands, 8, &mdx, &mdy);
+        if (c < best) {
+            best = c;
+            bdx = mdx;
+            bdy = mdy;
+        }
+    } else if (alg == 1) { /* OneAtATimeSearch */
+        best = ms_ota_walk(&s, &bdx, &bdy, best, param);
+        best = ms_ota_walk(&s, &bdx, &bdy, best, !param);
+    } else { /* HexagonSearch */
+        for (int it = 0; it < 256; it++) {
+            const int64_t(*pat)[2] =
+                param == 0 ? HEX_H
+                : param == 1 ? HEX_V
+                : (it % 2 == 0 ? HEX_H : HEX_V);
+            for (int i = 0; i < 6; i++) {
+                cands[i][0] = bdx + pat[i][0];
+                cands[i][1] = bdy + pat[i][1];
+            }
+            int64_t mdx = 0, mdy = 0;
+            double c = ms_eval_many(&s, (const int64_t(*)[2])cands, 6,
+                                    &mdx, &mdy);
+            if (c < best) {
+                best = c;
+                bdx = mdx;
+                bdy = mdy;
+            } else {
+                break;
+            }
+        }
+        for (int i = 0; i < 4; i++) {
+            cands[i][0] = bdx + SMALL_CROSS[i][0];
+            cands[i][1] = bdy + SMALL_CROSS[i][1];
+        }
+        int64_t mdx = 0, mdy = 0;
+        double c = ms_eval_many(&s, (const int64_t(*)[2])cands, 4, &mdx, &mdy);
+        if (c < best) {
+            best = c;
+            bdx = mdx;
+            bdy = mdy;
+        }
+    }
+
+    /* The best MV is always feasible (or the zero vector of an
+     * in-frame block), so this SAD re-read never leaves the plane. */
+    int64_t best_sad = -1;
+    int64_t rx = bx + bdx, ry = by + bdy;
+    if (rx >= 0 && ry >= 0 && rx + bw <= ref_w && ry + bh <= ref_h)
+        best_sad = sad_win_u8(ref + ry * rstride + rx, rstride,
+                              cur, cstride, bh, bw);
+    out_i[0] = bdx;
+    out_i[1] = bdy;
+    out_i[2] = s.evals;
+    out_i[3] = best_sad;
+    out_cost[0] = best;
+}
+
+/* ------------------------------------------------------------------ */
+/* Batch entropy writer.                                               */
+/* ------------------------------------------------------------------ */
+
+/* MSB-first bit accumulator over a caller-supplied byte buffer. */
+typedef struct {
+    uint8_t *buf;
+    int64_t cap;     /* bytes */
+    int64_t nbytes;  /* complete bytes flushed */
+    uint64_t acc;
+    int nbits;       /* bits pending in acc, < 8 after flush */
+    int overflow;
+} BitSink;
+
+static inline void bs_put(BitSink *b, uint64_t val, int n)
+{
+    b->acc = (b->acc << n) | val;
+    b->nbits += n;
+    while (b->nbits >= 8) {
+        if (b->nbytes >= b->cap) {
+            b->overflow = 1;
+            b->nbits = 0;
+            return;
+        }
+        b->nbits -= 8;
+        b->buf[b->nbytes++] = (uint8_t)(b->acc >> b->nbits);
+    }
+}
+
+static inline void bs_put_ue(BitSink *b, int64_t value)
+{
+    uint64_t code = (uint64_t)value + 1;
+    int bl = 64 - __builtin_clzll(code);
+    if (bl > 1)
+        bs_put(b, 0, bl - 1);
+    bs_put(b, code, bl);
+}
+
+static inline void bs_put_se(BitSink *b, int64_t value)
+{
+    bs_put_ue(b, value > 0 ? 2 * value - 1 : -2 * value);
+}
+
+/* Total bits written so far (before padding), or -1 on overflow. */
+static inline int64_t bs_bits(const BitSink *b)
+{
+    return b->overflow ? -1 : b->nbytes * 8 + b->nbits;
+}
+
+/* Pad the trailing partial byte with zeros (the caller splices exactly
+ * bs_bits() bits, so the padding never reaches the stream). */
+static inline void bs_flush(BitSink *b)
+{
+    if (b->nbits > 0 && !b->overflow) {
+        if (b->nbytes >= b->cap)
+            b->overflow = 1;
+        else
+            b->buf[b->nbytes] = (uint8_t)(b->acc << (8 - b->nbits));
+    }
+}
+
+/* Emit the residual syntax of a stack of n_sub 8x8 level blocks into
+ * out (MSB-first), exactly as repro.codec.entropy.write_block does per
+ * block: ue(last_plus_one), then (ue(run), se(level)) per non-zero
+ * level in zigzag order.  Returns the number of bits written, or -1
+ * when the buffer is too small.  The produced bits splice into a
+ * BitWriter with append_bits. */
+int64_t entropy_write_levels(const int32_t *levels, int64_t n_sub,
+                             const int32_t *zz_order,
+                             uint8_t *out, int64_t cap_bytes)
+{
+    BitSink sink = {out, cap_bytes, 0, 0, 0, 0};
+    for (int64_t blk = 0; blk < n_sub; blk++) {
+        const int32_t *lv = levels + blk * 64;
+        int last = -1;
+        for (int s = 63; s >= 0; s--)
+            if (lv[zz_order[s]] != 0) {
+                last = s;
+                break;
+            }
+        bs_put_ue(&sink, (int64_t)last + 1);
+        int prev = -1;
+        for (int s = 0; s <= last; s++) {
+            int32_t v = lv[zz_order[s]];
+            if (v == 0)
+                continue;
+            bs_put_ue(&sink, (int64_t)(s - prev - 1));
+            bs_put_se(&sink, (int64_t)v);
+            prev = s;
+        }
+    }
+    int64_t nbits = bs_bits(&sink);
+    bs_flush(&sink);
+    return sink.overflow ? -1 : nbits;
+}
+
+/* ------------------------------------------------------------------ */
+/* Plane-based fused kernels (v2): read the current block straight    */
+/* from the uint8 frame plane (u8 -> double conversion is exact, so   */
+/* the arithmetic is identical to the float64-staged path) and avoid  */
+/* the per-block NumPy staging entirely.                              */
+/* ------------------------------------------------------------------ */
+
+/* choose_intra with reference samples gathered from the plane.
+ *
+ * Availability follows repro.codec.intra.reference_samples: the top
+ * row exists when by - 1 >= tile_y, the left column when bx - 1 >=
+ * tile_x (tile boundaries break prediction).  Otherwise identical to
+ * choose_intra above.
+ */
+void choose_intra_plane_u8(const uint8_t *cur, int64_t cstride,
+                           const uint8_t *recon, int64_t rstride,
+                           int bh, int bw, int64_t bx, int64_t by,
+                           int64_t tile_x, int64_t tile_y,
+                           double *pred_out, int32_t *mode_out,
+                           double *sad_out)
+{
+    int has_top = by - 1 >= tile_y;
+    int has_left = bx - 1 >= tile_x;
+    const uint8_t *top_row =
+        has_top ? recon + (by - 1) * rstride + bx : NULL;
+    const uint8_t *left_col =
+        has_left ? recon + by * rstride + (bx - 1) : NULL;
+
+    double s_dc = 0.0, s_pl = 0.0, s_h = 0.0, s_v = 0.0;
+    double dc = 128.0;
+    if (has_top || has_left) {
+        double total = 0.0;
+        int64_t count = 0;
+        if (has_top) {
+            for (int c = 0; c < bw; c++)
+                total += (double)top_row[c];
+            count += bw;
+        }
+        if (has_left) {
+            for (int r = 0; r < bh; r++)
+                total += (double)left_col[(ptrdiff_t)r * rstride];
+            count += bh;
+        }
+        dc = total / (double)count;
+    }
+    double tr = has_top ? (double)top_row[bw - 1] : 128.0;
+    double bl = has_left ? (double)left_col[(ptrdiff_t)(bh - 1) * rstride]
+                         : 128.0;
+    double inv_w = (double)(bw + 1);
+    double inv_h = (double)(bh + 1);
+    for (int r = 0; r < bh; r++) {
+        const uint8_t *cr = cur + (ptrdiff_t)r * cstride;
+        double *pr = pred_out + (ptrdiff_t)r * bw;
+        double lv = has_left ? (double)left_col[(ptrdiff_t)r * rstride]
+                             : 128.0;
+        double wy = (double)(r + 1) / inv_h;
+        for (int c = 0; c < bw; c++) {
+            double x = (double)cr[c];
+            double tv = has_top ? (double)top_row[c] : 128.0;
+            double wx = (double)(c + 1) / inv_w;
+            double horiz = lv * (1.0 - wx) + tr * wx;
+            double vert = tv * (1.0 - wy) + bl * wy;
+            double pl = (horiz + vert) / 2.0;
+            pr[c] = pl;
+            s_dc += fabs(x - dc);
+            s_pl += fabs(x - pl);
+            s_h += fabs(x - lv);
+            s_v += fabs(x - tv);
+        }
+    }
+    double sads[4] = {s_dc, s_pl, s_h, s_v};
+    int best = 0;
+    for (int m = 1; m < 4; m++)
+        if (sads[m] < sads[best])
+            best = m;
+    mode_out[0] = best;
+    sad_out[0] = sads[best];
+    if (best == 0) {
+        for (ptrdiff_t k = 0; k < (ptrdiff_t)bh * bw; k++)
+            pred_out[k] = dc;
+    } else if (best == 2) {
+        for (int r = 0; r < bh; r++) {
+            double lv = has_left ? (double)left_col[(ptrdiff_t)r * rstride]
+                                 : 128.0;
+            double *pr = pred_out + (ptrdiff_t)r * bw;
+            for (int c = 0; c < bw; c++)
+                pr[c] = lv;
+        }
+    } else if (best == 3) {
+        for (int r = 0; r < bh; r++) {
+            double *pr = pred_out + (ptrdiff_t)r * bw;
+            for (int c = 0; c < bw; c++)
+                pr[c] = has_top ? (double)top_row[c] : 128.0;
+        }
+    }
+}
+
+/* Fully fused per-block encode, v2: like encode_block_fused but the
+ * current block is read from the uint8 plane, the prediction is either
+ * a float64 buffer (predd, row pitch pdstride doubles: intra) or a
+ * uint8 reference window (predu, row pitch pustride bytes: integer-pel
+ * motion compensation — the u8 -> double conversion is exact, so the
+ * residual arithmetic matches the staged float64 path bit-for-bit),
+ * and the residual bits are optionally emitted into bits_buf.
+ * stats_out = [bits, num_active, emitted_nbits (-1 overflow, or the
+ * bit count when bits_buf is NULL)].
+ */
+void encode_block_fused2(const uint8_t *cur, int64_t cstride,
+                         const double *predd, int64_t pdstride,
+                         const uint8_t *predu, int64_t pustride,
+                         int h, int w, double step, const double *basis,
+                         const int32_t *zz_order,
+                         int32_t *levels_out,
+                         uint8_t *recon_out, int64_t recon_stride,
+                         uint8_t *bits_buf, int64_t bits_cap,
+                         int64_t *stats_out, double *ssd_out)
+{
+    int rows = h / 8, cols = w / 8;
+    double res[64], tmp[64], coef[64], pred8[64];
+    int64_t bits = 0, active = 0;
+    double ssd = 0.0;
+    BitSink sink = {bits_buf, bits_cap, 0, 0, 0, 0};
+    int emit = bits_buf != NULL;
+    for (int rb = 0; rb < rows; rb++) {
+        for (int cb = 0; cb < cols; cb++) {
+            int32_t *levels = levels_out + ((ptrdiff_t)rb * cols + cb) * 64;
+            const uint8_t *csub = cur + (ptrdiff_t)rb * 8 * cstride + cb * 8;
+            uint8_t *osub = recon_out
+                + (ptrdiff_t)rb * 8 * recon_stride + cb * 8;
+            /* Stage the 8x8 prediction as doubles (exact). */
+            if (predd) {
+                const double *psub =
+                    predd + (ptrdiff_t)rb * 8 * pdstride + cb * 8;
+                for (int r = 0; r < 8; r++)
+                    for (int c = 0; c < 8; c++)
+                        pred8[r * 8 + c] = psub[(ptrdiff_t)r * pdstride + c];
+            } else {
+                const uint8_t *psub =
+                    predu + (ptrdiff_t)rb * 8 * pustride + cb * 8;
+                for (int r = 0; r < 8; r++)
+                    for (int c = 0; c < 8; c++)
+                        pred8[r * 8 + c] =
+                            (double)psub[(ptrdiff_t)r * pustride + c];
+            }
+            double sad = 0.0;
+            for (int r = 0; r < 8; r++) {
+                const uint8_t *crow = csub + (ptrdiff_t)r * cstride;
+                for (int c = 0; c < 8; c++) {
+                    double d = (double)crow[c] - pred8[r * 8 + c];
+                    res[r * 8 + c] = d;
+                    sad += fabs(d);
+                }
+            }
+            if (sad < 3.0 * step) {
+                for (int k = 0; k < 64; k++)
+                    levels[k] = 0;
+                bits += 1;
+                if (emit)
+                    bs_put_ue(&sink, 0);
+            } else {
+                active++;
+                for (int i = 0; i < 8; i++)
+                    for (int j = 0; j < 8; j++) {
+                        double acc = 0.0;
+                        for (int k = 0; k < 8; k++)
+                            acc += basis[i * 8 + k] * res[k * 8 + j];
+                        tmp[i * 8 + j] = acc;
+                    }
+                for (int i = 0; i < 8; i++)
+                    for (int j = 0; j < 8; j++) {
+                        double acc = 0.0;
+                        for (int k = 0; k < 8; k++)
+                            acc += tmp[i * 8 + k] * basis[j * 8 + k];
+                        coef[i * 8 + j] = acc;
+                    }
+                for (int k = 0; k < 64; k++) {
+                    double c = coef[k];
+                    double mag = floor(fabs(c) / step + 0.25);
+                    levels[k] = c > 0.0 ? (int32_t)mag
+                              : c < 0.0 ? -(int32_t)mag : 0;
+                }
+                int last = -1;
+                for (int s2 = 63; s2 >= 0; s2--)
+                    if (levels[zz_order[s2]] != 0) {
+                        last = s2;
+                        break;
+                    }
+                bits += ue_bits((int64_t)last + 1);
+                if (emit)
+                    bs_put_ue(&sink, (int64_t)last + 1);
+                int prev = -1;
+                for (int s2 = 0; s2 <= last; s2++) {
+                    int32_t lv = levels[zz_order[s2]];
+                    if (lv == 0)
+                        continue;
+                    bits += ue_bits((int64_t)(s2 - prev - 1));
+                    bits += se_bits((int64_t)lv);
+                    if (emit) {
+                        bs_put_ue(&sink, (int64_t)(s2 - prev - 1));
+                        bs_put_se(&sink, (int64_t)lv);
+                    }
+                    prev = s2;
+                }
+            }
+            recon_sub8(levels, pred8, 8, step, basis, osub, recon_stride);
+            for (int r = 0; r < 8; r++) {
+                const uint8_t *crow = csub + (ptrdiff_t)r * cstride;
+                const uint8_t *orow = osub + (ptrdiff_t)r * recon_stride;
+                for (int c = 0; c < 8; c++) {
+                    double d = (double)crow[c] - (double)orow[c];
+                    ssd += d * d;
+                }
+            }
+        }
+    }
+    int64_t emitted = bits;
+    if (emit) {
+        emitted = bs_bits(&sink);
+        bs_flush(&sink);
+        if (sink.overflow)
+            emitted = -1;
+    }
+    stats_out[0] = bits;
+    stats_out[1] = active;
+    stats_out[2] = emitted;
+    ssd_out[0] = ssd;
 }

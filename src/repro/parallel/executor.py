@@ -1,4 +1,4 @@
-"""Tile-parallel frame encoding on a process pool.
+"""Tile-parallel frame encoding on a process or thread pool.
 
 HEVC tiles are independently decodable: intra prediction breaks at
 tile boundaries, motion search only *reads* the (immutable) reference
@@ -6,7 +6,10 @@ plane, and each tile writes a disjoint region of the reconstruction.
 The per-tile encode loop is therefore embarrassingly parallel within a
 frame — the property the paper's per-tile workload allocation relies
 on (§II-C) — and this module exploits it for real wall-clock speedup
-with a :class:`concurrent.futures.ProcessPoolExecutor`.
+with a :class:`concurrent.futures.ProcessPoolExecutor` or, when the
+GIL-releasing native kernels are active, a
+:class:`concurrent.futures.ThreadPoolExecutor` whose workers share
+the frame planes directly (no fork, no pickle, no patch shipping).
 
 The parallel path is **bit-exact** with the serial
 :class:`~repro.codec.encoder.FrameEncoder`:
@@ -34,12 +37,13 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import native
 from repro.analysis.motion_probe import MotionClass
 from repro.codec.bitstream import BitWriter
 from repro.codec.chroma import BlockInfo
@@ -76,13 +80,24 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def recommended_parallel(num_tiles: int, workers: Optional[int] = None) -> bool:
-    """Whether the process pool can pay for its dispatch overhead.
+def recommended_parallel(
+    num_tiles: int,
+    workers: Optional[int] = None,
+    backend: str = "process",
+) -> bool:
+    """Whether the pool can pay for its dispatch overhead.
 
-    Fork/pickle costs are fixed per frame; they amortize only when
-    more than one tile can actually run concurrently.
+    The answer is backend-specific.  The process pool's fork/pickle
+    costs are fixed per frame and amortize only when more than one
+    tile can actually run concurrently.  The thread pool's dispatch is
+    microseconds and its workers share memory, but real concurrency
+    exists only while the native kernels hold the hot loops (ctypes
+    releases the GIL for the call's duration) — pure-NumPy encoding
+    from multiple threads just interleaves under the GIL.
     """
     effective = workers if workers is not None else default_workers()
+    if backend == "thread":
+        return native.lib is not None and effective > 1 and num_tiles > 1
     return effective > 1 and num_tiles > 1
 
 
@@ -172,8 +187,18 @@ def _encode_tile_worker(task: tuple):
         policy = _spec_policy(spec)
 
         def hook(ctx_factory, left_mv):
+            def wrapped(_w):
+                return ctx_factory(spec.window)
+
+            nargs = getattr(ctx_factory, "native_args", None)
+            if nargs is not None:
+                # Keep the native search driver reachable through the
+                # wrapper and pin the spec's window, exactly like the
+                # serial pipeline's hook wrapper does.
+                wrapped.native_args = nargs
+                wrapped.native_window = spec.window
             return policy.search_block(
-                lambda _w: ctx_factory(spec.window),
+                wrapped,
                 spec.motion,
                 spec.is_first,
                 spec.tile_id,
@@ -230,30 +255,44 @@ class TileParallelExecutor:
     :class:`~repro.codec.encoder.FrameEncoder`.
 
     The pool is created lazily on the first parallel frame and reused
-    across frames (fork context where available, so worker processes
-    inherit the compiled native kernels without re-importing).  With
-    ``workers == 1`` every tile is encoded inline through the same
-    worker function — useful as a deterministic reference and on
-    single-core machines, where a pool would only add overhead.
+    across frames.  ``backend="process"`` forks workers (fork context
+    where available, so they inherit the compiled native kernels
+    without re-importing); ``backend="thread"`` runs the same worker
+    function on a thread pool — tasks hand workers *views* of the
+    shared frame planes, nothing is pickled, and concurrency comes
+    from the native kernels dropping the GIL.  With ``workers == 1``
+    every tile is encoded inline through the same worker function —
+    useful as a deterministic reference and on single-core machines,
+    where a pool would only add overhead.
     """
 
-    def __init__(self, workers: Optional[int] = None):
+    def __init__(self, workers: Optional[int] = None,
+                 backend: str = "process"):
+        if backend not in ("process", "thread"):
+            raise ValueError(f"unknown tile-pool backend {backend!r}")
         self.workers = workers if workers else default_workers()
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self.backend = backend
+        self._pool: Optional[Executor] = None
         #: Per-tile learning reported by the most recent
         #: :meth:`encode_frame` fan-out (first P frames only).
         self.last_learned: List[TileLearned] = []
 
     # -- pool lifecycle -------------------------------------------------
-    def _ensure_pool(self) -> ProcessPoolExecutor:
+    def _ensure_pool(self) -> Executor:
         if self._pool is None:
-            try:
-                ctx = multiprocessing.get_context("fork")
-            except ValueError:  # platforms without fork
-                ctx = multiprocessing.get_context()
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=ctx
-            )
+            if self.backend == "thread":
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-tile",
+                )
+            else:
+                try:
+                    ctx = multiprocessing.get_context("fork")
+                except ValueError:  # platforms without fork
+                    ctx = multiprocessing.get_context()
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=ctx
+                )
         return self._pool
 
     def close(self) -> None:

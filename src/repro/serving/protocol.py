@@ -57,6 +57,8 @@ __all__ = [
     "ResumeAck",
     "Stats",
     "decode_frame",
+    "encode_encoded_into",
+    "encode_frame_into",
     "encode_message",
     "read_message",
     "write_message",
@@ -197,12 +199,19 @@ class HelloAck:
 
 @dataclass(frozen=True)
 class FrameMsg:
-    """One raw 8-bit luma frame."""
+    """One raw 8-bit luma frame.
+
+    ``luma`` is any C-contiguous byte buffer (``bytes`` or a
+    ``memoryview`` slice of the wire payload — the decode path hands
+    out zero-copy views of the received chunk, so consumers should
+    wrap it with ``np.frombuffer`` rather than expect ``bytes``
+    methods).
+    """
 
     frame_index: int
     width: int
     height: int
-    luma: bytes
+    luma: Union[bytes, memoryview]
 
     type = MsgType.FRAME
 
@@ -214,9 +223,12 @@ class FrameMsg:
             )
 
     def payload(self) -> bytes:
+        luma = self.luma
+        if not isinstance(luma, bytes):
+            luma = bytes(luma)
         return _FRAME_PREFIX.pack(
             self.frame_index, self.width, self.height
-        ) + self.luma
+        ) + luma
 
     @classmethod
     def from_payload(cls, flags: int, data: bytes) -> "FrameMsg":
@@ -237,7 +249,9 @@ class Encoded:
 
     ``luma`` carries the reconstructed (decoded) plane — the server's
     proof of what the client's decoder would display; it is empty when
-    the frame was dropped (``dropped`` names the reason).
+    the frame was dropped (``dropped`` names the reason).  Like
+    :class:`FrameMsg` it may be a zero-copy ``memoryview`` of the
+    received chunk on the decode path.
     """
 
     frame_index: int
@@ -247,7 +261,7 @@ class Encoded:
     height: int = 0
     bits: int = 0
     psnr: float = 0.0
-    luma: bytes = b""
+    luma: Union[bytes, memoryview] = b""
 
     type = MsgType.ENCODED
 
@@ -264,10 +278,13 @@ class Encoded:
             drop = DROP_CODES[self.dropped]
         except KeyError as exc:
             raise ProtocolError(f"unencodable ENCODED field: {exc}") from exc
+        luma = self.luma
+        if not isinstance(luma, bytes):
+            luma = bytes(luma)
         return _ENCODED_PREFIX.pack(
             self.frame_index, ftype, drop, self.width, self.height,
             self.bits, self.psnr,
-        ) + self.luma
+        ) + luma
 
     @classmethod
     def from_payload(cls, flags: int, data: bytes) -> "Encoded":
@@ -454,7 +471,11 @@ def _json_bytes(obj: dict) -> bytes:
     return json.dumps(obj, sort_keys=True).encode("utf-8")
 
 
-def _json_obj(data: bytes) -> dict:
+def _json_obj(data) -> dict:
+    # Control payloads are tiny; materializing a memoryview here is
+    # not on the pixel hot path.
+    if not isinstance(data, (bytes, bytearray)):
+        data = bytes(data)
     try:
         obj = json.loads(data.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -479,6 +500,110 @@ def encode_message(msg: Message, flags: int = 0) -> bytes:
         len(payload), zlib.crc32(payload) & 0xFFFFFFFF,
     )
     return header + payload
+
+
+def encode_frame_into(
+    out: bytearray,
+    frame_index: int,
+    width: int,
+    height: int,
+    luma,
+    flags: int = 0,
+) -> int:
+    """Serialize one FRAME wire frame straight into ``out``.
+
+    Sender-side counterpart of :func:`encode_encoded_into`: ``luma``
+    may be ``bytes``, a ``memoryview`` or a C-contiguous ``uint8``
+    ``ndarray`` plane, copied exactly once into the arena.  Produces
+    bytes identical to ``encode_message(FrameMsg(...), flags)``.
+    Returns the number of bytes appended.
+    """
+    if isinstance(luma, bytes):
+        view = luma
+        nbytes = len(luma)
+    else:
+        view = memoryview(luma)
+        if view.ndim != 1:
+            view = view.cast("B")
+        nbytes = view.nbytes
+    if nbytes != width * height:
+        raise ProtocolError(
+            f"FRAME luma length {nbytes} != {width}x{height}"
+        )
+    length = _FRAME_PREFIX.size + nbytes
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"payload of {length} bytes exceeds MAX_PAYLOAD"
+        )
+    prefix = _FRAME_PREFIX.pack(frame_index, width, height)
+    crc = zlib.crc32(view, zlib.crc32(prefix))
+    out += _HEADER.pack(
+        MAGIC, PROTOCOL_VERSION, int(MsgType.FRAME), flags, length,
+        crc & 0xFFFFFFFF,
+    )
+    out += prefix
+    out += view
+    return HEADER_SIZE + length
+
+
+def encode_encoded_into(
+    out: bytearray,
+    frame_index: int,
+    frame_type: str = "P",
+    dropped: Optional[str] = None,
+    width: int = 0,
+    height: int = 0,
+    bits: int = 0,
+    psnr: float = 0.0,
+    luma=b"",
+    flags: int = 0,
+) -> int:
+    """Serialize one ENCODED wire frame straight into ``out``.
+
+    The zero-copy egress path: ``luma`` may be ``bytes``, a
+    ``memoryview`` or a C-contiguous ``uint8`` ``ndarray`` (the
+    reconstruction plane), and its pixels flow into the output arena
+    exactly once — no :class:`Encoded` dataclass, no ``tobytes()``
+    and no intermediate header+payload concatenation.  Produces bytes
+    identical to ``encode_message(Encoded(...), flags)``.  Returns the
+    number of bytes appended.
+    """
+    try:
+        ftype = FRAME_TYPE_CODES[frame_type]
+        drop = DROP_CODES[dropped]
+    except KeyError as exc:
+        raise ProtocolError(f"unencodable ENCODED field: {exc}") from exc
+    if isinstance(luma, bytes):
+        view = luma
+        nbytes = len(luma)
+    else:
+        view = memoryview(luma)
+        if view.ndim != 1:
+            view = view.cast("B")
+        nbytes = view.nbytes
+    if nbytes not in (0, width * height):
+        raise ProtocolError(
+            f"ENCODED luma length {nbytes} != {width}x{height}"
+        )
+    length = _ENCODED_PREFIX.size + nbytes
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"payload of {length} bytes exceeds MAX_PAYLOAD"
+        )
+    prefix = _ENCODED_PREFIX.pack(
+        frame_index, ftype, drop, width, height, bits, psnr
+    )
+    crc = zlib.crc32(prefix)
+    if nbytes:
+        crc = zlib.crc32(view, crc)
+    out += _HEADER.pack(
+        MAGIC, PROTOCOL_VERSION, int(MsgType.ENCODED), flags, length,
+        crc & 0xFFFFFFFF,
+    )
+    out += prefix
+    if nbytes:
+        out += view
+    return HEADER_SIZE + length
 
 
 def _parse_header(header: bytes) -> Tuple[MsgType, int, int, int]:
@@ -545,29 +670,84 @@ class MessageDecoder:
             raise ValueError("max_payload must be positive")
         self.max_payload = min(max_payload, MAX_PAYLOAD)
         self._buf = bytearray()
+        # Header of the in-progress message, parsed exactly once
+        # (invariant: non-None only while ``_buf`` starts with that
+        # full 16-byte header and its payload is still incomplete).
+        self._header: Optional[Tuple[MsgType, int, int, int]] = None
 
     @property
     def pending_bytes(self) -> int:
         return len(self._buf)
 
-    def feed(self, data: bytes) -> List[Message]:
+    def _check_limit(self, length: int) -> None:
+        # Reject an oversized declaration before buffering its
+        # payload — the unbounded-memory guard.
+        if length > self.max_payload:
+            raise ProtocolError(
+                f"declared payload of {length} bytes exceeds the "
+                f"decoder limit of {self.max_payload}"
+            )
+
+    def feed(self, data) -> List[Message]:
+        """Feed one received chunk; return every completed message.
+
+        Zero-copy fast path: when no partial message is pending and
+        ``data`` is immutable ``bytes`` (the normal socket-read case),
+        complete messages are parsed in place and pixel-carrying
+        payloads come out as ``memoryview`` slices of ``data`` — the
+        chunk's pixels are never copied.  Only a trailing partial
+        message (and any chunk arriving while one is pending) is
+        staged into the reassembly buffer.
+        """
+        if not self._buf and isinstance(data, bytes):
+            return self._feed_fast(data)
         self._buf.extend(data)
         out: List[Message] = []
+        buf = self._buf
         while True:
-            if len(self._buf) >= HEADER_SIZE:
-                # Reject an oversized declaration before buffering its
-                # payload — the unbounded-memory guard.
-                _, _, length, _ = _parse_header(bytes(self._buf[:HEADER_SIZE]))
-                if length > self.max_payload:
-                    raise ProtocolError(
-                        f"declared payload of {length} bytes exceeds the "
-                        f"decoder limit of {self.max_payload}"
-                    )
-            msg, consumed = decode_frame(bytes(self._buf))
-            if msg is None:
+            if self._header is None:
+                if len(buf) < HEADER_SIZE:
+                    return out
+                self._header = _parse_header(bytes(buf[:HEADER_SIZE]))
+                self._check_limit(self._header[2])
+            mtype, flags, length, crc = self._header
+            end = HEADER_SIZE + length
+            if len(buf) < end:
                 return out
-            del self._buf[:consumed]
+            # One immutable copy per reassembled message (the payload
+            # cannot alias ``buf``: the del below resizes it).
+            payload = bytes(memoryview(buf)[HEADER_SIZE:end])
+            _check_payload(payload, crc)
+            msg = _DECODERS[mtype](flags, memoryview(payload))
+            del buf[:end]
+            self._header = None
             out.append(msg)
+
+    def _feed_fast(self, data: bytes) -> List[Message]:
+        out: List[Message] = []
+        mv = memoryview(data)
+        total = len(data)
+        pos = 0
+        while True:
+            if self._header is None:
+                if total - pos < HEADER_SIZE:
+                    break
+                self._header = _parse_header(mv[pos:pos + HEADER_SIZE])
+                self._check_limit(self._header[2])
+            mtype, flags, length, crc = self._header
+            end = pos + HEADER_SIZE + length
+            if end > total:
+                break
+            payload = mv[pos + HEADER_SIZE:end]
+            _check_payload(payload, crc)
+            out.append(_DECODERS[mtype](flags, payload))
+            self._header = None
+            pos = end
+        if pos < total:
+            # Stage the partial tail; a cached ``_header`` stays valid
+            # because the tail starts with those same header bytes.
+            self._buf.extend(mv[pos:])
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -598,7 +778,9 @@ async def read_message(
         )
     payload = await reader.readexactly(length) if length else b""
     _check_payload(payload, crc)
-    return _DECODERS[mtype](flags, payload)
+    # Hand the decoder a view of the freshly-read (immutable) buffer:
+    # FRAME/ENCODED luma comes out as a zero-copy slice of it.
+    return _DECODERS[mtype](flags, memoryview(payload))
 
 
 async def write_message(writer, msg: Message, flags: int = 0) -> None:

@@ -85,6 +85,7 @@ from repro.serving.protocol import (
     Resume,
     ResumeAck,
     Stats,
+    encode_encoded_into,
     read_message,
     write_message,
 )
@@ -130,8 +131,20 @@ class ServeNetConfig:
     hello_timeout_s: float = 10.0
     max_frame_width: int = 4096
     max_frame_height: int = 4096
-    #: Tile process pool per session (``None`` = serial encode).
+    #: Tile pool per session (``None`` = serial encode).
     parallel_workers: Optional[int] = None
+    #: Tile pool backend.  Serving defaults to ``"thread"``: session
+    #: frames are zero-copy views of socket buffers, which threads can
+    #: share directly (a fork/pickle pool would copy them right back),
+    #: and the native kernels release the GIL for the hot loops.
+    parallel_backend: str = "thread"
+    #: Size of the shared encode thread pool (one GOP flush runs per
+    #: thread; per-session pushes stay strictly ordered regardless).
+    #: ``None`` derives the size from the Algorithm-2 core grant: the
+    #: admission controller's core capacity, bounded by the host's
+    #: cores — on a single-core host this collapses to the classic
+    #: single encode thread.
+    encode_workers: Optional[int] = None
     #: Per-stream resilience (degradation ladder, corrupt-frame drops).
     resilience: Optional[ResilienceConfig] = field(
         default_factory=ResilienceConfig
@@ -240,6 +253,31 @@ _BYE_SENTINEL = object()
 _DRAIN_SENTINEL = object()
 
 
+class _EncodedOut:
+    """Egress-queue stand-in for a successful ENCODED frame.
+
+    Carries the reconstruction plane *by reference*; the egress loop
+    serializes it straight into the session's reusable wire arena
+    (:func:`encode_encoded_into`), so the plane's pixels are copied
+    exactly once — into the socket — instead of ``tobytes()`` +
+    payload concat + header concat.  Drops and control messages keep
+    using the regular dataclasses (their payloads are tiny).
+    """
+
+    __slots__ = ("frame_index", "frame_type", "width", "height",
+                 "bits", "psnr", "recon")
+
+    def __init__(self, frame_index: int, frame_type: str, width: int,
+                 height: int, bits: int, psnr: float, recon: np.ndarray):
+        self.frame_index = frame_index
+        self.frame_type = frame_type
+        self.width = width
+        self.height = height
+        self.bits = bits
+        self.psnr = psnr
+        self.recon = recon
+
+
 class _Session:
     """Mutable state of one accepted client session.
 
@@ -286,6 +324,7 @@ class _Session:
             platform=cfg.platform,
             parallel_tiles=cfg.parallel_workers is not None,
             parallel_workers=cfg.parallel_workers or None,
+            parallel_backend=cfg.parallel_backend,
         )
         injector = None
         if cfg.fault_spike_rate > 0:
@@ -322,6 +361,10 @@ class _Session:
         #: encoder stays at most a few GOPs ahead of durable emission
         #: (deep enough to ride out an occasional slow fsync).
         self.emit_queue: asyncio.Queue = asyncio.Queue(maxsize=4)
+        #: Reusable egress serialization buffer (one wire frame at a
+        #: time; the selector transport either sends synchronously or
+        #: copies the unsent remainder, so reuse after write is safe).
+        self.wire_arena = bytearray()
         self.completed = False
         if restored is not None:
             if restored.state is not None:
@@ -365,13 +408,12 @@ class NetworkServer:
             policy=config.admission,
         )
         self._server: Optional[asyncio.base_events.Server] = None
-        # One encode thread: CPU work leaves the event loop, and the
-        # shared estimator/classifier/LUT see strictly serialized
-        # updates (per-tile parallelism happens in the process pool
-        # below this thread when enabled).
-        self._encode_pool = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-encode"
-        )
+        # The encode pool: CPU work leaves the event loop here.  Each
+        # session awaits every push before issuing the next, so one
+        # session never runs on two threads at once; cross-session
+        # parallelism is bounded by the Algorithm-2 core grant (the
+        # shared estimator serializes its own LUT updates).
+        self._encode_pool = self._new_encode_pool()
         # Journal writes (plane packing, checksumming, fsync) get their
         # own single writer thread so durability work overlaps with the
         # encode thread instead of stealing its time.  Egress for a GOP
@@ -402,6 +444,24 @@ class NetworkServer:
             MAX_PAYLOAD,
             max(65536,
                 config.max_frame_width * config.max_frame_height + 1024),
+        )
+
+    def _encode_pool_size(self) -> int:
+        """Encode threads granted to this server.
+
+        Explicit ``encode_workers`` wins; otherwise the grant is the
+        admission controller's core capacity (the Algorithm-2 budget
+        sessions are packed into) clamped to the physical host.
+        """
+        if self.config.encode_workers is not None:
+            return max(1, int(self.config.encode_workers))
+        grant = max(1, int(self.admission.capacity_cores))
+        return min(grant, os.cpu_count() or 1)
+
+    def _new_encode_pool(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(
+            max_workers=self._encode_pool_size(),
+            thread_name_prefix="repro-encode",
         )
 
     @property
@@ -888,9 +948,22 @@ class NetworkServer:
                         dropped="backpressure",
                     ))
                     continue
+                # Zero-copy ingest: the wire payload backs the frame
+                # directly (read_message hands out an immutable view,
+                # so frombuffer yields a read-only plane — the encoder
+                # only ever reads the original).  A writable buffer
+                # means something mutable backs the view; snapshot it
+                # and surface the copy in metrics so hot-path copy
+                # regressions are visible.
                 luma = np.frombuffer(msg.luma, dtype=np.uint8).reshape(
                     msg.height, msg.width
-                ).copy()
+                )
+                if luma.flags.writeable:
+                    luma = luma.copy()
+                    registry.inc(
+                        "repro_serving_frame_copies_total", path="ingest",
+                        help="Hot-path pixel copies (0 when zero-copy holds)",
+                    )
                 session.arrival_s[index] = time.perf_counter()
                 session.ingest.put_nowait(Frame(luma, index=index))
                 depth = session.ingest.qsize()
@@ -969,6 +1042,14 @@ class NetworkServer:
             session.replay_frames.append(frame)
         stream = session.stream
         floor = self.config.encode_floor_s
+        if floor <= 0 and stream.pending_frames + 1 < session.gop_size:
+            # Mid-GOP push: validate-and-buffer only (no encode), so
+            # run it inline instead of paying an executor round-trip —
+            # the thread pool is reserved for GOP flushes.
+            try:
+                return stream.push(frame)
+            except CorruptFrameError as exc:
+                raise ProtocolError(f"unencodable frame: {exc}") from exc
         if floor > 0:
             def timed_push() -> List[FrameOutput]:
                 t0 = time.perf_counter()
@@ -1016,9 +1097,7 @@ class NetworkServer:
         # (when enabled) let them resume; head-of-line blocking behind
         # a wedged thread would stall them forever anyway.
         old_pool = self._encode_pool
-        self._encode_pool = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-encode"
-        )
+        self._encode_pool = self._new_encode_pool()
         old_pool.shutdown(wait=False, cancel_futures=True)
         # Rebuild the stream from the in-memory GOP-boundary snapshot
         # and re-buffer the interrupted GOP minus the wedged frame.
@@ -1217,12 +1296,10 @@ class NetworkServer:
                     help="End-to-end frame latency (arrival to encoded)",
                 )
             recon = out.reconstruction
-            await self._egress_put(session, Encoded(
-                frame_index=out.frame_index,
-                frame_type=out.frame_type.value,
-                width=recon.shape[1], height=recon.shape[0],
-                bits=record.bits, psnr=psnr,
-                luma=recon.tobytes(),
+            await self._egress_put(session, _EncodedOut(
+                out.frame_index, out.frame_type.value,
+                recon.shape[1], recon.shape[0],
+                record.bits, psnr, recon,
             ))
 
     async def _egress_put(self, session: _Session, msg: Message,
@@ -1265,6 +1342,27 @@ class NetworkServer:
             msg = await session.egress.get()
             if msg is _BYE_SENTINEL:
                 return
+            if type(msg) is _EncodedOut:
+                # Arena egress: serialize the reconstruction plane
+                # directly into the per-session buffer and hand that
+                # to the transport — no tobytes(), no concatenation.
+                arena = session.wire_arena
+                del arena[:]
+                encode_encoded_into(
+                    arena, msg.frame_index, frame_type=msg.frame_type,
+                    width=msg.width, height=msg.height,
+                    bits=msg.bits, psnr=msg.psnr, luma=msg.recon,
+                )
+                writer.write(arena)
+                await writer.drain()
+                registry.inc("repro_serving_frames_total", direction="out",
+                             help="Frames crossing the wire by direction")
+                registry.inc(
+                    "repro_serving_bytes_total", msg.recon.nbytes,
+                    direction="out",
+                    help="Payload bytes crossing the wire by direction",
+                )
+                continue
             await write_message(writer, msg)
             if isinstance(msg, Encoded):
                 registry.inc("repro_serving_frames_total", direction="out",

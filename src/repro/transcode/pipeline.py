@@ -118,6 +118,11 @@ class PipelineConfig:
     parallel_tiles: bool = False
     #: Worker count for the tile pool; ``None`` uses one per core.
     parallel_workers: Optional[int] = None
+    #: Tile pool backend: ``"process"`` (fork + pickle, works without
+    #: native kernels) or ``"thread"`` (shared-memory frame views, no
+    #: pickle; real parallelism only while the GIL-releasing native
+    #: kernels are active).
+    parallel_backend: str = "process"
 
     @classmethod
     def khan(cls, **overrides) -> "PipelineConfig":
@@ -302,7 +307,9 @@ class StreamTranscoder:
         self._frame_encoder = FrameEncoder()
         self._parallel: Optional[TileParallelExecutor] = None
         if config.parallel_tiles:
-            self._parallel = TileParallelExecutor(config.parallel_workers)
+            self._parallel = TileParallelExecutor(
+                config.parallel_workers, backend=config.parallel_backend
+            )
         self.fault_injector = fault_injector
 
     def close(self) -> None:
@@ -501,8 +508,18 @@ class StreamTranscoder:
         is_first = gop_position <= 1
 
         def hook(ctx_factory, left_mv):
+            def wrapped(_w):
+                return ctx_factory(window)
+
+            nargs = getattr(ctx_factory, "native_args", None)
+            if nargs is not None:
+                # Keep the native search driver reachable through the
+                # wrapper, and pin the window the pipeline chose (the
+                # wrapper ignores the policy's window the same way).
+                wrapped.native_args = nargs
+                wrapped.native_window = window
             return policy.search_block(
-                lambda _w: ctx_factory(window), motion, is_first, tile_index,
+                wrapped, motion, is_first, tile_index,
                 left_mv=left_mv,
             )
 
@@ -738,6 +755,17 @@ class ProposedStreamSession:
         self.transcoder._resolved_class = resolved
 
     # -- ingest --------------------------------------------------------
+    @property
+    def pending_frames(self) -> int:
+        """Frames buffered since the last GOP boundary.
+
+        A :meth:`push` with ``pending_frames + 1 < gop.size`` only
+        validates and buffers — no encoding happens — which is what
+        lets the serving layer run mid-GOP pushes inline on its event
+        loop and reserve the encode thread pool for GOP flushes.
+        """
+        return len(self._pending)
+
     def push(self, frame) -> List[FrameOutput]:
         """Buffer one frame; encode and return outputs when a GOP
         completes (an empty list otherwise)."""

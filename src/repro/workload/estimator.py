@@ -10,6 +10,7 @@ role for the very first frames).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
@@ -67,6 +68,10 @@ class WorkloadEstimator:
         self.lut = lut if lut is not None else WorkloadLut()
         self.seed = seed
         self.quantile = quantile
+        # One estimator is shared by every session of a serving
+        # process; with a multi-thread encode pool the histogram
+        # read-modify-writes in ``observe`` need mutual exclusion.
+        self._observe_lock = threading.Lock()
 
     def estimate(self, key: WorkloadKey, area: int) -> float:
         """Estimated CPU time (seconds at f_max) for one tile encode."""
@@ -84,7 +89,8 @@ class WorkloadEstimator:
 
     def observe(self, key: WorkloadKey, cpu_time: float) -> None:
         """Record a measured tile CPU time after the frame retires."""
-        self.lut.observe(key, cpu_time)
+        with self._observe_lock:
+            self.lut.observe(key, cpu_time)
         get_registry().inc(
             "repro_lut_updates_total",
             help="Workload-LUT histogram updates",

@@ -134,3 +134,156 @@ def test_native_disabled_by_environment():
         check=True,
     )
     assert out.stdout.strip() == "False"
+
+
+def test_motion_driver_matches_python_search():
+    """The C motion-search driver replays every Python algorithm —
+    cross, one-at-a-time (both axes), hexagon (all orientations) —
+    with identical vectors, costs and evaluation counts, and reports
+    the true SAD of the winning vector."""
+    from repro.motion.base import SearchContext
+    from repro.motion.cross import CrossSearch
+    from repro.motion.hexagon import HexagonOrientation, HexagonSearch
+    from repro.motion.one_at_a_time import OneAtATimeSearch
+
+    algos = [
+        CrossSearch(),
+        OneAtATimeSearch("x"),
+        OneAtATimeSearch("y"),
+        HexagonSearch(HexagonOrientation.HORIZONTAL),
+        HexagonSearch(HexagonOrientation.VERTICAL),
+        HexagonSearch(HexagonOrientation.ROTATING),
+    ]
+    rng = np.random.default_rng(11)
+    trials = 0
+    for trial in range(120):
+        h = int(rng.integers(32, 128))
+        w = int(rng.integers(32, 128))
+        ref = rng.integers(0, 256, (h, w), dtype=np.uint8)
+        cur = np.clip(
+            ref.astype(np.int16) + rng.integers(-8, 9, (h, w)), 0, 255
+        ).astype(np.uint8)
+        bs = int(rng.choice([8, 16]))
+        if h < bs or w < bs:
+            continue
+        bx = int(rng.integers(0, w - bs + 1))
+        by = int(rng.integers(0, h - bs + 1))
+        block = cur[by:by + bs, bx:bx + bs]
+        window = int(rng.choice([4, 8, 16, 32, 64]))
+        lam = float(rng.choice([0.0, 1.0, 4.0]))
+        seeds = [(0, 0)] + [
+            (int(rng.integers(-window, window + 1)),
+             int(rng.integers(-window, window + 1)))
+            for _ in range(int(rng.integers(0, 2)))
+        ]
+        algo = algos[trial % len(algos)]
+        spec = algo.native_spec()
+
+        ctx = SearchContext(ref, block, bx, by, window, lambda_mv=lam)
+        start, _ = ctx.evaluate_many(seeds)
+        res = algo.search(ctx, start=start)
+
+        out = native.motion_search(ref, block, bx, by, window, lam,
+                                   spec[0], spec[1], seeds)
+        assert out is not None
+        mv, cost, evals, sad = out
+        assert mv == res.mv, (trial, algo.name)
+        assert cost == res.cost, (trial, algo.name)
+        assert evals == res.sad_evaluations, (trial, algo.name)
+        ry, rx = by + mv[1], bx + mv[0]
+        want = int(np.abs(
+            ref[ry:ry + bs, rx:rx + bs].astype(np.int64)
+            - block.astype(np.int64)
+        ).sum())
+        assert sad == want, (trial, algo.name)
+        trials += 1
+    assert trials > 100
+
+
+def test_entropy_writer_matches_bitwriter():
+    """The batched C entropy entry point emits the exact bit pattern
+    of the Python ``write_block`` loop (bit count and payload)."""
+    from repro.codec.bitstream import BitWriter
+    from repro.codec.encoder import _ZZ_ORDER8
+    from repro.codec.entropy import write_block
+    from repro.codec.zigzag import zigzag_scan
+
+    rng = np.random.default_rng(13)
+    for _ in range(80):
+        n_sub = int(rng.integers(1, 9))
+        levels = rng.integers(-40, 41, (n_sub, 8, 8)).astype(np.int32)
+        levels[rng.random((n_sub, 8, 8)) < 0.8] = 0
+        w = BitWriter()
+        zz = zigzag_scan(levels)
+        for i in range(n_sub):
+            write_block(w, zz[i])
+        want_bits = w.bits_written
+        want = w.flush()
+        got = native.entropy_write(np.ascontiguousarray(levels), _ZZ_ORDER8)
+        assert got is not None
+        payload, nbits = got
+        assert nbits == want_bits
+        assert payload[: (nbits + 7) // 8] == want
+
+
+def test_sad_simd_levels_bit_identical():
+    """Every SIMD tier the CPU supports (scalar, AVX2, AVX-512)
+    returns identical SADs and identical motion-search outcomes —
+    the NumPy oracle checks the scalar tier, transitivity covers
+    the rest."""
+    detected = native.lib.simd_detect()
+    rng = np.random.default_rng(17)
+    ref = rng.integers(0, 256, (72, 88), dtype=np.uint8)
+    cases = []
+    for bs in (8, 16):
+        block = rng.integers(0, 256, (bs, bs)).astype(np.int32)
+        xs = rng.integers(0, 88 - bs + 1, 64).astype(np.int64)
+        ys = rng.integers(0, 72 - bs + 1, 64).astype(np.int64)
+        cases.append((block, xs, ys))
+    cur = np.clip(
+        ref.astype(np.int16) + rng.integers(-6, 7, ref.shape), 0, 255
+    ).astype(np.uint8)
+
+    per_level = {}
+    try:
+        for level in range(detected + 1):
+            native.lib.simd_set_level(level)
+            assert native.lib.simd_get_level() == level
+            sads = [native.sad_batch(ref, b, xs, ys).copy()
+                    for b, xs, ys in cases]
+            ms = native.motion_search(
+                ref, cur[24:40, 32:48], 32, 24, 16, 1.0, 3, 0, [(0, 0)]
+            )
+            per_level[level] = (sads, ms)
+    finally:
+        native.lib.simd_set_level(detected)
+
+    # Scalar tier against the NumPy oracle.
+    for (block, xs, ys), sads in zip(cases, per_level[0][0]):
+        bs = block.shape[0]
+        for i in range(len(xs)):
+            window = ref[ys[i]:ys[i] + bs, xs[i]:xs[i] + bs].astype(np.int64)
+            assert sads[i] == np.abs(window - block).sum()
+    # Vector tiers against scalar.
+    for level in range(1, detected + 1):
+        for a, b in zip(per_level[0][0], per_level[level][0]):
+            np.testing.assert_array_equal(a, b)
+        assert per_level[level][1] == per_level[0][1]
+
+
+def test_simd_disabled_by_environment():
+    """REPRO_NATIVE_SIMD=0 must pin the dispatch to the scalar tier."""
+    import subprocess
+    import sys
+
+    out = subprocess.run(
+        [sys.executable, "-c",
+         "from repro import native; "
+         "print(native.simd_level, native.lib.simd_get_level())"],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": "src", "REPRO_NATIVE_SIMD": "0",
+             "PATH": "/usr/bin:/bin", "HOME": "/root"},
+        cwd=str(__import__("pathlib").Path(__file__).resolve().parents[1]),
+        check=True,
+    )
+    assert out.stdout.split() == ["0", "0"]

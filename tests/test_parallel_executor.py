@@ -186,3 +186,48 @@ def test_video_encoder_process_pool_identical(video):
     ).encode(video, grid)
     assert serial.average_psnr == parallel.average_psnr
     assert [f.bits for f in serial.frames] == [f.bits for f in parallel.frames]
+
+
+def test_recommended_parallel_thread_backend(monkeypatch):
+    from repro import native
+
+    if native.lib is not None:
+        assert recommended_parallel(num_tiles=4, workers=2,
+                                    backend="thread")
+    # Without GIL-releasing kernels, threads only interleave: the
+    # recommendation must fall back to "don't".
+    monkeypatch.setattr(native, "lib", None)
+    assert not recommended_parallel(num_tiles=4, workers=2,
+                                    backend="thread")
+    # The process recommendation does not depend on native kernels.
+    assert recommended_parallel(num_tiles=4, workers=2,
+                                backend="process")
+
+
+def test_invalid_backend_rejected():
+    with pytest.raises(ValueError):
+        TileParallelExecutor(workers=2, backend="greenlet")
+
+
+def test_thread_pool_bitstream_identical(video):
+    """Shared-memory thread workers splice the same bitstream as the
+    serial encoder (and therefore as the process pool)."""
+    with TileParallelExecutor(workers=2, backend="thread") as executor:
+        serial_bytes, parallel_bytes = _encode_sequence(video, executor)
+    assert serial_bytes == parallel_bytes
+
+
+def test_thread_pool_pipeline_identical(video):
+    """Full proposed-pipeline transcode through the thread backend:
+    identical trace to serial (policy snapshot/merge included)."""
+    serial = StreamTranscoder(PipelineConfig(fps=24.0)).run(video)
+    cfg = PipelineConfig(fps=24.0, parallel_tiles=True,
+                         parallel_workers=2, parallel_backend="thread")
+    with StreamTranscoder(cfg) as transcoder:
+        parallel = transcoder.run(video)
+    assert serial.total_bits == parallel.total_bits
+    assert serial.frame_psnrs == parallel.frame_psnrs
+    for fs, fp in zip(serial.frame_records, parallel.frame_records):
+        for a, b in zip(fs.tiles, fp.tiles):
+            assert (a.bits, a.psnr, a.qp, a.search_window) == \
+                   (b.bits, b.psnr, b.qp, b.search_window)

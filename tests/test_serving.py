@@ -38,6 +38,8 @@ from repro.serving.protocol import (
     ProtocolError,
     Stats,
     decode_frame,
+    encode_encoded_into,
+    encode_frame_into,
     encode_message,
 )
 from repro.resilience.degradation import DegradationLevel
@@ -129,6 +131,125 @@ class TestProtocolRoundTrip:
             out.extend(decoder.feed(wire[i:i + chunk]))
         assert out == msgs
         assert decoder.pending_bytes == 0
+
+
+class TestZeroCopyWire:
+    """The zero-copy hot path is wire-identical to the object path."""
+
+    @given(msgs=st.lists(_any_message, min_size=1, max_size=4),
+           chunk=st.integers(1, 13))
+    @settings(max_examples=50, deadline=None)
+    def test_memoryview_chunks_match_bytes_feed(self, msgs, chunk):
+        """Chunked bytearray/memoryview feeds (the slow path) and one
+        whole-``bytes`` feed (the fast path) decode identically."""
+        wire = b"".join(encode_message(m) for m in msgs)
+        whole = MessageDecoder().feed(wire)
+        chunked = MessageDecoder()
+        out = []
+        for i in range(0, len(wire), chunk):
+            out.extend(chunked.feed(memoryview(wire)[i:i + chunk]))
+        assert out == whole == msgs
+        assert chunked.pending_bytes == 0
+
+    def test_fast_path_luma_is_view_not_copy(self):
+        luma = bytes(range(256)) * 4  # 32x32
+        wire = encode_message(FrameMsg(frame_index=7, width=32,
+                                       height=32, luma=luma))
+        (msg,) = MessageDecoder().feed(wire)
+        assert isinstance(msg.luma, memoryview)
+        assert msg.luma.obj is wire  # slice of the fed buffer
+        arr = np.frombuffer(msg.luma, dtype=np.uint8).reshape(32, 32)
+        assert not arr.flags.writeable  # immutable backing => zero-copy
+        np.testing.assert_array_equal(
+            arr, np.frombuffer(luma, dtype=np.uint8).reshape(32, 32))
+
+    @given(frame_index=st.integers(0, 2**31 - 1), width=st.integers(1, 40),
+           height=st.integers(1, 40), flags=st.integers(0, 0xFFFF))
+    @settings(max_examples=50, deadline=None)
+    def test_encode_frame_into_wire_identity(self, frame_index, width,
+                                             height, flags):
+        rng = np.random.default_rng(frame_index & 0xFFFF)
+        plane = rng.integers(0, 256, (height, width), dtype=np.uint8)
+        want = encode_message(
+            FrameMsg(frame_index=frame_index, width=width, height=height,
+                     luma=plane.tobytes()), flags=flags)
+        for luma in (plane, plane.tobytes(), memoryview(plane.tobytes())):
+            arena = bytearray(b"junk-from-last-message")
+            del arena[:]
+            n = encode_frame_into(arena, frame_index, width, height,
+                                  luma, flags=flags)
+            assert n == len(arena) and bytes(arena) == want
+
+    @given(frame_index=st.integers(0, 2**31 - 1),
+           frame_type=st.sampled_from(["I", "P", "B"]),
+           width=st.integers(1, 40), height=st.integers(1, 40),
+           bits=st.integers(0, 2**40),
+           psnr=st.floats(0, 120, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_encode_encoded_into_wire_identity(self, frame_index,
+                                               frame_type, width, height,
+                                               bits, psnr):
+        rng = np.random.default_rng(frame_index & 0xFFFF)
+        recon = rng.integers(0, 256, (height, width), dtype=np.uint8)
+        want = encode_message(Encoded(
+            frame_index=frame_index, frame_type=frame_type, dropped=None,
+            width=width, height=height, bits=bits, psnr=psnr,
+            luma=recon.tobytes()))
+        arena = bytearray()
+        n = encode_encoded_into(arena, frame_index, frame_type=frame_type,
+                                width=width, height=height, bits=bits,
+                                psnr=psnr, luma=recon)
+        assert n == len(arena) and bytes(arena) == want
+        # Arena reuse: a second message in the same buffer is intact.
+        del arena[:]
+        encode_encoded_into(arena, frame_index, frame_type=frame_type,
+                            width=width, height=height, bits=bits,
+                            psnr=psnr, luma=recon)
+        assert bytes(arena) == want
+
+    def test_encode_into_validates_geometry(self):
+        with pytest.raises(ProtocolError):
+            encode_frame_into(bytearray(), 0, 4, 4, b"\x00" * 15)
+        with pytest.raises(ProtocolError):
+            encode_encoded_into(bytearray(), 0, width=4, height=4,
+                                bits=0, psnr=0.0, luma=b"\x00" * 15)
+
+    def test_memoryview_fed_session_bitstream_identical(self):
+        """Sessions fed read-only socket-buffer views produce the same
+        bits, PSNR and reconstructions as sessions fed owned arrays."""
+        from repro.video.frame import Frame
+
+        video = generate_video(ContentClass.BONE, width=64, height=64,
+                               num_frames=8, seed=9)
+        # Round-trip every frame through the wire to get protocol views.
+        view_frames = []
+        for f in video.frames:
+            wire = encode_message(FrameMsg(
+                frame_index=f.index, width=64, height=64,
+                luma=f.luma.tobytes()))
+            (msg,) = MessageDecoder().feed(wire)
+            arr = np.frombuffer(msg.luma, dtype=np.uint8).reshape(64, 64)
+            assert not arr.flags.writeable
+            view_frames.append(Frame(luma=arr, index=f.index))
+        config = PipelineConfig(gop=GopConfig(4))
+        runs = []
+        for frames in (video.frames, view_frames):
+            with scoped(), StreamTranscoder(config) as t:
+                session = t.open_session()
+                outs = []
+                for frame in frames:
+                    outs.extend(session.push(frame))
+                outs.extend(session.finish())
+            runs.append(outs)
+        owned, viewed = runs
+        assert len(owned) == len(viewed) == 8
+        for a, b in zip(owned, viewed):
+            assert (a.frame_index, a.frame_type, a.dropped) == \
+                (b.frame_index, b.frame_type, b.dropped)
+            np.testing.assert_array_equal(a.reconstruction,
+                                          b.reconstruction)
+        assert [t_.bits for o in owned for t_ in o.record.tiles] == \
+            [t_.bits for o in viewed for t_ in o.record.tiles]
 
 
 class TestProtocolRejection:
