@@ -11,9 +11,10 @@ HAS_COV := $(shell $(PY) -c "import pytest_cov" 2>/dev/null && echo 1)
 COVOPTS := $(if $(HAS_COV),--cov=repro --cov-report=term-missing)
 
 .PHONY: check test bench-smoke bench-serving golden serve-demo \
-	serve-smoke chaos fleet-chaos clean
+	serve-smoke chaos fleet-chaos ladder-smoke clean
 
-check: test bench-smoke bench-serving serve-smoke chaos fleet-chaos
+check: test bench-smoke bench-serving serve-smoke chaos fleet-chaos \
+	ladder-smoke
 
 test:
 	$(PYTEST) -x -q $(COVOPTS)
@@ -53,6 +54,13 @@ chaos:
 # reference pass, and the supervisor restarts the dead slot.
 fleet-chaos:
 	PYTHONPATH=src $(PY) -m repro.serving.fleet_smoke
+
+# Fixed-seed rendition-ladder drill: encodes one stream into a 3-rung
+# ladder, checks GOP-aligned segments + manifest, per-rung bit-identity
+# with independent sessions, and the golden per-rung digests.  After an
+# intentional codec change: `make ladder-smoke UPDATE=--update-golden`.
+ladder-smoke:
+	PYTHONPATH=src $(PY) -m repro.ladder.smoke $(UPDATE)
 
 # One-shot observability demo: writes metrics.json + trace.jsonl.
 serve-demo:

@@ -93,6 +93,16 @@ class ContentClassifier:
     def classify_frame(self, frame: Frame) -> ContentClass:
         return self._nearest(extract_features(frame.luma).as_vector())
 
+    def classify_features(self, features: FrameFeatures) -> ContentClass:
+        """Classify from pre-extracted features.
+
+        The rendition ladder computes one :func:`extract_features` pass
+        at full resolution and reuses it for classification *and* rung
+        planning — this entry point is what makes that sharing
+        possible without re-running the feature pass.
+        """
+        return self._nearest(features.as_vector())
+
     def classify_video(self, video: Video, stride: int = 4) -> ContentClass:
         """Majority vote over sampled frames."""
         if len(video) == 0:

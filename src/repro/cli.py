@@ -152,6 +152,75 @@ def _cmd_transcode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_rungs(specs):
+    rungs = []
+    for spec in specs:
+        try:
+            w, h = (int(x) for x in spec.lower().split("x"))
+        except ValueError:
+            raise SystemExit(f"invalid rung {spec!r}; expected e.g. 480x360")
+        rungs.append((w, h))
+    return tuple(rungs)
+
+
+def _cmd_ladder(args: argparse.Namespace) -> int:
+    from repro.ladder import (
+        LadderConfig,
+        LadderRung,
+        LadderSegmentWriter,
+        LadderSession,
+        default_rungs_for,
+    )
+
+    if args.video:
+        video = video_io.load_npz(args.video)
+    else:
+        video = BioMedicalVideoGenerator(GeneratorConfig(
+            width=args.width, height=args.height, num_frames=args.frames,
+            fps=args.fps, content_class=ContentClass(args.content),
+            seed=args.seed,
+        )).generate()
+    if args.rungs:
+        rungs = tuple(LadderRung(w, h) for w, h in _parse_rungs(args.rungs))
+    else:
+        rungs = default_rungs_for(video.width, video.height)
+    ladder_cfg = LadderConfig(
+        rungs=rungs, prune=not args.no_prune,
+        min_gain_db=args.min_gain_db, segment_gops=args.segment_gops,
+    )
+    pipeline = PipelineConfig(fps=video.fps, gop=GopConfig(args.gop))
+    writer = None
+    with LadderSession(base_config=pipeline, ladder=ladder_cfg) as session:
+        for frame in video.frames:
+            outputs = session.push(frame)
+            if writer is None:
+                # The plan exists after the first push (planning needs
+                # the first frame's features).
+                writer = LadderSegmentWriter(
+                    args.out, session.plan, video.width, video.height,
+                    gop=args.gop, segment_gops=args.segment_gops,
+                    fps=video.fps,
+                )
+            for out in outputs:
+                writer.add(out)
+        for out in session.finish():
+            writer.add(out)
+        manifest = writer.finalize()
+    print(f"wrote {args.out}: ladder of {len(manifest['rungs'])} rung(s) "
+          f"from {video.width}x{video.height} "
+          f"(complexity {manifest['complexity']:.3f})")
+    for rung in manifest["rungs"]:
+        frames = sum(s["frames"] for s in rung["segments"])
+        print(f"  rung {rung['id']} {rung['name']:>5} "
+              f"{rung['width']}x{rung['height']}: "
+              f"{len(rung['segments'])} segment(s), {frames} frames")
+    for pruned in manifest["pruned"]:
+        print(f"  rung {pruned['id']} pruned "
+              f"(predicted gain {pruned['predicted_gain_db']:.2f} dB "
+              f"< {args.min_gain_db:g} dB)")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.allocation.proposed import ProposedAllocator
     from repro.experiments.common import medical_corpus
@@ -423,6 +492,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         backoff_base_s=args.backoff_base,
         backoff_max_s=args.backoff_max,
         backoff_jitter=args.backoff_jitter,
+        ladder=_parse_rungs(args.ladder) if args.ladder else (),
         **({"mix": mix} if mix else {}),
     )
     report = run_loadgen(config)
@@ -527,6 +597,35 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--parallel-workers", type=int, default=None, metavar="N",
                    help="encode tiles on an N-worker process pool (0 = all cores)")
     t.set_defaults(func=_cmd_transcode)
+
+    la = sub.add_parser(
+        "ladder",
+        help="encode a rendition ladder into GOP-aligned segments",
+    )
+    la.add_argument("--video", default=None,
+                    help="input .npz (from `generate`); omitted = synthesize")
+    la.add_argument("--out", required=True, metavar="DIR",
+                    help="segment directory (manifest.json + rung*/...)")
+    la.add_argument("--content", default="brain",
+                    choices=[c.value for c in ContentClass])
+    la.add_argument("--width", type=int, default=640)
+    la.add_argument("--height", type=int, default=480)
+    la.add_argument("--frames", type=int, default=16)
+    la.add_argument("--fps", type=float, default=24.0)
+    la.add_argument("--seed", type=int, default=0)
+    la.add_argument("--gop", type=int, default=8)
+    la.add_argument("--segment-gops", type=int, default=2,
+                    help="segment length in GOPs (boundaries stay "
+                         "GOP-aligned)")
+    la.add_argument("--rungs", nargs="+", default=None, metavar="WxH",
+                    help="ladder rungs, largest first (default: full, "
+                         "3/4 and 1/2 scale of the ingest)")
+    la.add_argument("--no-prune", action="store_true",
+                    help="disable Green-VCA content pruning")
+    la.add_argument("--min-gain-db", type=float, default=1.0,
+                    help="minimum predicted gain an intermediate rung "
+                         "must buy to survive pruning")
+    la.set_defaults(func=_cmd_ladder)
 
     s = sub.add_parser(
         "serve",
@@ -715,6 +814,9 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="SECONDS", help="initial reconnect backoff")
     lg.add_argument("--backoff-max", type=float, default=2.0,
                     metavar="SECONDS", help="reconnect backoff ceiling")
+    lg.add_argument("--ladder", nargs="+", default=None, metavar="WxH",
+                    help="request a rendition ladder per session "
+                         "(rungs largest first, e.g. 96x96 72x72 48x48)")
     lg.add_argument("--backoff-jitter", type=float, default=0.5,
                     help="seeded jitter fraction applied to each backoff")
     lg.set_defaults(func=_cmd_loadgen)

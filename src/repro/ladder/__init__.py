@@ -1,0 +1,56 @@
+"""Rendition-ladder subsystem: one ingest, many GOP-aligned outputs.
+
+``repro.ladder`` turns one full-resolution ingest session into a
+*ladder* of renditions (e.g. 480/360/240 from the 640x480 world) the
+way ABR streaming deployments do, while preserving the repo's two
+invariants:
+
+* **bit-identity** — every rung's output is bit-identical to an
+  independent single-rung session over the same downscaled frames
+  (shared analysis changes *where* work happens, never *what* is
+  computed);
+* **determinism** — the integer box downscaler, the Green-VCA rung
+  pruning and the GOP-aligned segmenter are all pure functions of the
+  ingest and the seed.
+
+See DESIGN.md §14 for the architecture and dataflow.
+"""
+
+from repro.ladder.config import (
+    DEFAULT_RUNGS,
+    LadderConfig,
+    LadderRung,
+    default_rungs_for,
+)
+from repro.ladder.planner import (
+    LadderPlan,
+    LadderPlanner,
+    PlannedRung,
+    complexity_score,
+)
+from repro.ladder.segments import (
+    MANIFEST_NAME,
+    LadderSegmentReader,
+    LadderSegmentWriter,
+    SegmentRef,
+    frame_psnr,
+)
+from repro.ladder.session import LadderSession, RungSession
+
+__all__ = [
+    "DEFAULT_RUNGS",
+    "MANIFEST_NAME",
+    "LadderConfig",
+    "LadderPlan",
+    "LadderPlanner",
+    "LadderRung",
+    "LadderSegmentReader",
+    "LadderSegmentWriter",
+    "LadderSession",
+    "PlannedRung",
+    "RungSession",
+    "SegmentRef",
+    "complexity_score",
+    "default_rungs_for",
+    "frame_psnr",
+]

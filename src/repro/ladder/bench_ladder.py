@@ -1,0 +1,226 @@
+"""Rendition-ladder benchmark (``python -m repro.ladder.bench_ladder``).
+
+Measures what the shared-analysis ladder saves over serving the same
+rung set with N independent single-rung sessions, and records the
+result in the ``BENCH_<n>.json`` schema used by ``repro bench``.
+
+Two arms over the identical workload (one synthetic stream, the
+3-rung ladder ``default_rungs_for`` derives for the ingest geometry):
+
+* ``ladder_shared`` — one :class:`LadderSession`: a single
+  full-resolution feature pass powers classification and rung
+  planning, every rung reuses the pinned class and one shared LUT.
+* ``independent_sessions`` — one :class:`StreamTranscoder` per rung
+  over the same box-downscaled frames, each resolving its own content
+  class and warming its own LUT, the way N unrelated sessions would.
+
+Encode work is identical by construction (the ladder's per-rung
+output is bit-identical to the independent sessions', as
+``make ladder-smoke`` asserts), so the wall-clock delta isolates the
+duplicated analysis.  A third record reports the duplication
+directly: the ladder runs exactly one analysis pass where the
+independent arm runs one per rung.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.classes import extract_features
+from repro.bench import git_sha, repo_root
+from repro.codec.config import GopConfig
+from repro.ladder.config import LadderConfig, default_rungs_for
+from repro.ladder.session import LadderSession
+from repro.observability import scoped
+from repro.transcode.pipeline import PipelineConfig, StreamTranscoder
+from repro.video.generator import (
+    BioMedicalVideoGenerator,
+    ContentClass,
+    GeneratorConfig,
+    MotionPreset,
+)
+from repro.video.scale import downscale_frame
+
+_WIDTH, _HEIGHT = 320, 240
+_FRAMES = 8
+_GOP = 4
+_SEED = 11
+_CONTENT = ContentClass.BRAIN
+
+
+def _video():
+    return BioMedicalVideoGenerator(GeneratorConfig(
+        width=_WIDTH, height=_HEIGHT, num_frames=_FRAMES, seed=_SEED,
+        content_class=_CONTENT, motion=MotionPreset.PAN_RIGHT,
+    )).generate()
+
+
+def _ladder_arm(video, rungs) -> float:
+    base = PipelineConfig(fps=video.fps, gop=GopConfig(_GOP))
+    start = time.perf_counter()
+    with LadderSession(
+        base_config=base,
+        ladder=LadderConfig(rungs=rungs, prune=False),
+    ) as session:
+        for frame in video.frames:
+            session.push(frame)
+        session.finish()
+    return time.perf_counter() - start
+
+
+def _independent_arm(video, rungs) -> float:
+    start = time.perf_counter()
+    for rung in rungs:
+        cfg = PipelineConfig(fps=video.fps, gop=GopConfig(_GOP))
+        with StreamTranscoder(cfg) as transcoder:
+            session = transcoder.open_session()
+            for frame in video.frames:
+                session.push(
+                    downscale_frame(frame, rung.width, rung.height)
+                )
+            session.finish()
+    return time.perf_counter() - start
+
+
+def _analysis_pass_seconds(video, rungs) -> dict:
+    """Direct cost of the duplicated work: one full-resolution feature
+    pass (the ladder's single shared pass) vs one pass per rung at
+    rung resolution (what N independent sessions each pay)."""
+    repeats = 20
+    start = time.perf_counter()
+    for _ in range(repeats):
+        extract_features(video.frames[0].luma)
+    shared = (time.perf_counter() - start) / repeats
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for rung in rungs:
+            scaled = downscale_frame(
+                video.frames[0], rung.width, rung.height
+            )
+            extract_features(scaled.luma)
+    independent = (time.perf_counter() - start) / repeats
+    return {"shared_s": shared, "independent_s": independent}
+
+
+def measure(rounds: int) -> dict:
+    video = _video()
+    rungs = default_rungs_for(_WIDTH, _HEIGHT)
+    ladder: List[float] = []
+    independent: List[float] = []
+    # One warmup each (native kernel build, classifier fit), then
+    # paired rounds alternating order to cancel drift.
+    with scoped():
+        _ladder_arm(video, rungs)
+        _independent_arm(video, rungs)
+    for i in range(rounds):
+        arms = [(ladder, _ladder_arm), (independent, _independent_arm)]
+        if i % 2:
+            arms.reverse()
+        for sink, arm in arms:
+            with scoped():
+                sink.append(arm(video, rungs))
+    analysis = _analysis_pass_seconds(video, rungs)
+    return {
+        "ladder": ladder, "independent": independent,
+        "analysis": analysis, "num_rungs": len(rungs),
+        "rungs": [[r.width, r.height] for r in rungs],
+    }
+
+
+def _record(name: str, times: List[float], frames: int) -> dict:
+    mean_s = statistics.fmean(times)
+    return {
+        "name": name,
+        "group": "ladder",
+        "mean_s": mean_s,
+        "stddev_s": statistics.stdev(times) if len(times) > 1 else 0.0,
+        "rounds": len(times),
+        "frames_per_s": frames / mean_s,
+        "median_s": statistics.median(times),
+        "best_s": min(times),
+    }
+
+
+def summarize(results: dict) -> dict:
+    # Frames of output across every rung.
+    frames = _FRAMES * results["num_rungs"]
+    med_ladder = statistics.median(results["ladder"])
+    med_indep = statistics.median(results["independent"])
+    analysis = results["analysis"]
+    records = [
+        _record("ladder_shared", results["ladder"], frames),
+        _record("independent_sessions", results["independent"], frames),
+        {
+            "name": "shared_analysis_savings",
+            "group": "ladder",
+            "ingest": f"{_WIDTH}x{_HEIGHT}",
+            "frames_per_session": _FRAMES,
+            "gop": _GOP,
+            "rungs": results["rungs"],
+            "analysis_passes_ladder": 1,
+            "analysis_passes_independent": results["num_rungs"],
+            "analysis_pass_shared_s": analysis["shared_s"],
+            "analysis_passes_independent_s": analysis["independent_s"],
+            "speedup_median": med_indep / med_ladder,
+            "claim": "one shared full-resolution analysis pass replaces "
+                     "one per rung: the ladder serves the same "
+                     "bit-identical rung outputs at or below the "
+                     "wall-clock of N independent sessions",
+        },
+    ]
+    return {
+        "machine_info": {
+            "node": platform.node(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "release": platform.release(),
+            "python_implementation": platform.python_implementation(),
+            "python_version": platform.python_version(),
+        },
+        "datetime": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(),
+        "git_sha": git_sha(),
+        "groups": ["ladder"],
+        "benchmarks": records,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.ladder.bench_ladder", description=__doc__,
+    )
+    parser.add_argument("--rounds", type=int, default=9,
+                        help="paired measurement rounds (default 9)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default: BENCH_7.json at the "
+                             "repo root; refuses to overwrite)")
+    args = parser.parse_args(argv)
+    out = args.out or (repo_root() / "BENCH_7.json")
+    if out.exists():
+        parser.error(f"refusing to overwrite existing {out}")
+    summary = summarize(measure(args.rounds))
+    with open(out, "x") as fh:
+        fh.write(json.dumps(summary, indent=2) + "\n")
+    print(f"wrote {out}")
+    for rec in summary["benchmarks"]:
+        if "median_s" in rec:
+            print(f"  {rec['name']:<22} median {rec['median_s']*1e3:7.1f} ms"
+                  f"  ({rec['frames_per_s']:.1f} rung-frames/s mean)")
+        else:
+            print(f"  {rec['name']:<22} "
+                  f"speedup {rec['speedup_median']:.3f}x, "
+                  f"analysis passes {rec['analysis_passes_ladder']} vs "
+                  f"{rec['analysis_passes_independent']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,173 @@
+"""Shared-analysis rendition-ladder session.
+
+One ingest stream in, one :class:`~repro.transcode.pipeline.FrameOutput`
+stream per surviving rung out.  The multi-resolution encoding thesis
+(arxiv 2301.12191) motivates the sharing: work that depends only on the
+*content* — not the output geometry — is computed once at full
+resolution and reused by every rung:
+
+* **feature extraction** runs once on the first full-resolution frame;
+* **classification** consumes those features
+  (:meth:`ContentClassifier.classify_features`) and the resolved class
+  is pinned into every rung's ``PipelineConfig.content_class``, so no
+  rung session ever classifies on its own;
+* **rung planning** (Green-VCA pruning) consumes the same features;
+* **LUT observations** from every rung flow into one shared
+  :class:`WorkloadEstimator`, keyed per resolution via
+  ``WorkloadKey.resolution``.
+
+Each surviving rung then runs an ordinary
+:class:`ProposedStreamSession` over the box-downscaled frames.  Because
+a rung session with a pinned content class is exactly what an
+independent single-rung run with the same pinned class would be, the
+ladder's per-rung output is **bit-identical** to N independent
+sessions — the property `tests/test_ladder.py` and the smoke drill
+assert, and what makes the shared-analysis savings free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.analysis.classes import FrameFeatures, extract_features
+from repro.ladder.config import LadderConfig
+from repro.ladder.planner import LadderPlan, LadderPlanner, PlannedRung
+from repro.observability import get_registry
+from repro.transcode.pipeline import (
+    FrameOutput,
+    PipelineConfig,
+    ProposedStreamSession,
+    StreamTranscoder,
+    _shared_classifier,
+)
+from repro.video.frame import Frame
+from repro.video.scale import downscale_frame
+from repro.workload.estimator import WorkloadEstimator
+
+__all__ = ["LadderSession", "RungSession"]
+
+
+class RungSession:
+    """One rung's pipeline session plus its ladder bookkeeping."""
+
+    def __init__(self, planned: PlannedRung, transcoder: StreamTranscoder):
+        self.rung_id = planned.rung_id
+        self.rung = planned.rung
+        self.transcoder = transcoder
+        self.session = transcoder.open_session()
+
+    def close(self) -> None:
+        self.transcoder.close()
+
+
+class LadderSession:
+    """Encodes one ingest stream into a pruned rendition ladder.
+
+    Construction is cheap; the expensive start (feature pass,
+    classification, planning, per-rung session creation) happens on the
+    first :meth:`push`, because planning needs the first frame.
+
+    ``base_config`` describes the *primary* rung: its gop/fps/QP/etc.
+    are inherited by every rung, only ``content_class`` (pinned to the
+    shared classification) and ``rung_resolution`` (the LUT key tag;
+    ``None`` on the primary so full-resolution statistics keep pooling
+    with pre-ladder sessions) differ per rung.
+    """
+
+    def __init__(
+        self,
+        base_config: Optional[PipelineConfig] = None,
+        ladder: Optional[LadderConfig] = None,
+        estimator: Optional[WorkloadEstimator] = None,
+    ):
+        self.base_config = base_config or PipelineConfig()
+        self.ladder = ladder or LadderConfig()
+        #: Shared across rungs: every rung's tile observations land in
+        #: one LUT, under per-resolution keys.
+        self.estimator = estimator or WorkloadEstimator()
+        self.planner = LadderPlanner(self.ladder)
+        self.plan: Optional[LadderPlan] = None
+        self.features: Optional[FrameFeatures] = None
+        self.rung_sessions: List[RungSession] = []
+        self._finished = False
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self.plan is not None
+
+    def _start(self, first: Frame) -> None:
+        """The one shared analysis pass (first valid frame only)."""
+        self.features = extract_features(first.luma)
+        content = self.base_config.content_class
+        if content is None:
+            content = _shared_classifier().classify_features(self.features)
+        self.plan = self.planner.plan(first.luma, features=self.features)
+        registry = get_registry()
+        registry.inc(
+            "repro_ladder_sessions_total",
+            help="Rendition-ladder sessions started",
+        )
+        registry.inc(
+            "repro_ladder_rungs_pruned_total", len(self.plan.pruned),
+            help="Ladder rungs pruned by the Green-VCA rule",
+        )
+        primary_id = self.plan.rungs[0].rung_id
+        for planned in self.plan.rungs:
+            cfg = replace(
+                self.base_config,
+                content_class=content,
+                rung_resolution=(
+                    None if planned.rung_id == primary_id
+                    else planned.rung.height
+                ),
+            )
+            self.rung_sessions.append(
+                RungSession(planned, StreamTranscoder(
+                    cfg, estimator=self.estimator,
+                ))
+            )
+
+    def close(self) -> None:
+        for rs in self.rung_sessions:
+            rs.close()
+
+    def __enter__(self) -> "LadderSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- ingest --------------------------------------------------------
+    def push(self, frame: Frame) -> List[FrameOutput]:
+        """Push one full-resolution ingest frame into every rung.
+
+        Returns the rung-tagged outputs of every GOP that completed,
+        primary rung first (``FrameOutput.rung`` names the rung).  The
+        frame is box-downscaled once per rung; the primary receives a
+        copy so no rung aliases the (possibly reused) ingest buffer.
+        """
+        if self._finished:
+            raise ValueError("ladder session already finished")
+        if not self.started:
+            self._start(frame)
+        outputs: List[FrameOutput] = []
+        for rs in self.rung_sessions:
+            scaled = downscale_frame(frame, rs.rung.width, rs.rung.height)
+            for out in rs.session.push(scaled):
+                out.rung = rs.rung_id
+                outputs.append(out)
+        return outputs
+
+    def finish(self) -> List[FrameOutput]:
+        """Flush every rung's partial tail GOP and close the ladder."""
+        if self._finished:
+            return []
+        self._finished = True
+        outputs: List[FrameOutput] = []
+        for rs in self.rung_sessions:
+            for out in rs.session.finish():
+                out.rung = rs.rung_id
+                outputs.append(out)
+        return outputs

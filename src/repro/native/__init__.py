@@ -156,6 +156,8 @@ def _load() -> Optional[ctypes.CDLL]:
         ptr, i64, ptr, i64, ptr, ptr,
     ]
     cdll.encode_block_fused2.restype = None
+    cdll.downscale_box_u8.argtypes = [ptr, i64, i64, i64, ptr, i64, i64]
+    cdll.downscale_box_u8.restype = None
     return cdll
 
 
@@ -449,6 +451,31 @@ def entropy_write(
     if nbits < 0:
         return None
     return sc.bitbuf[: (nbits + 7) // 8].tobytes(), int(nbits)
+
+
+def downscale_box(
+    src: np.ndarray, out_h: int, out_w: int
+) -> Optional[np.ndarray]:
+    """Exact integer box downscale of a C-contiguous uint8 plane.
+
+    Bit-identical to ``repro.video.scale.downscale_box_reference`` for
+    every valid geometry (``1 <= out_h <= h``, ``1 <= out_w <= w``);
+    ``None`` when the native layer is off or the input falls outside
+    the kernel's envelope — callers then run the NumPy oracle.
+    """
+    if lib is None:
+        return None
+    if src.dtype != np.uint8 or not src.flags.c_contiguous:
+        return None
+    h, w = src.shape
+    if not (1 <= out_h <= h) or not (1 <= out_w <= w):
+        return None
+    out = np.empty((out_h, out_w), dtype=np.uint8)
+    lib.downscale_box_u8(
+        src.ctypes.data, src.strides[0], h, w,
+        out.ctypes.data, out_h, out_w,
+    )
+    return out
 
 
 #: Active SIMD level of the SAD kernels: 0 = scalar/SSE2 baseline,

@@ -1297,3 +1297,90 @@ void encode_block_fused2(const uint8_t *cur, int64_t cstride,
     stats_out[2] = emitted;
     ssd_out[0] = ssd;
 }
+
+/* ------------------------------------------------------------------ */
+/* Integer box downscale (rendition ladder).                           */
+/*                                                                     */
+/* Output pixel (i, j) is the floor mean of the source box             */
+/* rows [i*h/h_out, (i+1)*h/h_out) x cols [j*w/w_out, (j+1)*w/w_out),  */
+/* accumulated in int64 — defined for every geometry with              */
+/* h_out <= h, w_out <= w (each box holds >= 1 pixel), bit-identical   */
+/* to the NumPy oracle in repro.video.scale by construction: integer   */
+/* box sums are exact in any lane order, the same property that makes  */
+/* the SAD tiers above dispatch freely.  Like the psadbw SAD path,     */
+/* the SSE2 2x2 fast path below counts as level 0: it needs no         */
+/* runtime dispatch and is always safe on x86-64.                      */
+/* ------------------------------------------------------------------ */
+
+static void downscale_box_scalar(const uint8_t *src, ptrdiff_t sstride,
+                                 int64_t h, int64_t w, uint8_t *dst,
+                                 int64_t h_out, int64_t w_out)
+{
+    for (int64_t i = 0; i < h_out; i++) {
+        int64_t r0 = i * h / h_out;
+        int64_t r1 = (i + 1) * h / h_out;
+        uint8_t *drow = dst + (ptrdiff_t)i * w_out;
+        for (int64_t j = 0; j < w_out; j++) {
+            int64_t c0 = j * w / w_out;
+            int64_t c1 = (j + 1) * w / w_out;
+            int64_t acc = 0;
+            for (int64_t r = r0; r < r1; r++) {
+                const uint8_t *sr = src + (ptrdiff_t)r * sstride;
+                for (int64_t c = c0; c < c1; c++)
+                    acc += sr[c];
+            }
+            drow[j] = (uint8_t)(acc / ((r1 - r0) * (c1 - c0)));
+        }
+    }
+}
+
+#if REPRO_X86
+/* Exact 2x downscale: widen two source rows to 16-bit, add, then
+ * _mm_madd_epi16 against ones folds adjacent column pairs into the
+ * 32-bit 2x2 box sums; >> 2 is the floor division by the box
+ * population (always 4 here).  Max box sum 4*255 = 1020 fits 16-bit
+ * lanes with room to spare. */
+static void downscale_half_sse2(const uint8_t *src, ptrdiff_t sstride,
+                                uint8_t *dst, int64_t h_out, int64_t w_out)
+{
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i ones = _mm_set1_epi16(1);
+    for (int64_t i = 0; i < h_out; i++) {
+        const uint8_t *r0 = src + (ptrdiff_t)(2 * i) * sstride;
+        const uint8_t *r1 = r0 + sstride;
+        uint8_t *drow = dst + (ptrdiff_t)i * w_out;
+        int64_t j = 0;
+        for (; j + 8 <= w_out; j += 8) {
+            __m128i a = _mm_loadu_si128((const __m128i *)(r0 + 2 * j));
+            __m128i b = _mm_loadu_si128((const __m128i *)(r1 + 2 * j));
+            __m128i s_lo = _mm_add_epi16(_mm_unpacklo_epi8(a, zero),
+                                         _mm_unpacklo_epi8(b, zero));
+            __m128i s_hi = _mm_add_epi16(_mm_unpackhi_epi8(a, zero),
+                                         _mm_unpackhi_epi8(b, zero));
+            __m128i box_lo = _mm_srli_epi32(_mm_madd_epi16(s_lo, ones), 2);
+            __m128i box_hi = _mm_srli_epi32(_mm_madd_epi16(s_hi, ones), 2);
+            __m128i packed = _mm_packs_epi32(box_lo, box_hi);
+            packed = _mm_packus_epi16(packed, packed);
+            _mm_storel_epi64((__m128i *)(drow + j), packed);
+        }
+        for (; j < w_out; j++) {
+            int64_t acc = (int64_t)r0[2 * j] + r0[2 * j + 1]
+                        + (int64_t)r1[2 * j] + r1[2 * j + 1];
+            drow[j] = (uint8_t)(acc / 4);
+        }
+    }
+}
+#endif
+
+void downscale_box_u8(const uint8_t *src, int64_t sstride,
+                      int64_t h, int64_t w, uint8_t *dst,
+                      int64_t h_out, int64_t w_out)
+{
+#if REPRO_X86
+    if (h == 2 * h_out && w == 2 * w_out && w_out >= 8) {
+        downscale_half_sse2(src, (ptrdiff_t)sstride, dst, h_out, w_out);
+        return;
+    }
+#endif
+    downscale_box_scalar(src, (ptrdiff_t)sstride, h, w, dst, h_out, w_out);
+}

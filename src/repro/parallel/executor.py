@@ -272,6 +272,28 @@ class TileParallelExecutor:
             raise ValueError(f"unknown tile-pool backend {backend!r}")
         self.workers = workers if workers else default_workers()
         self.backend = backend
+        if backend == "thread" and self.workers > 1 and native.lib is None:
+            # Refuse to build a pool that cannot deliver concurrency:
+            # without the GIL-releasing native kernels, N encode
+            # threads just interleave under the GIL — strictly slower
+            # than inline encoding, and silently so.
+            if os.environ.get("REPRO_NATIVE") == "0":
+                detail = (
+                    "native kernels are disabled by REPRO_NATIVE=0 in "
+                    "the environment; unset it to use the thread backend"
+                )
+            else:
+                detail = (
+                    "the native kernels failed to build (no C compiler "
+                    "or compilation error; re-run with REPRO_NATIVE "
+                    "unset and check stderr for the build failure)"
+                )
+            raise ValueError(
+                f"backend='thread' with workers={self.workers} needs the "
+                f"native kernels to release the GIL, but {detail}. "
+                "Use backend='process' for GIL-free parallelism without "
+                "native kernels, or workers=1 for inline encoding."
+            )
         self._pool: Optional[Executor] = None
         #: Per-tile learning reported by the most recent
         #: :meth:`encode_frame` fan-out (first P frames only).

@@ -28,10 +28,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.allocation.demand import UserDemand, cores_needed
 from repro.allocation.proposed import ProposedAllocator
+from repro.ladder.config import RUNG_MULTIPLE
 from repro.analysis.motion_probe import MotionClass
 from repro.analysis.texture import TextureClass
 from repro.codec.config import FrameType
@@ -155,6 +156,48 @@ class AdmissionController:
         )
         return cores_needed(demand, hello.fps), demand
 
+    def estimate_ladder(
+        self, hello: Hello,
+        rungs: Sequence[Tuple[int, int]],
+    ) -> Tuple[float, UserDemand, List[float]]:
+        """Price a whole rendition ladder: the sum of per-rung estimates.
+
+        Each rung is priced with its own LUT key — the rung's area
+        bucket plus the :attr:`WorkloadKey.resolution` tag the ladder
+        sessions record under (``None`` for the full-resolution primary,
+        so its statistics pool with pre-ladder sessions).  The ladder's
+        demand carries one thread per rung, so Algorithm 2 admits or
+        refuses the *whole* ladder, exactly as §III-D2 charges a
+        session for everything it will run per slot.
+        """
+        content = None
+        if hello.content_class:
+            try:
+                content = ContentClass(hello.content_class)
+            except ValueError:
+                content = None
+        threads = []
+        per_rung: List[float] = []
+        for i, (w, h) in enumerate(rungs):
+            area = max(1, w * h)
+            key = WorkloadKey(
+                texture=TextureClass.MEDIUM,
+                motion=MotionClass.HIGH,
+                qp=32,
+                search_window=64,
+                frame_type=FrameType.P,
+                area_bucket=area_bucket(area),
+                content_class=content,
+                resolution=None if i == 0 else h,
+            )
+            cpu = self.estimator.estimate(key, area)
+            per_rung.append(cpu)
+            threads.append(ThreadTask(
+                thread_id=i, user_id=0, cpu_time_fmax=cpu, tile_index=i,
+            ))
+        demand = UserDemand(user_id=0, threads=threads)
+        return cores_needed(demand, hello.fps), demand, per_rung
+
     # -- occupancy -----------------------------------------------------
     @property
     def capacity_cores(self) -> float:
@@ -262,12 +305,160 @@ class AdmissionController:
         )
         return decision, reason
 
+    def decide_ladder(
+        self, session_id: int, hello: Hello,
+        fps: Optional[float] = None,
+    ) -> Tuple[AdmissionDecision, str, Tuple[Tuple[int, int], ...]]:
+        """Admission decision for a HELLO that requests a ladder.
+
+        Returns ``(decision, reason, kept_rungs)`` where ``kept_rungs``
+        are the ``(width, height)`` pairs actually admitted (largest
+        first, a prefix of the request).  Degradation order: before
+        parking or shedding the session, the controller drops rungs
+        from the **bottom** of the ladder — the primary full-resolution
+        rung is the clinical deliverable and is never dropped; low
+        rungs are bandwidth conveniences.  Only when the primary alone
+        still overflows capacity does the decision fall through to the
+        ordinary park/reject path.
+        """
+        fps = fps if fps is not None else hello.fps
+        registry = get_registry()
+        if fps <= 0:
+            return AdmissionDecision.REJECT, "non-positive fps", ()
+        rungs = hello.ladder or ((hello.width, hello.height),)
+        for w, h in rungs:
+            if w > hello.width or h > hello.height:
+                registry.inc(
+                    "repro_serving_admission_total", decision="reject",
+                    help="Admission decisions by outcome",
+                )
+                return (
+                    AdmissionDecision.REJECT,
+                    f"rung {w}x{h} exceeds {hello.width}x{hello.height} "
+                    "ingest: ladders never upscale",
+                    (),
+                )
+            if w < 1 or h < 1 or w % RUNG_MULTIPLE or h % RUNG_MULTIPLE:
+                registry.inc(
+                    "repro_serving_admission_total", decision="reject",
+                    help="Admission decisions by outcome",
+                )
+                return (
+                    AdmissionDecision.REJECT,
+                    f"rung {w}x{h} is not encodable: dimensions must be "
+                    f"positive multiples of {RUNG_MULTIPLE}",
+                    (),
+                )
+        areas = [w * h for w, h in rungs]
+        if any(a <= b for a, b in zip(areas, areas[1:])):
+            registry.inc(
+                "repro_serving_admission_total", decision="reject",
+                help="Admission decisions by outcome",
+            )
+            return (
+                AdmissionDecision.REJECT,
+                "ladder rungs must be strictly decreasing in area",
+                (),
+            )
+        if self._draining:
+            registry.inc(
+                "repro_serving_admission_total", decision="reject",
+                help="Admission decisions by outcome",
+            )
+            return (AdmissionDecision.REJECT,
+                    "server draining; admissions stopped", ())
+        active = [t.demand for t in self._active.values()]
+        capacity = max(1, int(self.capacity_cores))
+        # Rung-drop-before-shed: try the full ladder, then successively
+        # shorter prefixes, before giving up on the session entirely.
+        for cut in range(len(rungs), 0, -1):
+            trial = rungs[:cut]
+            cores, demand, _ = self.estimate_ladder(hello, trial)
+            candidate = UserDemand(
+                user_id=session_id,
+                threads=[
+                    ThreadTask(thread_id=t.thread_id, user_id=session_id,
+                               cpu_time_fmax=t.cpu_time_fmax,
+                               tile_index=t.tile_index)
+                    for t in demand.threads
+                ],
+            )
+            admitted, _, _ = self.allocator.admit(
+                active + [candidate], fps, capacity=capacity,
+            )
+            if len(admitted) != len(active) + 1:
+                continue
+            self._active[session_id] = SessionTicket(
+                session_id=session_id, demand=candidate, cores=cores,
+            )
+            dropped = len(rungs) - cut
+            if dropped:
+                registry.inc(
+                    "repro_serving_ladder_rungs_dropped_total", dropped,
+                    help="Ladder rungs dropped at admission for capacity",
+                )
+            reason = (
+                f"ladder of {cut}/{len(rungs)} rungs at estimated "
+                f"{cores:.2f} cores of {self.capacity_cores:.0f} "
+                f"({self.occupancy_cores:.2f} occupied)"
+                + (f"; dropped {dropped} low rung(s)" if dropped else "")
+            )
+            self._observe_accept()
+            registry.inc(
+                "repro_serving_admission_total", decision="accept",
+                help="Admission decisions by outcome",
+            )
+            registry.set_gauge(
+                "repro_serving_occupancy_cores", self.occupancy_cores,
+                help="Estimated core demand of active sessions",
+            )
+            get_tracer().event(
+                "admission.decide_ladder", session=session_id,
+                decision="accept", rungs=cut, dropped=dropped,
+                cores=cores, occupancy=self.occupancy_cores,
+            )
+            return AdmissionDecision.ACCEPT, reason, tuple(trial)
+        # Even the primary alone does not fit: ordinary park/reject.
+        cores, _, _ = self.estimate_ladder(hello, rungs[:1])
+        if self._parked < self.policy.park_capacity:
+            self._parked += 1
+            decision, reason = AdmissionDecision.PARK, (
+                f"slot cap exceeded even for the primary rung: need "
+                f"{cores:.2f} cores, {self.occupancy_cores:.2f}/"
+                f"{self.capacity_cores:.0f} occupied; parked"
+            )
+        else:
+            decision, reason = AdmissionDecision.REJECT, (
+                f"slot cap exceeded even for the primary rung: need "
+                f"{cores:.2f} cores, {self.occupancy_cores:.2f}/"
+                f"{self.capacity_cores:.0f} occupied; waiting room full"
+            )
+        self._observe_overload()
+        registry.inc(
+            "repro_serving_admission_total", decision=decision.value,
+            help="Admission decisions by outcome",
+        )
+        get_tracer().event(
+            "admission.decide_ladder", session=session_id,
+            decision=decision.value, cores=cores,
+            occupancy=self.occupancy_cores,
+        )
+        return decision, reason, ()
+
     def unpark(self, session_id: int, hello: Hello,
                fps: Optional[float] = None) -> Tuple[AdmissionDecision, str]:
         """Retry admission for a parked session (frees its park slot;
         a PARK outcome re-takes it)."""
         self._parked = max(0, self._parked - 1)
         return self.decide(session_id, hello, fps)
+
+    def unpark_ladder(
+        self, session_id: int, hello: Hello,
+        fps: Optional[float] = None,
+    ) -> Tuple[AdmissionDecision, str, Tuple[Tuple[int, int], ...]]:
+        """Ladder variant of :meth:`unpark`."""
+        self._parked = max(0, self._parked - 1)
+        return self.decide_ladder(session_id, hello, fps)
 
     def abandon_park(self) -> None:
         """A parked session gave up (timeout or disconnect)."""

@@ -94,6 +94,11 @@ class LoadGenConfig:
     backoff_base_s: float = 0.05
     backoff_max_s: float = 2.0
     backoff_jitter: float = 0.5
+    #: Rendition ladder to request in the HELLO (``(width, height)``
+    #: pairs, largest first; empty = ordinary single-rendition
+    #: sessions).  Ladder clients collect per-rung outcomes keyed by
+    #: ``(rung, frame_index)``.
+    ladder: Tuple[Tuple[int, int], ...] = ()
 
     def __post_init__(self) -> None:
         if self.sessions < 1:
@@ -114,6 +119,9 @@ class LoadGenConfig:
             raise ValueError("backoff delays must be non-negative")
         if not 0.0 <= self.backoff_jitter <= 1.0:
             raise ValueError("backoff_jitter must be in [0, 1]")
+        for w, h in self.ladder:
+            if w < 1 or h < 1:
+                raise ValueError("ladder rungs must be positive")
 
 
 @dataclass
@@ -159,6 +167,9 @@ class SessionReport:
     #: CRC-32 digest of the session's decoded output, folded over frame
     #: indices in order: equal digests == bit-identical delivery.
     output_digest: Optional[int] = None
+    #: Rungs the HELLO_ACK granted a ladder session, as
+    #: ``(rung_id, width, height)`` (empty for ordinary sessions).
+    rungs: Tuple[Tuple[int, int, int], ...] = ()
 
 
 def _percentile(values: Sequence[float], q: float) -> Optional[float]:
@@ -409,6 +420,7 @@ async def _session_attempt(config: LoadGenConfig, index: int,
                 width=config.width, height=config.height, fps=config.fps,
                 num_frames=config.frames, gop=config.gop,
                 content_class=content.value, client_id=f"loadgen-{index}",
+                ladder=config.ladder or None,
             ))
             ack = await read_message(reader, max_payload=recv_max)
             while isinstance(ack, HelloAck) and ack.decision == "park":
@@ -421,6 +433,7 @@ async def _session_attempt(config: LoadGenConfig, index: int,
             report.decision = ack.decision
             report.reason = ack.reason
             report.resume_token = ack.resume_token
+            report.rungs = ack.rungs
             if ack.decision != "accept":
                 state.complete = True
                 return
@@ -451,22 +464,27 @@ async def _session_attempt(config: LoadGenConfig, index: int,
             while True:
                 msg = await read_message(reader, max_payload=recv_max)
                 if isinstance(msg, Encoded):
-                    first = msg.frame_index not in state.outcomes
+                    # Ladder sessions interleave rungs on one wire;
+                    # outcomes are deduplicated per (rung, frame).
+                    key = ((msg.rung, msg.frame_index) if config.ladder
+                           else msg.frame_index)
+                    first = key not in state.outcomes
                     if first:
-                        state.outcomes[msg.frame_index] = msg.dropped
+                        state.outcomes[key] = msg.dropped
                         if msg.dropped is None:
-                            state.luma_crc[msg.frame_index] = zlib.crc32(
+                            state.luma_crc[key] = zlib.crc32(
                                 msg.luma
                             )
-                            sent = state.send_times.get(msg.frame_index)
+                            sent = (state.send_times.get(msg.frame_index)
+                                    if msg.rung == 0 else None)
                             if sent is not None:
                                 report.latencies_s.append(
                                     time.perf_counter() - sent
                                 )
                     elif (msg.dropped is None
-                          and msg.frame_index in state.luma_crc
+                          and key in state.luma_crc
                           and zlib.crc32(msg.luma)
-                          != state.luma_crc[msg.frame_index]):
+                          != state.luma_crc[key]):
                         # A resume replayed this frame with different
                         # bytes than the original delivery: the exact
                         # divergence the journal exists to prevent.

@@ -132,20 +132,38 @@ class Hello:
     gop: int = 8
     content_class: Optional[str] = None
     client_id: str = ""
+    #: Rendition-ladder request: ``((width, height), ...)`` output
+    #: rungs the client wants, largest first.  ``None`` is a plain
+    #: single-output session (the pre-ladder wire form — the JSON
+    #: payload simply lacks the key, so old servers/clients
+    #: interoperate).  The ingest geometry above stays the pricing
+    #: anchor; rungs larger than it are rejected at admission
+    #: (never-upscale).
+    ladder: Optional[Tuple[Tuple[int, int], ...]] = None
 
     type = MsgType.HELLO
 
     def payload(self) -> bytes:
-        return _json_bytes({
+        obj = {
             "width": self.width, "height": self.height, "fps": self.fps,
             "num_frames": self.num_frames, "gop": self.gop,
             "content_class": self.content_class, "client_id": self.client_id,
-        })
+        }
+        if self.ladder is not None:
+            obj["ladder"] = [[w, h] for w, h in self.ladder]
+        return _json_bytes(obj)
 
     @classmethod
     def from_payload(cls, flags: int, data: bytes) -> "Hello":
         obj = _json_obj(data)
         try:
+            ladder = obj.get("ladder")
+            if ladder is not None:
+                ladder = tuple(
+                    (int(w), int(h)) for w, h in ladder
+                )
+                if not ladder:
+                    raise ValueError("empty ladder")
             return cls(
                 width=int(obj["width"]), height=int(obj["height"]),
                 fps=float(obj.get("fps", 24.0)),
@@ -153,6 +171,7 @@ class Hello:
                 gop=int(obj.get("gop", 8)),
                 content_class=obj.get("content_class"),
                 client_id=str(obj.get("client_id", "")),
+                ladder=ladder,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ProtocolError(f"malformed HELLO payload: {exc}") from exc
@@ -172,15 +191,25 @@ class HelloAck:
     reason: str = ""
     queue_frames: int = 0  # server's per-session ingest bound
     resume_token: str = ""  # "" = server does not journal this session
+    #: Admitted ladder rungs as ``((rung_id, width, height), ...)``.
+    #: May be a subset of the HELLO request: admission drops low rungs
+    #: before shedding the session, and the Green-VCA planner prunes
+    #: rungs whose predicted quality gain is below threshold.  Empty
+    #: for plain single-output sessions (and on the wire of old
+    #: servers, which never emit the key).
+    rungs: Tuple[Tuple[int, int, int], ...] = ()
 
     type = MsgType.HELLO_ACK
 
     def payload(self) -> bytes:
-        return _json_bytes({
+        obj = {
             "decision": self.decision, "session_id": self.session_id,
             "reason": self.reason, "queue_frames": self.queue_frames,
             "resume_token": self.resume_token,
-        })
+        }
+        if self.rungs:
+            obj["rungs"] = [[i, w, h] for i, w, h in self.rungs]
+        return _json_bytes(obj)
 
     @classmethod
     def from_payload(cls, flags: int, data: bytes) -> "HelloAck":
@@ -188,12 +217,20 @@ class HelloAck:
         decision = obj.get("decision")
         if decision not in ("accept", "reject", "park"):
             raise ProtocolError(f"unknown admission decision {decision!r}")
+        try:
+            rungs = tuple(
+                (int(i), int(w), int(h))
+                for i, w, h in obj.get("rungs", ())
+            )
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed HELLO_ACK rungs: {exc}") from exc
         return cls(
             decision=decision,
             session_id=int(obj.get("session_id", 0)),
             reason=str(obj.get("reason", "")),
             queue_frames=int(obj.get("queue_frames", 0)),
             resume_token=str(obj.get("resume_token", "")),
+            rungs=rungs,
         )
 
 
@@ -262,6 +299,13 @@ class Encoded:
     bits: int = 0
     psnr: float = 0.0
     luma: Union[bytes, memoryview] = b""
+    #: Rendition-ladder rung id this frame belongs to, carried in the
+    #: low byte of the header ``flags`` field — the payload layout is
+    #: untouched, so rung 0 (the primary, and every pre-ladder sender)
+    #: stays wire-identical to protocol v2 as shipped.  Senders pass
+    #: ``flags=rung`` to :func:`encode_message` /
+    #: :func:`encode_encoded_into`.
+    rung: int = 0
 
     type = MsgType.ENCODED
 
@@ -305,7 +349,7 @@ class Encoded:
         return cls(
             frame_index=idx, frame_type=FRAME_TYPE_NAMES[ftype],
             dropped=DROP_REASONS[drop], width=width, height=height,
-            bits=bits, psnr=psnr, luma=luma,
+            bits=bits, psnr=psnr, luma=luma, rung=flags & 0xFF,
         )
 
 
@@ -489,7 +533,15 @@ def _json_obj(data) -> dict:
 # Framing
 # ----------------------------------------------------------------------
 def encode_message(msg: Message, flags: int = 0) -> bytes:
-    """Serialize one message to its wire frame."""
+    """Serialize one message to its wire frame.
+
+    An :class:`Encoded` message's ``rung`` rides in the header flags;
+    when the caller does not pass explicit flags, the field supplies
+    them — so ``encode_message``/``from_payload`` round-trip the rung
+    without every call site knowing about ladders.
+    """
+    if flags == 0:
+        flags = getattr(msg, "rung", 0)
     payload = msg.payload()
     if len(payload) > MAX_PAYLOAD:
         raise ProtocolError(

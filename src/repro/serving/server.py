@@ -53,7 +53,7 @@ import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -67,6 +67,11 @@ from repro.resilience.errors import (
 )
 from repro.resilience.faults import FaultConfig, FaultInjector
 from repro.resilience.degradation import ResilienceConfig
+# Submodule imports (not the repro.ladder package) keep the
+# ladder <-> serving import cycle unwound: repro.ladder.segments
+# imports repro.serving.protocol, which initializes this package.
+from repro.ladder.config import LadderConfig, LadderRung
+from repro.ladder.session import LadderSession
 from repro.serving.admission import (
     AdmissionController,
     AdmissionDecision,
@@ -265,10 +270,11 @@ class _EncodedOut:
     """
 
     __slots__ = ("frame_index", "frame_type", "width", "height",
-                 "bits", "psnr", "recon")
+                 "bits", "psnr", "recon", "rung")
 
     def __init__(self, frame_index: int, frame_type: str, width: int,
-                 height: int, bits: int, psnr: float, recon: np.ndarray):
+                 height: int, bits: int, psnr: float, recon: np.ndarray,
+                 rung: int = 0):
         self.frame_index = frame_index
         self.frame_type = frame_type
         self.width = width
@@ -276,6 +282,7 @@ class _EncodedOut:
         self.bits = bits
         self.psnr = psnr
         self.recon = recon
+        self.rung = rung
 
 
 class _Session:
@@ -292,7 +299,8 @@ class _Session:
     def __init__(self, session_id: int, hello: Hello,
                  server: "NetworkServer", resume_token: str = "",
                  journal: Optional[SessionJournal] = None,
-                 restored: Optional[RestoredSession] = None):
+                 restored: Optional[RestoredSession] = None,
+                 rungs: Tuple[Tuple[int, int], ...] = ()):
         cfg = server.config
         self.session_id = session_id
         self.hello = hello
@@ -333,10 +341,32 @@ class _Session:
                 time_spike_rate=cfg.fault_spike_rate,
                 time_spike_factor=cfg.fault_spike_factor,
             ))
-        self.transcoder = StreamTranscoder(
-            pipeline, estimator=server.estimator, fault_injector=injector,
-        )
-        self.stream = self.transcoder.open_session()
+        #: Rendition-ladder mode (``rungs`` non-empty): one shared
+        #: analysis pass feeds per-rung pipeline sessions; outputs are
+        #: rung-tagged on the wire.  The rung set is the *admitted*
+        #: ladder (a prefix of the HELLO's request), so the planner's
+        #: own content pruning is disabled — the client receives
+        #: exactly the rungs the HELLO_ACK promised.  Ladder sessions
+        #: are not journaled and run without the encode watchdog (no
+        #: cross-rung snapshot exists yet); see DESIGN.md §14.
+        self.ladder: Optional[LadderSession] = None
+        self.transcoder: Optional[StreamTranscoder] = None
+        self.stream = None
+        if rungs:
+            self.ladder = LadderSession(
+                base_config=pipeline,
+                ladder=LadderConfig(
+                    rungs=tuple(LadderRung(w, h) for w, h in rungs),
+                    prune=False,
+                ),
+                estimator=server.estimator,
+            )
+        else:
+            self.transcoder = StreamTranscoder(
+                pipeline, estimator=server.estimator,
+                fault_injector=injector,
+            )
+            self.stream = self.transcoder.open_session()
         self.slot_s = 1.0 / pipeline.fps
         self.gop_size = max(1, hello.gop)
         # -- recovery state --------------------------------------------
@@ -375,6 +405,23 @@ class _Session:
                 Frame(plane, index=index)
                 for index, plane in restored.pending
             ]
+
+    # -- uniform encode surface (plain stream or ladder) ---------------
+    def encode_push(self, frame: Frame) -> List[FrameOutput]:
+        if self.ladder is not None:
+            return self.ladder.push(frame)
+        return self.stream.push(frame)
+
+    def encode_finish(self) -> List[FrameOutput]:
+        if self.ladder is not None:
+            return self.ladder.finish()
+        return self.stream.finish()
+
+    def close_encoder(self) -> None:
+        if self.ladder is not None:
+            self.ladder.close()
+        else:
+            self.transcoder.close()
 
 
 class NetworkServer:
@@ -612,6 +659,11 @@ class NetworkServer:
             return
         session_id = self._next_session_id
         self._next_session_id += 1
+        if hello.ladder is not None:
+            await self._run_ladder_connection(
+                session_id, hello, reader, writer
+            )
+            return
         decision, reason = self.admission.decide(session_id, hello)
         if decision is AdmissionDecision.PARK:
             await write_message(writer, HelloAck(
@@ -654,6 +706,74 @@ class NetworkServer:
             queue_frames=cfg.queue_frames, resume_token=resume_token,
         ))
         await self._serve_admitted(session, reader, writer)
+
+    async def _run_ladder_connection(
+        self, session_id: int, hello: Hello,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """HELLO-with-ladder handshake.
+
+        Admission prices the *whole* ladder (sum of per-rung LUT
+        estimates) and may drop low rungs before parking or rejecting
+        the session; the HELLO_ACK's ``rungs`` list is the contract —
+        exactly those rungs arrive on the wire, each ENCODED tagged
+        with its rung id in the header flags.  Ladder sessions are not
+        journaled (no resume token) and the encode watchdog is
+        disarmed; see DESIGN.md §14 for the limitation.
+        """
+        cfg = self.config
+        decision, reason, kept = self.admission.decide_ladder(
+            session_id, hello
+        )
+        if decision is AdmissionDecision.PARK:
+            await write_message(writer, HelloAck(
+                decision="park", session_id=session_id, reason=reason,
+            ))
+            decision, reason, kept = await self._wait_parked_ladder(
+                session_id, hello
+            )
+        if decision is not AdmissionDecision.ACCEPT:
+            await write_message(writer, HelloAck(
+                decision="reject", session_id=session_id, reason=reason,
+            ))
+            return
+        session = _Session(session_id, hello, self, rungs=kept)
+        get_registry().inc(
+            "repro_serving_ladder_sessions_total",
+            help="Rendition-ladder sessions admitted by the server",
+        )
+        await write_message(writer, HelloAck(
+            decision="accept", session_id=session_id, reason=reason,
+            queue_frames=cfg.queue_frames,
+            rungs=tuple(
+                (i, w, h) for i, (w, h) in enumerate(kept)
+            ),
+        ))
+        await self._serve_admitted(session, reader, writer)
+
+    async def _wait_parked_ladder(self, session_id: int, hello: Hello):
+        """Ladder variant of :meth:`_wait_parked`."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.park_timeout_s
+        while True:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                self.admission.abandon_park()
+                return AdmissionDecision.REJECT, "park timeout", ()
+            self._capacity_freed.clear()
+            try:
+                await asyncio.wait_for(
+                    self._capacity_freed.wait(), timeout=remaining
+                )
+            except asyncio.TimeoutError:
+                self.admission.abandon_park()
+                return AdmissionDecision.REJECT, "park timeout", ()
+            decision, reason, kept = self.admission.unpark_ladder(
+                session_id, hello
+            )
+            if decision is not AdmissionDecision.PARK:
+                return decision, reason, kept
 
     async def _resume_connection(self, msg: Resume,
                                  reader: asyncio.StreamReader,
@@ -828,7 +948,7 @@ class NetworkServer:
             holds_token = self._attached.get(session.resume_token) is task
             if holds_token:
                 del self._attached[session.resume_token]
-            session.transcoder.close()
+            session.close_encoder()
             if session.journal is not None:
                 session.journal.close()
                 if session.completed and self._journal_store is not None:
@@ -986,7 +1106,7 @@ class NetworkServer:
         """Wall-clock budget for one ``push`` (at most one GOP encode),
         or ``None`` when the watchdog is disarmed."""
         multiple = self.config.watchdog_multiple
-        if multiple <= 0:
+        if multiple <= 0 or session.ladder is not None:
             return None
         return max(self.config.watchdog_min_s,
                    multiple * session.slot_s * session.gop_size)
@@ -1011,7 +1131,7 @@ class NetworkServer:
                 # wire before the tail flush and BYE.
                 await session.emit_queue.join()
                 outputs = await loop.run_in_executor(
-                    self._encode_pool, session.stream.finish
+                    self._encode_pool, session.encode_finish
                 )
                 await self._emit_outputs(session, outputs)
                 session.completed = True
@@ -1040,20 +1160,23 @@ class NetworkServer:
         loop = asyncio.get_running_loop()
         if self._tracks_gop_state(session):
             session.replay_frames.append(frame)
-        stream = session.stream
         floor = self.config.encode_floor_s
-        if floor <= 0 and stream.pending_frames + 1 < session.gop_size:
+        if (floor <= 0 and session.ladder is None
+                and session.stream.pending_frames + 1 < session.gop_size):
             # Mid-GOP push: validate-and-buffer only (no encode), so
             # run it inline instead of paying an executor round-trip —
-            # the thread pool is reserved for GOP flushes.
+            # the thread pool is reserved for GOP flushes.  Ladder
+            # pushes always take the executor: every push box-downscales
+            # the frame once per rung, real work the event loop should
+            # not absorb.
             try:
-                return stream.push(frame)
+                return session.stream.push(frame)
             except CorruptFrameError as exc:
                 raise ProtocolError(f"unencodable frame: {exc}") from exc
         if floor > 0:
             def timed_push() -> List[FrameOutput]:
                 t0 = time.perf_counter()
-                outs = stream.push(frame)
+                outs = session.encode_push(frame)
                 remaining = floor - (time.perf_counter() - t0)
                 if remaining > 0:
                     time.sleep(remaining)
@@ -1062,7 +1185,7 @@ class NetworkServer:
             future = loop.run_in_executor(self._encode_pool, timed_push)
         else:
             future = loop.run_in_executor(
-                self._encode_pool, stream.push, frame
+                self._encode_pool, session.encode_push, frame
             )
         timeout = self._watchdog_timeout(session)
         try:
@@ -1245,7 +1368,7 @@ class NetworkServer:
             reason = "server draining; session parked for resume"
         else:
             outputs = await loop.run_in_executor(
-                self._encode_pool, session.stream.finish
+                self._encode_pool, session.encode_finish
             )
             await self._emit_outputs(session, outputs)
             reason = "server draining"
@@ -1270,7 +1393,7 @@ class NetworkServer:
                     session.stats.dropped_deadline += 1
                 await self._egress_put(session, Encoded(
                     frame_index=out.frame_index, frame_type="",
-                    dropped=out.dropped,
+                    dropped=out.dropped, rung=out.rung,
                 ))
                 continue
             record = out.record
@@ -1299,7 +1422,7 @@ class NetworkServer:
             await self._egress_put(session, _EncodedOut(
                 out.frame_index, out.frame_type.value,
                 recon.shape[1], recon.shape[0],
-                record.bits, psnr, recon,
+                record.bits, psnr, recon, rung=out.rung,
             ))
 
     async def _egress_put(self, session: _Session, msg: Message,
@@ -1352,6 +1475,7 @@ class NetworkServer:
                     arena, msg.frame_index, frame_type=msg.frame_type,
                     width=msg.width, height=msg.height,
                     bits=msg.bits, psnr=msg.psnr, luma=msg.recon,
+                    flags=msg.rung,
                 )
                 writer.write(arena)
                 await writer.drain()

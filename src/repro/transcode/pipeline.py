@@ -123,6 +123,12 @@ class PipelineConfig:
     #: pickle; real parallelism only while the GIL-releasing native
     #: kernels are active).
     parallel_backend: str = "process"
+    #: Output luma height when this pipeline encodes one rung of a
+    #: rendition ladder (``repro.ladder``).  Stamped into every
+    #: :class:`WorkloadKey` the session records so the LUT learns
+    #: per-resolution statistics; ``None`` (full-resolution /
+    #: pre-ladder sessions) keeps the legacy key space.
+    rung_resolution: Optional[int] = None
 
     @classmethod
     def khan(cls, **overrides) -> "PipelineConfig":
@@ -226,6 +232,9 @@ class FrameOutput:
     frame_type: Optional[FrameType] = None
     record: Optional[FrameRecord] = None
     reconstruction: Optional[np.ndarray] = None
+    #: Rendition-ladder rung that produced this output (0 = the
+    #: primary/full-resolution rung; plain sessions never change it).
+    rung: int = 0
 
 
 @dataclass
@@ -624,6 +633,7 @@ class StreamTranscoder:
                 frame_type=frame_type,
                 area_bucket=area_bucket(tile_stat.tile.area),
                 content_class=getattr(self, "_resolved_class", None),
+                resolution=self.config.rung_resolution,
             )
             self.estimator.observe(key, cpu_time)
             registry.observe(

@@ -38,6 +38,12 @@ class WorkloadKey:
     frame_type: FrameType
     area_bucket: int
     content_class: Optional[ContentClass] = None
+    #: Output luma height of the rendition rung this task encodes
+    #: (e.g. 480/360/240).  ``None`` is the legacy single-resolution
+    #: key — pre-ladder checkpoints deserialize to it unchanged, and
+    #: full-resolution sessions keep using it so their statistics pool
+    #: with everything recorded before ladders existed.
+    resolution: Optional[int] = None
 
     def generalized(self) -> "WorkloadKey":
         """Key with the content class erased.
@@ -55,6 +61,7 @@ class WorkloadKey:
             frame_type=self.frame_type,
             area_bucket=self.area_bucket,
             content_class=None,
+            resolution=self.resolution,
         )
 
     # -- serialization (LUT checkpointing) -----------------------------
@@ -70,6 +77,7 @@ class WorkloadKey:
             "content_class": (
                 None if self.content_class is None else self.content_class.value
             ),
+            "resolution": self.resolution,
         }
 
     @classmethod
@@ -78,6 +86,10 @@ class WorkloadKey:
         on unknown enum names (treated as corruption by the checkpoint
         loader)."""
         content = data["content_class"]
+        # ``get``: checkpoints written before the ladder grew the key a
+        # resolution dimension stay loadable (they deserialize to the
+        # legacy ``resolution=None`` keys they were recorded under).
+        resolution = data.get("resolution")
         return cls(
             texture=TextureClass[data["texture"]],
             motion=MotionClass[data["motion"]],
@@ -86,4 +98,5 @@ class WorkloadKey:
             frame_type=FrameType[data["frame_type"]],
             area_bucket=int(data["area_bucket"]),
             content_class=None if content is None else ContentClass(content),
+            resolution=None if resolution is None else int(resolution),
         )

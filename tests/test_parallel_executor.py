@@ -209,6 +209,49 @@ def test_invalid_backend_rejected():
         TileParallelExecutor(workers=2, backend="greenlet")
 
 
+class TestThreadBackendWithoutNativeKernels:
+    """A multi-worker thread pool without GIL-releasing kernels is a
+    silent pessimization; construction must fail with a message that
+    explains *why* the kernels are missing and what to do instead."""
+
+    def test_raises_actionably_on_build_failure(self, monkeypatch):
+        from repro import native
+
+        monkeypatch.setattr(native, "lib", None)
+        monkeypatch.delenv("REPRO_NATIVE", raising=False)
+        with pytest.raises(ValueError) as exc:
+            TileParallelExecutor(workers=2, backend="thread")
+        message = str(exc.value)
+        assert "native kernels" in message
+        assert "failed to build" in message
+        assert "backend='process'" in message
+
+    def test_names_repro_native_env_interaction(self, monkeypatch):
+        from repro import native
+
+        monkeypatch.setattr(native, "lib", None)
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        with pytest.raises(ValueError) as exc:
+            TileParallelExecutor(workers=2, backend="thread")
+        message = str(exc.value)
+        # The message must name the env-var interaction, not just the
+        # missing kernels: with REPRO_NATIVE=0 the fix is "unset it",
+        # not "find a compiler".
+        assert "REPRO_NATIVE=0" in message
+        assert "unset" in message
+
+    def test_single_worker_and_process_backend_unaffected(
+        self, monkeypatch
+    ):
+        from repro import native
+
+        monkeypatch.setattr(native, "lib", None)
+        # workers=1 encodes inline (no pool, no GIL contention) and the
+        # process backend never needs the native kernels.
+        TileParallelExecutor(workers=1, backend="thread").close()
+        TileParallelExecutor(workers=2, backend="process").close()
+
+
 def test_thread_pool_bitstream_identical(video):
     """Shared-memory thread workers splice the same bitstream as the
     serial encoder (and therefore as the process pool)."""
