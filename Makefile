@@ -11,10 +11,10 @@ HAS_COV := $(shell $(PY) -c "import pytest_cov" 2>/dev/null && echo 1)
 COVOPTS := $(if $(HAS_COV),--cov=repro --cov-report=term-missing)
 
 .PHONY: check test bench-smoke bench-serving golden serve-demo \
-	serve-smoke chaos fleet-chaos ladder-smoke clean
+	serve-smoke chaos fleet-chaos ladder-smoke policy-smoke clean
 
 check: test bench-smoke bench-serving serve-smoke chaos fleet-chaos \
-	ladder-smoke
+	ladder-smoke policy-smoke
 
 test:
 	$(PYTEST) -x -q $(COVOPTS)
@@ -61,6 +61,16 @@ fleet-chaos:
 # intentional codec change: `make ladder-smoke UPDATE=--update-golden`.
 ladder-smoke:
 	PYTHONPATH=src $(PY) -m repro.ladder.smoke $(UPDATE)
+
+# Fixed-seed brownout drill: four tenants through Algorithm 2 on a
+# policy-clamped platform with a mid-run surge; fails unless tenants
+# shed in strict reverse-priority order (emergency never dropped),
+# windowed power settles inside the cap, hysteretic readmission
+# restores everyone, and the event/power digest matches the golden.
+# After an intentional policy/model change:
+# `make policy-smoke UPDATE=--update-golden`.
+policy-smoke:
+	PYTHONPATH=src $(PY) -m repro.policy.smoke $(UPDATE)
 
 # One-shot observability demo: writes metrics.json + trace.jsonl.
 serve-demo:

@@ -313,6 +313,8 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
         watchdog_multiple=args.watchdog_multiple,
         watchdog_min_s=args.watchdog_min,
         drain_grace_s=args.drain_grace,
+        policy_file=args.policy,
+        policy_reload_s=args.policy_reload,
     )
 
     async def run() -> None:
@@ -382,6 +384,7 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         journal_fsync=not args.no_journal_fsync,
         drain_grace_s=args.drain_grace,
         encode_floor_s=args.encode_floor,
+        policy_file=args.policy,
     )
     config = FleetConfig(
         workers=args.workers, host=args.host, port=args.port,
@@ -471,6 +474,62 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_weighted(specs) -> tuple:
+    """Parse ``NAME[:WEIGHT]`` argument lists into weighted tuples."""
+    if not specs:
+        return ()
+    pairs = []
+    for spec in specs:
+        name, _, weight = spec.partition(":")
+        pairs.append((name, float(weight) if weight else 1.0))
+    return tuple(pairs)
+
+
+def _cmd_policy(args: argparse.Namespace) -> int:
+    from repro.policy import (
+        PolicyError,
+        compile_policy,
+        load_policy_file,
+        plan_change,
+    )
+
+    if args.action == "plan" and not args.new_file:
+        print("policy plan needs two documents: <current> <proposed>",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.action == "plan":
+            old = compile_policy(load_policy_file(args.file))
+            new = compile_policy(load_policy_file(args.new_file))
+            print(plan_change(old, new).summary())
+            return 0
+        policy = compile_policy(load_policy_file(args.file))
+    except PolicyError as exc:
+        print(f"policy invalid: {exc}", file=sys.stderr)
+        return 1
+    if args.action == "validate":
+        print(f"{args.file}: OK ({len(policy.tenants)} tenants, "
+              f"shed order {' -> '.join(policy.shed_order) or 'none'})")
+        return 0
+    # show: the compiled lowering, knob by knob.
+    cap = (f"{policy.power_cap_w:g} W over {policy.energy_window_s:g} s"
+           if policy.power_cap_w is not None else "none")
+    print(f"policy {args.file} (version {policy.version})")
+    print(f"  power cap   : {cap}")
+    print(f"  default     : {policy.default_tenant}")
+    print(f"  shed order  : {' -> '.join(policy.shed_order) or 'none'}")
+    for name in policy.tenant_names():
+        rt = policy.tenants[name]
+        budget = (f", budget {rt.power_budget_w:g} W"
+                  if rt.power_budget_w is not None else "")
+        rungs = f", max {rt.max_rungs} rungs" if rt.max_rungs else ""
+        print(f"  tenant {name:>8s}: rank {rt.rank}, "
+              f"{rt.capacity_fraction:.0%} of cores, degradation <= "
+              f"{rt.max_level.name.lower()} (escalate after "
+              f"{rt.escalate_after}){rungs}{budget}")
+    return 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.serving.loadgen import LoadGenConfig, run_loadgen
     from repro.video.generator import ContentClass as _CC
@@ -493,6 +552,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         backoff_max_s=args.backoff_max,
         backoff_jitter=args.backoff_jitter,
         ladder=_parse_rungs(args.ladder) if args.ladder else (),
+        tenants=_parse_weighted(args.tenants),
+        surge_tenants=_parse_weighted(args.surge_tenants),
+        scenario=args.scenario,
         **({"mix": mix} if mix else {}),
     )
     report = run_loadgen(config)
@@ -688,6 +750,14 @@ def build_parser() -> argparse.ArgumentParser:
     sn.add_argument("--drain-grace", type=float, default=10.0,
                     metavar="SECONDS",
                     help="SIGTERM drain: max wait for in-flight sessions")
+    sn.add_argument("--policy", default=None, metavar="FILE",
+                    help="tenant policy document (YAML/JSON); compiles "
+                         "into admission weights, degradation caps, "
+                         "DVFS bounds and the energy budget")
+    sn.add_argument("--policy-reload", type=float, default=0.0,
+                    metavar="SECONDS", dest="policy_reload",
+                    help="poll the policy file for hot reload "
+                         "(0 = no reload)")
     sn.add_argument("--run-dir", default=None, metavar="DIR",
                     help="directory for runtime artifacts (pidfile); "
                          "created if missing")
@@ -742,6 +812,10 @@ def build_parser() -> argparse.ArgumentParser:
     sf.add_argument("--metrics-out", default=None, metavar="PATH",
                     help="write the merged fleet metrics snapshot as "
                          "JSON on shutdown")
+    sf.add_argument("--policy", default=None, metavar="FILE",
+                    help="tenant policy document; the router enforces "
+                         "fleet-wide entitlements and every worker "
+                         "enforces it locally")
     sf.add_argument("--run-dir", default=None, metavar="DIR",
                     help="directory for runtime artifacts (pidfile); "
                          "created if missing")
@@ -817,9 +891,33 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument("--ladder", nargs="+", default=None, metavar="WxH",
                     help="request a rendition ladder per session "
                          "(rungs largest first, e.g. 96x96 72x72 48x48)")
+    lg.add_argument("--tenants", nargs="+", default=None,
+                    metavar="NAME[:W]",
+                    help="weighted tenant mix sessions bill to "
+                         "(omit for pre-policy HELLOs)")
+    lg.add_argument("--surge-tenants", nargs="+", default=None,
+                    metavar="NAME[:W]",
+                    help="tenant mix of the surge cohort "
+                         "(scenario=surge; defaults to --tenants)")
+    lg.add_argument("--scenario", default="",
+                    choices=["", "surge", "diurnal"],
+                    help="load shape: mixed-tenant mid-run surge, or "
+                         "diurnal hospital-shift arrivals")
     lg.add_argument("--backoff-jitter", type=float, default=0.5,
                     help="seeded jitter fraction applied to each backoff")
     lg.set_defaults(func=_cmd_loadgen)
+
+    po = sub.add_parser(
+        "policy",
+        help="validate, inspect or diff tenant policy documents",
+    )
+    po.add_argument("action", choices=["validate", "show", "plan"],
+                    help="validate: parse+compile; show: print the "
+                         "compiled knobs; plan: diff two documents")
+    po.add_argument("file", help="policy document (YAML or JSON)")
+    po.add_argument("new_file", nargs="?", default=None,
+                    help="proposed document (plan only)")
+    po.set_defaults(func=_cmd_policy)
 
     m = sub.add_parser(
         "metrics",

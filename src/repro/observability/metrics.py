@@ -374,6 +374,28 @@ def _counter_sum(fams: Dict[str, dict], name: str, **match: str) -> float:
     return total
 
 
+def _counter_by_label(fams: Dict[str, dict], name: str,
+                      label: str) -> Dict[str, float]:
+    """Per-label-value sums of one counter family (empty if absent)."""
+    fam = fams.get(name)
+    if fam is None:
+        return {}
+    out: Dict[str, float] = {}
+    for sample in fam["samples"]:
+        key = sample.get("labels", {}).get(label)
+        if key is not None:
+            out[key] = out.get(key, 0.0) + float(sample["value"])
+    return out
+
+
+def _gauge_value(fams: Dict[str, dict], name: str,
+                 default: float = 0.0) -> float:
+    fam = fams.get(name)
+    if fam is None or not fam["samples"]:
+        return default
+    return float(fam["samples"][-1]["value"])
+
+
 def serving_summary(data: dict) -> Optional[Dict[str, object]]:
     """Digest of the ``repro_serving_*`` families of a snapshot.
 
@@ -450,6 +472,36 @@ def serving_summary(data: dict) -> Optional[Dict[str, object]]:
         "fleet_rejected": _counter_sum(
             fams, "repro_serving_fleet_admission_total", decision="reject"
         ),
+        # Tenant-policy counters (PR 9): every key below defaults to
+        # zero/empty, so a pre-policy snapshot summarises unchanged.
+        "tenant_sessions": _counter_by_label(
+            fams, "repro_serving_tenant_sessions_total", "tenant"
+        ),
+        "tenant_energy_joules": _counter_by_label(
+            fams, "repro_policy_energy_joules_total", "tenant"
+        ),
+        "policy_rejects": _counter_sum(
+            fams, "repro_serving_policy_rejects_total"
+        ),
+        "policy_drops": _counter_sum(
+            fams, "repro_serving_frames_dropped_total", reason="policy"
+        ),
+        "entitlement_blocks": _counter_sum(
+            fams, "repro_serving_tenant_entitlement_total"
+        ),
+        "brownout_sheds": _counter_sum(
+            fams, "repro_policy_brownout_transitions_total", kind="shed"
+        ),
+        "brownout_readmits": _counter_sum(
+            fams, "repro_policy_brownout_transitions_total", kind="readmit"
+        ),
+        "cap_violations": _counter_sum(
+            fams, "repro_policy_cap_violations_total"
+        ),
+        "energy_window_watts": _gauge_value(
+            fams, "repro_policy_energy_window_watts"
+        ),
+        "tenants_shed": _gauge_value(fams, "repro_policy_tenants_shed"),
     }
 
 
@@ -505,5 +557,23 @@ def format_metrics(data: dict) -> str:
             f"worker deaths {serving['worker_deaths']:g}, "
             f"restarts {serving['worker_restarts']:g}, "
             f"breaker trips {serving['worker_breaker_trips']:g}",
+            f"  policy       : rejects {serving['policy_rejects']:g}, "
+            f"drops {serving['policy_drops']:g}, entitlement blocks "
+            f"{serving['entitlement_blocks']:g}, sheds "
+            f"{serving['brownout_sheds']:g}, readmits "
+            f"{serving['brownout_readmits']:g}, cap violations "
+            f"{serving['cap_violations']:g}",
+            f"  energy       : window {serving['energy_window_watts']:g} W, "
+            f"tenants shed {serving['tenants_shed']:g}",
         ]
+        tenants = sorted(
+            set(serving["tenant_sessions"])
+            | set(serving["tenant_energy_joules"])
+        )
+        for name in tenants:
+            lines.append(
+                f"  tenant {name:>6s}: sessions "
+                f"{serving['tenant_sessions'].get(name, 0.0):g}, energy "
+                f"{serving['tenant_energy_joules'].get(name, 0.0):.3g} J"
+            )
     return "\n".join(lines)

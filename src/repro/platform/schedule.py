@@ -217,6 +217,29 @@ class SlotSchedule:
                 total += unused * power_model.p_idle * self.slot_duration
         return total
 
+    def energy_by_core(self, power_model: PowerModel,
+                       include_unused_cores: bool = True
+                       ) -> Dict[int, float]:
+        """Per-core energy (J) breakdown of :meth:`energy`.
+
+        The values sum to exactly what :meth:`energy` returns for the
+        same ``include_unused_cores`` flag; with it set, platform cores
+        that received no slot appear with their idle energy.
+        """
+        by_core: Dict[int, float] = {}
+        for p in self.plans():
+            if p.busy_seconds > 0:
+                by_core[p.core_id] = power_model.energy(
+                    p.busy_seconds, p.busy_frequency_hz, p.idle_seconds
+                )
+            else:
+                by_core[p.core_id] = power_model.p_idle * self.slot_duration
+        if include_unused_cores:
+            for core_id in range(self.platform.num_cores):
+                if core_id not in by_core:
+                    by_core[core_id] = power_model.p_idle * self.slot_duration
+        return by_core
+
     def average_power(self, power_model: PowerModel,
                       include_unused_cores: bool = True) -> float:
         """Mean power (W) over the slot."""

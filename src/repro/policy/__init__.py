@@ -1,0 +1,48 @@
+"""Declarative per-tenant policy: documents, compiler, energy budget.
+
+The package splits cleanly into four layers:
+
+* :mod:`repro.policy.document` — YAML/JSON grammar, schema validation
+  with actionable line/key errors, the frozen :class:`PolicyDocument`.
+* :mod:`repro.policy.compiler` — lowering into a
+  :class:`CompiledPolicy` of concrete serving knobs (admission shares,
+  shed order, ladder caps, DVFS bounds).
+* :mod:`repro.policy.energy` — the sliding energy ledger and the
+  brownout scheduler that enforces the power envelope.
+* :mod:`repro.policy.manager` — versioned plan/apply lifecycle with
+  mtime-polled hot reload.
+"""
+
+from repro.policy.compiler import CompiledPolicy, TenantRuntime, compile_policy
+from repro.policy.document import (
+    PRIORITY_TIERS,
+    BrownoutSpec,
+    DvfsSpec,
+    PolicyDocument,
+    PolicyError,
+    TenantSpec,
+    load_policy_file,
+    parse_policy,
+)
+from repro.policy.energy import BrownoutEvent, EnergyBudgetScheduler, EnergyLedger
+from repro.policy.manager import PolicyManager, PolicyPlan, plan_change
+
+__all__ = [
+    "PRIORITY_TIERS",
+    "BrownoutEvent",
+    "BrownoutSpec",
+    "CompiledPolicy",
+    "DvfsSpec",
+    "EnergyBudgetScheduler",
+    "EnergyLedger",
+    "PolicyDocument",
+    "PolicyError",
+    "PolicyManager",
+    "PolicyPlan",
+    "TenantRuntime",
+    "TenantSpec",
+    "compile_policy",
+    "load_policy_file",
+    "parse_policy",
+    "plan_change",
+]

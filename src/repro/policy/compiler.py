@@ -1,0 +1,217 @@
+"""Lowering: a validated :class:`PolicyDocument` becomes concrete knobs.
+
+The declarative layer talks about *intent* (tiers, PSNR floors,
+deadline classes, budgets); the serving stack consumes *mechanism*
+(admission weights, park/shed ordering, degradation-ladder caps, DVFS
+bounds).  This module is the bridge, and the mapping rules are the
+policy grammar's semantics — documented here and in DESIGN.md §15:
+
+* ``weight``  → ``capacity_fraction`` (normalized share of the slot
+  capacity; per-tenant occupancy is capped at its share so a batch
+  flood can never starve the emergency entitlement).
+* ``tier``    → ``shed_rank`` (strict brownout order: the
+  highest-rank/lowest-priority tenant sheds first; the document's
+  most important tier is never shed at all).
+* ``min_psnr_db`` → degradation-ladder cap: a floor of 36 dB or more
+  compiles to ``NONE`` (the stream is never lightened), 30 dB or more
+  to ``QP_BUMP`` at most; below that the explicit ``max_degradation``
+  rung applies unchanged.  The final cap is the minimum of both.
+* ``max_deadline_miss_rate`` → ladder aggressiveness: a rate of 5% or
+  less compiles to ``escalate_after=1`` (react to every miss), looser
+  classes to ``escalate_after=2``.
+* ``dvfs.min_ghz``/``max_ghz`` → a clamped platform whose frequency
+  list :class:`~repro.allocation.proposed.ProposedAllocator` consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.platform.mpsoc import MpsocConfig
+from repro.policy.document import (
+    BrownoutSpec,
+    PolicyDocument,
+    PolicyError,
+    TenantSpec,
+)
+from repro.resilience.degradation import DegradationLevel, ResilienceConfig
+
+__all__ = ["CompiledPolicy", "TenantRuntime", "compile_policy"]
+
+#: PSNR floor (dB) → hardest degradation rung still allowed.
+_PSNR_LADDER_CAPS: Tuple[Tuple[float, DegradationLevel], ...] = (
+    (36.0, DegradationLevel.NONE),
+    (30.0, DegradationLevel.QP_BUMP),
+)
+
+_DEGRADATION_BY_NAME = {
+    "none": DegradationLevel.NONE,
+    "qp_bump": DegradationLevel.QP_BUMP,
+    "window_shrink": DegradationLevel.WINDOW_SHRINK,
+    "tile_merge": DegradationLevel.TILE_MERGE,
+    "frame_drop": DegradationLevel.FRAME_DROP,
+}
+
+
+@dataclass(frozen=True)
+class TenantRuntime:
+    """One tenant's compiled, directly-consumable knobs."""
+
+    name: str
+    #: Priority rank (lower = more important), from the tier name.
+    rank: int
+    #: Normalized admission share of the slot capacity.
+    capacity_fraction: float
+    #: Brownout order: 0 sheds first; ``None`` = never shed (the
+    #: document's most important tier).
+    shed_rank: Optional[int]
+    #: Hard ceiling of the per-stream degradation ladder.
+    max_level: DegradationLevel
+    #: Consecutive misses before the per-stream ladder escalates.
+    escalate_after: int
+    #: Ladder-rung entitlement (0 = unlimited).
+    max_rungs: int
+    #: Per-tenant windowed power budget (W); ``None`` = envelope only.
+    power_budget_w: Optional[float]
+    #: The declared QoS floors, kept for observability and reporting.
+    min_psnr_db: Optional[float]
+    max_deadline_miss_rate: float
+
+    def capacity_cores(self, platform_cores: float) -> float:
+        return self.capacity_fraction * platform_cores
+
+
+def _lower_tenant(spec: TenantSpec, total_weight: float,
+                  shed_rank: Optional[int]) -> TenantRuntime:
+    cap = _DEGRADATION_BY_NAME[spec.max_degradation]
+    if spec.min_psnr_db is not None:
+        for floor, level in _PSNR_LADDER_CAPS:
+            if spec.min_psnr_db >= floor:
+                cap = min(cap, level)
+                break
+    return TenantRuntime(
+        name=spec.name,
+        rank=spec.rank,
+        capacity_fraction=spec.weight / total_weight,
+        shed_rank=shed_rank,
+        max_level=cap,
+        escalate_after=1 if spec.max_deadline_miss_rate <= 0.05 else 2,
+        max_rungs=spec.max_rungs,
+        power_budget_w=spec.power_budget_w,
+        min_psnr_db=spec.min_psnr_db,
+        max_deadline_miss_rate=spec.max_deadline_miss_rate,
+    )
+
+
+@dataclass(frozen=True)
+class CompiledPolicy:
+    """A lowered policy: everything the serving stack consumes."""
+
+    version: int
+    default_tenant: str
+    tenants: Dict[str, TenantRuntime]
+    #: Tenant names in strict shed order (first entry sheds first).
+    #: Tenants of the document's most important tier are absent — they
+    #: ride out the brownout.
+    shed_order: Tuple[str, ...]
+    power_cap_w: Optional[float]
+    energy_window_s: float
+    brownout: BrownoutSpec
+    dvfs_min_hz: Optional[float]
+    dvfs_max_hz: Optional[float]
+    source: Optional[str] = None
+
+    # -- resolution ----------------------------------------------------
+    def resolve(self, tenant: str) -> TenantRuntime:
+        """Tenant for a HELLO's declared name.
+
+        Unknown or empty names fall through to the catch-all default
+        tenant — old peers that never heard of tenancy keep working.
+        """
+        return self.tenants.get(tenant) or self.tenants[self.default_tenant]
+
+    def resolve_name(self, tenant: str) -> str:
+        return self.resolve(tenant).name
+
+    # -- compilation targets -------------------------------------------
+    def resilience_for(self, tenant: str,
+                       base: Optional[ResilienceConfig]
+                       ) -> Optional[ResilienceConfig]:
+        """Per-stream degradation config bounded by the tenant's QoS
+        floor (the ladder never climbs past the compiled cap)."""
+        if base is None:
+            return None
+        rt = self.resolve(tenant)
+        return dataclasses.replace(
+            base,
+            max_level=min(base.max_level, rt.max_level),
+            escalate_after=rt.escalate_after,
+        )
+
+    def clamp_platform(self, platform: MpsocConfig) -> MpsocConfig:
+        """Platform with its DVFS levels restricted to the policy's
+        bounds — the frequency list Algorithm 2's DVFS stage picks
+        from.  Raises :class:`PolicyError` when no platform level
+        survives the bounds."""
+        lo = self.dvfs_min_hz
+        hi = self.dvfs_max_hz
+        if lo is None and hi is None:
+            return platform
+        kept = tuple(
+            f for f in platform.frequencies_hz
+            if (lo is None or f >= lo) and (hi is None or f <= hi)
+        )
+        if not kept:
+            ghz = [f / 1e9 for f in platform.frequencies_hz]
+            raise PolicyError(
+                "dvfs",
+                f"no platform frequency level inside "
+                f"[{(lo or 0) / 1e9:g}, "
+                f"{(hi / 1e9) if hi is not None else 'inf'}] GHz; "
+                f"platform levels: {ghz} GHz", self.source,
+            )
+        if kept == platform.frequencies_hz:
+            return platform
+        return dataclasses.replace(platform, frequencies_hz=kept)
+
+    def max_rungs_for(self, tenant: str) -> int:
+        return self.resolve(tenant).max_rungs
+
+    def tenant_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.tenants))
+
+
+def compile_policy(doc: PolicyDocument) -> CompiledPolicy:
+    """Lower a validated document into a :class:`CompiledPolicy`."""
+    total_weight = sum(t.weight for t in doc.tenants)
+    top_rank = min(t.rank for t in doc.tenants)
+    # Strict shed order: lowest-priority (highest rank) tenants first,
+    # deterministic within a tier by name.  The top tier never sheds.
+    sheddable = sorted(
+        (t for t in doc.tenants if t.rank > top_rank),
+        key=lambda t: (-t.rank, t.name),
+    )
+    shed_order = tuple(t.name for t in sheddable)
+    tenants = {
+        spec.name: _lower_tenant(
+            spec, total_weight,
+            shed_order.index(spec.name) if spec.name in shed_order else None,
+        )
+        for spec in doc.tenants
+    }
+    return CompiledPolicy(
+        version=doc.version,
+        default_tenant=doc.default_tenant,
+        tenants=tenants,
+        shed_order=shed_order,
+        power_cap_w=doc.power_cap_w,
+        energy_window_s=doc.energy_window_s,
+        brownout=doc.brownout,
+        dvfs_min_hz=(doc.dvfs.min_ghz * 1e9
+                     if doc.dvfs.min_ghz is not None else None),
+        dvfs_max_hz=(doc.dvfs.max_ghz * 1e9
+                     if doc.dvfs.max_ghz is not None else None),
+        source=doc.source,
+    )

@@ -1,0 +1,271 @@
+"""Fixed-seed brownout drill (``make policy-smoke``).
+
+Simulates a four-tenant hospital fleet (emergency telemetry, urgent
+clinic streams, batch transcodes, archival sweeps) slot by slot through
+Algorithm 2 on a policy-clamped platform, prices every slot with the
+fig4 :class:`~repro.platform.power.PowerModel`, feeds the energy into
+the :class:`~repro.policy.energy.EnergyBudgetScheduler`, and fails
+loudly unless every brownout invariant holds:
+
+* a mid-run load surge drives windowed power over the cap and tenants
+  shed **strictly in reverse priority order** (archival first) — at
+  every check the shed set is an exact prefix of the compiled
+  ``shed_order``;
+* the emergency tier is **never** shed while lower tiers remain (it is
+  absent from ``shed_order`` by construction, and the drill checks it
+  stayed served every slot);
+* no budget check ever finds the cap exceeded with nothing left to
+  shed (``cap_violations == 0``), and once the shed set settles the
+  windowed power stays within the cap for the rest of the surge;
+* when the surge passes, hysteretic readmission restores every tenant
+  (reverse shed order), leaving no one shed at the end;
+* the event sequence and windowed-power trace CRC match the committed
+  golden (``tests/golden/policy_smoke.json``) — regenerate after an
+  intentional policy/model change with ``--update-golden``.
+
+Everything is derived from ``SEED``; the simulated clock is slot
+arithmetic, so the drill is bit-stable across runs and machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import zlib
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.allocation.demand import UserDemand
+from repro.allocation.proposed import ProposedAllocator
+from repro.observability import scoped
+from repro.platform.mpsoc import XEON_E5_2667
+from repro.platform.power import GHZ, PowerModel
+from repro.platform.schedule import ThreadTask
+from repro.policy.compiler import compile_policy
+from repro.policy.document import parse_policy
+from repro.policy.energy import EnergyBudgetScheduler
+
+#: Drill contract: everything below is part of the golden digest.
+SEED = 11
+FPS = 10.0
+SLOTS = 80
+SURGE_START, SURGE_END = 20, 50
+THREADS_PER_STREAM = 4
+
+POLICY = {
+    "version": 1,
+    "power_cap_w": 120.0,
+    "energy_window_s": 0.2,
+    "default_tenant": "clinic",
+    "brownout": {"readmit_fraction": 0.7, "readmit_after_checks": 2},
+    "dvfs": {"min_ghz": 2.8, "max_ghz": 3.3},
+    "tenants": [
+        {"name": "er", "tier": "emergency", "weight": 4.0,
+         "min_psnr_db": 37.0, "max_deadline_miss_rate": 0.02},
+        {"name": "clinic", "tier": "urgent", "weight": 3.0,
+         "min_psnr_db": 32.0},
+        {"name": "batch", "tier": "batch", "weight": 2.0, "max_rungs": 2},
+        {"name": "archive", "tier": "archival", "weight": 1.0},
+    ],
+}
+
+#: Active streams per tenant: calm baseline, then the surge window.
+CALM = {"er": 2, "clinic": 3, "batch": 2, "archive": 2}
+SURGE = {"er": 3, "clinic": 8, "batch": 10, "archive": 10}
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parents[3] / "tests" / "golden"
+    / "policy_smoke.json"
+)
+
+
+def _stream_demands() -> Dict[str, List[UserDemand]]:
+    """Per-tenant stream demands, drawn once from the fixed seed (the
+    per-slot load is which *streams* are active, not new draws)."""
+    rng = random.Random(SEED)
+    demands: Dict[str, List[UserDemand]] = {}
+    for tid, tenant in enumerate(sorted(set(CALM) | set(SURGE))):
+        peak = max(CALM.get(tenant, 0), SURGE.get(tenant, 0))
+        streams = []
+        for si in range(peak):
+            uid = (tid + 1) * 1000 + si
+            threads = [
+                ThreadTask(
+                    thread_id=uid * 10 + j, user_id=uid,
+                    cpu_time_fmax=rng.uniform(0.010, 0.020), tile_index=j,
+                )
+                for j in range(THREADS_PER_STREAM)
+            ]
+            streams.append(UserDemand(user_id=uid, threads=threads))
+        demands[tenant] = streams
+    return demands
+
+
+def run(update_golden: bool = False) -> int:
+    policy = compile_policy(parse_policy(POLICY, source="<policy-smoke>"))
+    failures: List[str] = []
+
+    platform = policy.clamp_platform(XEON_E5_2667)
+    if platform.f_max != 3.2 * GHZ:
+        failures.append(
+            f"dvfs clamp: expected f_max 3.2 GHz on the clamped "
+            f"platform, got {platform.f_max / GHZ:g} GHz"
+        )
+    if policy.shed_order != ("archive", "batch", "clinic"):
+        failures.append(
+            f"compiled shed order {policy.shed_order} != "
+            "('archive', 'batch', 'clinic')"
+        )
+
+    streams = _stream_demands()
+    power_model = PowerModel()
+    event_log: List[Tuple[str, str, int]] = []
+    powers: List[float] = []
+    settle_check = None  # first surge check with a stable, in-cap window
+
+    with scoped():
+        allocator = ProposedAllocator(platform=platform)
+        scheduler = EnergyBudgetScheduler(policy)
+        for slot in range(SLOTS):
+            counts = SURGE if SURGE_START <= slot < SURGE_END else CALM
+            demands: List[UserDemand] = []
+            owner: Dict[int, str] = {}
+            for tenant in sorted(counts):
+                if not scheduler.serves(tenant):
+                    continue  # brownout: this tenant's frames drop
+                for demand in streams[tenant][:counts[tenant]]:
+                    demands.append(demand)
+                    owner[demand.user_id] = tenant
+            now = (slot + 1) / FPS
+
+            result = allocator.allocate(demands, FPS)
+            if result.rejected:
+                failures.append(
+                    f"slot {slot}: allocator rejected "
+                    f"{len(result.rejected)} streams (drill load must "
+                    "fit the platform)"
+                )
+            slot_energy = result.schedule.energy(power_model)
+            total_cpu = sum(d.total_cpu_time_fmax for d in result.admitted)
+            by_tenant: Dict[str, float] = {}
+            for demand in result.admitted:
+                name = owner[demand.user_id]
+                by_tenant[name] = (by_tenant.get(name, 0.0)
+                                   + demand.total_cpu_time_fmax)
+            # Attribute the slot's energy (busy + idle baseline) to
+            # tenants by CPU share — the same model-domain attribution
+            # the server uses.
+            for name, cpu in sorted(by_tenant.items()):
+                scheduler.observe(now, slot_energy * cpu / total_cpu, name)
+
+            for event in scheduler.check(now):
+                event_log.append((event.kind, event.tenant, slot))
+            power = scheduler.ledger.windowed_power(now)
+            powers.append(round(power, 3))
+
+            # Invariants checked at every slot, not just at the end.
+            shed = scheduler.shed_tenants
+            if shed != policy.shed_order[:len(shed)]:
+                failures.append(
+                    f"slot {slot}: shed set {shed} is not a prefix of "
+                    f"shed order {policy.shed_order}"
+                )
+            if not scheduler.serves("er"):
+                failures.append(f"slot {slot}: emergency tenant shed")
+            in_surge = SURGE_START <= slot < SURGE_END
+            if (settle_check is None and in_surge and shed
+                    and power <= policy.power_cap_w):
+                settle_check = slot
+            if (settle_check is not None and in_surge
+                    and power > policy.power_cap_w
+                    and not any(e[2] == slot for e in event_log)):
+                failures.append(
+                    f"slot {slot}: windowed power {power:.1f} W over the "
+                    f"{policy.power_cap_w:g} W cap after brownout "
+                    f"settled at slot {settle_check} with no transition"
+                )
+
+        violations = scheduler.cap_violations
+        final_shed = scheduler.shed_tenants
+        total_j = scheduler.ledger.total_j
+
+    sheds = [e for e in event_log if e[0] == "shed"]
+    readmits = [e for e in event_log if e[0] == "readmit"]
+    if not sheds:
+        failures.append("surge never triggered a brownout shed")
+    if not readmits:
+        failures.append("no tenant was ever readmitted (hysteresis "
+                        "path not exercised)")
+    if any(e[1] == "er" for e in event_log):
+        failures.append("emergency tenant appeared in a brownout event")
+    if violations:
+        failures.append(
+            f"{violations} budget checks found the cap exceeded with "
+            "nothing left to shed"
+        )
+    if settle_check is None:
+        failures.append("brownout never settled inside the cap during "
+                        "the surge")
+    if final_shed:
+        failures.append(
+            f"tenants still shed at end of drill: {final_shed}"
+        )
+
+    power_crc = zlib.crc32(
+        ",".join(f"{p:.3f}" for p in powers).encode()
+    ) & 0xFFFFFFFF
+    golden = {
+        "seed": SEED,
+        "fps": FPS,
+        "slots": SLOTS,
+        "cap_w": POLICY["power_cap_w"],
+        "window_s": POLICY["energy_window_s"],
+        "shed_order": list(policy.shed_order),
+        "events": [list(e) for e in event_log],
+        "power_crc": f"{power_crc:08x}",
+        "total_joules": round(total_j, 3),
+    }
+    if update_golden:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True)
+                               + "\n")
+        print(f"wrote {GOLDEN_PATH}")
+    elif not GOLDEN_PATH.exists():
+        failures.append(
+            f"golden file missing: {GOLDEN_PATH} "
+            "(run with --update-golden to create it)"
+        )
+    else:
+        expected = json.loads(GOLDEN_PATH.read_text())
+        if expected != golden:
+            failures.append(
+                f"golden mismatch:\n  expected {expected}\n  got      "
+                f"{golden}\n  (an intentional policy/model change needs "
+                "--update-golden)"
+            )
+
+    for kind, tenant, slot in event_log:
+        print(f"slot {slot:3d}: {kind:10s} {tenant}")
+    if failures:
+        print("policy-smoke FAILED:\n  - " + "\n  - ".join(failures),
+              file=sys.stderr)
+        return 1
+    print(
+        f"policy-smoke OK ({len(sheds)} sheds, {len(readmits)} readmits, "
+        f"{total_j:.1f} J over {SLOTS} slots, power crc {power_crc:08x})"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update-golden", action="store_true",
+                        help="rewrite tests/golden/policy_smoke.json")
+    args = parser.parse_args(argv)
+    return run(update_golden=args.update_golden)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

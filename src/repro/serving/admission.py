@@ -27,7 +27,7 @@ relief threshold walks the ladder back down.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.allocation.demand import UserDemand, cores_needed
@@ -39,6 +39,8 @@ from repro.codec.config import FrameType
 from repro.observability import get_registry, get_tracer
 from repro.platform.mpsoc import MpsocConfig, XEON_E5_2667
 from repro.platform.schedule import ThreadTask
+from repro.policy.compiler import CompiledPolicy
+from repro.policy.energy import EnergyBudgetScheduler
 from repro.resilience.degradation import DegradationLevel
 from repro.serving.protocol import Hello
 from repro.video.generator import ContentClass
@@ -98,6 +100,8 @@ class SessionTicket:
     session_id: int
     demand: UserDemand
     cores: float
+    #: Resolved policy tenant the charge bills to (``""`` = no policy).
+    tenant: str = ""
 
 
 class AdmissionController:
@@ -121,6 +125,60 @@ class AdmissionController:
         self._overload_streak = 0
         self._level = DegradationLevel.NONE
         self._draining = False
+        #: Tenant policy (``None`` = pre-policy behaviour, untouched).
+        self.compiled: Optional[CompiledPolicy] = None
+        self.energy: Optional[EnergyBudgetScheduler] = None
+        self._base_platform = platform
+
+    # -- tenant policy -------------------------------------------------
+    def set_policy(self, compiled: Optional[CompiledPolicy],
+                   energy: Optional[EnergyBudgetScheduler] = None) -> None:
+        """(Re)wire the tenant policy; hot-reload entry point.
+
+        A policy with DVFS bounds swaps in an allocator on the clamped
+        platform, so every capacity estimate from here on prices
+        against the frequencies the policy permits.  ``None`` restores
+        the pre-policy controller exactly.
+        """
+        self.compiled = compiled
+        self.energy = energy
+        platform = (compiled.clamp_platform(self._base_platform)
+                    if compiled is not None else self._base_platform)
+        if platform is not self.platform:
+            self.platform = platform
+            self.allocator = ProposedAllocator(platform=platform)
+
+    def _tenant_name(self, hello: Hello) -> str:
+        if self.compiled is None:
+            return ""
+        return self.compiled.resolve_name(hello.tenant)
+
+    def tenant_occupancy(self, tenant: str) -> float:
+        """Core charge of one tenant's active sessions."""
+        return sum(t.cores for t in self._active.values()
+                   if t.tenant == tenant)
+
+    def tenant_occupancies(self) -> Dict[str, float]:
+        """Per-tenant core charges (only tenants with active sessions)."""
+        out: Dict[str, float] = {}
+        for ticket in self._active.values():
+            if ticket.tenant:
+                out[ticket.tenant] = (out.get(ticket.tenant, 0.0)
+                                      + ticket.cores)
+        return out
+
+    def _entitlement_cores(self, tenant: str) -> Optional[float]:
+        """The tenant's hard share of the slot capacity (its normalized
+        policy weight), or ``None`` without a policy."""
+        if self.compiled is None or not tenant:
+            return None
+        rt = self.compiled.tenants[tenant]
+        return rt.capacity_fraction * self.capacity_cores
+
+    def _energy_gate(self, tenant: str) -> Tuple[bool, str]:
+        if self.energy is None or not tenant:
+            return True, ""
+        return self.energy.admits(tenant)
 
     # -- pricing -------------------------------------------------------
     def estimate_session(self, hello: Hello) -> Tuple[float, UserDemand]:
@@ -216,11 +274,21 @@ class AdmissionController:
         """Current rung of the server-level overload ladder."""
         return self._level
 
-    def lighten(self, qp: int, window: int) -> Tuple[int, int]:
-        """Apply the overload ladder to a new session's base config."""
-        if self._level >= DegradationLevel.QP_BUMP:
+    def lighten(self, qp: int, window: int,
+                tenant: str = "") -> Tuple[int, int]:
+        """Apply the overload ladder to a new session's base config.
+
+        With a policy loaded, the effective rung is capped by the
+        tenant's compiled degradation ceiling — an emergency tenant
+        whose PSNR floor compiled to ``NONE`` is admitted at full
+        quality even while the server-level ladder is up.
+        """
+        level = self._level
+        if self.compiled is not None:
+            level = min(level, self.compiled.resolve(tenant).max_level)
+        if level >= DegradationLevel.QP_BUMP:
             qp = min(51, qp + 2)
-        if self._level >= DegradationLevel.WINDOW_SHRINK:
+        if level >= DegradationLevel.WINDOW_SHRINK:
             window = max(8, window // 2)
         return qp, window
 
@@ -243,7 +311,45 @@ class AdmissionController:
             )
             return (AdmissionDecision.REJECT,
                     "server draining; admissions stopped")
+        tenant = self._tenant_name(hello)
+        allowed, why = self._energy_gate(tenant)
+        if not allowed:
+            registry = get_registry()
+            registry.inc(
+                "repro_serving_admission_total", decision="reject",
+                help="Admission decisions by outcome",
+            )
+            registry.inc(
+                "repro_serving_policy_rejects_total", tenant=tenant,
+                help="Admissions refused by the energy/brownout policy",
+            )
+            return AdmissionDecision.REJECT, why
         cores, demand = self.estimate_session(hello)
+        entitled = self._entitlement_cores(tenant)
+        if (entitled is not None
+                and self.tenant_occupancy(tenant) + cores > entitled + 1e-9):
+            registry = get_registry()
+            registry.inc(
+                "repro_serving_tenant_entitlement_total", tenant=tenant,
+                help="Admissions deferred by a tenant's entitlement cap",
+            )
+            occupied = self.tenant_occupancy(tenant)
+            detail = (
+                f"tenant {tenant!r} entitlement exceeded: need "
+                f"{cores:.2f} cores, {occupied:.2f}/{entitled:.2f} "
+                "entitled cores occupied"
+            )
+            if self._parked < self.policy.park_capacity:
+                self._parked += 1
+                decision, reason = AdmissionDecision.PARK, detail + "; parked"
+            else:
+                decision, reason = (AdmissionDecision.REJECT,
+                                    detail + "; waiting room full")
+            registry.inc(
+                "repro_serving_admission_total", decision=decision.value,
+                help="Admission decisions by outcome",
+            )
+            return decision, reason
         demands = [
             t.demand for t in self._active.values()
         ]
@@ -264,12 +370,18 @@ class AdmissionController:
         if fits:
             self._active[session_id] = SessionTicket(
                 session_id=session_id, demand=candidate, cores=cores,
+                tenant=tenant,
             )
             decision, reason = AdmissionDecision.ACCEPT, (
                 f"estimated {cores:.2f} cores of "
                 f"{self.capacity_cores:.0f} "
                 f"({self.occupancy_cores:.2f} occupied)"
             )
+            if tenant:
+                registry.inc(
+                    "repro_serving_tenant_sessions_total", tenant=tenant,
+                    help="Sessions admitted per policy tenant",
+                )
             self._observe_accept()
         elif self._parked < self.policy.park_capacity:
             self._parked += 1
@@ -367,6 +479,33 @@ class AdmissionController:
             )
             return (AdmissionDecision.REJECT,
                     "server draining; admissions stopped", ())
+        tenant = self._tenant_name(hello)
+        allowed, why = self._energy_gate(tenant)
+        if not allowed:
+            registry.inc(
+                "repro_serving_admission_total", decision="reject",
+                help="Admission decisions by outcome",
+            )
+            registry.inc(
+                "repro_serving_policy_rejects_total", tenant=tenant,
+                help="Admissions refused by the energy/brownout policy",
+            )
+            return AdmissionDecision.REJECT, why, ()
+        trimmed = 0
+        if self.compiled is not None:
+            max_rungs = self.compiled.max_rungs_for(hello.tenant)
+            if max_rungs and len(rungs) > max_rungs:
+                # Ladder-rung entitlement: the policy caps how many
+                # renditions this tenant may run per stream; low rungs
+                # beyond the cap are trimmed before pricing.
+                trimmed = len(rungs) - max_rungs
+                rungs = rungs[:max_rungs]
+                registry.inc(
+                    "repro_serving_ladder_rungs_trimmed_total", trimmed,
+                    tenant=tenant,
+                    help="Ladder rungs trimmed by tenant entitlements",
+                )
+        entitled = self._entitlement_cores(tenant)
         active = [t.demand for t in self._active.values()]
         capacity = max(1, int(self.capacity_cores))
         # Rung-drop-before-shed: try the full ladder, then successively
@@ -374,6 +513,9 @@ class AdmissionController:
         for cut in range(len(rungs), 0, -1):
             trial = rungs[:cut]
             cores, demand, _ = self.estimate_ladder(hello, trial)
+            if (entitled is not None and self.tenant_occupancy(tenant)
+                    + cores > entitled + 1e-9):
+                continue
             candidate = UserDemand(
                 user_id=session_id,
                 threads=[
@@ -390,6 +532,7 @@ class AdmissionController:
                 continue
             self._active[session_id] = SessionTicket(
                 session_id=session_id, demand=candidate, cores=cores,
+                tenant=tenant,
             )
             dropped = len(rungs) - cut
             if dropped:
@@ -397,11 +540,18 @@ class AdmissionController:
                     "repro_serving_ladder_rungs_dropped_total", dropped,
                     help="Ladder rungs dropped at admission for capacity",
                 )
+            if tenant:
+                registry.inc(
+                    "repro_serving_tenant_sessions_total", tenant=tenant,
+                    help="Sessions admitted per policy tenant",
+                )
             reason = (
                 f"ladder of {cut}/{len(rungs)} rungs at estimated "
                 f"{cores:.2f} cores of {self.capacity_cores:.0f} "
                 f"({self.occupancy_cores:.2f} occupied)"
                 + (f"; dropped {dropped} low rung(s)" if dropped else "")
+                + (f"; trimmed {trimmed} rung(s) by tenant entitlement"
+                   if trimmed else "")
             )
             self._observe_accept()
             registry.inc(
@@ -492,6 +642,11 @@ class AdmissionController:
         Shed sessions lose their capacity tickets (they are the lowest
         priority — the server keeps serving them degraded, but their
         charge stops distorting admission).  Returns the shed ids.
+
+        With a policy loaded, victims are chosen in the policy's shed
+        order — lowest-priority tenants first, largest charge first
+        within a tenant — instead of the allocator's capacity-greedy
+        default; the top tier is only touched when nothing else fits.
         """
         if fps <= 0 or session_id not in self._active:
             return []
@@ -504,8 +659,11 @@ class AdmissionController:
                 break
         if stalled_core is None:
             return []
-        repacked = self.allocator.reallocate(result, [stalled_core], fps)
-        shed_ids = sorted(d.user_id for d in repacked.shed)
+        if self.compiled is None:
+            repacked = self.allocator.reallocate(result, [stalled_core], fps)
+            shed_ids = sorted(d.user_id for d in repacked.shed)
+        else:
+            shed_ids = self._policy_shed_for_capacity(fps, {stalled_core})
         for sid in shed_ids:
             self._active.pop(sid, None)
         registry = get_registry()
@@ -521,6 +679,43 @@ class AdmissionController:
             "admission.replan_after_stall", session=session_id,
             failed_core=stalled_core, shed=len(shed_ids),
         )
+        return shed_ids
+
+    def _policy_shed_victims(self) -> List[int]:
+        """Active session ids in strict policy shed order (first victim
+        first): sheddable tenants by their compiled ``shed_rank``, the
+        top tier last; within a tenant, the largest charge first so the
+        fewest sessions are lost."""
+        def key(ticket: SessionTicket):
+            rt = self.compiled.resolve(ticket.tenant)
+            sheddable = rt.shed_rank is not None
+            return (
+                0 if sheddable else 1,
+                rt.shed_rank if sheddable else 0,
+                -ticket.cores,
+                ticket.session_id,
+            )
+        return [t.session_id for t in sorted(self._active.values(), key=key)]
+
+    def _policy_shed_for_capacity(self, fps: float,
+                                  failed_cores: set) -> List[int]:
+        """Shed sessions in policy order until the survivors pack onto
+        the surviving cores."""
+        remaining = {t.session_id: t.demand for t in self._active.values()}
+        victims = self._policy_shed_victims()
+        shed_ids: List[int] = []
+        while remaining:
+            trial = self.allocator.allocate(
+                list(remaining.values()), fps, failed_cores=failed_cores,
+            )
+            if not trial.rejected:
+                break
+            victim = next((sid for sid in victims if sid in remaining), None)
+            if victim is None:  # pragma: no cover - victims covers active
+                shed_ids.extend(sorted(d.user_id for d in trial.rejected))
+                break
+            del remaining[victim]
+            shed_ids.append(victim)
         return shed_ids
 
     def release(self, session_id: int) -> None:
@@ -578,6 +773,13 @@ class WorkerLoad:
     draining: bool = False
     alive: bool = True
     pending_cores: float = 0.0
+    #: Per-tenant core charges from the worker's last gossip (policy
+    #: mode only; workers emit ``tenant_cores.<name>`` snapshot keys).
+    tenant_cores: Dict[str, float] = field(default_factory=dict)
+    #: Optimistic per-tenant charges for placements routed since the
+    #: last gossip tick (reset by each fresh snapshot, like
+    #: ``pending_cores``).
+    tenant_pending: Dict[str, float] = field(default_factory=dict)
 
     @property
     def free_cores(self) -> float:
@@ -620,6 +822,21 @@ class FleetAdmission:
         )
         self.workers: Dict[str, WorkerLoad] = {}
         self._parked = 0
+        self.compiled: Optional[CompiledPolicy] = None
+
+    def set_policy(self, compiled: Optional[CompiledPolicy]) -> None:
+        """Route with tenant entitlements: each tenant's fleet-wide
+        charge (gossiped + optimistically pending) is capped at its
+        normalized weight share of the live fleet's capacity."""
+        self.compiled = compiled
+        self._pricer.set_policy(compiled)
+
+    def _tenant_fleet_usage(self, tenant: str) -> float:
+        return sum(
+            w.tenant_cores.get(tenant, 0.0)
+            + w.tenant_pending.get(tenant, 0.0)
+            for w in self.workers.values() if w.alive
+        )
 
     # -- membership / gossip -------------------------------------------
     def register(self, worker_id: str, capacity_cores: float) -> None:
@@ -649,6 +866,12 @@ class FleetAdmission:
         load.draining = bool(snapshot.get("draining", 0.0))
         load.alive = True
         load.pending_cores = 0.0
+        load.tenant_cores = {
+            key.split(".", 1)[1]: float(value)
+            for key, value in snapshot.items()
+            if key.startswith("tenant_cores.")
+        }
+        load.tenant_pending = {}
 
     # -- placement -----------------------------------------------------
     @property
@@ -668,6 +891,38 @@ class FleetAdmission:
         registry = get_registry()
         cores, _ = self._pricer.estimate_session(hello)
         live = self.live_workers
+        tenant = ""
+        if self.compiled is not None and live:
+            tenant = self.compiled.resolve_name(hello.tenant)
+            runtime = self.compiled.tenants[tenant]
+            total_capacity = sum(w.capacity_cores for w in live)
+            entitled = runtime.capacity_fraction * total_capacity
+            used = self._tenant_fleet_usage(tenant)
+            if used + cores > entitled + 1e-9:
+                registry.inc(
+                    "repro_serving_tenant_entitlement_total", tenant=tenant,
+                    help="Admissions deferred by a tenant's entitlement cap",
+                )
+                if self._parked < self.policy.park_capacity * len(live):
+                    self._parked += 1
+                    decision = AdmissionDecision.PARK
+                else:
+                    decision = AdmissionDecision.REJECT
+                reason = (
+                    f"tenant {tenant!r} fleet entitlement exceeded: need "
+                    f"{cores:.2f} cores, {used:.2f}/{entitled:.2f} "
+                    "entitled cores in use"
+                )
+                registry.inc(
+                    "repro_serving_fleet_admission_total",
+                    decision=decision.value,
+                    help="Fleet-level routing decisions by outcome",
+                )
+                get_tracer().event(
+                    "fleet.place", decision=decision.value, worker=None,
+                    cores=cores, live_workers=len(live), tenant=tenant,
+                )
+                return decision, None, reason
         choice: Optional[WorkerLoad] = None
         if prefer:
             preferred = self.workers.get(prefer)
@@ -684,6 +939,10 @@ class FleetAdmission:
                 )
         if choice is not None:
             choice.pending_cores += cores
+            if tenant:
+                choice.tenant_pending[tenant] = (
+                    choice.tenant_pending.get(tenant, 0.0) + cores
+                )
             if self._parked:
                 self._parked = max(0, self._parked - 1)
             decision = AdmissionDecision.ACCEPT

@@ -61,6 +61,8 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.observability import get_registry, get_tracer
 from repro.observability.metrics import MetricsRegistry
+from repro.policy.compiler import compile_policy
+from repro.policy.document import load_policy_file
 from repro.serving.admission import (
     AdmissionDecision,
     FleetAdmission,
@@ -357,6 +359,15 @@ class FleetSupervisor:
             platform=config.server.platform,
             policy=config.server.admission,
         )
+        # Tenant policy: the worker template carries ``policy_file``
+        # into every spawned worker (each enforces locally); compiling
+        # it here too arms the router's fleet-wide entitlement check.
+        # A broken file refuses to start the supervisor, same as a
+        # single server.
+        if config.server.policy_file is not None:
+            self.fleet_admission.set_policy(
+                compile_policy(load_policy_file(config.server.policy_file))
+            )
         self._mp = multiprocessing.get_context("spawn")
         self._handles: Dict[str, _WorkerHandle] = {
             f"w{i}": _WorkerHandle(f"w{i}", config.restart)

@@ -99,6 +99,21 @@ class LoadGenConfig:
     #: sessions).  Ladder clients collect per-rung outcomes keyed by
     #: ``(rung, frame_index)``.
     ladder: Tuple[Tuple[int, int], ...] = ()
+    #: Weighted tenant mix sessions draw their HELLO ``tenant`` from
+    #: (empty = no tenant key on the wire, pre-policy behaviour).
+    tenants: Tuple[Tuple[str, float], ...] = ()
+    #: Load shape: ``""`` (plain arrival process), ``"surge"`` (half
+    #: the sessions arrive by the base process, the rest land together
+    #: mid-run as a mixed-tenant surge drawn from ``surge_tenants``),
+    #: or ``"diurnal"`` (hospital shifts: the arrival rate alternates
+    #: between day ``rate_hz`` and night ``rate_hz * night_fraction``
+    #: every ``shift_s`` seconds).
+    scenario: str = ""
+    #: Tenant mix of the surge cohort (defaults to ``tenants``) — skew
+    #: it toward low-priority tenants to drive a brownout.
+    surge_tenants: Tuple[Tuple[str, float], ...] = ()
+    shift_s: float = 2.0
+    night_fraction: float = 0.25
 
     def __post_init__(self) -> None:
         if self.sessions < 1:
@@ -122,6 +137,17 @@ class LoadGenConfig:
         for w, h in self.ladder:
             if w < 1 or h < 1:
                 raise ValueError("ladder rungs must be positive")
+        if self.scenario not in ("", "surge", "diurnal"):
+            raise ValueError("scenario must be '', 'surge' or 'diurnal'")
+        for name, weight in (*self.tenants, *self.surge_tenants):
+            if not name:
+                raise ValueError("tenant names must be non-empty")
+            if weight <= 0:
+                raise ValueError("tenant weights must be positive")
+        if self.shift_s <= 0:
+            raise ValueError("shift_s must be positive")
+        if not 0.0 < self.night_fraction <= 1.0:
+            raise ValueError("night_fraction must be in (0, 1]")
 
 
 @dataclass
@@ -130,6 +156,8 @@ class SessionReport:
 
     session: int
     content_class: str
+    #: Tenant this session billed to ("" = no tenant key on the wire).
+    tenant: str = ""
     decision: str = "error"
     reason: str = ""
     parked: bool = False
@@ -248,6 +276,32 @@ class LoadReport:
     def resumes(self) -> int:
         return sum(s.resumes for s in self.sessions)
 
+    def by_tenant(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant rollup (empty when no session carried a tenant)."""
+        rollup: Dict[str, Dict[str, int]] = {}
+        for s in self.sessions:
+            if not s.tenant:
+                continue
+            row = rollup.setdefault(s.tenant, {
+                "sessions": 0, "accepted": 0, "rejected": 0, "parked": 0,
+                "frames_encoded": 0, "frames_dropped": 0,
+                "policy_drops": 0,
+            })
+            row["sessions"] += 1
+            if s.decision == "accept":
+                row["accepted"] += 1
+            elif s.decision == "reject":
+                row["rejected"] += 1
+            if s.parked:
+                row["parked"] += 1
+            row["frames_encoded"] += s.frames_encoded
+            row["frames_dropped"] += s.frames_dropped
+            if s.server_stats:
+                dropped = s.server_stats.get("dropped", {})
+                if isinstance(dropped, dict):
+                    row["policy_drops"] += int(dropped.get("policy", 0))
+        return rollup
+
     def to_dict(self) -> Dict[str, object]:
         lat = self.latencies_s
         encoded = self.frames_encoded
@@ -275,6 +329,7 @@ class LoadReport:
             "resumes": self.resumes,
             "divergent_replays": self.divergent_replays,
             "wall_clock_s": self.wall_clock_s,
+            "by_tenant": self.by_tenant(),
         }
 
     def summary(self) -> str:
@@ -303,6 +358,15 @@ class LoadReport:
             f"  protocol errs: {d['protocol_errors']}",
             f"  wall clock   : {d['wall_clock_s']:.2f} s",
         ]
+        for name, row in sorted(d["by_tenant"].items()):
+            lines.append(
+                f"  tenant {name:>6s}: {row['sessions']} sessions "
+                f"(accepted {row['accepted']}, rejected {row['rejected']}, "
+                f"parked {row['parked']}), encoded "
+                f"{row['frames_encoded']}, dropped "
+                f"{row['frames_dropped']} "
+                f"({row['policy_drops']} by policy)"
+            )
         return "\n".join(lines)
 
 
@@ -320,6 +384,68 @@ def _arrival_delays(config: LoadGenConfig, rng: random.Random) -> List[float]:
                 t += 1.0 / config.rate_hz
             delays.append(t)
     return delays
+
+
+def _pick_tenants(config: LoadGenConfig, rng: random.Random,
+                  surge_from: int) -> List[str]:
+    """Tenant of each session (empty strings when no mix is set).
+
+    Sessions at index >= ``surge_from`` are the surge cohort and draw
+    from ``surge_tenants`` when provided.
+    """
+    if not config.tenants:
+        return [""] * config.sessions
+    names = [n for n, _ in config.tenants]
+    weights = [w for _, w in config.tenants]
+    surge_mix = config.surge_tenants or config.tenants
+    picks: List[str] = []
+    for i in range(config.sessions):
+        if i >= surge_from:
+            picks.append(rng.choices(
+                [n for n, _ in surge_mix], [w for _, w in surge_mix],
+            )[0])
+        else:
+            picks.append(rng.choices(names, weights)[0])
+    return picks
+
+
+def _scenario_plan(
+    config: LoadGenConfig, rng: random.Random,
+) -> Tuple[List[float], List[str]]:
+    """Arrival offsets + tenant picks, shaped by ``scenario``.
+
+    * ``"surge"``: the first half of the sessions arrive by the base
+      process; the rest land *together* halfway through that ramp — a
+      mixed-tenant spike sized to drive the policy over its budget.
+    * ``"diurnal"``: exponential inter-arrivals whose rate alternates
+      between day (``rate_hz``) and night (``rate_hz *
+      night_fraction``) every ``shift_s`` seconds — the hospital-shift
+      load the paper's traces motivate.
+    """
+    if config.scenario == "surge":
+        calm = max(1, config.sessions - config.sessions // 2)
+        delays: List[float] = []
+        t = 0.0
+        for _ in range(calm):
+            delays.append(t)
+            t += rng.expovariate(config.rate_hz)
+        surge_at = (delays[-1] if delays else 0.0) * 0.5
+        delays.extend(surge_at for _ in range(config.sessions - calm))
+        return delays, _pick_tenants(config, rng, surge_from=calm)
+    if config.scenario == "diurnal":
+        delays = []
+        t = 0.0
+        for _ in range(config.sessions):
+            delays.append(t)
+            day = int(t / config.shift_s) % 2 == 0
+            rate = config.rate_hz * (1.0 if day else config.night_fraction)
+            t += rng.expovariate(rate)
+        return delays, _pick_tenants(config, rng,
+                                     surge_from=config.sessions)
+    return (
+        _arrival_delays(config, rng),
+        _pick_tenants(config, rng, surge_from=config.sessions),
+    )
 
 
 class _SessionState:
@@ -421,6 +547,7 @@ async def _session_attempt(config: LoadGenConfig, index: int,
                 num_frames=config.frames, gop=config.gop,
                 content_class=content.value, client_id=f"loadgen-{index}",
                 ladder=config.ladder or None,
+                tenant=report.tenant,
             ))
             ack = await read_message(reader, max_payload=recv_max)
             while isinstance(ack, HelloAck) and ack.decision == "park":
@@ -604,11 +731,12 @@ async def run_loadgen_async(config: LoadGenConfig) -> LoadReport:
     classes = [c for c, _ in config.mix]
     weights = [w for _, w in config.mix]
     picks = rng.choices(classes, weights=weights, k=config.sessions)
-    delays = _arrival_delays(config, rng)
+    delays, tenant_picks = _scenario_plan(config, rng)
     seeds = [rng.randrange(2**31) for _ in range(config.sessions)]
     report = LoadReport()
     report.sessions = [
-        SessionReport(session=i, content_class=picks[i].value)
+        SessionReport(session=i, content_class=picks[i].value,
+                      tenant=tenant_picks[i])
         for i in range(config.sessions)
     ]
 

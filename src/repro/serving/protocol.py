@@ -104,7 +104,7 @@ class MsgType(enum.IntEnum):
 
 #: ``Encoded.dropped`` reason codes (0 = not dropped).
 DROP_REASONS = {0: None, 1: "corrupt", 2: "deadline", 3: "backpressure",
-                4: "watchdog"}
+                4: "watchdog", 5: "policy"}
 DROP_CODES = {v: k for k, v in DROP_REASONS.items()}
 
 #: ``Encoded.frame_type`` codes.
@@ -140,6 +140,11 @@ class Hello:
     #: anchor; rungs larger than it are rejected at admission
     #: (never-upscale).
     ladder: Optional[Tuple[Tuple[int, int], ...]] = None
+    #: Policy tenant this stream bills to.  ``""`` is the pre-policy
+    #: wire form (the JSON payload lacks the key, so old peers
+    #: interoperate); servers map it — and any name their policy does
+    #: not define — to the policy's catch-all default tenant.
+    tenant: str = ""
 
     type = MsgType.HELLO
 
@@ -151,6 +156,8 @@ class Hello:
         }
         if self.ladder is not None:
             obj["ladder"] = [[w, h] for w, h in self.ladder]
+        if self.tenant:
+            obj["tenant"] = self.tenant
         return _json_bytes(obj)
 
     @classmethod
@@ -172,6 +179,7 @@ class Hello:
                 content_class=obj.get("content_class"),
                 client_id=str(obj.get("client_id", "")),
                 ladder=ladder,
+                tenant=str(obj.get("tenant", "")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ProtocolError(f"malformed HELLO payload: {exc}") from exc

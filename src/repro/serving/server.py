@@ -60,6 +60,10 @@ import numpy as np
 from repro.codec.config import EncoderConfig, GopConfig
 from repro.observability import get_registry, get_tracer
 from repro.platform.mpsoc import MpsocConfig, XEON_E5_2667
+from repro.platform.power import PowerModel
+from repro.policy.compiler import CompiledPolicy
+from repro.policy.energy import EnergyBudgetScheduler
+from repro.policy.manager import PolicyManager
 from repro.resilience.errors import (
     CorruptFrameError,
     JournalCorruptionError,
@@ -196,6 +200,12 @@ class ServeNetConfig:
     #: architecture's session-concurrency ceiling (one encode thread
     #: per worker process) independently of this machine's core count.
     encode_floor_s: float = 0.0
+    #: Tenant policy document (``None`` = pre-policy behaviour: no
+    #: tenants, no energy budget, bit-identical to a policy-less build).
+    policy_file: Optional[str] = None
+    #: Seconds between policy-file mtime polls for hot reload (0
+    #: disables reload; the startup load still happens).
+    policy_reload_s: float = 0.0
 
 
 @dataclass
@@ -210,6 +220,7 @@ class SessionStats:
     dropped_corrupt: int = 0
     dropped_deadline: int = 0
     dropped_watchdog: int = 0
+    dropped_policy: int = 0
     deadline_misses: int = 0
     total_bits: int = 0
     psnr_sum: float = 0.0
@@ -225,17 +236,23 @@ class SessionStats:
     parked: bool = False
 
     def to_dict(self, queue_frames: int) -> Dict[str, object]:
+        dropped = {
+            "backpressure": self.dropped_backpressure,
+            "egress": self.dropped_egress,
+            "corrupt": self.dropped_corrupt,
+            "deadline": self.dropped_deadline,
+            "watchdog": self.dropped_watchdog,
+        }
+        if self.dropped_policy:
+            # Only present when a policy actually dropped frames, so a
+            # no-policy run's STATS payload is byte-identical to the
+            # pre-policy wire form.
+            dropped["policy"] = self.dropped_policy
         return {
             "session_id": self.session_id,
             "frames_received": self.frames_received,
             "frames_encoded": self.frames_encoded,
-            "frames_dropped": {
-                "backpressure": self.dropped_backpressure,
-                "egress": self.dropped_egress,
-                "corrupt": self.dropped_corrupt,
-                "deadline": self.dropped_deadline,
-                "watchdog": self.dropped_watchdog,
-            },
+            "frames_dropped": dropped,
             "recovery": {
                 "resumes": self.resumes,
                 "replayed": self.replayed,
@@ -315,11 +332,15 @@ class _Session:
                 content = ContentClass(hello.content_class)
             except ValueError:
                 content = None
+        #: Resolved policy tenant this session bills to ("" = no policy).
+        self.tenant = server.resolve_tenant(hello)
         if restored is not None:
             qp = int(restored.admit["qp"])
             window = int(restored.admit["window"])
         else:
-            qp, window = server.admission.lighten(32, 64)
+            qp, window = server.admission.lighten(
+                32, 64, tenant=hello.tenant
+            )
         self.qp = qp
         self.window = window
         pipeline = PipelineConfig(
@@ -328,7 +349,7 @@ class _Session:
             base_config=EncoderConfig(qp=qp, search="hexagon",
                                       search_window=window),
             content_class=content,
-            resilience=cfg.resilience,
+            resilience=server.resilience_for(hello),
             platform=cfg.platform,
             parallel_tiles=cfg.parallel_workers is not None,
             parallel_workers=cfg.parallel_workers or None,
@@ -454,6 +475,21 @@ class NetworkServer:
             platform=config.platform,
             policy=config.admission,
         )
+        #: Tenant policy plumbing (all ``None`` without --policy; every
+        #: policy hook below degrades to a single branch).
+        self.policy_manager: Optional[PolicyManager] = None
+        self.energy: Optional[EnergyBudgetScheduler] = None
+        self._power_model: Optional[PowerModel] = None
+        if config.policy_file is not None:
+            # A broken policy file refuses to start the server (the
+            # manager's initial load is strict); hot-reload failures
+            # later keep the active policy and count an error.
+            self.policy_manager = PolicyManager(config.policy_file)
+            self._apply_policy(self.policy_manager.active)
+            self.policy_manager.on_apply(
+                lambda policy, plan, rev: self._apply_policy(policy)
+            )
+        self._policy_task: Optional[asyncio.Task] = None
         self._server: Optional[asyncio.base_events.Server] = None
         # The encode pool: CPU work leaves the event loop here.  Each
         # session awaits every push before issuing the next, so one
@@ -492,6 +528,58 @@ class NetworkServer:
             max(65536,
                 config.max_frame_width * config.max_frame_height + 1024),
         )
+
+    # -- tenant policy -------------------------------------------------
+    def _apply_policy(self, policy: CompiledPolicy) -> None:
+        """Make a compiled policy live: fresh energy scheduler (the
+        ledger restarts — an edited cap judges only post-edit draw) and
+        a re-wired admission controller on the clamped platform."""
+        self.energy = EnergyBudgetScheduler(policy)
+        self._power_model = PowerModel()
+        self.admission.set_policy(policy, self.energy)
+
+    @property
+    def compiled_policy(self) -> Optional[CompiledPolicy]:
+        return self.policy_manager.active if self.policy_manager else None
+
+    def resolve_tenant(self, hello: Hello) -> str:
+        policy = self.compiled_policy
+        if policy is None:
+            return ""
+        return policy.resolve_name(hello.tenant)
+
+    def resilience_for(self, hello: Hello) -> Optional[ResilienceConfig]:
+        """Per-stream resilience bounded by the tenant's QoS floor."""
+        policy = self.compiled_policy
+        if policy is None:
+            return self.config.resilience
+        return policy.resilience_for(hello.tenant, self.config.resilience)
+
+    async def _policy_loop(self) -> None:
+        """Housekeeping tick: energy-budget checks plus (optionally)
+        policy-file hot reload."""
+        cfg = self.config
+        loop = asyncio.get_running_loop()
+        interval = 0.05
+        if self.energy is not None:
+            interval = max(
+                0.05, min(1.0, self.energy.policy.energy_window_s / 4)
+            )
+        next_reload = (loop.time() + cfg.policy_reload_s
+                       if cfg.policy_reload_s > 0 else None)
+        while True:
+            await asyncio.sleep(interval)
+            if self.energy is not None:
+                events = self.energy.check(loop.time())
+                if any(e.kind in ("readmit", "unthrottle")
+                       for e in events):
+                    # Readmission frees admission headroom for tenants
+                    # parked behind the brownout gate.
+                    self._capacity_freed.set()
+            if (next_reload is not None and loop.time() >= next_reload
+                    and self.policy_manager is not None):
+                next_reload = loop.time() + cfg.policy_reload_s
+                self.policy_manager.maybe_reload()
 
     def _encode_pool_size(self) -> int:
         """Encode threads granted to this server.
@@ -533,19 +621,25 @@ class NetworkServer:
 
     def load_snapshot(self) -> Dict[str, float]:
         """Point-in-time load for the fleet's utilization gossip."""
-        return {
+        snapshot = {
             "active_sessions": float(self.admission.active_sessions),
             "occupancy_cores": float(self.admission.occupancy_cores),
             "capacity_cores": float(self.admission.capacity_cores),
             "active_handlers": float(self._active_handlers),
             "draining": 1.0 if self._draining else 0.0,
         }
+        if self.compiled_policy is not None:
+            for name, cores in self.admission.tenant_occupancies().items():
+                snapshot[f"tenant_cores.{name}"] = cores
+        return snapshot
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
             self._handle_client, self.config.host, self.config.port,
             reuse_port=self.config.reuse_port or None,
         )
+        if self.policy_manager is not None and self._policy_task is None:
+            self._policy_task = asyncio.ensure_future(self._policy_loop())
         get_registry().set_gauge(
             "repro_serving_listening", 1, help="1 while the server accepts",
         )
@@ -557,6 +651,10 @@ class NetworkServer:
             await self._server.serve_forever()
 
     async def aclose(self) -> None:
+        if self._policy_task is not None:
+            self._policy_task.cancel()
+            await asyncio.gather(self._policy_task, return_exceptions=True)
+            self._policy_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -698,6 +796,8 @@ class NetworkServer:
                 "qp": session.qp, "window": session.window,
                 "owner": self._owner,
             }
+            if hello.tenant:
+                admit_payload["tenant"] = hello.tenant
             await asyncio.get_running_loop().run_in_executor(
                 self._journal_pool, journal.append, "admit", admit_payload
             )
@@ -863,6 +963,7 @@ class NetworkServer:
             gop=int(admit["gop"]),
             content_class=admit.get("content_class"),
             client_id=msg.client_id or str(admit.get("client_id", "")),
+            tenant=str(admit.get("tenant", "")),
         )
         session_id = self._next_session_id
         self._next_session_id += 1
@@ -1151,6 +1252,21 @@ class NetworkServer:
                 await self._park_session(session)
                 await session.emit_queue.put(_BYE_SENTINEL)
                 return
+            if (self.energy is not None
+                    and not self.energy.serves(session.tenant)):
+                # Brownout: the tenant is shed — the connection stays up
+                # but frames degrade to policy drops until readmission.
+                session.stats.dropped_policy += 1
+                session.arrival_s.pop(item.index, None)
+                get_registry().inc(
+                    "repro_serving_frames_dropped_total", reason="policy",
+                    help="Frames dropped by the serving layer, by reason",
+                )
+                await self._egress_put(session, Encoded(
+                    frame_index=item.index, frame_type="",
+                    dropped="policy",
+                ))
+                continue
             outputs = await self._push_frame(session, item)
             await self._queue_boundary(session, outputs)
 
@@ -1398,6 +1514,17 @@ class NetworkServer:
                 continue
             record = out.record
             critical = max(t.cpu_time_fmax for t in record.tiles)
+            if self.energy is not None:
+                # Model-domain energy: the frame's summed tile CPU
+                # seconds at f_max priced by the fig4 busy power —
+                # billed to the session's tenant for the budget ledger.
+                self.energy.observe(
+                    asyncio.get_running_loop().time(),
+                    record.cpu_time_fmax
+                    * self._power_model.busy_power(
+                        self.admission.platform.f_max),
+                    session.tenant,
+                )
             session.stats.frames_encoded += 1
             session.stats.total_bits += record.bits
             psnr = float(np.mean([t.psnr for t in record.tiles]))

@@ -205,6 +205,54 @@ class TestSlotSchedule:
         expected_extra = 31 * pm.p_idle * self.SLOT
         assert with_unused - without == pytest.approx(expected_extra)
 
+    def test_energy_zero_duration_intervals(self):
+        pm = PowerModel()
+        assert pm.energy(0.0, XEON_E5_2667.f_max, 0.0) == 0.0
+        # Zero busy time: only the idle interval is billed.
+        assert pm.energy(0.0, XEON_E5_2667.f_max, 2.0) == pytest.approx(
+            2.0 * pm.p_idle
+        )
+
+    def test_energy_zero_load_slot_is_pure_idle(self):
+        # Tasks with zero CPU time are legal (a fully-degraded stream)
+        # and the slot prices as pure idle.
+        pm = PowerModel()
+        sched = SlotSchedule([_slot(0, [0.0, 0.0])], self.SLOT,
+                             XEON_E5_2667)
+        assert sched.energy(pm, include_unused_cores=False) == (
+            pytest.approx(pm.p_idle * self.SLOT)
+        )
+
+    def test_energy_by_core_covers_unused_platform_cores(self):
+        pm = PowerModel()
+        sched = SlotSchedule([_slot(3, [0.01])], self.SLOT, XEON_E5_2667)
+        by_core = sched.energy_by_core(pm, include_unused_cores=True)
+        assert set(by_core) == set(range(XEON_E5_2667.num_cores))
+        idle_j = pm.p_idle * self.SLOT
+        assert by_core[0] == pytest.approx(idle_j)
+        assert by_core[3] > idle_j
+        trimmed = sched.energy_by_core(pm, include_unused_cores=False)
+        assert set(trimmed) == {3}
+        assert trimmed[3] == by_core[3]
+
+    @given(st.lists(st.lists(st.floats(min_value=0.0, max_value=0.08),
+                             min_size=0, max_size=4),
+                    min_size=1, max_size=5),
+           st.sampled_from(list(DvfsPolicy)),
+           st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_per_core_energies_sum_to_slot_energy(self, per_core, policy,
+                                                  include_unused):
+        pm = PowerModel()
+        slots = [_slot(i, times) for i, times in enumerate(per_core)]
+        sched = SlotSchedule(slots, self.SLOT, XEON_E5_2667, policy)
+        by_core = sched.energy_by_core(
+            pm, include_unused_cores=include_unused
+        )
+        total = sched.energy(pm, include_unused_cores=include_unused)
+        assert sum(by_core.values()) == pytest.approx(total, rel=1e-9)
+        assert all(v >= 0 for v in by_core.values())
+
     def test_stretch_consumes_less_energy_than_race_when_feasible(self):
         pm = PowerModel()
         e = {}
