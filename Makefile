@@ -11,10 +11,10 @@ HAS_COV := $(shell $(PY) -c "import pytest_cov" 2>/dev/null && echo 1)
 COVOPTS := $(if $(HAS_COV),--cov=repro --cov-report=term-missing)
 
 .PHONY: check test bench-smoke bench-serving golden serve-demo \
-	serve-smoke chaos fleet-chaos ladder-smoke policy-smoke clean
+	serve-smoke chaos fleet-chaos ladder-smoke policy-smoke torture clean
 
 check: test bench-smoke bench-serving serve-smoke chaos fleet-chaos \
-	ladder-smoke policy-smoke
+	ladder-smoke policy-smoke torture
 
 test:
 	$(PYTEST) -x -q $(COVOPTS)
@@ -71,6 +71,16 @@ ladder-smoke:
 # `make policy-smoke UPDATE=--update-golden`.
 policy-smoke:
 	PYTHONPATH=src $(PY) -m repro.policy.smoke $(UPDATE)
+
+# Fixed-seed crash-consistency torture drill: records every durable
+# mutation of a pinned serving drill, checks the write-point digest
+# against tests/golden/torture_points.json, simulates a crash (and a
+# torn write) at every recorded point asserting each prefix restores
+# bit-identically or fails with a typed StorageError, then runs a live
+# ENOSPC durability-brownout drill.  After an intentional change to
+# the set of durable write paths: `make torture UPDATE=--update-golden`.
+torture:
+	PYTHONPATH=src $(PY) -m repro.storage.torture $(UPDATE)
 
 # One-shot observability demo: writes metrics.json + trace.jsonl.
 serve-demo:

@@ -603,6 +603,12 @@ def _cmd_fault_drill(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_torture(args: argparse.Namespace) -> int:
+    from repro.storage.torture import main as torture_main
+
+    return torture_main(["--update-golden"] if args.update_golden else [])
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro import bench
 
@@ -943,6 +949,16 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--slots", type=int, default=6)
     f.add_argument("--users", type=int, default=12)
     f.set_defaults(func=_cmd_fault_drill)
+
+    to = sub.add_parser(
+        "torture",
+        help="crash-consistency torture harness over the storage layer",
+    )
+    to.add_argument("--update-golden", action="store_true",
+                    dest="update_golden",
+                    help="rewrite tests/golden/torture_points.json from "
+                         "this run's write-point digest")
+    to.set_defaults(func=_cmd_torture)
 
     x = sub.add_parser("experiment", help="regenerate a paper table/figure")
     x.add_argument("name", choices=["table1", "fig3", "table2", "fig4"])

@@ -89,6 +89,18 @@ def _compile() -> Optional[Path]:
     try:
         subprocess.run(cmd, check=True, capture_output=True, timeout=120)
         os.replace(tmp_name, so_path)
+        # Durable publish: fsync the directory so a crash right after
+        # the rename cannot roll back the entry and leave the next
+        # interpreter recompiling against a vanished cache.  Best
+        # effort — the .so is reproducible, losing it is only slow.
+        try:
+            dir_fd = os.open(_BUILD_DIR, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:
+            pass
         return so_path
     except (OSError, subprocess.SubprocessError):
         try:

@@ -502,6 +502,24 @@ def serving_summary(data: dict) -> Optional[Dict[str, object]]:
             fams, "repro_policy_energy_window_watts"
         ),
         "tenants_shed": _gauge_value(fams, "repro_policy_tenants_shed"),
+        # Storage-durability counters (PR 10): absent families default
+        # to zero and the gauge to healthy, so older snapshots (and a
+        # journal-less server) summarise unchanged.
+        "durability": _gauge_value(
+            fams, "repro_serving_durability", default=1.0
+        ),
+        "durability_brownouts": _counter_sum(
+            fams, "repro_serving_durability_brownouts_total"
+        ),
+        "durability_readmits": _counter_sum(
+            fams, "repro_serving_durability_readmits_total"
+        ),
+        "tombstone_rejects": _counter_sum(
+            fams, "repro_serving_tombstone_rejects_total"
+        ),
+        "journal_retries": _counter_sum(
+            fams, "repro_serving_journal_retries_total"
+        ),
     }
 
 
@@ -552,6 +570,12 @@ def format_metrics(data: dict) -> str:
             f"drains {serving['drains']:g}",
             f"  journal      : GOPs {serving['journal_gops']:g}, "
             f"corruptions {serving['journal_corruptions']:g}",
+            f"  durability   : "
+            + ("healthy" if serving["durability"] >= 1.0 else "BROWNOUT")
+            + f", brownouts {serving['durability_brownouts']:g}, "
+            f"readmits {serving['durability_readmits']:g}, "
+            f"tombstone rejects {serving['tombstone_rejects']:g}, "
+            f"write retries {serving['journal_retries']:g}",
             f"  fleet        : adopted {serving['sessions_adopted']:g}, "
             f"lease conflicts {serving['lease_conflicts']:g}, "
             f"worker deaths {serving['worker_deaths']:g}, "

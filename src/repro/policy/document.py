@@ -394,7 +394,7 @@ def parse_policy(obj: object, source: Optional[str] = None) -> PolicyDocument:
     )
 
 
-def load_policy_file(path: str) -> PolicyDocument:
+def load_policy_file(path: str, fileops=None) -> PolicyDocument:
     """Load and validate a YAML or JSON policy file.
 
     Format is chosen by extension (``.json`` = JSON, anything else
@@ -402,9 +402,18 @@ def load_policy_file(path: str) -> PolicyDocument:
     JSON is a YAML subset, so ``.yaml`` documents written as JSON still
     load on a bare toolchain).  Syntax errors surface with the parser's
     line/column context.
+
+    ``fileops`` is the injectable filesystem seam of
+    :mod:`repro.storage.faultfs` (``None`` = real filesystem); a torn
+    or failing read surfaces as a typed ``OSError`` subclass which the
+    hot-reload path (:meth:`repro.policy.manager.PolicyManager
+    .maybe_reload`) turns into a counted, non-fatal reload error.
     """
-    with open(path) as fh:
-        text = fh.read()
+    if fileops is not None:
+        text = fileops.read_bytes(path, point="policy.read").decode("utf-8")
+    else:
+        with open(path) as fh:
+            text = fh.read()
     if path.endswith(".json"):
         try:
             obj = json.loads(text)

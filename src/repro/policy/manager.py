@@ -93,8 +93,9 @@ class PolicyManager:
     them.
     """
 
-    def __init__(self, path: Optional[str] = None):
+    def __init__(self, path: Optional[str] = None, fileops=None):
         self.path = path
+        self._ops = fileops  # None = real filesystem (see load_policy_file)
         self.active: Optional[CompiledPolicy] = None
         self.revision = 0
         self.reload_errors = 0
@@ -106,9 +107,14 @@ class PolicyManager:
             # The initial load is NOT forgiving: a server must refuse
             # to start on a broken policy rather than silently run
             # unpoliced.
-            self._mtime = os.path.getmtime(path)
-            doc = load_policy_file(path)
+            self._mtime = self._getmtime(path)
+            doc = load_policy_file(path, fileops=self._ops)
             self.apply(compile_policy(doc))
+
+    def _getmtime(self, path: str) -> float:
+        if self._ops is not None:
+            return self._ops.getmtime(path, point="policy.stat")
+        return os.path.getmtime(path)
 
     def on_apply(self, fn: Callable[[CompiledPolicy, PolicyPlan, int],
                                     None]) -> None:
@@ -151,14 +157,15 @@ class PolicyManager:
         if self.path is None:
             return None
         try:
-            mtime = os.path.getmtime(self.path)
+            mtime = self._getmtime(self.path)
         except OSError:
             return None  # file briefly absent mid-rewrite; retry later
         if self._mtime is not None and mtime == self._mtime:
             return None
         self._mtime = mtime
         try:
-            candidate = compile_policy(load_policy_file(self.path))
+            candidate = compile_policy(
+                load_policy_file(self.path, fileops=self._ops))
         except (PolicyError, OSError) as exc:
             self.reload_errors += 1
             self.last_error = str(exc)

@@ -16,7 +16,7 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 from repro.resilience.errors import LutCorruptionError
 from repro.workload.lut import WorkloadLut
@@ -42,14 +42,27 @@ _canonical = canonical_json
 _checksum = payload_checksum
 
 
-def save_lut(lut: WorkloadLut, path: Union[str, os.PathLike]) -> str:
+def save_lut(lut: WorkloadLut, path: Union[str, os.PathLike],
+             fileops=None,
+             staging_path: Optional[Union[str, os.PathLike]] = None) -> str:
     """Write a checksummed JSON checkpoint; returns the checksum.
 
     Inconsistent entries (see
     :meth:`~repro.workload.lut.WorkloadLut.validate`) are dropped
     before serializing so corruption never propagates into a
     checkpoint that would then verify as healthy.
+
+    The write is crash-atomic *and durable*: the document is staged
+    (fsync'd) under ``staging_path`` (default ``<path>.tmp``), then
+    published with an ``os.replace`` followed by a parent-directory
+    fsync — a bare rename is atomic but not durable, a crash could
+    roll the directory entry back to the previous checkpoint.
+    ``fileops`` is the injectable seam of :mod:`repro.storage.faultfs`
+    (``None`` = the real filesystem).
     """
+    from repro.storage.faultfs import REAL_FILEOPS
+
+    ops = fileops or REAL_FILEOPS
     lut.validate()
     payload = lut.to_dict()
     document = {
@@ -57,10 +70,11 @@ def save_lut(lut: WorkloadLut, path: Union[str, os.PathLike]) -> str:
         "checksum": _checksum(payload),
         "payload": payload,
     }
-    tmp = f"{os.fspath(path)}.tmp"
-    with open(tmp, "w", encoding="utf-8") as fh:
-        json.dump(document, fh, sort_keys=True)
-    os.replace(tmp, path)
+    tmp = os.fspath(staging_path) if staging_path is not None \
+        else f"{os.fspath(path)}.tmp"
+    data = json.dumps(document, sort_keys=True).encode("utf-8")
+    ops.write_file(tmp, data, point="lut.stage")
+    ops.replace(tmp, path, point="lut.publish")
     return document["checksum"]
 
 
@@ -74,7 +88,7 @@ class CheckpointLoadResult:
 
 
 def load_lut(path: Union[str, os.PathLike],
-             strict: bool = False) -> CheckpointLoadResult:
+             strict: bool = False, fileops=None) -> CheckpointLoadResult:
     """Load a checkpoint, verifying its checksum.
 
     On any corruption — unreadable file, bad JSON, checksum mismatch,
@@ -82,12 +96,20 @@ def load_lut(path: Union[str, os.PathLike],
     (``recovered=False``) unless ``strict`` is set, in which case
     :class:`~repro.resilience.errors.LutCorruptionError` is raised.
     A missing file is not corruption: it is the cold-start case.
+    Storage faults injected through ``fileops`` land in the same
+    fallback: :class:`~repro.storage.errors.StorageError` is an
+    ``OSError``, which the handler below already treats as corruption.
     """
     if not os.path.exists(path):
         return CheckpointLoadResult(WorkloadLut(), False, "missing")
     try:
-        with open(path, "r", encoding="utf-8") as fh:
-            document = json.load(fh)
+        if fileops is not None:
+            document = json.loads(
+                fileops.read_bytes(path, point="lut.read").decode("utf-8")
+            )
+        else:
+            with open(path, "r", encoding="utf-8") as fh:
+                document = json.load(fh)
         if document.get("version") != _FORMAT_VERSION:
             raise ValueError(f"unsupported version {document.get('version')!r}")
         payload = document["payload"]

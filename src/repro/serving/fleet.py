@@ -80,6 +80,7 @@ from repro.serving.protocol import (
 )
 from repro.serving.server import NetworkServer, ServeNetConfig
 from repro.serving.statestore import SharedDirStateStore
+from repro.storage.errors import StorageError
 
 __all__ = [
     "FleetConfig",
@@ -600,7 +601,17 @@ class FleetSupervisor:
             # The moment of adoption: every session lease the dead pid
             # held is broken so any surviving worker's RESUME path can
             # take it over without waiting out a liveness probe.
-            freed = self._store.break_owner(handle.pid)
+            try:
+                freed = self._store.break_owner(handle.pid)
+            except (StorageError, OSError) as exc:
+                # A faulting store directory must not take the
+                # supervisor down with the worker: the leases stay on
+                # disk, stale, and workers reclaim them by pid-liveness
+                # probe instead.
+                get_tracer().event(
+                    "fleet.lease_sweep_failed",
+                    worker=handle.worker_id, error=str(exc),
+                )
         get_tracer().event(
             "fleet.worker_death", worker=handle.worker_id,
             incarnation=handle.incarnation, exitcode=exitcode,

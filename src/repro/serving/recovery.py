@@ -48,6 +48,17 @@ Record kinds, in the order a journal accumulates them:
     A marker written when a reconnecting client reattaches; it
     invalidates any earlier ``park`` record (its frames were
     re-fed and will reappear in later ``gop`` records).
+``tombstone``
+    Best-effort terminal marker written when a durability brownout
+    retires the session's resume token (DESIGN.md §16): the journal is
+    no longer a faithful history (appends started failing), so any
+    later RESUME against it must be refused rather than replayed.
+
+Every filesystem touch goes through an injectable
+:class:`~repro.storage.faultfs.FileOps` seam; a failed append rolls
+the file back to its pre-write length before any retry, so a partial
+line is never welded to a later complete record (which would read as
+mid-file corruption instead of a repairable torn tail).
 """
 
 from __future__ import annotations
@@ -66,6 +77,12 @@ import numpy as np
 from repro.resilience.checkpoint import canonical_json, payload_checksum
 from repro.resilience.errors import JournalCorruptionError
 from repro.serving.protocol import Encoded
+from repro.storage.errors import (
+    RetryPolicy,
+    StorageError,
+    run_with_retries,
+)
+from repro.storage.faultfs import FileOps, REAL_FILEOPS
 
 __all__ = [
     "JOURNAL_SUFFIX",
@@ -83,7 +100,7 @@ __all__ = [
 
 JOURNAL_SUFFIX = ".journal"
 
-_RECORD_KINDS = ("admit", "gop", "park", "resume")
+_RECORD_KINDS = ("admit", "gop", "park", "resume", "tombstone")
 _TOKEN_RE = re.compile(r"[^A-Za-z0-9_.-]")
 
 
@@ -175,11 +192,21 @@ class SessionJournal:
     """
 
     def __init__(self, path: Union[str, os.PathLike], fsync: bool = True,
-                 next_seq: int = 0):
+                 next_seq: int = 0, fileops: Optional[FileOps] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 on_retry=None):
         self.path = os.fspath(path)
         self.fsync = fsync
         self._seq = next_seq
-        self._fh: Optional[io.BufferedWriter] = open(self.path, "ab")
+        self._ops = fileops or REAL_FILEOPS
+        self._retry = retry
+        self._on_retry = on_retry
+        self._fh: Optional[io.FileIO] = self._ops.append_open(
+            self.path, point="journal.create"
+        )
+        #: Bytes of intact records on disk — the rollback anchor: a
+        #: failed append truncates back to this before any retry.
+        self._size = os.path.getsize(self.path)
         self.appends = 0
 
     @property
@@ -193,10 +220,21 @@ class SessionJournal:
     def append(self, kind: str, payload: Dict[str, object]) -> int:
         """Append one record; returns its sequence number.
 
-        The record is flushed and (by default) fsync'd before
+        The record is written and (by default) fsync'd before
         returning: once ``append`` returns, the record survives a
         crash.  A crash *during* the write leaves at most a truncated
         final line, which loaders discard.
+
+        Storage faults surface as the typed
+        :class:`~repro.storage.errors.StorageError` taxonomy.
+        Transient faults are retried under the journal's
+        :class:`~repro.storage.errors.RetryPolicy` — but only after
+        rolling the file back to its pre-write length, so a partial
+        line is never followed by a complete record (that would read
+        as *mid-file corruption*, not a repairable torn tail).  A
+        rollback that itself fails marks the fault persistent: the
+        file's tail state is unknowable and further appends would
+        make it worse.
         """
         if self._fh is None:
             raise ValueError(f"journal {self.path!r} is closed")
@@ -211,13 +249,28 @@ class SessionJournal:
         body_json = canonical_json(body)
         digest = hashlib.sha256(body_json.encode("utf-8")).hexdigest()
         line = '{"checksum":"' + digest + '",' + body_json[1:]
-        self._fh.write(line.encode("utf-8") + b"\n")
-        self._fh.flush()
-        if self.fsync:
-            # fdatasync is durability-equivalent for an append-only
-            # record (it flushes the data and the file size) and avoids
-            # the unrelated-metadata stalls full fsync can incur.
-            getattr(os, "fdatasync", os.fsync)(self._fh.fileno())
+        data = line.encode("utf-8") + b"\n"
+
+        def write_record() -> None:
+            try:
+                self._ops.append(self._fh, data, point="journal.append")
+                if self.fsync:
+                    # fdatasync is durability-equivalent for an
+                    # append-only record (it flushes the data and the
+                    # file size) and avoids the unrelated-metadata
+                    # stalls full fsync can incur.
+                    self._ops.fsync_handle(self._fh, point="journal.fsync")
+            except StorageError as exc:
+                try:
+                    self._ops.truncate_handle(self._fh, self._size,
+                                              point="journal.rollback")
+                except StorageError as rollback_exc:
+                    rollback_exc.transient = False
+                    raise rollback_exc from exc
+                raise
+
+        run_with_retries(write_record, self._retry, on_retry=self._on_retry)
+        self._size += len(data)
         self._seq += 1
         self.appends += 1
         return self._seq - 1
@@ -285,7 +338,8 @@ def _decode_record(line: bytes, expect_seq: int) -> Tuple[str, dict]:
 
 
 def read_journal(path: Union[str, os.PathLike],
-                 strict: bool = False) -> JournalReadResult:
+                 strict: bool = False,
+                 fileops: Optional[FileOps] = None) -> JournalReadResult:
     """Scan a journal, verifying every record.
 
     A bad *final* line is the mid-write crash signature: discarded,
@@ -294,8 +348,7 @@ def read_journal(path: Union[str, os.PathLike],
     :class:`JournalCorruptionError` when ``strict``, else the intact
     prefix with ``reason`` describing the damage.
     """
-    with open(path, "rb") as fh:
-        raw = fh.read()
+    raw = (fileops or REAL_FILEOPS).read_bytes(path, point="journal.read")
     result = JournalReadResult()
     lines = raw.split(b"\n")
     # A well-formed journal ends with a newline, so the final split
@@ -366,12 +419,18 @@ class RestoredSession:
     #: journal must be truncated to this before appending when
     #: ``truncated`` (see :meth:`JournalStore.reopen`).
     intact_bytes: int = 0
+    #: True when a durability brownout retired this journal's token (a
+    #: ``tombstone`` record): RESUME must refuse it with a typed
+    #: reject — the journal stopped being a faithful history the
+    #: moment its appends started failing.
+    tombstoned: bool = False
 
 
 def restore_session(path: Union[str, os.PathLike],
-                    strict: bool = False) -> RestoredSession:
+                    strict: bool = False,
+                    fileops: Optional[FileOps] = None) -> RestoredSession:
     """Fold a journal into the state needed to reattach its session."""
-    scan = read_journal(path, strict=strict)
+    scan = read_journal(path, strict=strict, fileops=fileops)
     if not scan.records:
         raise JournalCorruptionError(
             f"journal {os.fspath(path)!r} holds no intact records"
@@ -388,6 +447,7 @@ def restore_session(path: Union[str, os.PathLike],
     next_frame_index = 0
     parked = False
     resumes = 0
+    tombstoned = False
     last_owner = str(admit.get("owner", ""))
     for kind, payload in scan.records[1:]:
         if kind == "gop":
@@ -418,12 +478,16 @@ def restore_session(path: Union[str, os.PathLike],
             parked = False
             resumes += 1
             last_owner = str(payload.get("owner", last_owner))
+        elif kind == "tombstone":
+            tombstoned = True
+            last_owner = str(payload.get("owner", last_owner))
     token = str(admit.get("token", ""))
     return RestoredSession(
         token=token, admit=dict(admit), state=state, outputs=outputs,
         pending=pending, next_frame_index=next_frame_index, parked=parked,
         resumes=resumes, next_seq=scan.next_seq, last_owner=last_owner,
         truncated=scan.truncated, intact_bytes=scan.intact_bytes,
+        tombstoned=tombstoned,
     )
 
 
@@ -465,9 +529,15 @@ class JournalStore:
     they are sanitised before ever touching the filesystem.
     """
 
-    def __init__(self, root: Union[str, os.PathLike], fsync: bool = True):
+    def __init__(self, root: Union[str, os.PathLike], fsync: bool = True,
+                 fileops: Optional[FileOps] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 on_retry=None):
         self.root = os.fspath(root)
         self.fsync = fsync
+        self._ops = fileops or REAL_FILEOPS
+        self._retry = retry
+        self._on_retry = on_retry
         os.makedirs(self.root, exist_ok=True)
 
     def new_token(self, session_id: int, client_id: str = "") -> str:
@@ -493,7 +563,8 @@ class JournalStore:
         path = self.path_for(token)
         if os.path.exists(path):
             raise ValueError(f"journal for token {token!r} already exists")
-        return SessionJournal(path, fsync=self.fsync)
+        return SessionJournal(path, fsync=self.fsync, fileops=self._ops,
+                              retry=self._retry, on_retry=self._on_retry)
 
     def reopen(self, token: str, next_seq: int,
                truncate_to: Optional[int] = None) -> SessionJournal:
@@ -508,11 +579,14 @@ class JournalStore:
         """
         path = self.path_for(token)
         if truncate_to is not None and os.path.getsize(path) > truncate_to:
-            os.truncate(path, truncate_to)
-        return SessionJournal(path, fsync=self.fsync, next_seq=next_seq)
+            self._ops.truncate(path, truncate_to, point="journal.repair")
+        return SessionJournal(path, fsync=self.fsync, next_seq=next_seq,
+                              fileops=self._ops, retry=self._retry,
+                              on_retry=self._on_retry)
 
     def restore(self, token: str, strict: bool = False) -> RestoredSession:
-        return restore_session(self.path_for(token), strict=strict)
+        return restore_session(self.path_for(token), strict=strict,
+                               fileops=self._ops)
 
     def tokens(self) -> List[str]:
         """Tokens of every journal in the store, sorted."""
@@ -525,6 +599,6 @@ class JournalStore:
     def discard(self, token: str) -> None:
         """Delete one journal (session completed cleanly)."""
         try:
-            os.unlink(self.path_for(token))
+            self._ops.unlink(self.path_for(token), point="journal.unlink")
         except (FileNotFoundError, JournalCorruptionError):
             pass

@@ -106,6 +106,8 @@ from repro.serving.recovery import (
     replay_messages,
 )
 from repro.serving.statestore import SharedDirStateStore
+from repro.storage import FileOps, RetryPolicy, StorageError
+from repro.storage.brownout import DurabilityMonitor
 from repro.transcode.pipeline import (
     FrameOutput,
     PipelineConfig,
@@ -206,6 +208,21 @@ class ServeNetConfig:
     #: Seconds between policy-file mtime polls for hot reload (0
     #: disables reload; the startup load still happens).
     policy_reload_s: float = 0.0
+    #: Injectable filesystem seam for every durable write (journals,
+    #: leases, LUT checkpoints, policy reads).  ``None`` = the real
+    #: filesystem; tests and the torture harness pass a
+    #: :class:`repro.storage.faultfs.FaultFS`.
+    fileops: Optional[FileOps] = None
+    #: Bounded retry for *transient* journal-append faults (total
+    #: tries; 1 disables retry) and the backoff base of the schedule.
+    journal_retry_attempts: int = 3
+    journal_retry_backoff_s: float = 0.005
+    #: Consecutive successful durability probes required to leave
+    #: brownout (hysteresis: one lucky write must not re-enable
+    #: journaling on a flapping volume).
+    durability_readmit_successes: int = 3
+    #: Seconds between durability probes while browned out.
+    durability_probe_s: float = 0.25
 
 
 @dataclass
@@ -460,10 +477,28 @@ class NetworkServer:
         )
         self._owner = f"{config.worker_id or 'solo'}:{os.getpid()}"
         self._journal_store: Optional[SharedDirStateStore] = None
+        #: Durability health latch (DESIGN.md §16): ``healthy`` gates
+        #: journaling for new admits; the probe loop readmits it
+        #: hysteretically after a brownout.
+        self._durability = DurabilityMonitor(
+            readmit_successes=config.durability_readmit_successes
+        )
+        self._durability_task: Optional[asyncio.Task] = None
+        #: Resume tokens invalidated by a durability brownout.  The
+        #: in-memory set is authoritative for this process; the
+        #: journaled tombstone record is best-effort (the disk was
+        #: failing when it was written).
+        self._tombstoned: set = set()
         if config.journal_dir is not None:
             self._journal_store = SharedDirStateStore(
                 config.journal_dir, fsync=config.journal_fsync,
                 owner=self._owner, lease=config.lease,
+                fileops=config.fileops,
+                retry=RetryPolicy(
+                    attempts=max(1, config.journal_retry_attempts),
+                    backoff_s=config.journal_retry_backoff_s,
+                ),
+                on_retry=self._on_journal_retry,
             )
             # Warm-start the shared LUT from the drain checkpoint, if
             # an intact one survived the previous run.
@@ -484,7 +519,8 @@ class NetworkServer:
             # A broken policy file refuses to start the server (the
             # manager's initial load is strict); hot-reload failures
             # later keep the active policy and count an error.
-            self.policy_manager = PolicyManager(config.policy_file)
+            self.policy_manager = PolicyManager(config.policy_file,
+                                                fileops=config.fileops)
             self._apply_policy(self.policy_manager.active)
             self.policy_manager.on_apply(
                 lambda policy, plan, rev: self._apply_policy(policy)
@@ -581,6 +617,126 @@ class NetworkServer:
                 next_reload = loop.time() + cfg.policy_reload_s
                 self.policy_manager.maybe_reload()
 
+    # -- durability brownout (DESIGN.md §16) ---------------------------
+    def _on_journal_retry(self, exc: StorageError) -> None:
+        """Metrics hook for transient journal-append retries.  Runs on
+        the journal writer thread; the registry lock makes it safe."""
+        get_registry().inc(
+            "repro_serving_journal_retries_total",
+            help="Transient journal-write faults retried",
+        )
+
+    def _note_durability_failure(self, error: BaseException) -> None:
+        """Record a durable-write failure; on the healthy->browned
+        transition, count the episode and start the readmission probe.
+        """
+        if not self._durability.record_failure(error):
+            return
+        registry = get_registry()
+        registry.inc(
+            "repro_serving_durability_brownouts_total",
+            help="Durability brownout episodes (journaling disabled)",
+        )
+        registry.set_gauge(
+            "repro_serving_durability",
+            0, help="1 while journal storage is healthy, 0 in brownout",
+        )
+        get_tracer().event(
+            "serving.durability_brownout", error=str(error),
+            point=getattr(error, "point", ""),
+        )
+        self._ensure_durability_probe()
+
+    def _ensure_durability_probe(self) -> None:
+        if self._durability_task is None or self._durability_task.done():
+            self._durability_task = asyncio.ensure_future(
+                self._durability_loop()
+            )
+
+    async def _durability_loop(self) -> None:
+        """Probe the journal volume while browned out; readmit
+        journaling after ``durability_readmit_successes`` consecutive
+        clean probes (hysteresis against a flapping disk)."""
+        registry = get_registry()
+        loop = asyncio.get_running_loop()
+        store = self._journal_store
+        while store is not None and not self._durability.healthy:
+            await asyncio.sleep(self.config.durability_probe_s)
+            try:
+                # The probe shares the journal writer thread, so a
+                # stalled volume delays probes instead of piling them.
+                await loop.run_in_executor(
+                    self._journal_pool, store.probe_durability
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                self._durability.record_failure(exc)
+                continue
+            if self._durability.record_success():
+                registry.inc(
+                    "repro_serving_durability_readmits_total",
+                    help="Brownout episodes ended by clean probes",
+                )
+                registry.set_gauge(
+                    "repro_serving_durability",
+                    1,
+                    help="1 while journal storage is healthy, "
+                         "0 in brownout",
+                )
+                get_tracer().event("serving.durability_readmit")
+
+    async def _durability_brownout(self, session: "_Session",
+                                   error: BaseException) -> None:
+        """A durable write for ``session`` failed beyond retry: keep
+        the session alive but stop journaling it.
+
+        The resume token is invalidated (in memory, authoritatively;
+        on disk via a best-effort tombstone record — the disk was
+        failing, so the append may not land) and the journal handle is
+        closed on the writer thread, *behind* any appends the session
+        already queued.  The connection itself never notices: frames
+        keep flowing, only crash-resumability is lost.
+        """
+        token = session.resume_token
+        journal, session.journal = session.journal, None
+        session.resume_token = ""
+        if token:
+            self._tombstoned.add(token)
+            self._attached.pop(token, None)
+        if journal is not None:
+            def tombstone() -> None:
+                try:
+                    journal.append("tombstone", {
+                        "token": token, "reason": str(error),
+                        "owner": self._owner,
+                    })
+                except Exception:
+                    pass  # best effort by design
+                finally:
+                    try:
+                        journal.close()
+                    except Exception:
+                        pass
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    self._journal_pool, tombstone
+                )
+            except RuntimeError:
+                # The writer pool itself is gone (thread death /
+                # shutdown) — the very fault being handled.  Close the
+                # handle inline; the tombstone stays memory-only.
+                try:
+                    journal.close()
+                except Exception:
+                    pass
+        if token and self._journal_store is not None:
+            try:
+                self._journal_store.release(token)
+            except (StorageError, OSError):
+                pass
+        self._note_durability_failure(error)
+
     def _encode_pool_size(self) -> int:
         """Encode threads granted to this server.
 
@@ -643,6 +799,12 @@ class NetworkServer:
         get_registry().set_gauge(
             "repro_serving_listening", 1, help="1 while the server accepts",
         )
+        if self._journal_store is not None:
+            get_registry().set_gauge(
+                "repro_serving_durability",
+                1 if self._durability.healthy else 0,
+                help="1 while journal storage is healthy, 0 in brownout",
+            )
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -655,6 +817,11 @@ class NetworkServer:
             self._policy_task.cancel()
             await asyncio.gather(self._policy_task, return_exceptions=True)
             self._policy_task = None
+        if self._durability_task is not None:
+            self._durability_task.cancel()
+            await asyncio.gather(self._durability_task,
+                                 return_exceptions=True)
+            self._durability_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -690,7 +857,13 @@ class NetworkServer:
         while self._active_handlers > 0 and loop.time() < deadline:
             await asyncio.sleep(0.02)
         if self._journal_store is not None:
-            self._journal_store.save_lut(self.estimator.lut)
+            try:
+                self._journal_store.save_lut(self.estimator.lut)
+            except (StorageError, OSError) as exc:
+                # The LUT is an accuracy warm-start, never correctness:
+                # a failed checkpoint must not block the drain.
+                get_tracer().event("serving.lut_checkpoint_failed",
+                                   error=str(exc))
         await self.aclose()
 
     # -- connection handling -------------------------------------------
@@ -775,15 +948,27 @@ class NetworkServer:
             return
         resume_token = ""
         journal: Optional[SessionJournal] = None
-        if self._journal_store is not None:
-            resume_token = self._journal_store.new_token(
-                session_id, hello.client_id
-            )
-            # A fresh token is uncontended, but taking its lease here
-            # makes the invariant uniform: a journal with an appender
-            # always has a lease naming that appender.
-            self._journal_store.acquire(resume_token)
-            journal = self._journal_store.create(resume_token)
+        # Brownout gate: while the journal volume is failing, new
+        # sessions are admitted journal-less (degrade, never crash);
+        # the probe loop re-enables journaling hysteretically.
+        if self._journal_store is not None and self._durability.healthy:
+            try:
+                resume_token = self._journal_store.new_token(
+                    session_id, hello.client_id
+                )
+                # A fresh token is uncontended, but taking its lease
+                # here makes the invariant uniform: a journal with an
+                # appender always has a lease naming that appender.
+                self._journal_store.acquire(resume_token)
+                journal = self._journal_store.create(resume_token)
+            except StorageError as exc:
+                if resume_token:
+                    try:
+                        self._journal_store.release(resume_token)
+                    except (StorageError, OSError):
+                        pass
+                resume_token, journal = "", None
+                self._note_durability_failure(exc)
         session = _Session(session_id, hello, self,
                            resume_token=resume_token, journal=journal)
         if journal is not None:
@@ -798,12 +983,23 @@ class NetworkServer:
             }
             if hello.tenant:
                 admit_payload["tenant"] = hello.tenant
-            await asyncio.get_running_loop().run_in_executor(
-                self._journal_pool, journal.append, "admit", admit_payload
-            )
+            try:
+                await asyncio.get_running_loop().run_in_executor(
+                    self._journal_pool, journal.append, "admit",
+                    admit_payload,
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # Journal dead on arrival (ENOSPC, writer-thread death,
+                # ...): the session continues journal-less.
+                await self._durability_brownout(session, exc)
         await write_message(writer, HelloAck(
             decision="accept", session_id=session_id, reason=reason,
-            queue_frames=cfg.queue_frames, resume_token=resume_token,
+            queue_frames=cfg.queue_frames,
+            # A brownout above clears the session's token; the ACK
+            # must advertise what the session actually has.
+            resume_token=session.resume_token,
         ))
         await self._serve_admitted(session, reader, writer)
 
@@ -889,6 +1085,20 @@ class NetworkServer:
                 decision="reject", reason="unknown resume token",
             ))
             return
+        if msg.resume_token in self._tombstoned:
+            # Invalidated by a durability brownout: the journal on disk
+            # (if any survived) is not trusted to be complete, so the
+            # token is refused cleanly instead of resuming a session
+            # that would silently miss its tail.
+            registry.inc(
+                "repro_serving_tombstone_rejects_total",
+                help="RESUMEs refused: token tombstoned by a brownout",
+            )
+            await write_message(writer, ResumeAck(
+                decision="reject",
+                reason="resume token invalidated by durability brownout",
+            ))
+            return
         # Half-open TCP: the client timed out and reconnected while the
         # old handler is still alive (e.g. a chaos-proxy stall).  The
         # journal admits one writer, so preempt the old handler —
@@ -923,6 +1133,16 @@ class NetworkServer:
                 retry_after_s=cfg.lease_retry_s,
             ))
             return
+        except StorageError as exc:
+            # The lease write itself failed: storage trouble, not
+            # contention.  Transient reject (the client may retry) and
+            # note the failure against the durability latch.
+            self._note_durability_failure(exc)
+            await write_message(writer, ResumeAck(
+                decision="reject", reason=f"session store fault: {exc}",
+                retry_after_s=cfg.lease_retry_s,
+            ))
+            return
         # Claim the token before touching the journal so a concurrent
         # RESUME for the same token preempts *this* handler instead of
         # racing it to the reopen.
@@ -931,9 +1151,20 @@ class NetworkServer:
         # the old session scheduled before teardown has now either
         # landed in the file or failed against the closed handle, so
         # the restore below reads the journal's final state.
-        await asyncio.get_running_loop().run_in_executor(
-            self._journal_pool, lambda: None
-        )
+        try:
+            await asyncio.get_running_loop().run_in_executor(
+                self._journal_pool, lambda: None
+            )
+        except RuntimeError:
+            # Writer pool dead: journaling is gone for this process, so
+            # a resume cannot be served safely.  Clean typed refusal.
+            self._attached.pop(msg.resume_token, None)
+            store.release(msg.resume_token)
+            await write_message(writer, ResumeAck(
+                decision="reject", reason="journal writer unavailable",
+                retry_after_s=cfg.lease_retry_s,
+            ))
+            return
         try:
             restored = store.restore(msg.resume_token, strict=True)
         except JournalCorruptionError as exc:
@@ -942,6 +1173,30 @@ class NetworkServer:
             store.release(msg.resume_token)
             await write_message(writer, ResumeAck(
                 decision="reject", reason=f"journal corrupt: {exc}",
+            ))
+            return
+        except StorageError as exc:
+            # An unreadable journal is a *transient* reject, distinct
+            # from corruption: the bytes may be fine, the read failed.
+            store.release(msg.resume_token)
+            await write_message(writer, ResumeAck(
+                decision="reject", reason=f"journal unreadable: {exc}",
+                retry_after_s=cfg.lease_retry_s,
+            ))
+            return
+        if restored.tombstoned:
+            # A previous run browned this session out and its
+            # tombstone record did land: same clean refusal as the
+            # in-memory set, surviving restarts.
+            registry.inc(
+                "repro_serving_tombstone_rejects_total",
+                help="RESUMEs refused: token tombstoned by a brownout",
+            )
+            self._attached.pop(msg.resume_token, None)
+            store.release(msg.resume_token)
+            await write_message(writer, ResumeAck(
+                decision="reject",
+                reason="resume token invalidated by durability brownout",
             ))
             return
         adopted = restored.last_owner not in ("", self._owner)
@@ -982,27 +1237,45 @@ class NetworkServer:
         # to its last intact record before appending, or the next
         # record would merge with the partial line mid-file and poison
         # every later strict restore.
-        journal = store.reopen(msg.resume_token, restored.next_seq,
-                               truncate_to=restored.intact_bytes)
+        try:
+            journal = store.reopen(msg.resume_token, restored.next_seq,
+                                   truncate_to=restored.intact_bytes)
+        except StorageError as exc:
+            self.admission.release(session_id)
+            store.release(msg.resume_token)
+            self._note_durability_failure(exc)
+            await write_message(writer, ResumeAck(
+                decision="reject", reason=f"session store fault: {exc}",
+                retry_after_s=cfg.lease_retry_s,
+            ))
+            return
         session = _Session(session_id, hello, self,
                            resume_token=msg.resume_token, journal=journal,
                            restored=restored)
         session.stats.resumes = restored.resumes + 1
-        await asyncio.get_running_loop().run_in_executor(
-            self._journal_pool, journal.append, "resume", {
-                "have_below": msg.have_below,
-                "next_frame_index": restored.next_frame_index,
-                "session_id": session_id,
-                "owner": self._owner,
-            },
-        )
+        try:
+            await asyncio.get_running_loop().run_in_executor(
+                self._journal_pool, journal.append, "resume", {
+                    "have_below": msg.have_below,
+                    "next_frame_index": restored.next_frame_index,
+                    "session_id": session_id,
+                    "owner": self._owner,
+                },
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # The restored state is already in memory; serve the
+            # session journal-less rather than failing the resume.
+            await self._durability_brownout(session, exc)
         replay = replay_messages(restored, msg.have_below)
         session.stats.replayed = len(replay)
         await write_message(writer, ResumeAck(
             decision="accept", session_id=session_id,
             next_frame_index=restored.next_frame_index,
             replayed=len(replay), reason=reason,
-            queue_frames=cfg.queue_frames, resume_token=msg.resume_token,
+            queue_frames=cfg.queue_frames,
+            resume_token=session.resume_token,
         ))
         for encoded in replay:
             await write_message(writer, encoded)
@@ -1052,15 +1325,23 @@ class NetworkServer:
             session.close_encoder()
             if session.journal is not None:
                 session.journal.close()
-                if session.completed and self._journal_store is not None:
-                    # Clean BYE: the journal has served its purpose
-                    # (discard removes the lease with it).
-                    self._journal_store.discard(session.resume_token)
-                elif holds_token and self._journal_store is not None:
-                    # Interrupted (disconnect, park, preemption target
-                    # already re-leased the token — hence holds_token):
-                    # free the lease so *any* worker can resume it.
-                    self._journal_store.release(session.resume_token)
+                try:
+                    if (session.completed
+                            and self._journal_store is not None):
+                        # Clean BYE: the journal has served its purpose
+                        # (discard removes the lease with it).
+                        self._journal_store.discard(session.resume_token)
+                    elif holds_token and self._journal_store is not None:
+                        # Interrupted (disconnect, park, preemption
+                        # target already re-leased the token — hence
+                        # holds_token): free the lease so *any* worker
+                        # can resume it.
+                        self._journal_store.release(session.resume_token)
+                except StorageError as exc:
+                    # Teardown is best-effort: an undeletable journal
+                    # or lease is garbage a later sweep reclaims, not
+                    # a reason to abort the teardown path.
+                    self._note_durability_failure(exc)
             self.admission.release(session.session_id)
             self._capacity_freed.set()
 
@@ -1421,14 +1702,23 @@ class NetworkServer:
                         ) + 1,
                     })
 
-                append = asyncio.get_running_loop().run_in_executor(
-                    self._journal_pool, persist
-                )
-                # The emit loop awaits this; retrieve defensively too,
-                # for sessions torn down with an append still queued.
-                append.add_done_callback(
-                    lambda f: f.cancelled() or f.exception()
-                )
+                try:
+                    append = asyncio.get_running_loop().run_in_executor(
+                        self._journal_pool, persist
+                    )
+                except RuntimeError as exc:
+                    # Writer pool dead (thread death / shutdown): same
+                    # contract as a failed append — emit anyway, brown
+                    # the session out.
+                    append = None
+                    await self._durability_brownout(session, exc)
+                else:
+                    # The emit loop awaits this; retrieve defensively
+                    # too, for sessions torn down with an append still
+                    # queued.
+                    append.add_done_callback(
+                        lambda f: f.cancelled() or f.exception()
+                    )
         await session.emit_queue.put((append, outputs))
 
     async def _emit_loop(self, session: _Session) -> None:
@@ -1444,11 +1734,21 @@ class NetworkServer:
             append, outputs = item
             try:
                 if append is not None:
-                    await append
-                    get_registry().inc(
-                        "repro_serving_journal_gops_total",
-                        help="GOP records made durable by session journals",
-                    )
+                    try:
+                        await append
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception as exc:
+                        # The GOP cannot be made durable: emit it
+                        # anyway and brown the session out —
+                        # availability over resumability.
+                        await self._durability_brownout(session, exc)
+                    else:
+                        get_registry().inc(
+                            "repro_serving_journal_gops_total",
+                            help="GOP records made durable by session "
+                                 "journals",
+                        )
                 await self._emit_outputs(session, outputs)
             finally:
                 session.emit_queue.task_done()
@@ -1475,14 +1775,24 @@ class NetworkServer:
                     "outputs": drops,
                 })
 
-            await loop.run_in_executor(self._journal_pool, park)
-            session.stats.parked = True
-            get_registry().inc(
-                "repro_serving_sessions_parked_total",
-                help="Sessions parked to their journal by a drain",
-            )
+            try:
+                await loop.run_in_executor(self._journal_pool, park)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                await self._durability_brownout(session, exc)
+            else:
+                session.stats.parked = True
+                get_registry().inc(
+                    "repro_serving_sessions_parked_total",
+                    help="Sessions parked to their journal by a drain",
+                )
+        if session.stats.parked:
             reason = "server draining; session parked for resume"
         else:
+            # Journal-less (or the park record failed to land — the
+            # brownout path above): flush the partial GOP the classic
+            # way so the client still gets every frame it sent.
             outputs = await loop.run_in_executor(
                 self._encode_pool, session.encode_finish
             )

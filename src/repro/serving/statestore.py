@@ -67,6 +67,8 @@ from repro.serving.recovery import (
     RestoredSession,
     SessionJournal,
 )
+from repro.storage.errors import RetryPolicy, StorageError
+from repro.storage.faultfs import FileOps
 from repro.workload.lut import WorkloadLut
 
 __all__ = [
@@ -185,8 +187,11 @@ class SharedDirStateStore(JournalStore, StateStore):
 
     def __init__(self, root: Union[str, os.PathLike], fsync: bool = True,
                  owner: str = "", pid: Optional[int] = None,
-                 lease: bool = True):
-        super().__init__(root, fsync=fsync)
+                 lease: bool = True, fileops: Optional[FileOps] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 on_retry=None):
+        super().__init__(root, fsync=fsync, fileops=fileops, retry=retry,
+                         on_retry=on_retry)
         self.pid = os.getpid() if pid is None else int(pid)
         self.owner = owner or str(self.pid)
         self.lease_enabled = lease
@@ -231,22 +236,21 @@ class SharedDirStateStore(JournalStore, StateStore):
         """Current lease record for ``token``; ``None`` when unleased
         or torn.  Adds ``"alive"`` (owner-pid liveness) for routers."""
         try:
-            with open(self.lease_path(token), "rb") as fh:
-                info = self._parse_lease(fh.read())
+            raw = self._ops.read_bytes(self.lease_path(token),
+                                       point="lease.read")
         except FileNotFoundError:
             return None
+        info = self._parse_lease(raw)
         if info is not None:
             info["alive"] = pid_alive(int(info["pid"]))
         return info
 
-    def _write_lease(self, token: str, flags: int) -> None:
-        fd = os.open(self.lease_path(token), flags, 0o644)
-        try:
-            os.write(fd, self._lease_body(token))
-            if self.fsync:
-                getattr(os, "fdatasync", os.fsync)(fd)
-        finally:
-            os.close(fd)
+    def _write_lease(self, token: str, exclusive: bool) -> None:
+        self._ops.write_file(
+            self.lease_path(token), self._lease_body(token),
+            point="lease.create" if exclusive else "lease.update",
+            exclusive=exclusive, fsync=self.fsync,
+        )
 
     def _token_lock(self, token: str):
         """Per-token critical section serializing acquire vs reclaim.
@@ -292,14 +296,14 @@ class SharedDirStateStore(JournalStore, StateStore):
         path = self.lease_path(token)
         with self._token_lock(token):
             try:
-                self._write_lease(token, os.O_CREAT | os.O_EXCL
-                                  | os.O_WRONLY)
+                self._write_lease(token, exclusive=True)
                 return Lease(token=token, owner=self.owner, pid=self.pid)
             except FileExistsError:
                 pass
             try:
-                with open(path, "rb") as fh:
-                    info = self._parse_lease(fh.read())
+                info = self._parse_lease(
+                    self._ops.read_bytes(path, point="lease.read")
+                )
             except FileNotFoundError:  # pragma: no cover - race guard
                 info = None
             if info is not None and info["owner"] == self.owner:
@@ -309,7 +313,7 @@ class SharedDirStateStore(JournalStore, StateStore):
                                      int(info["pid"]))
             # Stale (dead owner) or torn: reclaim in place.
             previous = str(info["owner"]) if info is not None else ""
-            self._write_lease(token, os.O_CREAT | os.O_TRUNC | os.O_WRONLY)
+            self._write_lease(token, exclusive=False)
             return Lease(token=token, owner=self.owner, pid=self.pid,
                          previous_owner=previous, reclaimed=True)
 
@@ -319,14 +323,21 @@ class SharedDirStateStore(JournalStore, StateStore):
             return
         with self._token_lock(token):
             try:
-                with open(self.lease_path(token), "rb") as fh:
-                    info = self._parse_lease(fh.read())
+                info = self._parse_lease(self._ops.read_bytes(
+                    self.lease_path(token), point="lease.read"
+                ))
             except FileNotFoundError:
+                return
+            except StorageError:
+                # Best-effort: an unreadable lease stays on disk; a
+                # dead holder's lease is reclaimable by liveness probe
+                # anyway, so failing the caller here buys nothing.
                 return
             if info is None or info["owner"] == self.owner:
                 try:
-                    os.unlink(self.lease_path(token))
-                except FileNotFoundError:  # pragma: no cover - race guard
+                    self._ops.unlink(self.lease_path(token),
+                                     point="lease.unlink")
+                except StorageError:  # pragma: no cover - best effort
                     pass
 
     def break_owner(self, pid: int) -> List[str]:
@@ -344,40 +355,64 @@ class SharedDirStateStore(JournalStore, StateStore):
             token = name[: -len(LEASE_SUFFIX)]
             with self._token_lock(token):
                 try:
-                    with open(os.path.join(self.root, name), "rb") as fh:
-                        info = self._parse_lease(fh.read())
-                except FileNotFoundError:
+                    info = self._parse_lease(self._ops.read_bytes(
+                        os.path.join(self.root, name), point="lease.read"
+                    ))
+                except (FileNotFoundError, StorageError):
                     continue
                 if info is None or int(info["pid"]) == pid:
                     try:
-                        os.unlink(os.path.join(self.root, name))
+                        self._ops.unlink(os.path.join(self.root, name),
+                                         point="lease.unlink",
+                                         missing_ok=False)
                         freed.append(token)
-                    except FileNotFoundError:  # pragma: no cover
-                        pass
+                    except (FileNotFoundError, StorageError):
+                        pass  # pragma: no cover - best effort
         return sorted(freed)
 
     # -- journal overrides ---------------------------------------------
     def discard(self, token: str) -> None:
         """Delete one journal and its lease/lock sidecars."""
         super().discard(token)
-        for path in (self.lease_path(token), self._lock_path(token)):
-            try:
-                os.unlink(path)
-            except (FileNotFoundError, OSError):
-                pass
+        try:
+            self._ops.unlink(self.lease_path(token), point="lease.unlink")
+        except OSError:
+            pass
+        try:
+            # Advisory-lock debris, not durable state: plain unlink.
+            os.unlink(self._lock_path(token))
+        except (FileNotFoundError, OSError):
+            pass
+
+    # -- durability probe ----------------------------------------------
+    def probe_durability(self) -> None:
+        """Write-and-fsync a scratch file in the store directory.
+
+        The brownout readmission path calls this to ask "does this
+        volume take durable writes again?" — the probe exercises the
+        same open/write/fsync surface a journal append needs, without
+        touching any real session file.  Raises the usual typed
+        :class:`~repro.storage.errors.StorageError` on failure.
+        """
+        path = os.path.join(self.root, f".durability.probe.{self.pid}")
+        self._ops.write_file(path, b"probe\n", point="probe.write",
+                             fsync=self.fsync)
+        self._ops.unlink(path, point="probe.unlink")
 
     # -- shared LUT checkpoint -----------------------------------------
     def lut_path(self) -> str:
         return os.path.join(self.root, "lut.json")
 
     def load_lut(self) -> CheckpointLoadResult:
-        return load_lut(self.lut_path())
+        return load_lut(self.lut_path(), fileops=self._ops)
 
     def save_lut(self, lut: WorkloadLut) -> None:
         # Concurrent workers checkpoint the same shared LUT; a fixed
         # tmp name would let two in-flight saves race ``os.replace``
         # (the loser's staging file vanishes mid-rename).  Stage under
-        # a per-pid name, then publish atomically.
+        # a per-pid name, then publish atomically — the publish fsyncs
+        # the parent directory, so a crash after ``save_lut`` returns
+        # cannot roll the directory entry back to the stale LUT.
         staged = os.path.join(self.root, f"lut.json.{self.pid}")
-        save_lut(lut, staged)
-        os.replace(staged, self.lut_path())
+        save_lut(lut, self.lut_path(), fileops=self._ops,
+                 staging_path=staged)

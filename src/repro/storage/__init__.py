@@ -1,0 +1,53 @@
+"""Storage-fault robustness for the serving stack (DESIGN.md §16).
+
+Three pieces:
+
+* :mod:`repro.storage.errors` — the typed :class:`StorageError`
+  taxonomy (transient vs persistent) plus bounded retry/backoff;
+* :mod:`repro.storage.faultfs` — the injectable :class:`FileOps`
+  seam, the seeded :class:`FaultFS` fault shim and the
+  :class:`CrashPointRecorder` behind ``make torture``;
+* :mod:`repro.storage.brownout` — the hysteretic
+  :class:`DurabilityMonitor` the server flips into when the journal
+  volume fails persistently (degrade, never crash).
+"""
+
+from repro.storage.brownout import DurabilityMonitor
+from repro.storage.errors import (
+    FsyncFailedError,
+    RetryPolicy,
+    StorageError,
+    StorageFullError,
+    StorageIOError,
+    TornWriteError,
+    classify_os_error,
+    run_with_retries,
+)
+from repro.storage.faultfs import (
+    CrashPointRecorder,
+    FaultFS,
+    FaultRule,
+    FileOps,
+    REAL_FILEOPS,
+    RecordedOp,
+    fsync_dir,
+)
+
+__all__ = [
+    "CrashPointRecorder",
+    "DurabilityMonitor",
+    "FaultFS",
+    "FaultRule",
+    "FileOps",
+    "FsyncFailedError",
+    "REAL_FILEOPS",
+    "RecordedOp",
+    "RetryPolicy",
+    "StorageError",
+    "StorageFullError",
+    "StorageIOError",
+    "TornWriteError",
+    "classify_os_error",
+    "fsync_dir",
+    "run_with_retries",
+]
